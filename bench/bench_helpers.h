@@ -1,0 +1,63 @@
+// Shared builders for the table/figure reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "flint/core/platform.h"
+#include "flint/data/proxy_generator.h"
+#include "flint/device/availability.h"
+#include "flint/device/session_generator.h"
+#include "flint/fl/fedavg.h"
+#include "flint/fl/fedbuff.h"
+#include "flint/util/table.h"
+
+namespace flint::bench {
+
+/// The paper's strict participation criteria (§4.1): foreground app,
+/// battery > 80%, WiFi, and a modern OS.
+inline device::AvailabilityCriteria strict_criteria() {
+  device::AvailabilityCriteria c;
+  c.require_wifi = true;
+  c.min_battery_pct = 80.0;
+  c.require_foreground = true;
+  c.min_os_release = 201909;
+  return c;
+}
+
+/// Two-week synthetic session log sized for bench runtimes.
+inline device::SessionLog two_week_log(const device::DeviceCatalog& catalog, std::size_t clients,
+                                       util::Rng& rng) {
+  device::SessionGeneratorConfig cfg;
+  cfg.clients = clients;
+  cfg.days = 14;
+  return device::generate_sessions(cfg, catalog, rng);
+}
+
+/// Print a section header followed by the reproduction context line.
+inline void print_header(const std::string& title, const std::string& context) {
+  std::cout << "\n" << util::banner(title);
+  if (!context.empty()) std::cout << context << "\n\n";
+}
+
+/// "paper X vs measured Y" comparison line.
+inline void print_compare(const std::string& what, const std::string& paper,
+                          const std::string& measured) {
+  std::cout << "  " << what << ": paper=" << paper << "  measured=" << measured << "\n";
+}
+
+/// Format seconds as a human-scale duration (the paper mixes hrs and days).
+inline std::string human_duration(double seconds) {
+  char buf[64];
+  if (seconds < 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f min", seconds / 60.0);
+  } else if (seconds < 86400.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f hrs", seconds / 3600.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f days", seconds / 86400.0);
+  }
+  return buf;
+}
+
+}  // namespace flint::bench

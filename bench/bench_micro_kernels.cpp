@@ -1,0 +1,144 @@
+// Micro-kernel benchmarks (google-benchmark): throughput of the hot paths
+// under FLINT's simulations — tensor products, embedding lookups, feature
+// hashing, loss computation, local SGD steps, cache ops, and the event queue.
+#include <benchmark/benchmark.h>
+
+#include "flint/data/proxy_generator.h"
+#include "flint/feature/feature_cache.h"
+#include "flint/feature/feature_hashing.h"
+#include "flint/fl/trainer.h"
+#include "flint/ml/loss.h"
+#include "flint/ml/model.h"
+#include "flint/sim/event_queue.h"
+#include "flint/util/rng.h"
+
+namespace {
+
+using namespace flint;
+
+void BM_TensorMatmul(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  ml::Tensor a(n, n), b(n, n);
+  for (float& v : a.flat()) v = static_cast<float>(rng.normal());
+  for (float& v : b.flat()) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    ml::Tensor c = a.matmul(b);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_TensorMatmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_EmbeddingBagForward(benchmark::State& state) {
+  util::Rng rng(2);
+  ml::EmbeddingBagLayer bag(10'000, 64);
+  bag.init(rng);
+  std::vector<std::vector<std::int32_t>> tokens(32);
+  for (auto& t : tokens) {
+    t.resize(16);
+    for (auto& id : t) id = static_cast<std::int32_t>(rng.uniform_int(0, 9999));
+  }
+  for (auto _ : state) {
+    ml::Tensor out = bag.forward(tokens);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * 16);
+}
+BENCHMARK(BM_EmbeddingBagForward);
+
+void BM_FeatureHashing(benchmark::State& state) {
+  feature::FeatureHasher hasher(4096);
+  std::vector<std::string> tokens;
+  for (int i = 0; i < 256; ++i) tokens.push_back("feature:token:" + std::to_string(i));
+  for (auto _ : state) {
+    std::size_t acc = 0;
+    for (const auto& t : tokens) acc += hasher.bucket(t);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_FeatureHashing);
+
+void BM_BceLoss(benchmark::State& state) {
+  util::Rng rng(3);
+  ml::Tensor logits(512, 1);
+  std::vector<float> labels(512);
+  for (float& v : logits.flat()) v = static_cast<float>(rng.normal());
+  for (float& v : labels) v = rng.bernoulli(0.3) ? 1.0f : 0.0f;
+  for (auto _ : state) {
+    auto r = ml::bce_with_logits(logits, labels);
+    benchmark::DoNotOptimize(r.loss);
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_BceLoss);
+
+void BM_LocalTrainerStep(benchmark::State& state) {
+  util::Rng rng(4);
+  ml::FeedForwardConfig mcfg;
+  mcfg.dense_dim = 16;
+  mcfg.hidden = {32, 16};
+  auto model = std::make_unique<ml::FeedForwardModel>(mcfg);
+  model->init(rng);
+  std::vector<float> params = model->get_flat_parameters();
+  fl::LocalTrainer trainer(std::move(model), 16);
+  std::vector<ml::Example> data(64);
+  for (auto& e : data) {
+    e.dense.resize(16);
+    for (float& v : e.dense) v = static_cast<float>(rng.normal());
+    e.label = rng.bernoulli(0.3) ? 1.0f : 0.0f;
+  }
+  fl::LocalTrainConfig cfg;
+  for (auto _ : state) {
+    auto r = trainer.train(data, params, cfg);
+    benchmark::DoNotOptimize(r.delta);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_LocalTrainerStep);
+
+void BM_FeatureCache(benchmark::State& state) {
+  feature::FeatureCache cache(1 << 20);
+  util::Rng rng(5);
+  std::vector<float> value(16, 1.0f);
+  for (int i = 0; i < 1000; ++i) cache.put("key" + std::to_string(i), value);
+  for (auto _ : state) {
+    auto v = cache.get("key" + std::to_string(rng.uniform_int(0, 1499)));  // ~2/3 hits
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FeatureCache);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i)
+      q.schedule(static_cast<double>((i * 7919) % 1000), [&fired] { ++fired; });
+    q.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void BM_QuantityProfile(benchmark::State& state) {
+  util::Rng rng(6);
+  data::QuantityProfileConfig cfg;
+  cfg.population = 100'000;
+  cfg.mean_records = 99;
+  cfg.std_records = 667;
+  cfg.max_records = 39'731;
+  for (auto _ : state) {
+    auto counts = data::sample_quantity_profile(cfg, rng);
+    benchmark::DoNotOptimize(counts);
+  }
+  state.SetItemsProcessed(state.iterations() * 100'000);
+}
+BENCHMARK(BM_QuantityProfile);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,172 @@
+// The decision workflow (paper Figure 9, §3.7), fully instrumented: every
+// stage backed by the platform tool that measures it, producing a GO/NO-GO
+// report for bringing an ads model to cross-device FL.
+//
+// Run: ./build/examples/decision_workflow_demo
+#include <iostream>
+
+#include "flint/core/decision_workflow.h"
+#include "flint/core/platform.h"
+#include "flint/data/synthetic_tasks.h"
+#include "flint/net/bandwidth_model.h"
+#include "flint/privacy/dp.h"
+
+int main() {
+  using namespace flint;
+  core::FlintPlatform platform(17);
+  std::cout << "=== Decision workflow demo (paper Figure 9) ===\n\n";
+
+  // Shared state the stages build up.
+  data::SyntheticTaskConfig task_cfg;
+  task_cfg.domain = data::Domain::kAds;
+  task_cfg.clients = 500;
+  task_cfg.label_ratio = 0.28;
+  task_cfg.std_records = 120;
+  task_cfg.max_records = 1500;
+  auto task = data::make_synthetic_task(task_cfg, platform.rng());
+  device::AvailabilityTrace trace;
+  core::CaseStudyResult evaluation;
+  net::PufferLikeBandwidthModel bandwidth;
+
+  core::DecisionWorkflow workflow;
+
+  workflow.set_stage(core::Stage::kUnderstandClientData, [&] {
+    core::StageReport r;
+    auto stats = data::compute_stats(task.train, "ads-candidate", 90);
+    r.measurements["clients"] = static_cast<double>(stats.client_population);
+    r.measurements["avg_records"] = stats.avg_records;
+    r.measurements["std_records"] = stats.std_records;
+    r.measurements["label_ratio"] = stats.label_ratio;
+    r.notes = "client data is non-IID and tail-heavy; proxy feasible";
+    if (stats.avg_records < 1.0) {
+      r.verdict = core::StageVerdict::kBlock;
+      r.notes = "clients hold too little data to train locally";
+    }
+    return r;
+  });
+
+  workflow.set_stage(core::Stage::kDeviceBenchmark, [&] {
+    core::StageReport r;
+    auto report = platform.benchmark_model('B', 5000);
+    r.measurements["mean_time_s"] = report.mean_time_s;
+    r.measurements["worst_time_s"] = [&] {
+      double worst = 0.0;
+      for (const auto& d : report.per_device) worst = std::max(worst, d.train_time_s);
+      return worst;
+    }();
+    r.measurements["storage_mb"] = ml::model_spec('B').calibration.storage_mb;
+    if (ml::model_spec('B').calibration.storage_mb >= 1.0) {
+      r.verdict = core::StageVerdict::kBlock;
+      r.notes = "model exceeds the <1MB SDK budget";
+    } else {
+      r.notes = "Model B fits the SDK size budget; worst-case device impact acceptable";
+    }
+    return r;
+  });
+
+  workflow.set_stage(core::Stage::kAvailabilityAnalysis, [&] {
+    core::StageReport r;
+    device::SessionGeneratorConfig sessions;
+    sessions.clients = 500;
+    sessions.days = 14;
+    sessions.mean_session_s = 2000.0;
+    auto log = platform.generate_session_log(sessions);
+    device::AvailabilityCriteria criteria;
+    criteria.require_wifi = true;
+    criteria.min_battery_pct = 80.0;
+    criteria.require_foreground = true;
+    criteria.min_os_release = 201909;
+    double fraction = device::criteria_pass_fraction(log, criteria, platform.devices());
+    trace = platform.build_availability(log, criteria);
+    r.measurements["eligible_fraction"] = fraction;
+    r.measurements["eligible_clients"] = static_cast<double>(trace.client_count());
+    r.verdict = fraction > 0.10 ? core::StageVerdict::kPass : core::StageVerdict::kBlock;
+    r.notes = "strict criteria leave a workable population (paper: ~22%)";
+    return r;
+  });
+
+  workflow.set_stage(core::Stage::kProxyDataGeneration, [&] {
+    core::StageReport r;
+    auto records = task.train.to_centralized();
+    std::vector<std::uint64_t> owner;
+    for (const auto& c : task.train.clients())
+      owner.insert(owner.end(), c.size(), c.client_id);
+    data::ProxyConfig cfg;
+    cfg.name = "ads-workflow-proxy";
+    cfg.lookback_days = 90;
+    auto entry = platform.generate_proxy(records, cfg, [&](std::size_t i) { return owner[i]; });
+    r.measurements["proxy_version"] = entry.version;
+    r.measurements["proxy_clients"] = static_cast<double>(entry.stats.client_population);
+    r.notes = "proxy registered in the data catalog with FL metadata";
+    return r;
+  });
+
+  workflow.set_stage(core::Stage::kOfflineFlEvaluation, [&] {
+    core::StageReport r;
+    auto model = task.make_model(platform.rng());
+    fl::AsyncConfig cfg;
+    cfg.inputs.dataset = &task.train;
+    cfg.inputs.dense_dim = task.batch_dense_dim();
+    cfg.inputs.model_template = model.get();
+    cfg.inputs.trace = &trace;
+    cfg.inputs.catalog = &platform.devices();
+    cfg.inputs.bandwidth = &bandwidth;
+    cfg.inputs.test = &task.test;
+    cfg.inputs.domain = task.config.domain;
+    cfg.inputs.local.loss = task.loss_kind();
+    cfg.inputs.local.clip_norm = 1.0;
+    cfg.inputs.duration = fl::TaskDurationModel::from_spec(ml::model_spec('B'), 1);
+    cfg.inputs.client_lr = fl::LrSchedule::exponential_decay(0.12, 0.85, 40);
+    cfg.inputs.max_rounds = 140;
+    cfg.buffer_size = 10;
+    cfg.max_concurrency = 30;
+    core::ForecastConfig forecast;
+    forecast.update_bytes = 760'000;
+    evaluation = platform.evaluate_case_study(task, cfg, 3, 5, forecast);
+    r.measurements["centralized_metric"] = evaluation.centralized_metric;
+    r.measurements["fl_metric"] = evaluation.fl_metric;
+    r.measurements["diff_pct"] = evaluation.performance_diff_pct;
+    // Ads tolerates up to 5% metric loss for the compliance win (§4.1).
+    if (evaluation.performance_diff_pct > -5.0) {
+      r.notes = "FL within the ads domain's 5% tolerance";
+    } else {
+      r.verdict = core::StageVerdict::kBlock;
+      r.notes = "FL loss exceeds the ads domain's 5% tolerance";
+    }
+    return r;
+  });
+
+  workflow.set_stage(core::Stage::kResourceForecast, [&] {
+    core::StageReport r;
+    r.measurements["training_h"] = evaluation.forecast.training_duration_h;
+    r.measurements["client_compute_h"] = evaluation.forecast.total_client_compute_h;
+    r.measurements["tee_mb_per_s"] = evaluation.forecast.aggregation_mbytes_per_s;
+    r.verdict = evaluation.forecast.fits_tee ? core::StageVerdict::kPass
+                                             : core::StageVerdict::kBlock;
+    r.notes = "weekly retrain SLA satisfied; TEE bandwidth within limits";
+    return r;
+  });
+
+  workflow.set_stage(core::Stage::kPrivacySecurityReview, [&] {
+    core::StageReport r;
+    privacy::DpConfig dp;
+    dp.noise_multiplier = 1.0;
+    privacy::DpAccountant accountant(dp, 0.02);
+    r.measurements["rounds_within_eps4"] =
+        static_cast<double>(accountant.rounds_until(4.0));
+    r.verdict = core::StageVerdict::kPassWithNotes;
+    r.notes = "data minimization is the primary win; SDK hub-and-spoke poisoning "
+              "flagged for further research (paper §4.1)";
+    return r;
+  });
+
+  workflow.set_stage(core::Stage::kDeploymentDecision, [&] {
+    core::StageReport r;
+    r.notes = "all gates passed; staged rollout recommended";
+    return r;
+  });
+
+  core::DecisionReport report = workflow.run();
+  std::cout << report.to_string();
+  return report.go ? 0 : 1;
+}

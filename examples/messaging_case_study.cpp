@@ -1,0 +1,115 @@
+// The messaging case study (paper §4.2): abuse detection over end-to-end
+// encrypted message data. Demonstrates:
+//   * partitioning synthetic message data without decryption;
+//   * the text-embedding size problem (500MB -> 10MB via vocab + dim cuts);
+//   * FL-vs-centralized parity evaluation;
+//   * the robustness/poisoning considerations the paper raises.
+//
+// Run: ./build/examples/messaging_case_study
+#include <iostream>
+
+#include "flint/core/platform.h"
+#include "flint/data/synthetic_tasks.h"
+#include "flint/net/bandwidth_model.h"
+#include "flint/privacy/dp.h"
+
+namespace {
+
+/// Size of a [vocab x dim] float32 embedding table in MB.
+double embedding_mb(std::size_t vocab, std::size_t dim) {
+  return static_cast<double>(vocab) * static_cast<double>(dim) * sizeof(float) / 1e6;
+}
+
+}  // namespace
+
+int main() {
+  using namespace flint;
+  core::FlintPlatform platform(11);
+  std::cout << "=== Messaging case study (paper Section 4.2) ===\n\n";
+
+  // -- Text embedding sizing (the paper's 60-fold reduction). --------------
+  std::cout << "[embedding sizing]\n";
+  std::cout << "  centralized model: 500k words x 300 dims = "
+            << embedding_mb(500'000, 300) << " MB -> prohibits on-device deployment\n";
+  std::cout << "  reduced model:     50k words x 50 dims  = " << embedding_mb(50'000, 50)
+            << " MB -> fits the 10MB app-size constraint ("
+            << embedding_mb(500'000, 300) / embedding_mb(50'000, 50) << "-fold reduction)\n\n";
+
+  // -- Proxy without decryption: synthetic messages partitioned per user. --
+  data::SyntheticTaskConfig task_cfg;
+  task_cfg.domain = data::Domain::kMessaging;
+  task_cfg.clients = 1500;
+  task_cfg.mean_records = 50;
+  task_cfg.std_records = 80;
+  task_cfg.label_ratio = 0.05;  // abusive messages are rare
+  task_cfg.vocab = 400;
+  task_cfg.heterogeneity = 0.35;
+  auto task = data::make_synthetic_task(task_cfg, platform.rng());
+  std::cout << "[proxy] " << task.train.client_count() << " clients, "
+            << task.train.example_count() << " synthetic messages, positive rate ~5%\n";
+
+  // -- Availability & training. --------------------------------------------
+  device::SessionGeneratorConfig sessions;
+  sessions.clients = 1500;
+  sessions.days = 14;
+  sessions.mean_session_s = 1800.0;
+  auto log = platform.generate_session_log(sessions);
+  device::AvailabilityCriteria criteria;
+  criteria.require_wifi = true;
+  auto trace = platform.build_availability(log, criteria);
+
+  auto model = task.make_model(platform.rng());
+  net::PufferLikeBandwidthModel bandwidth;
+  fl::AsyncConfig cfg;
+  cfg.inputs.dataset = &task.train;
+  cfg.inputs.dense_dim = task.batch_dense_dim();
+  cfg.inputs.model_template = model.get();
+  cfg.inputs.trace = &trace;
+  cfg.inputs.catalog = &platform.devices();
+  cfg.inputs.bandwidth = &bandwidth;
+  cfg.inputs.test = &task.test;
+  cfg.inputs.domain = task.config.domain;
+  cfg.inputs.local.loss = task.loss_kind();
+  // Rare-positive token tasks converge slowly under buffered-async FL:
+  // a large buffer smooths the sparse-embedding gradients and a raised
+  // server LR compensates the buffer's dilution of per-token updates.
+  cfg.inputs.local.lr = 0.3;
+  cfg.inputs.local.epochs = 3;
+  cfg.inputs.local.clip_norm = 1.0;
+  cfg.inputs.client_lr = fl::LrSchedule::exponential_decay(0.3, 0.9, 200);
+  cfg.inputs.server_lr = 3.0;
+  cfg.inputs.duration.base_time_per_example_s = 9.0 / 5000.0;
+  cfg.inputs.duration.local_epochs = 3;
+  cfg.inputs.duration.update_bytes = 120'000;
+  cfg.inputs.max_rounds = 450;
+  cfg.inputs.reparticipation_gap_s = 600.0;
+  cfg.buffer_size = 20;
+  cfg.max_concurrency = 80;
+
+  core::ForecastConfig forecast;
+  forecast.update_bytes = 120'000;
+  auto result =
+      platform.evaluate_case_study(task, cfg, /*trials=*/3, /*centralized_epochs=*/6, forecast);
+  std::cout << "[evaluation] centralized AUPR " << result.centralized_metric
+            << " vs FL median " << result.fl_metric << " (" << result.performance_diff_pct
+            << "%)\n"
+            << "  (paper reports -0.18%; the gap depends strongly on the proxy draw\n"
+               "   and trial count — bench_table4_case_studies reproduces the\n"
+               "   near-parity result with its tuned configuration)\n";
+  std::cout << "  projected training: " << result.projected_training_h
+            << " h (paper: 18.9 h); improved data freshness is the payoff\n\n";
+
+  // -- Security notes from the paper, with the tools FLINT offers. ---------
+  privacy::DpConfig dp;
+  dp.clip_norm = 1.0;
+  dp.noise_multiplier = 1.0;
+  dp.delta = 1e-6;
+  privacy::DpAccountant accountant(dp, /*sampling_rate=*/0.02);
+  std::cout << "[privacy] with noise multiplier 1.0 and q=2%, the job can run "
+            << accountant.rounds_until(4.0) << " rounds within an epsilon budget of 4\n";
+  std::cout << "[security] poisoning requires an impractical coalition "
+               "(Shejwalkar 2022); FLINT's client-selection criteria can further\n"
+               "  require reputation/account-age signals, and continuous FL training\n"
+               "  adapts to recent feedback (the paper's suggested mitigations).\n";
+  return 0;
+}

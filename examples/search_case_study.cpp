@@ -1,0 +1,121 @@
+// The search case study (paper §4.3): on-device ranking under sub-100ms
+// latency budgets. Demonstrates:
+//   * federated learning-to-rank with graded relevance and NDCG@10;
+//   * the device-cloud feature catalog serving ranking features with
+//     on-device caching (local candidate ranking without network calls);
+//   * superuser quantity skew, as in advertising.
+//
+// Run: ./build/examples/search_case_study
+#include <iostream>
+
+#include "flint/core/platform.h"
+#include "flint/device/device_store.h"
+#include "flint/data/synthetic_tasks.h"
+#include "flint/feature/feature_catalog.h"
+#include "flint/net/bandwidth_model.h"
+
+int main() {
+  using namespace flint;
+  core::FlintPlatform platform(13);
+  std::cout << "=== Search case study (paper Section 4.3) ===\n\n";
+
+  // -- Device-cloud feature management for low-latency ranking. ------------
+  // Document embeddings live in the cloud but are cached on device so that
+  // frequent documents can be ranked locally with zero network round trips.
+  platform.features().register_feature({.name = "search/query-context",
+                                        .source = feature::FeatureSource::kDevice,
+                                        .value_bytes = 64});
+  platform.features().register_feature({.name = "search/doc-embedding",
+                                        .source = feature::FeatureSource::kCloud,
+                                        .value_bytes = 2048,
+                                        .cacheable = true});
+  feature::DeviceFeatureRuntime runtime(platform.features(), /*cache_bytes=*/256 * 1024,
+                                        /*cloud_rtt_s=*/0.08, /*bandwidth_mbps=*/12.0);
+  // A user re-ranks the same 40 frequent documents across 5 query sessions.
+  for (int session = 0; session < 5; ++session)
+    for (std::uint64_t doc = 0; doc < 40; ++doc) runtime.fetch("search/doc-embedding", doc);
+  std::cout << "[feature catalog] " << runtime.stats().requests << " embedding fetches: "
+            << runtime.stats().cloud_fetches << " over network, "
+            << runtime.stats().cache_hits << " served from device cache ("
+            << runtime.cache_stats().hit_rate() * 100.0 << "% hit rate); mean latency "
+            << runtime.stats().total_latency_s / runtime.stats().requests * 1000.0 << " ms\n"
+            << "  -> cached re-ranking stays well inside the sub-100ms budget\n\n";
+
+  // -- On-device training data generation (Figure 6's "Device DB"). --------
+  // Displayed candidates + user feedback are logged locally under a
+  // retention policy; the FL task trains from this store.
+  device::DeviceStoreConfig store_cfg;
+  store_cfg.max_bytes = 64 * 1024;
+  store_cfg.max_age_s = 7.0 * device::kSecondsPerDay;
+  device::DeviceExampleStore store(store_cfg);
+  util::Rng store_rng(99);
+  for (int day = 0; day < 14; ++day) {
+    for (int impression = 0; impression < 40; ++impression) {
+      ml::Example e;
+      e.dense.resize(12);
+      for (float& v : e.dense) v = static_cast<float>(store_rng.normal());
+      e.label = store_rng.bernoulli(0.2) ? 1.0f : 0.0f;  // user feedback
+      store.log_example(std::move(e), day * device::kSecondsPerDay + impression * 60.0);
+    }
+  }
+  double now = 14.0 * device::kSecondsPerDay;
+  std::cout << "[device store] logged " << store.stats().logged << " impressions; "
+            << store.training_view(now).size() << " trainable after the 7-day retention ("
+            << store.stats().expired << " expired, " << store.stats().evicted_space
+            << " evicted by the " << store_cfg.max_bytes / 1024 << "KB budget)\n\n";
+
+  // -- Federated learning-to-rank. ------------------------------------------
+  data::SyntheticTaskConfig task_cfg;
+  task_cfg.domain = data::Domain::kSearch;
+  task_cfg.clients = 600;
+  task_cfg.mean_records = 32;
+  task_cfg.std_records = 90;  // "superusers" dominate, as in ads
+  task_cfg.max_records = 1000;
+  task_cfg.dense_dim = 12;
+  task_cfg.candidates_per_group = 8;
+  auto task = data::make_synthetic_task(task_cfg, platform.rng());
+  std::cout << "[proxy] " << task.train.client_count() << " clients, "
+            << task.train.example_count() << " candidates in "
+            << task.train.example_count() / task_cfg.candidates_per_group
+            << " ranking groups\n";
+
+  device::SessionGeneratorConfig sessions;
+  sessions.clients = 600;
+  sessions.days = 14;
+  sessions.mean_session_s = 1500.0;
+  auto log = platform.generate_session_log(sessions);
+  device::AvailabilityCriteria criteria;
+  criteria.require_wifi = true;
+  auto trace = platform.build_availability(log, criteria);
+
+  auto model = task.make_model(platform.rng());
+  net::PufferLikeBandwidthModel bandwidth;
+  fl::AsyncConfig cfg;
+  cfg.inputs.dataset = &task.train;
+  cfg.inputs.dense_dim = task.batch_dense_dim();
+  cfg.inputs.model_template = model.get();
+  cfg.inputs.trace = &trace;
+  cfg.inputs.catalog = &platform.devices();
+  cfg.inputs.bandwidth = &bandwidth;
+  cfg.inputs.test = &task.test;
+  cfg.inputs.domain = task.config.domain;
+  cfg.inputs.local.loss = task.loss_kind();  // pairwise ranking loss
+  cfg.inputs.local.lr = 0.08;
+  cfg.inputs.local.clip_norm = 1.0;
+  cfg.inputs.duration.base_time_per_example_s = 3.26 / 5000.0;  // Model C profile
+  cfg.inputs.duration.update_bytes = 60'000;
+  cfg.inputs.max_rounds = 50;
+  cfg.buffer_size = 8;
+  cfg.max_concurrency = 40;
+
+  core::ForecastConfig forecast;
+  forecast.update_bytes = 60'000;
+  auto result =
+      platform.evaluate_case_study(task, cfg, /*trials=*/3, /*centralized_epochs=*/5, forecast);
+  std::cout << "[evaluation] centralized NDCG@10 " << result.centralized_metric
+            << " vs FL median " << result.fl_metric << " (" << result.performance_diff_pct
+            << "% — paper reports -1.64%)\n"
+            << "  projected training " << result.projected_training_h
+            << " h; FL also removes the data-center store/ETL/retrain loop\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+#include "flint/core/fairness.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "flint/util/check.h"
+
+namespace flint::core {
+
+const char* tier_name(DeviceTier tier) {
+  switch (tier) {
+    case DeviceTier::kHighEnd: return "high-end";
+    case DeviceTier::kMidRange: return "mid-range";
+    case DeviceTier::kLowEnd: return "low-end";
+  }
+  return "?";
+}
+
+DeviceTier tier_of(const device::DeviceProfile& profile) {
+  if (profile.speed_multiplier < 0.7) return DeviceTier::kHighEnd;
+  if (profile.speed_multiplier > 1.5) return DeviceTier::kLowEnd;
+  return DeviceTier::kMidRange;
+}
+
+std::string FairnessReport::to_string() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << "overall=" << overall_metric << " gap=" << metric_gap;
+  for (const auto& t : tiers)
+    os << " | " << tier_name(t.tier) << ": " << t.metric << " (" << t.clients << " clients, "
+       << t.examples << " ex)";
+  return os.str();
+}
+
+FairnessReport evaluate_fairness(ml::Model& model, const data::FederatedTask& task,
+                                 const std::vector<std::size_t>& client_device,
+                                 const device::DeviceCatalog& catalog,
+                                 double holdout_fraction) {
+  FLINT_CHECK(holdout_fraction > 0.0 && holdout_fraction <= 1.0);
+  // Gather each tier's holdout examples.
+  std::map<DeviceTier, std::vector<ml::Example>> tier_examples;
+  std::map<DeviceTier, std::size_t> tier_clients;
+  for (const auto& client : task.train.clients()) {
+    if (client.client_id >= client_device.size()) continue;
+    const auto& profile = catalog.profile(client_device[client.client_id]);
+    DeviceTier tier = tier_of(profile);
+    std::size_t holdout =
+        std::max<std::size_t>(1, static_cast<std::size_t>(
+                                     holdout_fraction * static_cast<double>(client.size())));
+    if (holdout > client.size()) holdout = client.size();
+    auto& bucket = tier_examples[tier];
+    bucket.insert(bucket.end(), client.examples.end() - static_cast<std::ptrdiff_t>(holdout),
+                  client.examples.end());
+    ++tier_clients[tier];
+  }
+
+  FairnessReport report;
+  report.overall_metric = task.evaluate(model);
+  double best = 0.0, worst = 1e18;
+  bool any = false;
+  for (auto& [tier, examples] : tier_examples) {
+    if (examples.empty()) continue;
+    SubpopulationMetric m;
+    m.tier = tier;
+    m.clients = tier_clients[tier];
+    m.examples = examples.size();
+    m.metric = data::evaluate_examples(model, examples, task.config.domain,
+                                       task.batch_dense_dim());
+    best = std::max(best, m.metric);
+    worst = std::min(worst, m.metric);
+    any = true;
+    report.tiers.push_back(m);
+  }
+  report.metric_gap = any ? best - worst : 0.0;
+  return report;
+}
+
+}  // namespace flint::core

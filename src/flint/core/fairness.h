@@ -1,0 +1,61 @@
+// Sub-population fairness analysis (paper §3.2): participation criteria must
+// be "iteratively refined ... while ensuring that the model performance is
+// fair among different sub-populations of clients. For instance, if a device
+// hardware criterion introduces biased model performance on users of older
+// phones, then the hardware requirement needs to be relaxed."
+//
+// FairnessReport slices a trained model's offline metric by device tier so a
+// modeler can see exactly that bias before deployment.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "flint/data/synthetic_tasks.h"
+#include "flint/device/device_catalog.h"
+
+namespace flint::core {
+
+/// Device tiers by relative speed (the catalog's heterogeneity axis).
+enum class DeviceTier { kHighEnd, kMidRange, kLowEnd };
+
+const char* tier_name(DeviceTier tier);
+
+/// Tier of a device: high-end < 0.7x fleet-mean time, low-end > 1.5x.
+DeviceTier tier_of(const device::DeviceProfile& profile);
+
+/// One sub-population's slice of the evaluation.
+struct SubpopulationMetric {
+  DeviceTier tier = DeviceTier::kMidRange;
+  std::size_t clients = 0;
+  std::size_t examples = 0;
+  double metric = 0.0;
+};
+
+/// Fairness report across device tiers.
+struct FairnessReport {
+  std::vector<SubpopulationMetric> tiers;
+  double overall_metric = 0.0;
+  /// max tier metric - min tier metric (over tiers with data).
+  double metric_gap = 0.0;
+
+  /// True when the worst tier is within `tolerance` (absolute metric units)
+  /// of the best — the gate a criteria review would apply.
+  bool fair_within(double tolerance) const { return metric_gap <= tolerance; }
+
+  std::string to_string() const;
+};
+
+/// Evaluate `model` separately on each device tier's clients. `client_device`
+/// maps client id -> device catalog index (as produced by the session
+/// generator); clients absent from the map are skipped. Test examples are
+/// drawn from each client's holdout slice of its own training data when
+/// `holdout_fraction` > 0; the final `holdout_fraction` of each client's
+/// examples are used for evaluation.
+FairnessReport evaluate_fairness(ml::Model& model, const data::FederatedTask& task,
+                                 const std::vector<std::size_t>& client_device,
+                                 const device::DeviceCatalog& catalog,
+                                 double holdout_fraction = 0.3);
+
+}  // namespace flint::core

@@ -1,0 +1,46 @@
+// Resource forecasting (paper §3.5): project cloud and device resource needs
+// from a simulated run before anything is deployed to users.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "flint/fl/run_common.h"
+#include "flint/privacy/secure_agg.h"
+
+namespace flint::core {
+
+/// Projected resource needs of one FL training job.
+struct ResourceForecast {
+  // --- Device side. ---
+  double total_client_compute_h = 0.0;   ///< sum of taskDuration compute
+  double wasted_client_compute_h = 0.0;  ///< compute on non-aggregated tasks
+  std::uint64_t client_tasks_started = 0;
+  double mean_task_compute_s = 0.0;
+  /// Naive device-energy estimate at `device_watts` during compute.
+  double device_energy_kwh = 0.0;
+
+  // --- Cloud side. ---
+  double training_duration_h = 0.0;    ///< projected wall time (virtual)
+  double updates_per_second = 0.0;
+  double aggregation_mbytes_per_s = 0.0;  ///< TEE ingress need
+  bool fits_tee = false;               ///< within the TEE bandwidth limit?
+  /// Aggregator workers needed, given one worker sustains
+  /// `updates_per_worker_per_s`.
+  std::uint64_t aggregator_workers = 0;
+
+  std::string summary() const;
+};
+
+/// Forecast parameters.
+struct ForecastConfig {
+  std::uint64_t update_bytes = 4096;   ///< one gradient update's size M
+  privacy::TeeConfig tee;              ///< enclave capacity model
+  double updates_per_worker_per_s = 20.0;
+  double device_watts = 2.5;           ///< mobile SoC under training load
+};
+
+/// Build a forecast from a finished (or simulated) run.
+ResourceForecast forecast_resources(const fl::RunResult& result, const ForecastConfig& config);
+
+}  // namespace flint::core

@@ -1,0 +1,89 @@
+#include "flint/core/report.h"
+
+#include <filesystem>
+#include <sstream>
+
+#include "flint/util/check.h"
+#include "flint/util/csv.h"
+
+namespace flint::core {
+
+std::string render_report_markdown(const ReportInputs& inputs) {
+  FLINT_CHECK_MSG(inputs.run != nullptr, "report needs a run result");
+  const fl::RunResult& run = *inputs.run;
+  const sim::SimMetrics& m = run.metrics;
+
+  std::ostringstream os;
+  os.precision(5);
+  os << "# " << inputs.title << "\n\n";
+
+  os << "## Model metrics\n\n";
+  os << "| " << inputs.metric_name << " (final) | rounds | projected duration |\n";
+  os << "|---|---|---|\n";
+  os << "| " << run.final_metric << " | " << run.rounds << " | "
+     << run.virtual_duration_s / 3600.0 << " h |\n\n";
+  if (inputs.centralized_metric != 0.0) {
+    double diff =
+        (run.final_metric - inputs.centralized_metric) / inputs.centralized_metric * 100.0;
+    os << "Centralized baseline: " << inputs.centralized_metric << " (" << (diff >= 0 ? "+" : "")
+       << diff << "% vs FL)\n\n";
+  }
+  if (!run.eval_curve.empty()) {
+    os << "Evaluation curve (round: " << inputs.metric_name << "): ";
+    for (const auto& p : run.eval_curve) os << p.round << ": " << p.metric << "  ";
+    os << "\n\n";
+  }
+
+  os << "## System metrics\n\n";
+  os << "| started | succeeded | interrupted | stale | failed | waste |\n";
+  os << "|---|---|---|---|---|---|\n";
+  os << "| " << m.tasks_started() << " | " << m.tasks_succeeded() << " | "
+     << m.tasks_interrupted() << " | " << m.tasks_stale() << " | " << m.tasks_failed() << " | "
+     << m.waste_fraction() * 100.0 << "% |\n\n";
+  os << "Client compute: " << m.client_compute_s() / 3600.0
+     << " h; mean round: " << m.mean_round_duration_s() << " s; updates/s: "
+     << run.updates_per_second() << "\n\n";
+
+  if (inputs.forecast != nullptr) {
+    os << "## Resource forecast\n\n" << inputs.forecast->summary() << "\n\n";
+  }
+  if (inputs.fairness != nullptr) {
+    os << "## Fairness (device tiers)\n\n" << inputs.fairness->to_string() << "\n\n";
+  }
+  return os.str();
+}
+
+void write_eval_curve_csv(const std::string& path, const fl::RunResult& run) {
+  util::CsvFile file(path);
+  FLINT_CHECK_MSG(file.ok(), "cannot write " << path);
+  file.write_row({"virtual_time_s", "round", "metric"});
+  for (const auto& p : run.eval_curve)
+    file.write_row({std::to_string(p.time), std::to_string(p.round), std::to_string(p.metric)});
+}
+
+void write_rounds_csv(const std::string& path, const fl::RunResult& run) {
+  util::CsvFile file(path);
+  FLINT_CHECK_MSG(file.ok(), "cannot write " << path);
+  file.write_row({"round", "start_s", "end_s", "duration_s", "updates", "mean_staleness"});
+  for (const auto& r : run.metrics.rounds())
+    file.write_row({std::to_string(r.round), std::to_string(r.start), std::to_string(r.end),
+                    std::to_string(r.duration_s()), std::to_string(r.updates_aggregated),
+                    std::to_string(r.mean_staleness)});
+}
+
+std::string write_report(const std::string& dir, const ReportInputs& inputs) {
+  FLINT_CHECK(inputs.run != nullptr);
+  namespace fs = std::filesystem;
+  fs::create_directories(dir);
+  std::string report_path = (fs::path(dir) / "report.md").string();
+  {
+    std::ofstream out(report_path);
+    FLINT_CHECK_MSG(out.good(), "cannot write " << report_path);
+    out << render_report_markdown(inputs);
+  }
+  write_eval_curve_csv((fs::path(dir) / "eval_curve.csv").string(), *inputs.run);
+  write_rounds_csv((fs::path(dir) / "rounds.csv").string(), *inputs.run);
+  return report_path;
+}
+
+}  // namespace flint::core

@@ -1,0 +1,39 @@
+// Experiment reporting — the "monitoring and visualization" surface the
+// platform shares with centralized ML (Figure 3). Renders a run's model and
+// system metrics as a markdown report plus machine-readable CSV series
+// (eval curve, round durations, staleness), so results land in the same
+// review tooling centralized experiments use.
+#pragma once
+
+#include <string>
+
+#include "flint/core/fairness.h"
+#include "flint/core/forecasting.h"
+#include "flint/fl/run_common.h"
+
+namespace flint::core {
+
+/// Everything a written report can include; optional sections are skipped
+/// when their pointer is null.
+struct ReportInputs {
+  std::string title = "FLINT experiment";
+  const fl::RunResult* run = nullptr;            ///< required
+  const ResourceForecast* forecast = nullptr;    ///< optional
+  const FairnessReport* fairness = nullptr;      ///< optional
+  double centralized_metric = 0.0;               ///< 0 = no baseline section
+  std::string metric_name = "metric";
+};
+
+/// Render the report as markdown text.
+std::string render_report_markdown(const ReportInputs& inputs);
+
+/// Write the markdown report to `<dir>/report.md` and the CSV series to
+/// `<dir>/eval_curve.csv` and `<dir>/rounds.csv`. Creates `dir` if needed.
+/// Returns the report path.
+std::string write_report(const std::string& dir, const ReportInputs& inputs);
+
+/// CSV series helpers (also usable standalone).
+void write_eval_curve_csv(const std::string& path, const fl::RunResult& run);
+void write_rounds_csv(const std::string& path, const fl::RunResult& run);
+
+}  // namespace flint::core

@@ -1,0 +1,60 @@
+#include "flint/data/dataset_stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "flint/util/check.h"
+#include "flint/util/stats.h"
+
+namespace flint::data {
+
+std::string DatasetStats::to_string() const {
+  std::ostringstream os;
+  os << "DatasetStats{" << name << ": clients=" << client_population
+     << ", max=" << max_records << ", avg=" << avg_records << ", std=" << std_records
+     << ", label_ratio=" << label_ratio << ", lookback_days=" << lookback_days << "}";
+  return os.str();
+}
+
+DatasetStats compute_stats(const FederatedDataset& dataset, const std::string& name,
+                           int lookback_days) {
+  DatasetStats s;
+  s.name = name;
+  s.lookback_days = lookback_days;
+  s.client_population = dataset.client_count();
+  util::RunningStats quantity;
+  std::uint64_t positives = 0;
+  std::uint64_t total = 0;
+  for (const auto& c : dataset.clients()) {
+    quantity.add(static_cast<double>(c.size()));
+    for (const auto& e : c.examples) {
+      total += 1;
+      if (e.label > 0.5f) positives += 1;
+    }
+  }
+  s.max_records = static_cast<std::uint64_t>(quantity.max());
+  s.avg_records = quantity.mean();
+  s.std_records = quantity.stddev();
+  s.label_ratio = total == 0 ? 0.0 : static_cast<double>(positives) / static_cast<double>(total);
+  return s;
+}
+
+DatasetStats compute_stats_from_counts(const std::vector<std::uint32_t>& counts,
+                                       double label_ratio, const std::string& name,
+                                       int lookback_days) {
+  FLINT_CHECK(!counts.empty());
+  FLINT_CHECK(label_ratio >= 0.0 && label_ratio <= 1.0);
+  DatasetStats s;
+  s.name = name;
+  s.lookback_days = lookback_days;
+  s.client_population = counts.size();
+  util::RunningStats quantity;
+  for (std::uint32_t c : counts) quantity.add(static_cast<double>(c));
+  s.max_records = static_cast<std::uint64_t>(quantity.max());
+  s.avg_records = quantity.mean();
+  s.std_records = quantity.stddev();
+  s.label_ratio = label_ratio;
+  return s;
+}
+
+}  // namespace flint::data

@@ -1,0 +1,38 @@
+// FL-specific dataset metadata (Table 2 of the paper): the proxy generator
+// computes these characteristics and stores them with the dataset so
+// modelers understand inter-client heterogeneity before running experiments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flint/data/client_dataset.h"
+
+namespace flint::data {
+
+/// Per-dataset heterogeneity metadata (the Table 2 row schema).
+struct DatasetStats {
+  std::string name;
+  std::uint64_t client_population = 0;
+  std::uint64_t max_records = 0;
+  double avg_records = 0.0;
+  double std_records = 0.0;
+  double label_ratio = 0.0;  ///< fraction of positive primary labels
+  int lookback_days = 0;     ///< collection window (carried from config)
+
+  std::string to_string() const;
+};
+
+/// Compute stats from a materialized federated dataset.
+DatasetStats compute_stats(const FederatedDataset& dataset, const std::string& name,
+                           int lookback_days = 0);
+
+/// Compute stats from a client-quantity profile (per-client record counts
+/// plus a global label ratio). Used for populations too large to
+/// materialize — Table 2's Dataset C has 16.4M clients.
+DatasetStats compute_stats_from_counts(const std::vector<std::uint32_t>& counts,
+                                       double label_ratio, const std::string& name,
+                                       int lookback_days = 0);
+
+}  // namespace flint::data

@@ -1,0 +1,175 @@
+#include "flint/data/proxy_writer.h"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "flint/util/check.h"
+
+namespace flint::data {
+
+namespace {
+
+constexpr char kMagic[4] = {'F', 'L', 'P', 'T'};
+
+void put_varint(std::vector<char>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+std::uint64_t get_varint(const std::vector<char>& in, std::size_t& offset) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    FLINT_CHECK_MSG(offset < in.size(), "truncated varint");
+    auto byte = static_cast<unsigned char>(in[offset++]);
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    FLINT_CHECK_MSG(shift < 64, "varint overflow");
+  }
+  return v;
+}
+
+/// Zig-zag for signed token deltas.
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
+}
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+void put_float(std::vector<char>& out, float f) {
+  char buf[sizeof(float)];
+  std::memcpy(buf, &f, sizeof(float));
+  out.insert(out.end(), buf, buf + sizeof(float));
+}
+
+float get_float(const std::vector<char>& in, std::size_t& offset) {
+  FLINT_CHECK_MSG(offset + sizeof(float) <= in.size(), "truncated float");
+  float f;
+  std::memcpy(&f, in.data() + offset, sizeof(float));
+  offset += sizeof(float);
+  return f;
+}
+
+void encode_client(std::vector<char>& out, const ClientDataset& client) {
+  put_varint(out, client.client_id);
+  put_varint(out, client.examples.size());
+  for (const auto& e : client.examples) {
+    put_varint(out, e.dense.size());
+    for (float v : e.dense) put_float(out, v);
+    put_varint(out, e.tokens.size());
+    // Delta + zig-zag coding: token ids within an example are often close,
+    // and grouped clients share vocabulary regions — this is where storing
+    // many clients per file earns its compression.
+    std::int64_t prev = 0;
+    for (std::int32_t t : e.tokens) {
+      put_varint(out, zigzag(static_cast<std::int64_t>(t) - prev));
+      prev = t;
+    }
+    put_float(out, e.label);
+    put_float(out, e.label2);
+    put_varint(out, static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.group)));
+  }
+}
+
+ClientDataset decode_client(const std::vector<char>& in, std::size_t& offset) {
+  ClientDataset client;
+  client.client_id = get_varint(in, offset);
+  std::uint64_t examples = get_varint(in, offset);
+  client.examples.reserve(examples);
+  for (std::uint64_t i = 0; i < examples; ++i) {
+    ml::Example e;
+    std::uint64_t dense = get_varint(in, offset);
+    e.dense.reserve(dense);
+    for (std::uint64_t j = 0; j < dense; ++j) e.dense.push_back(get_float(in, offset));
+    std::uint64_t tokens = get_varint(in, offset);
+    e.tokens.reserve(tokens);
+    std::int64_t prev = 0;
+    for (std::uint64_t j = 0; j < tokens; ++j) {
+      prev += unzigzag(get_varint(in, offset));
+      e.tokens.push_back(static_cast<std::int32_t>(prev));
+    }
+    e.label = get_float(in, offset);
+    e.label2 = get_float(in, offset);
+    e.group = static_cast<std::int32_t>(static_cast<std::uint32_t>(get_varint(in, offset)));
+    client.examples.push_back(std::move(e));
+  }
+  return client;
+}
+
+std::string partition_path(const std::string& dir, std::size_t executor) {
+  return (std::filesystem::path(dir) / ("part_" + std::to_string(executor) + ".flpt"))
+      .string();
+}
+
+}  // namespace
+
+std::uint64_t write_partition_file(const std::string& path,
+                                   const std::vector<ClientDataset>& clients) {
+  std::vector<char> out;
+  out.insert(out.end(), kMagic, kMagic + 4);
+  std::uint32_t count = static_cast<std::uint32_t>(clients.size());
+  out.insert(out.end(), reinterpret_cast<char*>(&count),
+             reinterpret_cast<char*>(&count) + sizeof(count));
+  for (const auto& client : clients) encode_client(out, client);
+
+  std::ofstream file(path, std::ios::binary);
+  FLINT_CHECK_MSG(file.good(), "cannot write partition " << path);
+  file.write(out.data(), static_cast<std::streamsize>(out.size()));
+  return out.size();
+}
+
+std::vector<ClientDataset> read_partition_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  FLINT_CHECK_MSG(file.good(), "cannot read partition " << path);
+  std::vector<char> in((std::istreambuf_iterator<char>(file)),
+                       std::istreambuf_iterator<char>());
+  FLINT_CHECK_MSG(in.size() >= 8 && std::memcmp(in.data(), kMagic, 4) == 0,
+                  "bad partition magic in " << path);
+  std::size_t offset = 4;
+  std::uint32_t count;
+  std::memcpy(&count, in.data() + offset, sizeof(count));
+  offset += sizeof(count);
+  std::vector<ClientDataset> clients;
+  clients.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) clients.push_back(decode_client(in, offset));
+  FLINT_CHECK_MSG(offset == in.size(), "trailing bytes in partition " << path);
+  return clients;
+}
+
+std::vector<std::uint64_t> write_partitions(const FederatedDataset& dataset,
+                                            const ExecutorPartitioning& partitioning,
+                                            const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  std::vector<std::uint64_t> sizes;
+  sizes.reserve(partitioning.executor_count());
+  for (std::size_t p = 0; p < partitioning.executor_count(); ++p) {
+    std::vector<ClientDataset> clients;
+    clients.reserve(partitioning.partitions[p].size());
+    for (ClientId id : partitioning.partitions[p]) clients.push_back(dataset.client(id));
+    sizes.push_back(write_partition_file(partition_path(dir, p), clients));
+  }
+  return sizes;
+}
+
+std::vector<ClientDataset> read_partition(const std::string& dir, std::size_t executor) {
+  return read_partition_file(partition_path(dir, executor));
+}
+
+std::uint64_t naive_per_client_bytes(const FederatedDataset& dataset,
+                                     std::uint64_t per_file_overhead) {
+  std::uint64_t total = 0;
+  for (const auto& client : dataset.clients()) {
+    std::vector<char> out;
+    encode_client(out, client);
+    total += out.size() + per_file_overhead;  // header/metadata per tiny file
+  }
+  return total;
+}
+
+}  // namespace flint::data

@@ -1,0 +1,77 @@
+#include "flint/device/attribute_profile.h"
+
+#include <cmath>
+
+#include "flint/util/check.h"
+
+namespace flint::device {
+
+std::size_t AttributeProfile::hour_of(TraceTime t) {
+  double day_seconds = std::fmod(t, kSecondsPerDay);
+  if (day_seconds < 0.0) day_seconds += kSecondsPerDay;
+  auto hour = static_cast<std::size_t>(day_seconds / kSecondsPerHour);
+  return hour < 24 ? hour : 23;
+}
+
+AttributeProfile AttributeProfile::estimate(const SessionLog& log,
+                                            double battery_threshold_pct) {
+  FLINT_CHECK_MSG(!log.sessions.empty(), "cannot estimate a profile from an empty log");
+  AttributeProfile profile;
+  profile.battery_threshold_ = battery_threshold_pct;
+
+  std::array<double, 24> wifi_hits{}, battery_hits{}, totals{};
+  double global_wifi = 0.0, global_battery = 0.0;
+  for (const auto& s : log.sessions) {
+    std::size_t hour = hour_of(s.start);
+    totals[hour] += 1.0;
+    if (s.wifi) {
+      wifi_hits[hour] += 1.0;
+      global_wifi += 1.0;
+    }
+    if (s.battery_pct >= battery_threshold_pct) {
+      battery_hits[hour] += 1.0;
+      global_battery += 1.0;
+    }
+  }
+  double n = static_cast<double>(log.sessions.size());
+  double wifi_fallback = global_wifi / n;
+  double battery_fallback = global_battery / n;
+  for (std::size_t h = 0; h < 24; ++h) {
+    profile.wifi_by_hour_[h] = totals[h] > 0.0 ? wifi_hits[h] / totals[h] : wifi_fallback;
+    profile.battery_by_hour_[h] =
+        totals[h] > 0.0 ? battery_hits[h] / totals[h] : battery_fallback;
+  }
+  return profile;
+}
+
+double AttributeProfile::wifi_probability_at(TraceTime start) const {
+  return wifi_by_hour_[hour_of(start)];
+}
+
+double AttributeProfile::battery_probability_at(TraceTime start) const {
+  return battery_by_hour_[hour_of(start)];
+}
+
+AvailabilityTrace build_availability_by_coinflip(const SessionLog& log,
+                                                 const AttributeProfile& profile,
+                                                 const AvailabilityCriteria& criteria,
+                                                 const DeviceCatalog& catalog,
+                                                 util::Rng& rng) {
+  // Deterministic sub-criteria only; attribute checks become coin-flips.
+  AvailabilityCriteria hard = criteria;
+  hard.require_wifi = false;
+  hard.min_battery_pct = 0.0;
+
+  std::vector<AvailabilityWindow> windows;
+  for (const auto& s : log.sessions) {
+    if (!hard.accepts(s, catalog)) continue;
+    double p = 1.0;
+    if (criteria.require_wifi) p *= profile.wifi_probability_at(s.start);
+    if (criteria.min_battery_pct > 0.0) p *= profile.battery_probability_at(s.start);
+    if (!rng.bernoulli(p)) continue;
+    windows.push_back({s.client_id, s.device_index, s.start, s.end});
+  }
+  return AvailabilityTrace(std::move(windows));
+}
+
+}  // namespace flint::device

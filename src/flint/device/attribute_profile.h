@@ -1,0 +1,59 @@
+// Time-of-day attribute profiles and the weighted coin-flip trace builder
+// (paper §4.1): "since we only have battery level and WiFi connectivity data
+// for a smaller subset of mobile usage, we calculate empirical probabilities
+// of WiFi connection and high battery level over time. For each session from
+// our query, we perform a weighted coin-flip based on the session's start
+// time to decide whether to include or exclude it from the output device
+// traces."
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "flint/device/availability.h"
+#include "flint/device/session_generator.h"
+#include "flint/util/rng.h"
+
+namespace flint::device {
+
+/// Hourly empirical probabilities of the device-state attributes, estimated
+/// from the (sub)set of sessions that carry attribute data.
+class AttributeProfile {
+ public:
+  /// Estimate P(WiFi | hour) and P(battery >= threshold | hour) from a
+  /// session log. Hours with no observations fall back to the global rate.
+  static AttributeProfile estimate(const SessionLog& log, double battery_threshold_pct = 80.0);
+
+  /// Probability a session starting at `start` (trace seconds) is on WiFi.
+  double wifi_probability_at(TraceTime start) const;
+
+  /// Probability its battery clears the threshold.
+  double battery_probability_at(TraceTime start) const;
+
+  /// Joint eligibility probability under independence (the paper applies
+  /// the attributes as independent filters; Table 1's 22% intersection).
+  double eligibility_probability_at(TraceTime start) const {
+    return wifi_probability_at(start) * battery_probability_at(start);
+  }
+
+  double battery_threshold_pct() const { return battery_threshold_; }
+
+ private:
+  static std::size_t hour_of(TraceTime t);
+
+  std::array<double, 24> wifi_by_hour_{};
+  std::array<double, 24> battery_by_hour_{};
+  double battery_threshold_ = 80.0;
+};
+
+/// Build an availability trace from sessions that LACK attribute data by
+/// weighted coin-flips against the hourly profile — the §4.1 procedure.
+/// Non-attribute criteria (device allow-list, OS, min duration) still apply
+/// deterministically via `criteria`; its wifi/battery fields are ignored in
+/// favour of the probabilistic inclusion.
+AvailabilityTrace build_availability_by_coinflip(const SessionLog& log,
+                                                 const AttributeProfile& profile,
+                                                 const AvailabilityCriteria& criteria,
+                                                 const DeviceCatalog& catalog, util::Rng& rng);
+
+}  // namespace flint::device

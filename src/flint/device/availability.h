@@ -1,0 +1,88 @@
+// Device availability: participation criteria applied to session logs, and
+// the resulting availability traces the simulator's client selection uses
+// (paper §3.2 "User Device Availability" and Table 1).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "flint/device/device_catalog.h"
+#include "flint/device/session_generator.h"
+#include "flint/util/histogram.h"
+
+namespace flint::device {
+
+/// Participation criteria, matching the paper's three categories:
+/// device state (WiFi, battery, foreground), compute capability (allowed
+/// devices / OS version), and user attributes (min account reputation here
+/// stands in for the reputation/age attributes the paper mentions).
+struct AvailabilityCriteria {
+  bool require_wifi = false;
+  double min_battery_pct = 0.0;
+  bool require_foreground = false;
+  /// Minimum OS release as year*100+month; 0 disables the check.
+  int min_os_release = 0;
+  /// If non-empty, only these catalog device indices are compute-eligible.
+  std::vector<std::size_t> allowed_devices;
+  /// Minimum session length worth scheduling work in (seconds).
+  double min_session_s = 0.0;
+
+  bool accepts(const Session& session, const DeviceCatalog& catalog) const;
+};
+
+/// One availability window: the device can run FL work in [start, end).
+struct AvailabilityWindow {
+  std::uint64_t client_id = 0;
+  std::size_t device_index = 0;
+  TraceTime start = 0.0;
+  TraceTime end = 0.0;
+
+  TraceTime duration() const { return end - start; }
+};
+
+/// Availability trace: criteria-passing windows sorted by start time, plus
+/// per-client window indices for membership queries.
+class AvailabilityTrace {
+ public:
+  AvailabilityTrace() = default;
+  explicit AvailabilityTrace(std::vector<AvailabilityWindow> windows);
+
+  const std::vector<AvailabilityWindow>& windows() const { return windows_; }
+  std::size_t window_count() const { return windows_.size(); }
+
+  /// Distinct clients with at least one window.
+  std::size_t client_count() const;
+
+  /// Is `client` available during the whole of [t, t+duration)?
+  bool is_available(std::uint64_t client, TraceTime t, TraceTime duration) const;
+
+  /// The window covering time t for this client, if any.
+  std::optional<AvailabilityWindow> window_at(std::uint64_t client, TraceTime t) const;
+
+  /// End of the observation period (max window end; 0 when empty).
+  TraceTime horizon() const;
+
+  /// Hourly count of available devices across the trace (Figure 2's series).
+  util::Histogram hourly_availability() const;
+
+  /// Peak-to-trough ratio of the hourly availability curve, ignoring empty
+  /// leading/trailing bins. The paper reports ~14x for its strict criteria.
+  double peak_to_trough_ratio() const;
+
+ private:
+  std::vector<AvailabilityWindow> windows_;
+  // client -> indices into windows_, each sorted by start.
+  std::vector<std::vector<std::size_t>> by_client_;
+};
+
+/// Apply criteria to a session log, producing the availability trace.
+AvailabilityTrace build_availability(const SessionLog& log, const AvailabilityCriteria& criteria,
+                                     const DeviceCatalog& catalog);
+
+/// Duration-weighted fraction of session time that passes the criteria
+/// (the Table 1 "devices available" percentages).
+double criteria_pass_fraction(const SessionLog& log, const AvailabilityCriteria& criteria,
+                              const DeviceCatalog& catalog);
+
+}  // namespace flint::device

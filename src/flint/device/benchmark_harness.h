@@ -1,0 +1,59 @@
+// On-device benchmark harness (paper §3.2 "On-Device Benchmarks", Table 5,
+// Figure 4). The paper packages candidate models into a benchmark app and
+// deploys to 27 AWS Device Farm devices; FLINT's reproduction runs the same
+// collect-and-aggregate pipeline over the calibrated device catalog, and
+// additionally offers a *real* host micro-benchmark that trains the actual
+// model on this machine's CPU.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "flint/device/device_catalog.h"
+#include "flint/ml/model_zoo.h"
+
+namespace flint::device {
+
+/// One device's benchmark measurements for one model.
+struct DeviceBenchmarkResult {
+  std::size_t device_index = 0;
+  std::string device_name;
+  Os os = Os::kAndroid;
+  double train_time_s = 0.0;   ///< time to train over the record budget
+  double cpu_pct = 0.0;        ///< max compute usage during the run
+  double memory_mb = 0.0;      ///< peak training memory
+};
+
+/// Aggregated fleet report (one Table 5 row).
+struct FleetBenchmarkReport {
+  char model_id = '?';
+  std::size_t records = 0;
+  std::vector<DeviceBenchmarkResult> per_device;
+  double mean_time_s = 0.0;
+  double stdev_time_s = 0.0;
+  double mean_cpu_pct = 0.0;
+  double mean_memory_mb = 0.0;
+};
+
+/// How memory-bound a zoo model is, in [-1, 1]. Embedding-heavy models are
+/// positive; tiny dense models negative. Interacts with each device's
+/// memory_affinity to produce the task-dependent device rankings of Figure 4.
+double model_memory_intensity(char model_id);
+
+/// Effective per-device time multiplier for a model: the device's speed
+/// multiplier tilted by the task-affinity interaction.
+double effective_speed(const DeviceProfile& device, double memory_intensity);
+
+/// Simulate deploying `spec`'s benchmark app to every catalog device and
+/// training over `records` records. Timing uses the spec's fleet calibration
+/// and the device multipliers, with small lognormal run-to-run jitter.
+FleetBenchmarkReport simulate_fleet_benchmark(const ml::ModelSpec& spec,
+                                              const DeviceCatalog& catalog, std::size_t records,
+                                              util::Rng& rng);
+
+/// REAL micro-benchmark: train `model` on synthetic data for `records`
+/// records on the host CPU and return wall-clock seconds. Grounds the
+/// simulated numbers in an actually-measured training loop.
+double measure_host_training_time_s(ml::Model& model, std::size_t records, util::Rng& rng);
+
+}  // namespace flint::device

@@ -1,0 +1,38 @@
+// Device hardware profiles. The paper benchmarks on 27 physical devices via
+// AWS Device Farm; FLINT's reproduction models each device as a profile with
+// a relative speed multiplier (1.0 = fleet mean), a CPU-utilization
+// multiplier, and a task-affinity axis that captures the paper's observation
+// that "devices optimized for one task might be worse for another" (Figure 4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace flint::device {
+
+enum class Os { kIos, kAndroid };
+
+inline const char* os_name(Os os) { return os == Os::kIos ? "iOS" : "Android"; }
+
+/// One device model in the catalog.
+struct DeviceProfile {
+  std::string name;
+  Os os = Os::kAndroid;
+  /// Relative training-time multiplier; the catalog normalizes the fleet's
+  /// unweighted mean to 1.0 so zoo base times are fleet means.
+  double speed_multiplier = 1.0;
+  /// Relative max-CPU-% multiplier.
+  double cpu_multiplier = 1.0;
+  /// Physical memory, MB.
+  double memory_mb = 4096;
+  /// Affinity in [-1, 1]: positive devices are relatively better at
+  /// memory-bound (embedding-heavy) tasks, negative at compute-bound ones.
+  double memory_affinity = 0.0;
+  /// Share weight in the user base (Figure 1's model distribution).
+  double popularity = 1.0;
+  /// OS version date the device typically runs, as year*100+month
+  /// (e.g. 201909 = Sept 2019). Availability criterion C filters on this.
+  int os_release = 202001;
+};
+
+}  // namespace flint::device

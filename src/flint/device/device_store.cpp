@@ -1,0 +1,67 @@
+#include "flint/device/device_store.h"
+
+#include "flint/util/check.h"
+
+namespace flint::device {
+
+std::uint64_t example_bytes(const ml::Example& example) {
+  // Payload bytes: dense floats + token ids + labels + group. Container
+  // overhead is deliberately excluded — the budget models serialized
+  // storage, not process memory.
+  return example.dense.size() * sizeof(float) +
+         example.tokens.size() * sizeof(std::int32_t) + 2 * sizeof(float) +
+         sizeof(std::int32_t);
+}
+
+DeviceExampleStore::DeviceExampleStore(const DeviceStoreConfig& config) : config_(config) {
+  FLINT_CHECK(config.max_bytes > 0);
+  FLINT_CHECK(config.max_age_s > 0.0);
+  FLINT_CHECK(config.max_examples > 0);
+}
+
+void DeviceExampleStore::evict_oldest() {
+  FLINT_DCHECK(!entries_.empty());
+  stats_.bytes_used -= entries_.front().bytes;
+  ++stats_.evicted_space;
+  entries_.pop_front();
+}
+
+void DeviceExampleStore::log_example(ml::Example example, TraceTime now) {
+  FLINT_CHECK_MSG(now >= last_logged_, "device store requires time-ordered logging");
+  last_logged_ = now;
+  Entry entry;
+  entry.bytes = example_bytes(example);
+  entry.example = std::move(example);
+  entry.logged_at = now;
+  if (entry.bytes > config_.max_bytes) return;  // can never fit
+
+  gc(now);
+  while (!entries_.empty() &&
+         (stats_.bytes_used + entry.bytes > config_.max_bytes ||
+          entries_.size() + 1 > config_.max_examples)) {
+    evict_oldest();
+  }
+  stats_.bytes_used += entry.bytes;
+  ++stats_.logged;
+  entries_.push_back(std::move(entry));
+}
+
+void DeviceExampleStore::gc(TraceTime now) {
+  while (!entries_.empty() && now - entries_.front().logged_at > config_.max_age_s) {
+    stats_.bytes_used -= entries_.front().bytes;
+    ++stats_.expired;
+    entries_.pop_front();
+  }
+}
+
+std::vector<ml::Example> DeviceExampleStore::training_view(TraceTime now) const {
+  std::vector<ml::Example> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    if (now - entry.logged_at > config_.max_age_s) continue;
+    out.push_back(entry.example);
+  }
+  return out;
+}
+
+}  // namespace flint::device

@@ -1,0 +1,74 @@
+// On-device example store — the "Device DB" of the paper's Figure 6. Apps
+// log inference records and user feedback locally ("training ranking tasks
+// on device allows directly using the displayed candidates and user feedback
+// to generate training data directly on the device", §4.3); the FL runtime
+// trains from this store. The feature catalog manages "the device-based
+// features' retention policies and data size limits through cloud-based
+// metadata" (§3.3) — this store enforces those limits.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "flint/device/session.h"
+#include "flint/ml/batch.h"
+
+namespace flint::device {
+
+/// Retention policy for one app's on-device training data.
+struct DeviceStoreConfig {
+  std::uint64_t max_bytes = 1 << 20;        ///< storage budget
+  double max_age_s = 30.0 * kSecondsPerDay; ///< records older than this expire
+  std::size_t max_examples = 100'000;       ///< record-count cap
+};
+
+/// Approximate serialized footprint of one example (the quantity the
+/// storage budget meters).
+std::uint64_t example_bytes(const ml::Example& example);
+
+/// Eviction accounting.
+struct DeviceStoreStats {
+  std::uint64_t logged = 0;
+  std::uint64_t expired = 0;        ///< evicted by age
+  std::uint64_t evicted_space = 0;  ///< evicted by byte/count budget
+  std::uint64_t bytes_used = 0;
+};
+
+/// Append-only example log with oldest-first eviction under the retention
+/// policy. Single app / single task; the feature catalog coordinates
+/// budgets across apps.
+class DeviceExampleStore {
+ public:
+  explicit DeviceExampleStore(const DeviceStoreConfig& config);
+
+  /// Log one record at device time `now`; evicts as needed to stay within
+  /// budget. Records must be logged in non-decreasing time order.
+  void log_example(ml::Example example, TraceTime now);
+
+  /// Expire records older than max_age_s as of `now`.
+  void gc(TraceTime now);
+
+  /// The records a training task would read at `now` (age-filtered view;
+  /// does not mutate the store).
+  std::vector<ml::Example> training_view(TraceTime now) const;
+
+  std::size_t size() const { return entries_.size(); }
+  std::uint64_t bytes_used() const { return stats_.bytes_used; }
+  const DeviceStoreStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    ml::Example example;
+    TraceTime logged_at = 0.0;
+    std::uint64_t bytes = 0;
+  };
+  void evict_oldest();
+
+  DeviceStoreConfig config_;
+  std::deque<Entry> entries_;  // oldest at front
+  DeviceStoreStats stats_;
+  TraceTime last_logged_ = 0.0;
+};
+
+}  // namespace flint::device

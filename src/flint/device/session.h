@@ -1,0 +1,31 @@
+// App session records — the raw material availability traces are derived
+// from. Mirrors what "most existing web services log" (§3.2): session start
+// and end, device model, and device-state attributes.
+#pragma once
+
+#include <cstdint>
+
+namespace flint::device {
+
+/// Seconds since the trace epoch (start of the observation window).
+using TraceTime = double;
+
+/// One foreground app session with the device-state attributes FLINT's
+/// availability criteria evaluate.
+struct Session {
+  std::uint64_t client_id = 0;
+  std::size_t device_index = 0;  ///< index into the DeviceCatalog
+  TraceTime start = 0.0;
+  TraceTime end = 0.0;
+  bool wifi = false;             ///< connected to WiFi during the session
+  double battery_pct = 100.0;    ///< battery level at session start
+  bool foreground = true;        ///< app is in the foreground
+
+  TraceTime duration() const { return end - start; }
+};
+
+inline constexpr double kSecondsPerHour = 3600.0;
+inline constexpr double kSecondsPerDay = 86400.0;
+inline constexpr double kSecondsPerWeek = 7.0 * kSecondsPerDay;
+
+}  // namespace flint::device

@@ -1,0 +1,97 @@
+#include "flint/device/session_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "flint/util/stats.h"
+#include "flint/util/check.h"
+
+namespace flint::device {
+
+double diurnal_weight(double hour, double overnight_floor) {
+  // Two Gaussian bumps: a lunchtime bump at 12:30 and the dominant evening
+  // peak at 20:00, over a small overnight floor. Hours wrap modulo 24.
+  auto bump = [&](double center, double width, double height) {
+    double d = std::abs(hour - center);
+    d = std::min(d, 24.0 - d);  // circular distance
+    return height * std::exp(-d * d / (2.0 * width * width));
+  };
+  return overnight_floor + bump(12.5, 2.0, 0.45) + bump(20.0, 2.5, 1.0);
+}
+
+double SessionLog::total_duration() const {
+  double total = 0.0;
+  for (const auto& s : sessions) total += s.duration();
+  return total;
+}
+
+SessionLog generate_sessions(const SessionGeneratorConfig& config, const DeviceCatalog& catalog,
+                             util::Rng& rng) {
+  FLINT_CHECK(config.clients > 0);
+  FLINT_CHECK(config.days > 0);
+  FLINT_CHECK(config.timezone_offsets_h.size() == config.timezone_weights.size());
+  FLINT_CHECK(!config.timezone_offsets_h.empty());
+
+  // Precompute a 48-slot inverse-CDF of the diurnal shape for start times.
+  constexpr std::size_t kSlots = 48;
+  std::vector<double> slot_weights(kSlots);
+  for (std::size_t s = 0; s < kSlots; ++s)
+    slot_weights[s] = diurnal_weight(static_cast<double>(s) * 0.5, config.overnight_floor);
+
+  auto duration_params =
+      util::lognormal_from_moments(config.mean_session_s, config.mean_session_s * config.session_cv);
+
+  SessionLog log;
+  log.client_device.resize(config.clients);
+
+  for (std::size_t c = 0; c < config.clients; ++c) {
+    log.client_device[c] = catalog.sample_device(rng);
+    double tz = config.timezone_offsets_h[rng.categorical(config.timezone_weights)];
+    for (int day = 0; day < config.days; ++day) {
+      int weekday = day % 7;
+      bool weekend = weekday >= 5;
+      double mean_sessions =
+          config.sessions_per_day * (weekend ? config.weekend_factor : 1.0);
+      auto n = static_cast<std::size_t>(rng.poisson(mean_sessions));
+      for (std::size_t k = 0; k < n; ++k) {
+        double local_hour =
+            (static_cast<double>(rng.categorical(slot_weights)) + rng.uniform(0.0, 1.0)) * 0.5;
+        double start =
+            static_cast<double>(day) * kSecondsPerDay + (local_hour + tz) * kSecondsPerHour;
+        double duration = std::max(10.0, rng.lognormal(duration_params.mu, duration_params.sigma));
+
+        Session base;
+        base.client_id = c;
+        base.device_index = log.client_device[c];
+        base.wifi = rng.bernoulli(config.wifi_probability);
+        base.battery_pct = rng.bernoulli(config.high_battery_probability)
+                               ? rng.uniform(80.0, 100.0)
+                               : rng.uniform(10.0, 79.9);
+        base.foreground = true;
+
+        if (duration > 120.0 && rng.bernoulli(config.split_probability)) {
+          // A long background gap splits the session into two (§4.1).
+          double cut = rng.uniform(0.3, 0.7) * duration;
+          double gap = rng.uniform(60.0, 600.0);
+          Session first = base;
+          first.start = start;
+          first.end = start + cut;
+          Session second = base;
+          second.start = first.end + gap;
+          second.end = second.start + (duration - cut);
+          log.sessions.push_back(first);
+          log.sessions.push_back(second);
+        } else {
+          base.start = start;
+          base.end = start + duration;
+          log.sessions.push_back(base);
+        }
+      }
+    }
+  }
+  std::sort(log.sessions.begin(), log.sessions.end(),
+            [](const Session& a, const Session& b) { return a.start < b.start; });
+  return log;
+}
+
+}  // namespace flint::device

@@ -1,0 +1,57 @@
+// Synthetic app-session log generator (substitute for LinkedIn's anonymized
+// production session data — see DESIGN.md). Calibrated to the paper's
+// published aggregates:
+//   * strong diurnal shape with a deep overnight trough and geographic
+//     (timezone) mixing, producing the ~14x weekly peak/trough fluctuation
+//     of Figure 2 once participation criteria are applied;
+//   * tail-heavy session durations ("app usage duration is tail-heavy");
+//   * attribute marginals of Table 1: P(WiFi)=0.70, P(battery>=80%)=0.34.
+#pragma once
+
+#include <vector>
+
+#include "flint/device/device_catalog.h"
+#include "flint/device/session.h"
+#include "flint/util/rng.h"
+
+namespace flint::device {
+
+/// Generator parameters.
+struct SessionGeneratorConfig {
+  std::size_t clients = 2000;
+  int days = 14;                      ///< paper queries two weeks of sessions
+  double sessions_per_day = 3.0;      ///< per-client weekday mean
+  double weekend_factor = 0.7;        ///< weekend activity multiplier
+  double mean_session_s = 240.0;      ///< lognormal session duration mean
+  double session_cv = 2.0;            ///< duration stdev/mean (tail-heavy)
+  double wifi_probability = 0.70;     ///< Table 1 criterion A marginal
+  double high_battery_probability = 0.34;  ///< Table 1 criterion B marginal
+  /// Overnight activity floor relative to the evening peak. Smaller values
+  /// deepen the Figure 2 trough.
+  double overnight_floor = 0.02;
+  /// Geographic timezone mixture (hour offsets and weights). Defaults to a
+  /// three-region mix concentrated in one region, which keeps the trough low.
+  std::vector<double> timezone_offsets_h = {0.0, 6.0, 10.0};
+  std::vector<double> timezone_weights = {0.75, 0.15, 0.10};
+  /// Probability a session is split by a long background gap (§4.1: long
+  /// gaps split a session into two).
+  double split_probability = 0.15;
+};
+
+/// A generated log: sessions sorted by start time, plus each client's device.
+struct SessionLog {
+  std::vector<Session> sessions;
+  std::vector<std::size_t> client_device;  ///< client id -> catalog index
+
+  double total_duration() const;
+};
+
+/// Generate a session log. Deterministic given the rng state.
+SessionLog generate_sessions(const SessionGeneratorConfig& config, const DeviceCatalog& catalog,
+                             util::Rng& rng);
+
+/// The diurnal activity weight at local time-of-day `hour` in [0, 24): two
+/// bumps (lunch, evening peak) over an overnight floor. Exposed for tests.
+double diurnal_weight(double hour, double overnight_floor);
+
+}  // namespace flint::device

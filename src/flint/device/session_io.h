@@ -1,0 +1,23 @@
+// Session-log persistence. Production tooling exchanges session data as
+// tabular exports ("most existing web services log session metrics and
+// device information", §3.2); this CSV codec lets FLINT's analysis tools
+// consume such exports and snapshot synthetic logs for reproducibility.
+//
+// Columns: client_id,device_index,start_s,end_s,wifi,battery_pct,foreground
+#pragma once
+
+#include <string>
+
+#include "flint/device/session_generator.h"
+
+namespace flint::device {
+
+/// Write a session log as CSV (with header). The client->device map is
+/// reconstructed on read from the sessions themselves.
+void write_session_log_csv(const std::string& path, const SessionLog& log);
+
+/// Read a CSV written by write_session_log_csv (or produced externally with
+/// the same schema). Sessions are re-sorted by start time.
+SessionLog read_session_log_csv(const std::string& path);
+
+}  // namespace flint::device

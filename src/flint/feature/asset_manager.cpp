@@ -1,0 +1,82 @@
+#include "flint/feature/asset_manager.h"
+
+#include <algorithm>
+
+#include "flint/util/check.h"
+
+namespace flint::feature {
+
+int AssetRegistry::publish(const std::string& name, std::uint64_t bytes, std::string checksum) {
+  FLINT_CHECK(!name.empty());
+  FLINT_CHECK(bytes > 0);
+  auto& versions = assets_[name];
+  AssetVersion v;
+  v.version = static_cast<int>(versions.size()) + 1;
+  v.bytes = bytes;
+  v.checksum = std::move(checksum);
+  versions.push_back(std::move(v));
+  return versions.back().version;
+}
+
+std::optional<AssetVersion> AssetRegistry::latest(const std::string& name) const {
+  auto it = assets_.find(name);
+  if (it == assets_.end() || it->second.empty()) return std::nullopt;
+  return it->second.back();
+}
+
+std::size_t AssetRegistry::version_count(const std::string& name) const {
+  auto it = assets_.find(name);
+  return it == assets_.end() ? 0 : it->second.size();
+}
+
+DeviceAssetManager::DeviceAssetManager(const AssetRegistry& registry,
+                                       std::uint64_t storage_budget_bytes)
+    : registry_(&registry), budget_(storage_budget_bytes) {
+  FLINT_CHECK(storage_budget_bytes > 0);
+}
+
+void DeviceAssetManager::evict_until_fits(std::uint64_t incoming) {
+  while (storage_used_ + incoming > budget_ && !cached_.empty()) {
+    auto victim = cached_.begin();
+    for (auto it = cached_.begin(); it != cached_.end(); ++it)
+      if (it->second.last_use < victim->second.last_use) victim = it;
+    storage_used_ -= victim->second.version.bytes;
+    ++stats_.evictions;
+    cached_.erase(victim);
+  }
+}
+
+std::optional<AssetVersion> DeviceAssetManager::ensure(const std::string& name) {
+  ++stats_.requests;
+  auto published = registry_->latest(name);
+  if (!published.has_value()) return std::nullopt;
+  if (published->bytes > budget_) return std::nullopt;  // can never fit
+
+  auto it = cached_.find(name);
+  if (it != cached_.end()) {
+    if (it->second.version.checksum == published->checksum) {
+      ++stats_.up_to_date_hits;
+      it->second.last_use = ++clock_;
+      return it->second.version;
+    }
+    // Stale: drop the old copy, re-download below.
+    storage_used_ -= it->second.version.bytes;
+    cached_.erase(it);
+    ++stats_.refreshes;
+  }
+  evict_until_fits(published->bytes);
+  ++stats_.downloads;
+  stats_.bytes_downloaded += published->bytes;
+  storage_used_ += published->bytes;
+  cached_[name] = {*published, ++clock_};
+  return published;
+}
+
+bool DeviceAssetManager::is_current(const std::string& name) const {
+  auto it = cached_.find(name);
+  if (it == cached_.end()) return false;
+  auto published = registry_->latest(name);
+  return published.has_value() && published->checksum == it->second.version.checksum;
+}
+
+}  // namespace flint::feature

@@ -1,0 +1,79 @@
+// Versioned model-asset management on the device. The ads case study (§4.1)
+// found that "the device must refresh and store vocab files as assets, which
+// could be as big as 1.28MB for high-cardinality variables"; Figure 6 shows
+// vocabulary being pulled from the cloud and cached. AssetManager models
+// that lifecycle: versioned assets published in the cloud, pulled on demand,
+// cached on device under a storage budget, refreshed when stale.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace flint::feature {
+
+/// One published version of a named asset (vocab file, normalization table).
+struct AssetVersion {
+  int version = 0;
+  std::uint64_t bytes = 0;
+  std::string checksum;  ///< content id; device compares to skip re-download
+};
+
+/// Cloud-side registry of model assets.
+class AssetRegistry {
+ public:
+  /// Publish a new version of `name`; returns the assigned version number.
+  int publish(const std::string& name, std::uint64_t bytes, std::string checksum);
+
+  std::optional<AssetVersion> latest(const std::string& name) const;
+  std::size_t version_count(const std::string& name) const;
+
+ private:
+  std::map<std::string, std::vector<AssetVersion>> assets_;
+};
+
+/// Device-side pull accounting.
+struct AssetPullStats {
+  std::uint64_t requests = 0;
+  std::uint64_t downloads = 0;       ///< actual network pulls
+  std::uint64_t up_to_date_hits = 0; ///< cached and current; no pull
+  std::uint64_t refreshes = 0;       ///< cached but stale; re-pulled
+  std::uint64_t bytes_downloaded = 0;
+  std::uint64_t evictions = 0;
+};
+
+/// Device-side asset cache: ensures the latest version of each requested
+/// asset is present, within a storage budget (LRU eviction over assets).
+class DeviceAssetManager {
+ public:
+  DeviceAssetManager(const AssetRegistry& registry, std::uint64_t storage_budget_bytes);
+
+  /// Ensure `name`'s latest published version is on device. Returns the
+  /// version now held, or nullopt when the asset is unknown or can never
+  /// fit the budget. Downloads only when missing or stale.
+  std::optional<AssetVersion> ensure(const std::string& name);
+
+  /// Is a current copy of `name` on device?
+  bool is_current(const std::string& name) const;
+
+  std::uint64_t storage_used() const { return storage_used_; }
+  const AssetPullStats& stats() const { return stats_; }
+
+ private:
+  struct CachedAsset {
+    AssetVersion version;
+    std::uint64_t last_use = 0;  ///< logical clock for LRU
+  };
+  void evict_until_fits(std::uint64_t incoming);
+
+  const AssetRegistry* registry_;
+  std::uint64_t budget_;
+  std::uint64_t storage_used_ = 0;
+  std::uint64_t clock_ = 0;
+  std::map<std::string, CachedAsset> cached_;
+  AssetPullStats stats_;
+};
+
+}  // namespace flint::feature

@@ -1,0 +1,38 @@
+#include "flint/feature/transform.h"
+
+namespace flint::feature {
+
+TokenEncoder::TokenEncoder(EncoderKind kind, Vocab vocab, std::size_t buckets,
+                           std::uint64_t salt)
+    : kind_(kind), vocab_(std::move(vocab)), hasher_(buckets == 0 ? 1 : buckets, salt) {}
+
+TokenEncoder TokenEncoder::with_vocab(Vocab vocab) {
+  return TokenEncoder(EncoderKind::kVocab, std::move(vocab), 1, 0);
+}
+
+TokenEncoder TokenEncoder::with_hashing(std::size_t buckets, std::uint64_t salt) {
+  return TokenEncoder(EncoderKind::kHashing, Vocab{}, buckets, salt);
+}
+
+std::vector<std::int32_t> TokenEncoder::encode(const std::vector<std::string>& raw) const {
+  std::vector<std::int32_t> out;
+  out.reserve(raw.size());
+  for (const auto& token : raw) {
+    if (kind_ == EncoderKind::kVocab) {
+      out.push_back(vocab_.lookup(token));
+    } else {
+      out.push_back(static_cast<std::int32_t>(hasher_.bucket(token)));
+    }
+  }
+  return out;
+}
+
+std::size_t TokenEncoder::asset_bytes() const {
+  return kind_ == EncoderKind::kVocab ? vocab_.asset_bytes() : 0;
+}
+
+std::size_t TokenEncoder::id_space() const {
+  return kind_ == EncoderKind::kVocab ? vocab_.size() + 1 : hasher_.buckets();
+}
+
+}  // namespace flint::feature

@@ -1,0 +1,43 @@
+// Token encoding transforms: vocab-file lookup vs feature hashing. The ads
+// case study (§4.1) weighs 1.28MB vocab assets against hashing's collision
+// cost; TokenEncoder lets a pipeline switch strategy per feature.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flint/feature/feature_hashing.h"
+#include "flint/feature/vocab.h"
+
+namespace flint::feature {
+
+enum class EncoderKind { kVocab, kHashing };
+
+/// Encodes raw string tokens into the integer ids models consume.
+class TokenEncoder {
+ public:
+  static TokenEncoder with_vocab(Vocab vocab);
+  static TokenEncoder with_hashing(std::size_t buckets, std::uint64_t salt = 0);
+
+  EncoderKind kind() const { return kind_; }
+
+  /// Encode a list of raw tokens.
+  std::vector<std::int32_t> encode(const std::vector<std::string>& raw) const;
+
+  /// Device-storage bytes this encoder's assets require (vocab file size;
+  /// hashing needs no asset).
+  std::size_t asset_bytes() const;
+
+  /// Output id space size (vocab size + OOV, or bucket count).
+  std::size_t id_space() const;
+
+ private:
+  TokenEncoder(EncoderKind kind, Vocab vocab, std::size_t buckets, std::uint64_t salt);
+
+  EncoderKind kind_;
+  Vocab vocab_;
+  FeatureHasher hasher_;
+};
+
+}  // namespace flint::feature

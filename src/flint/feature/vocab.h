@@ -1,0 +1,50 @@
+// Vocabulary files: string -> integer id mappings used during on-device data
+// processing (paper §3.3 "Data Locality" and §4.1). High-cardinality vocabs
+// can reach megabytes and must be pulled/cached by the device runtime; the
+// alternative is feature hashing (feature_hashing.h).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace flint::feature {
+
+/// Reserved id for out-of-vocabulary tokens.
+inline constexpr std::int32_t kOovId = 0;
+
+/// An immutable token -> id mapping. Id 0 is reserved for OOV; real tokens
+/// get ids 1..size.
+class Vocab {
+ public:
+  Vocab() = default;
+
+  /// Build from (token, frequency) pairs, keeping the `max_size` most
+  /// frequent tokens (ties broken lexicographically for determinism).
+  static Vocab build(const std::vector<std::pair<std::string, std::uint64_t>>& frequencies,
+                     std::size_t max_size);
+
+  /// Id for a token (kOovId if unknown).
+  std::int32_t lookup(const std::string& token) const;
+
+  /// Token for an id, if in range (OOV and out-of-range return nullopt).
+  std::optional<std::string> reverse_lookup(std::int32_t id) const;
+
+  std::size_t size() const { return tokens_.size(); }
+
+  /// Serialized asset size in bytes: token bytes + newlines (the on-disk
+  /// format below). This is the number the device storage budget sees.
+  std::size_t asset_bytes() const;
+
+  /// One token per line, in id order. Round-trips with parse().
+  std::string serialize() const;
+  static Vocab parse(const std::string& text);
+
+ private:
+  std::vector<std::string> tokens_;              // index i -> id i+1
+  std::unordered_map<std::string, std::int32_t> index_;
+};
+
+}  // namespace flint::feature

@@ -1,0 +1,97 @@
+// Update aggregation primitives shared by FedAvg and FedBuff.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "flint/util/check.h"
+
+namespace flint::fl {
+
+/// Staleness discount from the FedBuff paper (Nguyen et al., 2022):
+/// weight = 1 / sqrt(1 + staleness).
+inline double staleness_weight(std::uint64_t staleness) {
+  return 1.0 / std::sqrt(1.0 + static_cast<double>(staleness));
+}
+
+/// Weighted running mean of parameter deltas.
+class UpdateAccumulator {
+ public:
+  explicit UpdateAccumulator(std::size_t dim) : sum_(dim, 0.0) { FLINT_CHECK(dim > 0); }
+
+  void add(std::span<const float> delta, double weight) {
+    FLINT_CHECK_MSG(delta.size() == sum_.size(),
+                    "delta dim " << delta.size() << " != accumulator dim " << sum_.size());
+    FLINT_CHECK(weight > 0.0);
+    for (std::size_t i = 0; i < delta.size(); ++i)
+      sum_[i] += weight * static_cast<double>(delta[i]);
+    weight_sum_ += weight;
+    ++count_;
+  }
+
+  std::size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  std::size_t dim() const { return sum_.size(); }
+
+  /// Weighted mean of everything added since the last reset.
+  std::vector<float> weighted_mean() const {
+    FLINT_CHECK_MSG(weight_sum_ > 0.0, "weighted_mean of empty accumulator");
+    std::vector<float> out(sum_.size());
+    for (std::size_t i = 0; i < sum_.size(); ++i)
+      out[i] = static_cast<float>(sum_[i] / weight_sum_);
+    return out;
+  }
+
+  void reset() {
+    std::fill(sum_.begin(), sum_.end(), 0.0);
+    weight_sum_ = 0.0;
+    count_ = 0;
+  }
+
+ private:
+  std::vector<double> sum_;
+  double weight_sum_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+/// Apply a server update: params += server_lr * mean_delta.
+inline void apply_server_update(std::vector<float>& params, std::span<const float> mean_delta,
+                                double server_lr) {
+  FLINT_CHECK(params.size() == mean_delta.size());
+  for (std::size_t i = 0; i < params.size(); ++i)
+    params[i] += static_cast<float>(server_lr) * mean_delta[i];
+}
+
+/// Server-side optimizer state: plain averaging when momentum == 0,
+/// FedAvgM otherwise.
+class ServerOptimizer {
+ public:
+  ServerOptimizer(double server_lr, double momentum)
+      : server_lr_(server_lr), momentum_(momentum) {
+    FLINT_CHECK(server_lr > 0.0);
+    FLINT_CHECK(momentum >= 0.0 && momentum < 1.0);
+  }
+
+  /// Apply one aggregated delta to the global parameters.
+  void step(std::vector<float>& params, std::span<const float> mean_delta) {
+    if (momentum_ == 0.0) {
+      apply_server_update(params, mean_delta, server_lr_);
+      return;
+    }
+    FLINT_CHECK(params.size() == mean_delta.size());
+    if (velocity_.size() != params.size()) velocity_.assign(params.size(), 0.0f);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      velocity_[i] = static_cast<float>(momentum_) * velocity_[i] + mean_delta[i];
+      params[i] += static_cast<float>(server_lr_) * velocity_[i];
+    }
+  }
+
+ private:
+  double server_lr_;
+  double momentum_;
+  std::vector<float> velocity_;
+};
+
+}  // namespace flint::fl

@@ -1,0 +1,48 @@
+#include "flint/fl/client_selection.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "flint/util/check.h"
+
+namespace flint::fl {
+
+std::vector<sim::Arrival> select_cohort(sim::ArrivalScheduler& scheduler, sim::VirtualTime t,
+                                        std::size_t count, const ExcludedUntilFn& excluded_until,
+                                        double max_wait_s) {
+  FLINT_CHECK(count > 0);
+  FLINT_CHECK(max_wait_s >= 0.0);
+  std::vector<sim::Arrival> cohort;
+  std::unordered_set<std::uint64_t> picked;
+  sim::VirtualTime cursor = t;
+  while (cohort.size() < count) {
+    auto arrival = scheduler.next(cursor);
+    if (!arrival.has_value()) break;
+    if (arrival->time > t + max_wait_s) {
+      // Too late for this round; put it back untouched for the next one.
+      scheduler.requeue(*arrival, arrival->time);
+      break;
+    }
+    cursor = arrival->time;
+    if (picked.count(arrival->client_id) > 0) continue;  // same client, later window
+    if (excluded_until) {
+      std::optional<sim::VirtualTime> until = excluded_until(arrival->client_id);
+      if (until.has_value() && *until > cursor) {
+        // Re-offer exactly when the exclusion lapses.
+        scheduler.requeue(*arrival, std::max(*until, arrival->time));
+        continue;
+      }
+    }
+    picked.insert(arrival->client_id);
+    cohort.push_back(*arrival);
+  }
+  return cohort;
+}
+
+std::size_t overcommitted_size(std::size_t cohort, double factor) {
+  FLINT_CHECK(cohort > 0);
+  FLINT_CHECK(factor >= 1.0);
+  return static_cast<std::size_t>(std::ceil(static_cast<double>(cohort) * factor));
+}
+
+}  // namespace flint::fl

@@ -1,0 +1,33 @@
+// Client selection helpers. "In practice, client selection is largely
+// dictated by client arrival and availability. Hence, our framework directly
+// selects the next available device from the input sessions at a given
+// virtual time" (§3.4). Sync mode adds GFL-style over-commitment.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "flint/sim/scheduler.h"
+
+namespace flint::fl {
+
+/// Exclusion policy for selection: given a client id, return the virtual
+/// time at which the client becomes eligible again (e.g. cooldown end), or
+/// nullopt if it is eligible now. Returning a time <= now is treated as
+/// eligible.
+using ExcludedUntilFn = std::function<std::optional<sim::VirtualTime>(std::uint64_t)>;
+
+/// Pull up to `count` distinct-client arrivals from `scheduler`, starting at
+/// virtual time `t`. Excluded clients are requeued for the end of their
+/// exclusion. Arrivals later than `t + max_wait_s` are not consumed (the
+/// cohort is capped by how long the round may wait for devices).
+std::vector<sim::Arrival> select_cohort(sim::ArrivalScheduler& scheduler, sim::VirtualTime t,
+                                        std::size_t count, const ExcludedUntilFn& excluded_until,
+                                        double max_wait_s);
+
+/// Over-committed dispatch size for a target cohort: ceil(cohort * factor).
+/// "Our sync mode ... uses client over-commitment to handle dropouts" (§5).
+std::size_t overcommitted_size(std::size_t cohort, double factor);
+
+}  // namespace flint::fl

@@ -1,0 +1,190 @@
+#include "flint/fl/fedavg.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "flint/fl/aggregator.h"
+#include "flint/fl/client_selection.h"
+#include "flint/util/check.h"
+#include "flint/util/logging.h"
+
+namespace flint::fl {
+
+namespace {
+
+/// A dispatched cohort member with its (pre-computed) fate.
+struct CohortTask {
+  sim::TaskSpec spec;
+  sim::VirtualTime finish = 0.0;
+  bool window_interrupted = false;
+  double spent_compute_s = 0.0;
+  std::uint64_t client_id = 0;
+};
+
+}  // namespace
+
+RunResult run_fedavg(const SyncConfig& config) {
+  const RunInputs& in = config.inputs;
+  validate_common_inputs(in);
+  FLINT_CHECK(config.cohort_size > 0);
+  FLINT_CHECK(config.round_deadline_s > 0.0);
+
+  util::Rng rng(in.seed);
+  sim::Leader leader(in.leader, *in.trace);
+  for (const auto& o : in.outages) leader.executors().add_outage(o);
+  TaskDurationModel durations(in.duration, *in.catalog, *in.bandwidth);
+
+  std::vector<float> params;
+  std::unique_ptr<ml::Model> eval_model;
+  std::unique_ptr<LocalTrainer> trainer;
+  if (!in.model_free) {
+    params = in.model_template->get_flat_parameters();
+    eval_model = in.model_template->clone();
+    trainer = std::make_unique<LocalTrainer>(in.model_template->clone(), in.dense_dim);
+  }
+
+  RunResult result;
+  ServerOptimizer server_opt(in.server_lr, in.server_momentum);
+  std::unordered_map<std::uint64_t, double> last_participation;
+  std::uint64_t task_ids = 0;
+  sim::VirtualTime t = 0.0;
+  std::uint64_t round = 0;
+
+  auto evaluate = [&](sim::VirtualTime when) {
+    if (in.model_free || in.test == nullptr) return;
+    eval_model->set_flat_parameters(params);
+    double metric = data::evaluate_examples(*eval_model, *in.test, in.domain, in.dense_dim);
+    result.eval_curve.push_back({when, round, metric, 0.0});
+  };
+
+  while (round < in.max_rounds && t < in.max_virtual_s) {
+    t = leader.dispatch_gate(t);
+    std::size_t dispatch_n = overcommitted_size(config.cohort_size, config.overcommit);
+    auto exclude = [&](std::uint64_t client) -> std::optional<sim::VirtualTime> {
+      auto it = last_participation.find(client);
+      if (it == last_participation.end()) return std::nullopt;
+      return it->second + in.reparticipation_gap_s;  // <= now means eligible
+    };
+    auto cohort = select_cohort(leader.arrivals(), t, dispatch_n, exclude, config.cohort_wait_s);
+    if (cohort.empty()) {
+      auto next_time = leader.arrivals().peek_time(t);
+      if (!next_time.has_value()) break;  // trace exhausted
+      t = *next_time;
+      continue;
+    }
+
+    sim::VirtualTime round_start = t;
+    sim::VirtualTime deadline = round_start + config.round_deadline_s;
+    std::vector<CohortTask> tasks;
+    std::vector<sim::Arrival> rejoining;
+    for (const auto& arr : cohort) {
+      std::size_t examples = client_example_count(in, arr.client_id);
+      if (examples == 0) continue;
+      sim::VirtualTime dispatch_t = std::max<sim::VirtualTime>(arr.time, round_start);
+      auto dur = durations.sample(arr.device_index, examples, rng);
+      CohortTask task;
+      task.client_id = arr.client_id;
+      task.spec = {task_ids++, arr.client_id, arr.device_index, round, dispatch_t,
+                   dur.compute_s, dur.comm_s, examples};
+      task.finish = dispatch_t + dur.total_s();
+      task.window_interrupted = task.finish > arr.window_end;
+      if (task.window_interrupted) {
+        task.finish = arr.window_end;
+        task.spent_compute_s =
+            std::min(dur.compute_s, std::max(0.0, arr.window_end - dispatch_t));
+      } else {
+        task.spent_compute_s = dur.compute_s;
+      }
+      leader.metrics().on_task_started();
+      leader.executors().record_task(leader.executors().executor_of(arr.client_id));
+      last_participation[arr.client_id] = dispatch_t;
+      // The device stays in its availability window after the task; re-offer
+      // the window remainder so it can participate in later rounds.
+      if (!task.window_interrupted && task.finish < arr.window_end) {
+        sim::Arrival rejoin = arr;
+        rejoin.time = task.finish;
+        rejoining.push_back(rejoin);
+      }
+      tasks.push_back(std::move(task));
+    }
+    for (const auto& rejoin : rejoining)
+      leader.arrivals().requeue(rejoin, rejoin.time);
+    if (tasks.empty()) {
+      t = round_start + 1.0;
+      continue;
+    }
+    std::sort(tasks.begin(), tasks.end(),
+              [](const CohortTask& a, const CohortTask& b) { return a.finish < b.finish; });
+
+    // Decide fates: the first cohort_size on-time completions succeed;
+    // later completions are stragglers (stale); window-cut tasks are
+    // interrupted.
+    std::vector<const CohortTask*> successes;
+    sim::VirtualTime round_end = deadline;
+    for (const auto& task : tasks) {
+      sim::TaskResult tr;
+      tr.spec = task.spec;
+      tr.finish_time = task.finish;
+      tr.spent_compute_s = task.spent_compute_s;
+      if (task.window_interrupted) {
+        tr.outcome = sim::TaskOutcome::kInterrupted;
+      } else if (task.finish <= deadline && successes.size() < config.cohort_size) {
+        tr.outcome = sim::TaskOutcome::kSucceeded;
+        successes.push_back(&task);
+        if (successes.size() == config.cohort_size) round_end = task.finish;
+      } else {
+        tr.outcome = sim::TaskOutcome::kStale;
+      }
+      leader.metrics().on_task_finished(tr);
+    }
+
+    if (successes.empty()) {
+      // Nothing aggregated this round; move past the deadline and retry.
+      t = deadline;
+      continue;
+    }
+
+    ++round;
+    if (!in.model_free) {
+      UpdateAccumulator acc(params.size());
+      LocalTrainConfig local = in.local;
+      local.lr = in.client_lr.at(round - 1);
+      for (const CohortTask* task : successes) {
+        const auto& client_data = in.dataset->client(task->client_id).examples;
+        LocalTrainResult lr_result = trainer->train(client_data, params, local);
+        if (in.dp.has_value()) {
+          privacy::apply_dp(lr_result.delta, *in.dp, successes.size(), rng);
+          if (in.compression.enabled())
+            compress::apply_compression(lr_result.delta, in.compression);
+          acc.add(lr_result.delta, 1.0);  // DP requires uniform weights
+        } else {
+          if (in.compression.enabled())
+            compress::apply_compression(lr_result.delta, in.compression);
+          acc.add(lr_result.delta, static_cast<double>(lr_result.examples));
+        }
+      }
+      auto mean = acc.weighted_mean();
+      server_opt.step(params, mean);
+    }
+
+    leader.metrics().on_round({round, round_start, round_end,
+                               successes.size(), /*mean_staleness=*/0.0});
+    leader.on_aggregation(round, params, leader.metrics().tasks_succeeded());
+    if (in.eval_every_rounds > 0 && round % in.eval_every_rounds == 0) evaluate(round_end);
+    t = round_end;
+  }
+
+  result.virtual_duration_s = t;
+  result.rounds = round;
+  if (!in.model_free && in.test != nullptr) {
+    eval_model->set_flat_parameters(params);
+    result.final_metric = data::evaluate_examples(*eval_model, *in.test, in.domain, in.dense_dim);
+    if (result.eval_curve.empty() || result.eval_curve.back().round != round)
+      result.eval_curve.push_back({t, round, result.final_metric, 0.0});
+  }
+  result.final_parameters = std::move(params);
+  result.metrics = leader.metrics();
+  return result;
+}
+
+}  // namespace flint::fl

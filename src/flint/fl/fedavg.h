@@ -1,0 +1,27 @@
+// Synchronous FedAvg (McMahan et al., 2017) under realistic availability:
+// round-based, GFL-style client over-commitment, deadline-bounded rounds,
+// stragglers discarded ("FedAvg throws away all stragglers", §3.4).
+#pragma once
+
+#include "flint/fl/run_common.h"
+
+namespace flint::fl {
+
+/// Sync-mode parameters.
+struct SyncConfig {
+  RunInputs inputs;
+  /// Updates required to close a round.
+  std::size_t cohort_size = 10;
+  /// Over-commitment factor: dispatch ceil(cohort * factor) clients.
+  double overcommit = 1.3;
+  /// A round aggregates whatever arrived by this deadline.
+  double round_deadline_s = 2.0 * 3600.0;
+  /// How far ahead of the round start arrivals may be pulled.
+  double cohort_wait_s = 1.0 * 3600.0;
+};
+
+/// Run synchronous FedAvg to completion (max rounds / virtual time / trace
+/// exhaustion, whichever comes first).
+RunResult run_fedavg(const SyncConfig& config);
+
+}  // namespace flint::fl

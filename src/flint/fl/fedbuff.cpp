@@ -1,0 +1,263 @@
+#include "flint/fl/fedbuff.h"
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "flint/fl/aggregator.h"
+#include "flint/util/check.h"
+#include "flint/util/logging.h"
+
+namespace flint::fl {
+
+namespace {
+
+/// Whole-run mutable state, shared by the event callbacks.
+struct FedBuffState {
+  const AsyncConfig* config = nullptr;
+  util::Rng rng{1};
+  std::unique_ptr<sim::Leader> leader;
+  std::unique_ptr<TaskDurationModel> durations;
+  std::unique_ptr<LocalTrainer> trainer;
+  std::unique_ptr<ml::Model> eval_model;
+  std::unique_ptr<UpdateAccumulator> accumulator;
+  std::unique_ptr<ServerOptimizer> server_opt;
+
+  std::vector<float> params;
+  std::uint64_t version = 0;  ///< server model version (aggregations so far)
+  std::size_t running = 0;
+  std::unordered_set<std::uint64_t> busy;
+  std::unordered_map<std::uint64_t, double> last_participation;
+  std::uint64_t task_ids = 0;
+  double staleness_sum = 0.0;  ///< over the current buffer
+  sim::VirtualTime round_start = 0.0;
+  bool pump_scheduled = false;
+  bool done = false;
+  sim::VirtualTime last_aggregation_time = 0.0;
+  RunResult result;
+};
+
+/// One in-flight task: its spec plus the (eagerly computed) local update.
+struct InFlight {
+  sim::TaskSpec spec;
+  double spent_compute_s = 0.0;
+  sim::VirtualTime window_end = 0.0;
+  LocalTrainResult train;
+};
+
+void pump(FedBuffState& s);
+
+void evaluate(FedBuffState& s, sim::VirtualTime when) {
+  const RunInputs& in = s.config->inputs;
+  if (in.model_free || in.test == nullptr) return;
+  s.eval_model->set_flat_parameters(s.params);
+  double metric = data::evaluate_examples(*s.eval_model, *in.test, in.domain, in.dense_dim);
+  s.result.eval_curve.push_back({when, s.version, metric, 0.0});
+}
+
+void aggregate(FedBuffState& s) {
+  const RunInputs& in = s.config->inputs;
+  sim::VirtualTime now = s.leader->queue().now();
+  double mean_staleness =
+      s.accumulator->empty() ? 0.0
+                             : s.staleness_sum / static_cast<double>(s.accumulator->count());
+  std::size_t aggregated = s.accumulator->count();
+  if (!in.model_free) {
+    auto mean = s.accumulator->weighted_mean();
+    s.server_opt->step(s.params, mean);
+  }
+  s.accumulator->reset();
+  s.staleness_sum = 0.0;
+  ++s.version;
+  s.leader->metrics().on_round({s.version, s.round_start, now, aggregated, mean_staleness});
+  s.leader->on_aggregation(s.version, s.params, s.leader->metrics().tasks_succeeded());
+  s.round_start = now;
+  s.last_aggregation_time = now;
+  FLINT_LOG_DEBUG << "fedbuff aggregation v=" << s.version << " t=" << now
+                  << " running=" << s.running;
+  if (in.eval_every_rounds > 0 && s.version % in.eval_every_rounds == 0) evaluate(s, now);
+  if (s.version >= in.max_rounds || now >= in.max_virtual_s) s.done = true;
+}
+
+void on_task_end(FedBuffState& s, const InFlight& task, bool interrupted) {
+  --s.running;
+  s.busy.erase(task.spec.client_id);
+
+  sim::TaskResult tr;
+  tr.spec = task.spec;
+  tr.finish_time = s.leader->queue().now();
+  tr.spent_compute_s = task.spent_compute_s;
+  if (interrupted) {
+    tr.outcome = sim::TaskOutcome::kInterrupted;
+  } else {
+    std::uint64_t staleness = s.version - task.spec.model_version;
+    if (s.done || staleness > s.config->max_staleness) {
+      tr.outcome = sim::TaskOutcome::kStale;
+    } else {
+      tr.outcome = sim::TaskOutcome::kSucceeded;
+      if (!s.config->inputs.model_free) {
+        double w = s.config->staleness_weighting ? staleness_weight(staleness) : 1.0;
+        s.accumulator->add(task.train.delta, w);
+      } else {
+        // Model-free mode still tracks buffer occupancy with unit weights.
+        static thread_local std::vector<float> kZero{0.0f};
+        s.accumulator->add(kZero, 1.0);
+      }
+      s.staleness_sum += static_cast<double>(staleness);
+      if (s.accumulator->count() >= s.config->buffer_size) aggregate(s);
+    }
+  }
+  s.leader->metrics().on_task_finished(tr);
+  // The device stays available after a completed task; re-offer the window
+  // remainder so it can participate again (subject to the cooldown gap).
+  if (!interrupted && tr.finish_time < task.window_end) {
+    sim::Arrival rejoin{tr.finish_time, task.spec.client_id, task.spec.device_index,
+                        task.window_end};
+    s.leader->arrivals().requeue(rejoin, tr.finish_time);
+  }
+  pump(s);
+}
+
+void dispatch(FedBuffState& s, const sim::Arrival& arrival) {
+  const RunInputs& in = s.config->inputs;
+  sim::VirtualTime now = s.leader->queue().now();
+  std::size_t examples = client_example_count(in, arrival.client_id);
+  FLINT_DCHECK(examples > 0);
+  auto dur = s.durations->sample(arrival.device_index, examples, s.rng);
+
+  auto task = std::make_shared<InFlight>();
+  task->spec = {s.task_ids++, arrival.client_id, arrival.device_index, s.version,
+                now,          dur.compute_s,     dur.comm_s,           examples};
+  task->window_end = arrival.window_end;
+  ++s.running;
+  s.busy.insert(arrival.client_id);
+  s.last_participation[arrival.client_id] = now;
+  s.leader->metrics().on_task_started();
+  s.leader->executors().record_task(s.leader->executors().executor_of(arrival.client_id));
+
+  bool will_interrupt = now + dur.total_s() > arrival.window_end;
+  if (will_interrupt) {
+    task->spent_compute_s = std::min(dur.compute_s, std::max(0.0, arrival.window_end - now));
+    s.leader->queue().schedule(arrival.window_end,
+                               [&s, task] { on_task_end(s, *task, /*interrupted=*/true); });
+    return;
+  }
+  task->spent_compute_s = dur.compute_s;
+  if (!in.model_free) {
+    // The client trains against the global parameters as of dispatch time;
+    // computing the update now is semantically identical to computing it at
+    // completion with a snapshot.
+    LocalTrainConfig local = in.local;
+    local.lr = in.client_lr.at(s.version);
+    task->train =
+        s.trainer->train(in.dataset->client(arrival.client_id).examples, s.params, local);
+    if (in.dp.has_value())
+      privacy::apply_dp(task->train.delta, *in.dp, s.config->buffer_size, s.rng);
+    if (in.compression.enabled())
+      compress::apply_compression(task->train.delta, in.compression);
+  }
+  s.leader->queue().schedule(now + dur.total_s(),
+                             [&s, task] { on_task_end(s, *task, /*interrupted=*/false); });
+}
+
+void pump(FedBuffState& s) {
+  if (s.done) return;
+  const RunInputs& in = s.config->inputs;
+  sim::VirtualTime now = s.leader->queue().now();
+
+  // Fault-tolerance gate: halt dispatching while any executor is unhealthy.
+  sim::VirtualTime gate = s.leader->dispatch_gate(now);
+  if (gate > now) {
+    if (!s.pump_scheduled) {
+      s.pump_scheduled = true;
+      s.leader->queue().schedule(gate, [&s] {
+        s.pump_scheduled = false;
+        pump(s);
+      });
+    }
+    return;
+  }
+
+  while (s.running < s.config->max_concurrency) {
+    auto next_time = s.leader->arrivals().peek_time(now);
+    if (!next_time.has_value()) return;  // trace exhausted
+    if (*next_time > now) {
+      if (!s.pump_scheduled) {
+        s.pump_scheduled = true;
+        s.leader->queue().schedule(*next_time, [&s] {
+          s.pump_scheduled = false;
+          pump(s);
+        });
+      }
+      return;
+    }
+    auto arrival = s.leader->arrivals().next(now);
+    FLINT_DCHECK(arrival.has_value());
+    if (s.busy.count(arrival->client_id) > 0) {
+      // Stale duplicate entry for a client that is mid-task: drop it. The
+      // completion handler requeues a rejoin for the window remainder.
+      continue;
+    }
+    auto it = s.last_participation.find(arrival->client_id);
+    if (it != s.last_participation.end()) {
+      // Compute the cooldown lapse once and branch on it, so the retry time
+      // is strictly in the future whenever we defer (deriving the condition
+      // and the retry from different float expressions can disagree in the
+      // last ulp and livelock the pump).
+      sim::VirtualTime lapse = it->second + in.reparticipation_gap_s;
+      if (lapse > now) {
+        s.leader->arrivals().requeue(*arrival, lapse);
+        continue;
+      }
+    }
+    if (client_example_count(in, arrival->client_id) == 0) continue;
+    dispatch(s, *arrival);
+  }
+}
+
+}  // namespace
+
+RunResult run_fedbuff(const AsyncConfig& config) {
+  const RunInputs& in = config.inputs;
+  validate_common_inputs(in);
+  FLINT_CHECK(config.buffer_size > 0);
+  FLINT_CHECK(config.max_concurrency > 0);
+
+  FedBuffState s;
+  s.config = &config;
+  s.rng = util::Rng(in.seed);
+  s.leader = std::make_unique<sim::Leader>(in.leader, *in.trace);
+  for (const auto& o : in.outages) s.leader->executors().add_outage(o);
+  s.durations = std::make_unique<TaskDurationModel>(in.duration, *in.catalog, *in.bandwidth);
+  s.server_opt = std::make_unique<ServerOptimizer>(in.server_lr, in.server_momentum);
+  if (!in.model_free) {
+    s.params = in.model_template->get_flat_parameters();
+    s.eval_model = in.model_template->clone();
+    s.trainer = std::make_unique<LocalTrainer>(in.model_template->clone(), in.dense_dim);
+    s.accumulator = std::make_unique<UpdateAccumulator>(s.params.size());
+  } else {
+    s.accumulator = std::make_unique<UpdateAccumulator>(1);
+  }
+
+  pump(s);
+  // Drain: completions may still fire after `done` flips; they are counted
+  // as stale and never re-pump (pump() no-ops when done).
+  s.leader->queue().run();
+
+  s.result.rounds = s.version;
+  s.result.virtual_duration_s =
+      s.version > 0 ? s.last_aggregation_time : s.leader->queue().now();
+  if (!in.model_free && in.test != nullptr) {
+    s.eval_model->set_flat_parameters(s.params);
+    s.result.final_metric =
+        data::evaluate_examples(*s.eval_model, *in.test, in.domain, in.dense_dim);
+    if (s.result.eval_curve.empty() || s.result.eval_curve.back().round != s.version)
+      s.result.eval_curve.push_back(
+          {s.result.virtual_duration_s, s.version, s.result.final_metric, 0.0});
+  }
+  s.result.final_parameters = std::move(s.params);
+  s.result.metrics = s.leader->metrics();
+  return s.result;
+}
+
+}  // namespace flint::fl

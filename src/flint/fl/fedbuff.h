@@ -1,0 +1,28 @@
+// Asynchronous FedBuff (Nguyen et al., 2022) on the virtual-clock simulator:
+// up to `max_concurrency` clients train at once; completed updates land in a
+// K-sized buffer with staleness-based discounting; updates staler than
+// `max_staleness` are discarded. The leader's priority-queue scheduler
+// generates tasks in a streaming fashion (§3.4).
+#pragma once
+
+#include "flint/fl/run_common.h"
+
+namespace flint::fl {
+
+/// Async-mode parameters.
+struct AsyncConfig {
+  RunInputs inputs;
+  /// Buffer size K: updates aggregated per server step.
+  std::size_t buffer_size = 10;
+  /// Maximum clients training concurrently.
+  std::size_t max_concurrency = 100;
+  /// Updates with staleness (server version delta) beyond this are dropped.
+  std::uint64_t max_staleness = 20;
+  /// Weight buffered updates by 1/sqrt(1+staleness) (FedBuff's default).
+  bool staleness_weighting = true;
+};
+
+/// Run asynchronous FedBuff to completion.
+RunResult run_fedbuff(const AsyncConfig& config);
+
+}  // namespace flint::fl

@@ -1,0 +1,31 @@
+#include "flint/fl/run_common.h"
+
+#include "flint/util/check.h"
+
+namespace flint::fl {
+
+std::size_t client_example_count(const RunInputs& inputs, std::uint64_t client_id) {
+  if (inputs.dataset != nullptr && inputs.dataset->contains(client_id))
+    return inputs.dataset->client(client_id).size();
+  if (inputs.client_example_counts != nullptr &&
+      client_id < inputs.client_example_counts->size())
+    return (*inputs.client_example_counts)[client_id];
+  return 0;
+}
+
+void validate_common_inputs(const RunInputs& inputs) {
+  FLINT_CHECK_MSG(inputs.trace != nullptr, "run needs an availability trace");
+  FLINT_CHECK_MSG(inputs.catalog != nullptr, "run needs a device catalog");
+  FLINT_CHECK_MSG(inputs.bandwidth != nullptr, "run needs a bandwidth model");
+  if (inputs.model_free) {
+    FLINT_CHECK_MSG(inputs.client_example_counts != nullptr || inputs.dataset != nullptr,
+                    "model-free run needs client example counts or a dataset");
+  } else {
+    FLINT_CHECK_MSG(inputs.model_template != nullptr, "run needs a model template");
+    FLINT_CHECK_MSG(inputs.dataset != nullptr, "run needs a federated dataset");
+  }
+  FLINT_CHECK(inputs.max_rounds > 0);
+  FLINT_CHECK(inputs.server_lr > 0.0);
+}
+
+}  // namespace flint::fl

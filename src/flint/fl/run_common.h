@@ -1,0 +1,96 @@
+// Shared configuration and result types for the FL runners.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "flint/compress/quantize.h"
+#include "flint/data/synthetic_tasks.h"
+#include "flint/device/availability.h"
+#include "flint/fl/lr_schedule.h"
+#include "flint/fl/task_duration.h"
+#include "flint/fl/trainer.h"
+#include "flint/net/bandwidth_model.h"
+#include "flint/privacy/dp.h"
+#include "flint/sim/leader.h"
+
+namespace flint::fl {
+
+/// Inputs common to sync and async runs. Raw pointers are non-owning views
+/// that must outlive the run.
+struct RunInputs {
+  // --- Data. In model-free mode `dataset` may be null and
+  // `client_example_counts` supplies |D_k| per client id instead. ---
+  const data::FederatedDataset* dataset = nullptr;
+  const std::vector<std::uint32_t>* client_example_counts = nullptr;
+  std::size_t dense_dim = 0;
+
+  // --- Model & training. `model_template` supplies architecture and the
+  // initial global parameters; null in model-free mode. ---
+  ml::Model* model_template = nullptr;
+  LocalTrainConfig local;
+  LrSchedule client_lr = LrSchedule::constant(0.05);
+  double server_lr = 1.0;
+  /// Server-side momentum (FedAvgM, Hsu et al.): the server update becomes
+  /// v <- beta*v + mean_delta; params += server_lr * v. 0 disables.
+  double server_momentum = 0.0;
+
+  // --- Measured system inputs. ---
+  const device::AvailabilityTrace* trace = nullptr;
+  const device::DeviceCatalog* catalog = nullptr;
+  const net::BandwidthModel* bandwidth = nullptr;
+  TaskDurationConfig duration;
+
+  // --- Termination. ---
+  std::uint64_t max_rounds = 200;     ///< aggregation rounds
+  double max_virtual_s = 1e15;
+
+  // --- Evaluation. ---
+  const std::vector<ml::Example>* test = nullptr;
+  data::Domain domain = data::Domain::kAds;
+  std::uint64_t eval_every_rounds = 0;  ///< 0 = final evaluation only
+
+  // --- Infrastructure. ---
+  sim::LeaderConfig leader;
+  std::vector<sim::ExecutorOutage> outages;
+
+  // --- Privacy. ---
+  std::optional<privacy::DpConfig> dp;
+
+  // --- Update compression (applied after DP, before transmission). The
+  // caller should set duration.update_bytes consistently, e.g. via
+  // compress::compressed_bytes(). ---
+  compress::CompressionConfig compression;
+
+  /// System-metrics-only mode: skip actual SGD; updates are empty and no
+  /// model evaluation runs. Used for large-scale capacity studies.
+  bool model_free = false;
+
+  /// A client participates at most once per this many virtual seconds.
+  double reparticipation_gap_s = 4.0 * 3600.0;
+
+  std::uint64_t seed = 1;
+};
+
+/// Output of one run.
+struct RunResult {
+  sim::SimMetrics metrics;
+  std::vector<sim::EvalPoint> eval_curve;
+  double final_metric = 0.0;
+  double virtual_duration_s = 0.0;
+  std::uint64_t rounds = 0;
+  std::vector<float> final_parameters;
+
+  /// Aggregated-update throughput, for TEE sizing (§3.5).
+  double updates_per_second() const {
+    return virtual_duration_s > 0.0 ? metrics.updates_per_second(virtual_duration_s) : 0.0;
+  }
+};
+
+/// |D_k| for a client under either data mode.
+std::size_t client_example_count(const RunInputs& inputs, std::uint64_t client_id);
+
+/// Validate the parts of the config every runner needs.
+void validate_common_inputs(const RunInputs& inputs);
+
+}  // namespace flint::fl

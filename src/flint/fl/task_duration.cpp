@@ -1,0 +1,43 @@
+#include "flint/fl/task_duration.h"
+
+#include "flint/util/check.h"
+
+namespace flint::fl {
+
+TaskDurationModel::TaskDurationModel(const TaskDurationConfig& config,
+                                     const device::DeviceCatalog& catalog,
+                                     const net::BandwidthModel& bandwidth)
+    : config_(config), catalog_(&catalog), bandwidth_(&bandwidth) {
+  FLINT_CHECK(config.base_time_per_example_s > 0.0);
+  FLINT_CHECK(config.local_epochs >= 1);
+  FLINT_CHECK(config.update_bytes > 0);
+}
+
+TaskDurationModel::Sample TaskDurationModel::sample(std::size_t device_index,
+                                                    std::size_t examples,
+                                                    util::Rng& rng) const {
+  FLINT_CHECK(examples > 0);
+  const device::DeviceProfile& dev = catalog_->profile(device_index);
+  // t ~ T: fleet-mean per-example time scaled by the device's effective
+  // speed for this model plus run-to-run jitter.
+  double t = config_.base_time_per_example_s *
+             device::effective_speed(dev, config_.memory_intensity) *
+             rng.lognormal(0.0, config_.jitter_sigma);
+  Sample s;
+  s.compute_s = t * static_cast<double>(config_.local_epochs) * static_cast<double>(examples);
+  double mbps = bandwidth_->sample_mbps(rng);
+  s.comm_s = net::transfer_seconds(2 * config_.update_bytes, mbps);
+  return s;
+}
+
+TaskDurationConfig TaskDurationModel::from_spec(const ml::ModelSpec& spec, int local_epochs) {
+  TaskDurationConfig cfg;
+  cfg.base_time_per_example_s = spec.calibration.base_time_per_5k_s / 5000.0;
+  cfg.memory_intensity = device::model_memory_intensity(spec.id);
+  cfg.local_epochs = local_epochs;
+  // The calibration's network payload covers download + upload, so M is half.
+  cfg.update_bytes = static_cast<std::uint64_t>(spec.calibration.network_mb * 1e6 / 2.0);
+  return cfg;
+}
+
+}  // namespace flint::fl

@@ -1,0 +1,63 @@
+// Client task duration model (paper §3.4):
+//
+//   taskDuration(k) = t * E * |D_k| + 2*M / N
+//
+// where t is sampled from the distribution of per-example training time
+// (from on-device benchmarks), E is local epochs, |D_k| the client's
+// partition size, M the gradient update size, and N a bandwidth sample from
+// a Puffer-like distribution.
+#pragma once
+
+#include <cstdint>
+
+#include "flint/device/benchmark_harness.h"
+#include "flint/device/device_catalog.h"
+#include "flint/ml/model_zoo.h"
+#include "flint/net/bandwidth_model.h"
+#include "flint/util/rng.h"
+
+namespace flint::fl {
+
+/// Model-side parameters of the duration formula.
+struct TaskDurationConfig {
+  /// Fleet-mean per-example training time (seconds). Zoo calibrations are
+  /// per 5000 records, so from_spec() divides by 5000.
+  double base_time_per_example_s = 1e-3;
+  /// The model's memory-boundedness, interacting with device affinity.
+  double memory_intensity = 0.0;
+  /// Run-to-run lognormal jitter sigma on the per-example time.
+  double jitter_sigma = 0.2;
+  /// Local epochs E.
+  int local_epochs = 1;
+  /// Gradient update size M in bytes (also the download size).
+  std::uint64_t update_bytes = 4096;
+};
+
+/// Samples task durations for (device, partition size) pairs.
+class TaskDurationModel {
+ public:
+  TaskDurationModel(const TaskDurationConfig& config, const device::DeviceCatalog& catalog,
+                    const net::BandwidthModel& bandwidth);
+
+  struct Sample {
+    double compute_s = 0.0;  ///< t * E * |D_k|
+    double comm_s = 0.0;     ///< 2M / N
+    double total_s() const { return compute_s + comm_s; }
+  };
+
+  /// One draw of the full duration formula for client k on `device_index`.
+  Sample sample(std::size_t device_index, std::size_t examples, util::Rng& rng) const;
+
+  const TaskDurationConfig& config() const { return config_; }
+
+  /// Build the config from a zoo model spec (per-example time from the
+  /// fleet calibration; update size from the spec's network payload).
+  static TaskDurationConfig from_spec(const ml::ModelSpec& spec, int local_epochs);
+
+ private:
+  TaskDurationConfig config_;
+  const device::DeviceCatalog* catalog_;
+  const net::BandwidthModel* bandwidth_;
+};
+
+}  // namespace flint::fl

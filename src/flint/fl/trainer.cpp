@@ -1,0 +1,119 @@
+#include "flint/fl/trainer.h"
+
+#include <algorithm>
+#include <map>
+
+#include "flint/ml/loss.h"
+#include "flint/util/check.h"
+
+namespace flint::fl {
+
+LocalTrainer::LocalTrainer(std::unique_ptr<ml::Model> model, std::size_t dense_dim)
+    : model_(std::move(model)), dense_dim_(dense_dim) {
+  FLINT_CHECK(model_ != nullptr);
+}
+
+double LocalTrainer::train_classification(std::span<const ml::Example> data,
+                                          const LocalTrainConfig& config,
+                                          ml::SgdOptimizer& opt) {
+  double total_loss = 0.0;
+  std::size_t steps = 0;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    for (std::size_t start = 0; start < data.size(); start += config.batch_size) {
+      std::size_t end = std::min(data.size(), start + config.batch_size);
+      ml::Batch batch = ml::Batch::from_examples(data.subspan(start, end - start), dense_dim_);
+      ml::Tensor logits = model_->forward(batch);
+      ml::LossResult loss = model_->heads() == 1
+                                ? ml::bce_with_logits(logits, batch.labels)
+                                : ml::multitask_bce(logits, {batch.labels, batch.labels2});
+      model_->zero_grad();
+      model_->backward(loss.d_logits);
+      if (config.clip_norm > 0.0) ml::clip_gradients(model_->parameters(), config.clip_norm);
+      if (config.prox_mu > 0.0) add_proximal_gradient(config.prox_mu);
+      opt.step(model_->parameters(), config.lr);
+      total_loss += loss.loss;
+      ++steps;
+    }
+  }
+  return steps == 0 ? 0.0 : total_loss / static_cast<double>(steps);
+}
+
+double LocalTrainer::train_ranking(std::span<const ml::Example> data,
+                                   const LocalTrainConfig& config, ml::SgdOptimizer& opt) {
+  // Group candidates by ranking group; each group is one SGD step.
+  std::map<std::int32_t, std::vector<ml::Example>> groups;
+  for (const auto& e : data) groups[e.group].push_back(e);
+  double total_loss = 0.0;
+  std::size_t steps = 0;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    for (const auto& [gid, members] : groups) {
+      if (members.size() < 2) continue;
+      ml::Batch batch = ml::Batch::from_examples(members, dense_dim_);
+      ml::Tensor logits = model_->forward(batch);
+      ml::LossResult loss = ml::pairwise_ranking_loss(logits, batch.labels);
+      model_->zero_grad();
+      model_->backward(loss.d_logits);
+      if (config.clip_norm > 0.0) ml::clip_gradients(model_->parameters(), config.clip_norm);
+      if (config.prox_mu > 0.0) add_proximal_gradient(config.prox_mu);
+      opt.step(model_->parameters(), config.lr);
+      total_loss += loss.loss;
+      ++steps;
+    }
+  }
+  return steps == 0 ? 0.0 : total_loss / static_cast<double>(steps);
+}
+
+void LocalTrainer::add_proximal_gradient(double mu) {
+  std::size_t offset = 0;
+  for (ml::Parameter* p : model_->parameters()) {
+    auto value = p->value.flat();
+    auto grad = p->grad.flat();
+    for (std::size_t i = 0; i < value.size(); ++i)
+      grad[i] += static_cast<float>(mu) * (value[i] - prox_anchor_[offset + i]);
+    offset += value.size();
+  }
+}
+
+LocalTrainResult LocalTrainer::train(std::span<const ml::Example> data,
+                                     std::span<const float> global_params,
+                                     const LocalTrainConfig& config) {
+  FLINT_CHECK(!data.empty());
+  model_->set_flat_parameters(global_params);
+  if (config.prox_mu > 0.0) prox_anchor_.assign(global_params.begin(), global_params.end());
+  ml::SgdOptimizer opt(config.momentum, 0.0);
+
+  double mean_loss = (config.loss == data::LossKind::kPairwiseRanking)
+                         ? train_ranking(data, config, opt)
+                         : train_classification(data, config, opt);
+
+  LocalTrainResult result;
+  result.mean_loss = mean_loss;
+  result.examples = data.size();
+  result.delta = model_->get_flat_parameters();
+  FLINT_CHECK(result.delta.size() == global_params.size());
+  for (std::size_t i = 0; i < result.delta.size(); ++i) result.delta[i] -= global_params[i];
+  return result;
+}
+
+std::vector<double> train_centralized(ml::Model& model, const data::FederatedTask& task,
+                                      const LocalTrainConfig& config, int epochs,
+                                      util::Rng& rng) {
+  FLINT_CHECK(epochs >= 1);
+  std::vector<ml::Example> all = task.train.to_centralized();
+  FLINT_CHECK(!all.empty());
+  LocalTrainer trainer(model.clone(), task.batch_dense_dim());
+  std::vector<float> params = model.get_flat_parameters();
+  std::vector<double> curve;
+  LocalTrainConfig per_epoch = config;
+  per_epoch.epochs = 1;
+  for (int e = 0; e < epochs; ++e) {
+    if (config.loss != data::LossKind::kPairwiseRanking) rng.shuffle(all);
+    LocalTrainResult r = trainer.train(all, params, per_epoch);
+    for (std::size_t i = 0; i < params.size(); ++i) params[i] += r.delta[i];
+    model.set_flat_parameters(params);
+    curve.push_back(task.evaluate(model));
+  }
+  return curve;
+}
+
+}  // namespace flint::fl

@@ -1,0 +1,250 @@
+#include "flint/ml/layers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace flint::ml {
+
+namespace {
+
+/// Xavier-uniform init for a [fan_in, fan_out] weight matrix.
+void xavier_init(Tensor& w, std::size_t fan_in, std::size_t fan_out, util::Rng& rng) {
+  float bound = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  for (float& v : w.flat()) v = static_cast<float>(rng.uniform(-bound, bound));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- DenseLayer
+
+DenseLayer::DenseLayer(std::size_t in_dim, std::size_t out_dim)
+    : in_dim_(in_dim), out_dim_(out_dim), weight_(in_dim, out_dim), bias_(1, out_dim) {
+  FLINT_CHECK(in_dim > 0 && out_dim > 0);
+}
+
+Tensor DenseLayer::forward(const Tensor& input) {
+  FLINT_CHECK_MSG(input.cols() == in_dim_,
+                  "dense layer expects " << in_dim_ << " inputs, got " << input.cols());
+  last_input_ = input;
+  Tensor out = input.matmul(weight_.value);
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    auto r = out.row(i);
+    for (std::size_t j = 0; j < out_dim_; ++j) r[j] += bias_.value[j];
+  }
+  return out;
+}
+
+Tensor DenseLayer::backward(const Tensor& d_output) {
+  FLINT_CHECK(d_output.rows() == last_input_.rows() && d_output.cols() == out_dim_);
+  // dW += X^T dY;  db += column sums of dY;  dX = dY W^T.
+  weight_.grad += last_input_.transposed_matmul(d_output);
+  for (std::size_t i = 0; i < d_output.rows(); ++i) {
+    auto r = d_output.row(i);
+    for (std::size_t j = 0; j < out_dim_; ++j) bias_.grad[j] += r[j];
+  }
+  return d_output.matmul_transposed(weight_.value);
+}
+
+void DenseLayer::init(util::Rng& rng) {
+  xavier_init(weight_.value, in_dim_, out_dim_, rng);
+  bias_.value.zero();
+}
+
+// ----------------------------------------------------------------- ReluLayer
+
+Tensor ReluLayer::forward(const Tensor& input) {
+  last_input_ = input;
+  Tensor out = input;
+  for (float& v : out.flat())
+    if (v < 0.0f) v = 0.0f;
+  return out;
+}
+
+Tensor ReluLayer::backward(const Tensor& d_output) {
+  FLINT_CHECK(d_output.same_shape(last_input_));
+  Tensor din = d_output;
+  auto in = last_input_.flat();
+  auto g = din.flat();
+  for (std::size_t i = 0; i < g.size(); ++i)
+    if (in[i] <= 0.0f) g[i] = 0.0f;
+  return din;
+}
+
+// -------------------------------------------------------------- SigmoidLayer
+
+Tensor SigmoidLayer::forward(const Tensor& input) {
+  Tensor out = input;
+  for (float& v : out.flat()) v = 1.0f / (1.0f + std::exp(-v));
+  last_output_ = out;
+  return out;
+}
+
+Tensor SigmoidLayer::backward(const Tensor& d_output) {
+  FLINT_CHECK(d_output.same_shape(last_output_));
+  Tensor din = d_output;
+  auto y = last_output_.flat();
+  auto g = din.flat();
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] *= y[i] * (1.0f - y[i]);
+  return din;
+}
+
+// ----------------------------------------------------------------- TanhLayer
+
+Tensor TanhLayer::forward(const Tensor& input) {
+  Tensor out = input;
+  for (float& v : out.flat()) v = std::tanh(v);
+  last_output_ = out;
+  return out;
+}
+
+Tensor TanhLayer::backward(const Tensor& d_output) {
+  FLINT_CHECK(d_output.same_shape(last_output_));
+  Tensor din = d_output;
+  auto y = last_output_.flat();
+  auto g = din.flat();
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] *= 1.0f - y[i] * y[i];
+  return din;
+}
+
+// --------------------------------------------------------- EmbeddingBagLayer
+
+EmbeddingBagLayer::EmbeddingBagLayer(std::size_t vocab, std::size_t dim)
+    : vocab_(vocab), dim_(dim), table_(vocab, dim) {
+  FLINT_CHECK(vocab > 0 && dim > 0);
+}
+
+Tensor EmbeddingBagLayer::forward(const std::vector<std::vector<std::int32_t>>& tokens) {
+  last_tokens_ = tokens;
+  Tensor out(tokens.size(), dim_);
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].empty()) continue;
+    auto o = out.row(i);
+    for (std::int32_t raw : tokens[i]) {
+      auto t = static_cast<std::size_t>(
+          std::clamp<std::int64_t>(raw, 0, static_cast<std::int64_t>(vocab_) - 1));
+      auto e = table_.value.row(t);
+      for (std::size_t j = 0; j < dim_; ++j) o[j] += e[j];
+    }
+    float inv = 1.0f / static_cast<float>(tokens[i].size());
+    for (std::size_t j = 0; j < dim_; ++j) o[j] *= inv;
+  }
+  return out;
+}
+
+void EmbeddingBagLayer::backward(const Tensor& d_output) {
+  FLINT_CHECK(d_output.rows() == last_tokens_.size() && d_output.cols() == dim_);
+  for (std::size_t i = 0; i < last_tokens_.size(); ++i) {
+    if (last_tokens_[i].empty()) continue;
+    float inv = 1.0f / static_cast<float>(last_tokens_[i].size());
+    auto g = d_output.row(i);
+    for (std::int32_t raw : last_tokens_[i]) {
+      auto t = static_cast<std::size_t>(
+          std::clamp<std::int64_t>(raw, 0, static_cast<std::int64_t>(vocab_) - 1));
+      auto gr = table_.grad.row(t);
+      for (std::size_t j = 0; j < dim_; ++j) gr[j] += inv * g[j];
+    }
+  }
+}
+
+void EmbeddingBagLayer::init(util::Rng& rng) {
+  // Small-scale normal init, standard for embedding tables.
+  for (float& v : table_.value.flat()) v = static_cast<float>(rng.normal(0.0, 0.05));
+}
+
+// ------------------------------------------------------------- HashedBagLayer
+
+HashedBagLayer::HashedBagLayer(std::size_t buckets, std::uint64_t salt)
+    : buckets_(buckets), salt_(salt) {
+  FLINT_CHECK(buckets > 0);
+}
+
+std::size_t HashedBagLayer::bucket_of(std::int32_t token) const {
+  return static_cast<std::size_t>(
+      util::splitmix64(static_cast<std::uint64_t>(static_cast<std::uint32_t>(token)) ^ salt_) %
+      buckets_);
+}
+
+Tensor HashedBagLayer::forward(const std::vector<std::vector<std::int32_t>>& tokens) const {
+  Tensor out(tokens.size(), buckets_);
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].empty()) continue;
+    auto o = out.row(i);
+    float norm = 1.0f / std::sqrt(static_cast<float>(tokens[i].size()));
+    for (std::int32_t t : tokens[i]) o[bucket_of(t)] += norm;
+  }
+  return out;
+}
+
+// ------------------------------------------------------- Conv1dMaxPoolLayer
+
+Conv1dMaxPoolLayer::Conv1dMaxPoolLayer(std::size_t seq_len, std::size_t in_ch,
+                                       std::size_t out_ch, std::size_t kernel)
+    : seq_len_(seq_len),
+      in_ch_(in_ch),
+      out_ch_(out_ch),
+      kernel_(kernel),
+      kernel_w_(kernel * in_ch, out_ch),
+      kernel_b_(1, out_ch) {
+  FLINT_CHECK(kernel > 0 && kernel <= seq_len);
+}
+
+Tensor Conv1dMaxPoolLayer::forward(const Tensor& input) {
+  FLINT_CHECK_MSG(input.cols() == seq_len_ * in_ch_,
+                  "conv1d expects " << seq_len_ * in_ch_ << " inputs, got " << input.cols());
+  last_input_ = input;
+  std::size_t n = input.rows();
+  std::size_t positions = seq_len_ - kernel_ + 1;
+  Tensor out(n, out_ch_);
+  last_argmax_.assign(n * out_ch_, 0);
+  for (std::size_t s = 0; s < n; ++s) {
+    auto in = input.row(s);
+    auto o = out.row(s);
+    for (std::size_t c = 0; c < out_ch_; ++c)
+      o[c] = -std::numeric_limits<float>::infinity();
+    for (std::size_t p = 0; p < positions; ++p) {
+      const float* window = in.data() + p * in_ch_;
+      for (std::size_t c = 0; c < out_ch_; ++c) {
+        double acc = kernel_b_.value[c];
+        for (std::size_t k = 0; k < kernel_ * in_ch_; ++k)
+          acc += static_cast<double>(window[k]) * kernel_w_.value.at(k, c);
+        auto v = static_cast<float>(acc);
+        if (v > o[c]) {
+          o[c] = v;
+          last_argmax_[s * out_ch_ + c] = p;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv1dMaxPoolLayer::backward(const Tensor& d_output) {
+  FLINT_CHECK(d_output.rows() == last_input_.rows() && d_output.cols() == out_ch_);
+  Tensor din(last_input_.rows(), last_input_.cols());
+  for (std::size_t s = 0; s < last_input_.rows(); ++s) {
+    auto in = last_input_.row(s);
+    auto g = d_output.row(s);
+    auto gi = din.row(s);
+    for (std::size_t c = 0; c < out_ch_; ++c) {
+      float go = g[c];
+      if (go == 0.0f) continue;
+      std::size_t p = last_argmax_[s * out_ch_ + c];
+      const float* window = in.data() + p * in_ch_;
+      float* gwindow = gi.data() + p * in_ch_;
+      for (std::size_t k = 0; k < kernel_ * in_ch_; ++k) {
+        kernel_w_.grad.at(k, c) += go * window[k];
+        gwindow[k] += go * kernel_w_.value.at(k, c);
+      }
+      kernel_b_.grad[c] += go;
+    }
+  }
+  return din;
+}
+
+void Conv1dMaxPoolLayer::init(util::Rng& rng) {
+  xavier_init(kernel_w_.value, kernel_ * in_ch_, out_ch_, rng);
+  kernel_b_.value.zero();
+}
+
+}  // namespace flint::ml

@@ -1,0 +1,107 @@
+#include "flint/ml/model_zoo.h"
+
+namespace flint::ml {
+
+namespace {
+
+std::unique_ptr<Model> build_a() {
+  // Tiny dense net: 32 dense features -> 44 -> 1. 1,497 trainable params.
+  FeedForwardConfig cfg;
+  cfg.dense_dim = 32;
+  cfg.hidden = {44};
+  return std::make_unique<FeedForwardModel>(cfg);
+}
+
+std::unique_ptr<Model> build_b() {
+  // Sparse-feature MLP: 2048 hashed buckets -> 90 -> 48 -> 1. 188,827 params.
+  FeedForwardConfig cfg;
+  cfg.front_end = FrontEnd::kHashing;
+  cfg.hash_buckets = 2048;
+  cfg.hidden = {90, 48};
+  return std::make_unique<FeedForwardModel>(cfg);
+}
+
+std::unique_ptr<Model> build_c() {
+  // Medium embedding MLP: vocab 2020 x dim 100 -> 60 -> 1. 208,121 params.
+  FeedForwardConfig cfg;
+  cfg.front_end = FrontEnd::kEmbedding;
+  cfg.vocab = 2020;
+  cfg.embed_dim = 100;
+  cfg.hidden = {60};
+  return std::make_unique<FeedForwardModel>(cfg);
+}
+
+std::unique_ptr<Model> build_d() {
+  // Token CNN with a large embedding: vocab 6036 x 64, conv(3, 64->16),
+  // 32-wide head. 389,969 params.
+  ConvTextConfig cfg;
+  cfg.vocab = 6036;
+  cfg.embed_dim = 64;
+  cfg.seq_len = 16;
+  cfg.conv_channels = 16;
+  cfg.kernel = 3;
+  cfg.hidden = {32};
+  return std::make_unique<ConvTextModel>(cfg);
+}
+
+std::unique_ptr<Model> build_e() {
+  // Multi-task MLP: vocab 9345 x 96 embedding + 32 dense features,
+  // shared trunk 128 -> 64, two heads. 922,018 params.
+  FeedForwardConfig cfg;
+  cfg.front_end = FrontEnd::kEmbedding;
+  cfg.vocab = 9345;
+  cfg.embed_dim = 96;
+  cfg.dense_dim = 32;
+  cfg.hidden = {128, 64};
+  cfg.heads = 2;
+  return std::make_unique<FeedForwardModel>(cfg);
+}
+
+std::vector<ModelSpec> make_zoo() {
+  // Calibration constants synthesized from the paper's Table 5 aggregates
+  // (27-device fleet means). time_cv reflects the reported stdev/mean ratio.
+  return {
+      {'A', "Tiny Neural Net",
+       {.storage_mb = 0.057, .network_mb = 0.11, .memory_mb = 3.08,
+        .base_time_per_5k_s = 4.98, .time_cv = 3.37 / 4.98, .base_cpu_pct = 1.63},
+       &build_a},
+      {'B', "MLP w/ sparse features",
+       {.storage_mb = 0.76, .network_mb = 1.52, .memory_mb = 10.64,
+        .base_time_per_5k_s = 61.81, .time_cv = 44.17 / 61.81, .base_cpu_pct = 3.91},
+       &build_b},
+      {'C', "MLP w/ medium embedding",
+       {.storage_mb = 0.85, .network_mb = 1.88, .memory_mb = 0.85,
+        .base_time_per_5k_s = 3.26, .time_cv = 2.23 / 3.26, .base_cpu_pct = 5.29},
+       &build_c},
+      {'D', "CNN w/ large embedding",
+       {.storage_mb = 10.79, .network_mb = 3.12, .memory_mb = 8.37,
+        .base_time_per_5k_s = 70.13, .time_cv = 50.82 / 70.13, .base_cpu_pct = 4.72},
+       &build_d},
+      {'E', "Multi-task MLP",
+       {.storage_mb = 7.52, .network_mb = 7.38, .memory_mb = 43.14,
+        .base_time_per_5k_s = 238.38, .time_cv = 178.13 / 238.38, .base_cpu_pct = 6.43},
+       &build_e},
+  };
+}
+
+}  // namespace
+
+const std::vector<ModelSpec>& model_zoo() {
+  static const std::vector<ModelSpec> zoo = make_zoo();
+  return zoo;
+}
+
+const ModelSpec& model_spec(char id) {
+  for (const ModelSpec& spec : model_zoo())
+    if (spec.id == id) return spec;
+  FLINT_CHECK_MSG(false, "unknown zoo model id '" << id << "'");
+  return model_zoo().front();  // unreachable
+}
+
+std::unique_ptr<Model> build_zoo_model(char id, util::Rng& rng) {
+  auto model = model_spec(id).build();
+  model->init(rng);
+  return model;
+}
+
+}  // namespace flint::ml

@@ -1,0 +1,58 @@
+#include "flint/ml/optimizer.h"
+
+#include <cmath>
+
+namespace flint::ml {
+
+SgdOptimizer::SgdOptimizer(double momentum, double weight_decay)
+    : momentum_(momentum), weight_decay_(weight_decay) {
+  FLINT_CHECK(momentum >= 0.0 && momentum < 1.0);
+  FLINT_CHECK(weight_decay >= 0.0);
+}
+
+void SgdOptimizer::step(const std::vector<Parameter*>& params, double lr) {
+  FLINT_CHECK(lr >= 0.0);
+  if (momentum_ > 0.0 && velocity_.size() != params.size()) {
+    velocity_.clear();
+    velocity_.reserve(params.size());
+    for (Parameter* p : params) velocity_.emplace_back(p->value.rows(), p->value.cols());
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Parameter& p = *params[i];
+    auto value = p.value.flat();
+    auto grad = p.grad.flat();
+    if (momentum_ > 0.0) {
+      FLINT_CHECK_MSG(velocity_[i].same_shape(p.value),
+                      "optimizer reused across models with different shapes");
+      auto vel = velocity_[i].flat();
+      for (std::size_t j = 0; j < value.size(); ++j) {
+        float g = grad[j] + static_cast<float>(weight_decay_) * value[j];
+        vel[j] = static_cast<float>(momentum_) * vel[j] + g;
+        value[j] -= static_cast<float>(lr) * vel[j];
+      }
+    } else {
+      for (std::size_t j = 0; j < value.size(); ++j) {
+        float g = grad[j] + static_cast<float>(weight_decay_) * value[j];
+        value[j] -= static_cast<float>(lr) * g;
+      }
+    }
+  }
+}
+
+void SgdOptimizer::reset() { velocity_.clear(); }
+
+double clip_gradients(const std::vector<Parameter*>& params, double max_norm) {
+  FLINT_CHECK(max_norm > 0.0);
+  double sq = 0.0;
+  for (Parameter* p : params)
+    for (float g : p->grad.flat()) sq += static_cast<double>(g) * g;
+  double norm = std::sqrt(sq);
+  if (norm > max_norm) {
+    auto scale = static_cast<float>(max_norm / norm);
+    for (Parameter* p : params)
+      for (float& g : p->grad.flat()) g *= scale;
+  }
+  return norm;
+}
+
+}  // namespace flint::ml

@@ -1,0 +1,169 @@
+#include "flint/ml/serialize.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "flint/util/check.h"
+
+namespace flint::ml {
+
+namespace {
+
+constexpr char kMagic[4] = {'F', 'L', 'M', 'D'};
+constexpr std::uint8_t kKindFeedForward = 1;
+constexpr std::uint8_t kKindConvText = 2;
+
+template <typename T>
+void put(std::vector<char>& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const char* p = reinterpret_cast<const char*>(&v);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T get(const std::vector<char>& in, std::size_t& offset) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  FLINT_CHECK_MSG(offset + sizeof(T) <= in.size(), "truncated model blob");
+  T v;
+  std::memcpy(&v, in.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return v;
+}
+
+void put_sizes(std::vector<char>& out, const std::vector<std::size_t>& sizes) {
+  put(out, static_cast<std::uint32_t>(sizes.size()));
+  for (std::size_t s : sizes) put(out, static_cast<std::uint64_t>(s));
+}
+
+std::vector<std::size_t> get_sizes(const std::vector<char>& in, std::size_t& offset) {
+  auto n = get<std::uint32_t>(in, offset);
+  std::vector<std::size_t> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i)
+    out.push_back(static_cast<std::size_t>(get<std::uint64_t>(in, offset)));
+  return out;
+}
+
+void put_feedforward_config(std::vector<char>& out, const FeedForwardConfig& cfg) {
+  put(out, static_cast<std::uint64_t>(cfg.dense_dim));
+  put(out, static_cast<std::uint8_t>(cfg.front_end));
+  put(out, static_cast<std::uint64_t>(cfg.vocab));
+  put(out, static_cast<std::uint64_t>(cfg.embed_dim));
+  put(out, static_cast<std::uint64_t>(cfg.hash_buckets));
+  put_sizes(out, cfg.hidden);
+  put(out, static_cast<std::uint64_t>(cfg.heads));
+}
+
+FeedForwardConfig get_feedforward_config(const std::vector<char>& in, std::size_t& offset) {
+  FeedForwardConfig cfg;
+  cfg.dense_dim = static_cast<std::size_t>(get<std::uint64_t>(in, offset));
+  cfg.front_end = static_cast<FrontEnd>(get<std::uint8_t>(in, offset));
+  cfg.vocab = static_cast<std::size_t>(get<std::uint64_t>(in, offset));
+  cfg.embed_dim = static_cast<std::size_t>(get<std::uint64_t>(in, offset));
+  cfg.hash_buckets = static_cast<std::size_t>(get<std::uint64_t>(in, offset));
+  cfg.hidden = get_sizes(in, offset);
+  cfg.heads = static_cast<std::size_t>(get<std::uint64_t>(in, offset));
+  return cfg;
+}
+
+void put_convtext_config(std::vector<char>& out, const ConvTextConfig& cfg) {
+  put(out, static_cast<std::uint64_t>(cfg.vocab));
+  put(out, static_cast<std::uint64_t>(cfg.embed_dim));
+  put(out, static_cast<std::uint64_t>(cfg.seq_len));
+  put(out, static_cast<std::uint64_t>(cfg.conv_channels));
+  put(out, static_cast<std::uint64_t>(cfg.kernel));
+  put_sizes(out, cfg.hidden);
+}
+
+ConvTextConfig get_convtext_config(const std::vector<char>& in, std::size_t& offset) {
+  ConvTextConfig cfg;
+  cfg.vocab = static_cast<std::size_t>(get<std::uint64_t>(in, offset));
+  cfg.embed_dim = static_cast<std::size_t>(get<std::uint64_t>(in, offset));
+  cfg.seq_len = static_cast<std::size_t>(get<std::uint64_t>(in, offset));
+  cfg.conv_channels = static_cast<std::size_t>(get<std::uint64_t>(in, offset));
+  cfg.kernel = static_cast<std::size_t>(get<std::uint64_t>(in, offset));
+  cfg.hidden = get_sizes(in, offset);
+  return cfg;
+}
+
+}  // namespace
+
+std::vector<char> serialize_model(Model& model) {
+  std::vector<char> out;
+  out.insert(out.end(), kMagic, kMagic + 4);
+  if (auto* ff = dynamic_cast<FeedForwardModel*>(&model)) {
+    put(out, kKindFeedForward);
+    put_feedforward_config(out, ff->config());
+  } else if (auto* ct = dynamic_cast<ConvTextModel*>(&model)) {
+    put(out, kKindConvText);
+    put_convtext_config(out, ct->config());
+  } else {
+    FLINT_CHECK_MSG(false, "unsupported model type for serialization");
+  }
+  std::vector<float> params = model.get_flat_parameters();
+  put(out, static_cast<std::uint64_t>(params.size()));
+  const char* p = reinterpret_cast<const char*>(params.data());
+  out.insert(out.end(), p, p + params.size() * sizeof(float));
+  return out;
+}
+
+std::unique_ptr<Model> deserialize_model(const std::vector<char>& bytes) {
+  FLINT_CHECK_MSG(bytes.size() >= 5 && std::memcmp(bytes.data(), kMagic, 4) == 0,
+                  "bad model blob magic");
+  std::size_t offset = 4;
+  auto kind = get<std::uint8_t>(bytes, offset);
+  std::unique_ptr<Model> model;
+  switch (kind) {
+    case kKindFeedForward:
+      model = std::make_unique<FeedForwardModel>(get_feedforward_config(bytes, offset));
+      break;
+    case kKindConvText:
+      model = std::make_unique<ConvTextModel>(get_convtext_config(bytes, offset));
+      break;
+    default:
+      FLINT_CHECK_MSG(false, "unknown model kind " << static_cast<int>(kind));
+  }
+  auto count = get<std::uint64_t>(bytes, offset);
+  FLINT_CHECK_MSG(count == model->parameter_count(),
+                  "blob has " << count << " params, architecture needs "
+                              << model->parameter_count());
+  FLINT_CHECK_MSG(offset + count * sizeof(float) <= bytes.size(), "truncated weights");
+  std::vector<float> params(count);
+  std::memcpy(params.data(), bytes.data() + offset, count * sizeof(float));
+  model->set_flat_parameters(params);
+  return model;
+}
+
+void save_model(const std::string& path, Model& model) {
+  auto blob = serialize_model(model);
+  std::ofstream out(path, std::ios::binary);
+  FLINT_CHECK_MSG(out.good(), "cannot write " << path);
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+}
+
+std::unique_ptr<Model> load_model(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  FLINT_CHECK_MSG(in.good(), "cannot read " << path);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  return deserialize_model(bytes);
+}
+
+std::size_t serialized_model_bytes(Model& model) {
+  // Header is tiny; the weights dominate. Compute exactly via a dry run of
+  // the header encoding.
+  std::vector<char> header;
+  header.insert(header.end(), kMagic, kMagic + 4);
+  if (auto* ff = dynamic_cast<FeedForwardModel*>(&model)) {
+    put(header, kKindFeedForward);
+    put_feedforward_config(header, ff->config());
+  } else if (auto* ct = dynamic_cast<ConvTextModel*>(&model)) {
+    put(header, kKindConvText);
+    put_convtext_config(header, ct->config());
+  } else {
+    FLINT_CHECK_MSG(false, "unsupported model type for serialization");
+  }
+  return header.size() + sizeof(std::uint64_t) + model.parameter_count() * sizeof(float);
+}
+
+}  // namespace flint::ml

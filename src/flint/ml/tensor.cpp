@@ -1,0 +1,136 @@
+#include "flint/ml/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace flint::ml {
+
+Tensor::Tensor(std::size_t rows, std::size_t cols, std::vector<float> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  FLINT_CHECK_MSG(data_.size() == rows_ * cols_,
+                  "tensor data size " << data_.size() << " != " << rows_ << "x" << cols_);
+}
+
+Tensor Tensor::from_vector(std::vector<float> v) {
+  std::size_t n = v.size();
+  return Tensor(n, 1, std::move(v));
+}
+
+float& Tensor::at(std::size_t r, std::size_t c) {
+  FLINT_DCHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+float Tensor::at(std::size_t r, std::size_t c) const {
+  FLINT_DCHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+void Tensor::zero() { std::fill(data_.begin(), data_.end(), 0.0f); }
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  FLINT_CHECK_MSG(same_shape(other),
+                  "shape mismatch: " << shape_string() << " += " << other.shape_string());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  FLINT_CHECK(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float s) {
+  for (float& v : data_) v *= s;
+  return *this;
+}
+
+void Tensor::add_scaled(const Tensor& other, float s) {
+  FLINT_CHECK(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += s * other.data_[i];
+}
+
+float Tensor::l2_norm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+Tensor Tensor::matmul(const Tensor& rhs) const {
+  FLINT_CHECK_MSG(cols_ == rhs.rows_,
+                  "matmul shape mismatch: " << shape_string() << " x " << rhs.shape_string());
+  Tensor out(rows_, rhs.cols_);
+  // ikj loop order keeps the inner loop streaming over contiguous memory.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const float* a_row = &data_[i * cols_];
+    float* o_row = &out.data_[i * rhs.cols_];
+    for (std::size_t k = 0; k < cols_; ++k) {
+      float a = a_row[k];
+      if (a == 0.0f) continue;
+      const float* b_row = &rhs.data_[k * rhs.cols_];
+      for (std::size_t j = 0; j < rhs.cols_; ++j) o_row[j] += a * b_row[j];
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::transposed_matmul(const Tensor& rhs) const {
+  FLINT_CHECK_MSG(rows_ == rhs.rows_, "transposed_matmul shape mismatch: " << shape_string()
+                                                                           << " vs " << rhs.shape_string());
+  Tensor out(cols_, rhs.cols_);
+  for (std::size_t k = 0; k < rows_; ++k) {
+    const float* a_row = &data_[k * cols_];
+    const float* b_row = &rhs.data_[k * rhs.cols_];
+    for (std::size_t i = 0; i < cols_; ++i) {
+      float a = a_row[i];
+      if (a == 0.0f) continue;
+      float* o_row = &out.data_[i * rhs.cols_];
+      for (std::size_t j = 0; j < rhs.cols_; ++j) o_row[j] += a * b_row[j];
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::matmul_transposed(const Tensor& rhs) const {
+  FLINT_CHECK_MSG(cols_ == rhs.cols_, "matmul_transposed shape mismatch: "
+                                          << shape_string() << " vs " << rhs.shape_string());
+  Tensor out(rows_, rhs.rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const float* a_row = &data_[i * cols_];
+    for (std::size_t j = 0; j < rhs.rows_; ++j) {
+      const float* b_row = &rhs.data_[j * rhs.cols_];
+      double acc = 0.0;
+      for (std::size_t k = 0; k < cols_; ++k) acc += static_cast<double>(a_row[k]) * b_row[k];
+      out.data_[i * rhs.rows_ + j] = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+std::span<const float> Tensor::row(std::size_t r) const {
+  FLINT_DCHECK(r < rows_);
+  return {&data_[r * cols_], cols_};
+}
+
+std::span<float> Tensor::row(std::size_t r) {
+  FLINT_DCHECK(r < rows_);
+  return {&data_[r * cols_], cols_};
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream os;
+  os << "[" << rows_ << ", " << cols_ << "]";
+  return os.str();
+}
+
+bool operator==(const Tensor& a, const Tensor& b) {
+  if (!a.same_shape(b)) return false;
+  auto fa = a.flat();
+  auto fb = b.flat();
+  return std::equal(fa.begin(), fa.end(), fb.begin());
+}
+
+}  // namespace flint::ml

@@ -1,0 +1,60 @@
+#include "flint/privacy/dp.h"
+
+#include <cmath>
+
+#include "flint/util/check.h"
+
+namespace flint::privacy {
+
+double clip_update(std::vector<float>& update, double clip_norm) {
+  FLINT_CHECK(clip_norm > 0.0);
+  double sq = 0.0;
+  for (float v : update) sq += static_cast<double>(v) * v;
+  double norm = std::sqrt(sq);
+  if (norm > clip_norm) {
+    auto scale = static_cast<float>(clip_norm / norm);
+    for (float& v : update) v *= scale;
+  }
+  return norm;
+}
+
+void add_gaussian_noise(std::vector<float>& update, double stddev, util::Rng& rng) {
+  FLINT_CHECK(stddev >= 0.0);
+  if (stddev == 0.0) return;
+  for (float& v : update) v += static_cast<float>(rng.normal(0.0, stddev));
+}
+
+double apply_dp(std::vector<float>& update, const DpConfig& config, std::size_t participants,
+                util::Rng& rng) {
+  FLINT_CHECK(participants > 0);
+  double norm = clip_update(update, config.clip_norm);
+  double stddev =
+      config.noise_multiplier * config.clip_norm / static_cast<double>(participants);
+  add_gaussian_noise(update, stddev, rng);
+  return norm;
+}
+
+DpAccountant::DpAccountant(const DpConfig& config, double sampling_rate)
+    : config_(config), sampling_rate_(sampling_rate) {
+  FLINT_CHECK(config.noise_multiplier > 0.0);
+  FLINT_CHECK(config.delta > 0.0 && config.delta < 1.0);
+  FLINT_CHECK(sampling_rate > 0.0 && sampling_rate <= 1.0);
+}
+
+double DpAccountant::epsilon() const {
+  if (rounds_ == 0) return 0.0;
+  double t = static_cast<double>(rounds_);
+  return sampling_rate_ * std::sqrt(2.0 * t * std::log(1.0 / config_.delta)) /
+         config_.noise_multiplier;
+}
+
+std::uint64_t DpAccountant::rounds_until(double epsilon_budget) const {
+  FLINT_CHECK(epsilon_budget > 0.0);
+  // Invert epsilon(T) = q * sqrt(2 T ln(1/delta)) / sigma for T.
+  double ratio = epsilon_budget * config_.noise_multiplier / sampling_rate_;
+  double t_max = ratio * ratio / (2.0 * std::log(1.0 / config_.delta));
+  if (static_cast<double>(rounds_) >= t_max) return 0;
+  return static_cast<std::uint64_t>(t_max) - rounds_;
+}
+
+}  // namespace flint::privacy

@@ -1,0 +1,40 @@
+#include "flint/sim/event_queue.h"
+
+#include "flint/util/check.h"
+
+namespace flint::sim {
+
+void EventQueue::schedule(VirtualTime t, std::function<void()> fn) {
+  FLINT_CHECK_MSG(t >= now_, "cannot schedule in the past: " << t << " < " << now_);
+  heap_.push({t, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::schedule_in(VirtualTime delay, std::function<void()> fn) {
+  FLINT_CHECK(delay >= 0.0);
+  schedule(now_ + delay, std::move(fn));
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // Copy out before pop so the callback can schedule new events freely.
+  Event ev = heap_.top();
+  heap_.pop();
+  now_ = ev.time;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void EventQueue::run(std::uint64_t max_events) {
+  std::uint64_t budget = max_events;
+  while (budget-- > 0 && step()) {
+  }
+}
+
+void EventQueue::run_until(VirtualTime t) {
+  FLINT_CHECK(t >= now_);
+  while (!heap_.empty() && heap_.top().time <= t) step();
+  now_ = t;
+}
+
+}  // namespace flint::sim

@@ -1,0 +1,59 @@
+// Executor pool: the simulated cluster workers that "poll tasks to run from
+// a leader node" (§3.4). Each executor owns a partition of clients (one
+// partition per executor, not one file per client) and can suffer outages;
+// the leader halts dispatching while any executor is unhealthy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flint/data/client_dataset.h"
+#include "flint/sim/event_queue.h"
+
+namespace flint::sim {
+
+/// A planned executor outage window.
+struct ExecutorOutage {
+  std::size_t executor = 0;
+  VirtualTime start = 0.0;
+  VirtualTime end = 0.0;
+};
+
+/// Health and ownership bookkeeping for a pool of executors.
+class ExecutorPool {
+ public:
+  explicit ExecutorPool(std::size_t count);
+
+  std::size_t size() const { return count_; }
+
+  /// Install a client->executor assignment (defaults to client_id % size()).
+  void set_partitioning(const data::ExecutorPartitioning& partitioning);
+
+  /// The executor owning `client`.
+  std::size_t executor_of(std::uint64_t client) const;
+
+  void add_outage(ExecutorOutage outage);
+  const std::vector<ExecutorOutage>& outages() const { return outages_; }
+
+  bool healthy_at(std::size_t executor, VirtualTime t) const;
+  bool all_healthy_at(VirtualTime t) const;
+
+  /// Earliest time >= t at which every executor is healthy ("the leader node
+  /// halts dispatching tasks until all executors have pinged it with a
+  /// healthy status-code").
+  VirtualTime next_all_healthy(VirtualTime t) const;
+
+  void record_task(std::size_t executor);
+  std::uint64_t tasks_run(std::size_t executor) const;
+  std::uint64_t total_tasks_run() const;
+
+ private:
+  std::size_t count_;
+  std::vector<ExecutorOutage> outages_;
+  std::vector<std::uint64_t> tasks_run_;
+  // Sparse map from client to executor; empty = hash assignment.
+  std::vector<std::uint32_t> client_executor_;
+  bool has_partitioning_ = false;
+};
+
+}  // namespace flint::sim

@@ -1,0 +1,26 @@
+#include "flint/sim/fault_injector.h"
+
+#include "flint/util/check.h"
+
+namespace flint::sim {
+
+std::vector<ExecutorOutage> plan_faults(std::size_t executors, const FaultPlanConfig& config,
+                                        util::Rng& rng) {
+  FLINT_CHECK(executors > 0);
+  FLINT_CHECK(config.mean_time_between_failures_s > 0.0);
+  FLINT_CHECK(config.mean_outage_s > 0.0);
+  std::vector<ExecutorOutage> outages;
+  for (std::size_t e = 0; e < executors; ++e) {
+    VirtualTime t = 0.0;
+    while (true) {
+      t += rng.exponential(1.0 / config.mean_time_between_failures_s);
+      if (t >= config.horizon_s) break;
+      double outage = rng.exponential(1.0 / config.mean_outage_s);
+      outages.push_back({e, t, std::min(t + outage, config.horizon_s)});
+      t += outage;
+    }
+  }
+  return outages;
+}
+
+}  // namespace flint::sim

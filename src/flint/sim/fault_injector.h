@@ -1,0 +1,25 @@
+// Fault injection for the scalability/fault-tolerance tests (§3.4): "a job
+// could run for days on more than 100 machines. At this scale, the job needs
+// to be fault-tolerant and self-healing."
+#pragma once
+
+#include <vector>
+
+#include "flint/sim/executor.h"
+#include "flint/util/rng.h"
+
+namespace flint::sim {
+
+/// Random outage plan parameters.
+struct FaultPlanConfig {
+  double mean_time_between_failures_s = 4.0 * 3600.0;  ///< per executor
+  double mean_outage_s = 300.0;
+  VirtualTime horizon_s = 24.0 * 3600.0;
+};
+
+/// Draw a random outage schedule for `executors` executors over the horizon
+/// (exponential inter-failure times, exponential outage durations).
+std::vector<ExecutorOutage> plan_faults(std::size_t executors, const FaultPlanConfig& config,
+                                        util::Rng& rng);
+
+}  // namespace flint::sim

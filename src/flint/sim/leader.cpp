@@ -1,0 +1,27 @@
+#include "flint/sim/leader.h"
+
+#include "flint/util/check.h"
+
+namespace flint::sim {
+
+Leader::Leader(const LeaderConfig& config, const device::AvailabilityTrace& trace)
+    : config_(config), arrivals_(trace), executors_(config.executor_count) {
+  if (config_.checkpoint_every_rounds > 0)
+    FLINT_CHECK_MSG(config_.checkpoint_store != nullptr,
+                    "checkpoint cadence set but no checkpoint store provided");
+}
+
+void Leader::on_aggregation(std::uint64_t round, const std::vector<float>& model_parameters,
+                            std::uint64_t tasks_completed) {
+  if (config_.checkpoint_every_rounds == 0) return;
+  if (round % config_.checkpoint_every_rounds != 0) return;
+  store::SimCheckpoint ckpt;
+  ckpt.virtual_time_s = queue_.now();
+  ckpt.round = round;
+  ckpt.tasks_completed = tasks_completed;
+  ckpt.model_parameters = model_parameters;
+  config_.checkpoint_store->write(ckpt);
+  ++checkpoints_written_;
+}
+
+}  // namespace flint::sim

@@ -1,0 +1,65 @@
+#include "flint/sim/scheduler.h"
+
+#include "flint/util/check.h"
+
+namespace flint::sim {
+
+ArrivalScheduler::ArrivalScheduler(const device::AvailabilityTrace& trace) : trace_(&trace) {}
+
+std::optional<Arrival> ArrivalScheduler::trace_candidate(VirtualTime t) {
+  const auto& windows = trace_->windows();
+  while (cursor_ < windows.size()) {
+    const auto& w = windows[cursor_];
+    if (w.end <= t) {
+      ++cursor_;  // window fully in the past: consume silently
+      continue;
+    }
+    return Arrival{std::max<VirtualTime>(w.start, t), w.client_id, w.device_index, w.end};
+  }
+  return std::nullopt;
+}
+
+std::optional<Arrival> ArrivalScheduler::next(VirtualTime t) {
+  // Drop requeued arrivals whose window has closed.
+  while (!requeued_.empty() && requeued_.top().window_end <= t) requeued_.pop();
+
+  std::optional<Arrival> from_trace = trace_candidate(t);
+  if (!requeued_.empty()) {
+    Arrival r = requeued_.top();
+    r.time = std::max(r.time, t);
+    if (!from_trace.has_value() || r.time <= from_trace->time) {
+      requeued_.pop();
+      return r;
+    }
+  }
+  if (from_trace.has_value()) {
+    ++cursor_;  // consume the trace window
+    return from_trace;
+  }
+  return std::nullopt;
+}
+
+std::optional<VirtualTime> ArrivalScheduler::peek_time(VirtualTime t) {
+  while (!requeued_.empty() && requeued_.top().window_end <= t) requeued_.pop();
+  std::optional<Arrival> from_trace = trace_candidate(t);
+  std::optional<VirtualTime> best;
+  if (from_trace.has_value()) best = from_trace->time;
+  if (!requeued_.empty()) {
+    VirtualTime rt = std::max(requeued_.top().time, t);
+    if (!best.has_value() || rt < *best) best = rt;
+  }
+  return best;
+}
+
+void ArrivalScheduler::requeue(Arrival arrival, VirtualTime retry_time) {
+  FLINT_CHECK(retry_time >= arrival.time);
+  if (retry_time >= arrival.window_end) return;  // nothing left of the window
+  arrival.time = retry_time;
+  requeued_.push(arrival);
+}
+
+std::size_t ArrivalScheduler::remaining_windows() const {
+  return trace_->windows().size() - cursor_;
+}
+
+}  // namespace flint::sim

@@ -1,0 +1,61 @@
+// Streaming client-arrival scheduler. The paper's leader "directly selects
+// the next available device from the input sessions at a given virtual time"
+// and, for async mode, "uses a priority queue-based task scheduler to
+// generate tasks in a streaming fashion and dispatch them in the correct
+// order" (§3.4). ArrivalScheduler merges the time-sorted availability windows
+// with a requeue heap (clients deferred because they were busy or the
+// concurrency limit was reached).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+
+#include "flint/device/availability.h"
+#include "flint/sim/event_queue.h"
+
+namespace flint::sim {
+
+/// A client becoming available for work.
+struct Arrival {
+  VirtualTime time = 0.0;          ///< when the device can start
+  std::uint64_t client_id = 0;
+  std::size_t device_index = 0;
+  VirtualTime window_end = 0.0;    ///< end of the availability window
+};
+
+/// Ordered stream of arrivals over an availability trace.
+class ArrivalScheduler {
+ public:
+  explicit ArrivalScheduler(const device::AvailabilityTrace& trace);
+
+  /// Earliest arrival with effective time >= t. Windows already open at t
+  /// arrive at exactly t; windows fully before t are skipped (consumed).
+  /// Consumes the returned arrival. nullopt when the trace is exhausted and
+  /// the requeue heap is empty.
+  std::optional<Arrival> next(VirtualTime t);
+
+  /// Time of the arrival next() would return, without consuming it.
+  std::optional<VirtualTime> peek_time(VirtualTime t);
+
+  /// Put an arrival back to be re-offered at `retry_time` (if still within
+  /// its window). Used when a client was selected but could not be
+  /// dispatched (busy executor, concurrency cap).
+  void requeue(Arrival arrival, VirtualTime retry_time);
+
+  /// Windows not yet consumed from the trace (requeued arrivals excluded).
+  std::size_t remaining_windows() const;
+
+ private:
+  struct LaterArrival {
+    bool operator()(const Arrival& a, const Arrival& b) const { return a.time > b.time; }
+  };
+
+  std::optional<Arrival> trace_candidate(VirtualTime t);
+
+  const device::AvailabilityTrace* trace_;
+  std::size_t cursor_ = 0;
+  std::priority_queue<Arrival, std::vector<Arrival>, LaterArrival> requeued_;
+};
+
+}  // namespace flint::sim

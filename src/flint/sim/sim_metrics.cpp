@@ -1,0 +1,51 @@
+#include "flint/sim/sim_metrics.h"
+
+#include <sstream>
+
+#include "flint/util/check.h"
+
+namespace flint::sim {
+
+void SimMetrics::on_task_finished(const TaskResult& result) {
+  client_compute_s_ += result.spent_compute_s;
+  switch (result.outcome) {
+    case TaskOutcome::kSucceeded:
+      ++tasks_succeeded_;
+      ++updates_aggregated_;
+      break;
+    case TaskOutcome::kInterrupted: ++tasks_interrupted_; break;
+    case TaskOutcome::kStale: ++tasks_stale_; break;
+    case TaskOutcome::kFailed: ++tasks_failed_; break;
+  }
+}
+
+double SimMetrics::mean_round_duration_s() const {
+  if (rounds_.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& r : rounds_) total += r.duration_s();
+  return total / static_cast<double>(rounds_.size());
+}
+
+double SimMetrics::updates_per_second(VirtualTime horizon) const {
+  FLINT_CHECK(horizon > 0.0);
+  std::uint64_t updates = 0;
+  for (const auto& r : rounds_) updates += r.updates_aggregated;
+  return static_cast<double>(updates) / horizon;
+}
+
+double SimMetrics::waste_fraction() const {
+  if (tasks_started_ == 0) return 0.0;
+  std::uint64_t wasted = tasks_interrupted_ + tasks_stale_ + tasks_failed_;
+  return static_cast<double>(wasted) / static_cast<double>(tasks_started_);
+}
+
+std::string SimMetrics::summary() const {
+  std::ostringstream os;
+  os << "tasks: started=" << tasks_started_ << " succeeded=" << tasks_succeeded_
+     << " interrupted=" << tasks_interrupted_ << " stale=" << tasks_stale_
+     << " failed=" << tasks_failed_ << "; rounds=" << rounds_.size()
+     << "; client_compute_h=" << client_compute_s_ / 3600.0;
+  return os.str();
+}
+
+}  // namespace flint::sim

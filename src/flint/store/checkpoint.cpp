@@ -1,0 +1,127 @@
+#include "flint/store/checkpoint.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "flint/util/check.h"
+
+namespace flint::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kMagic[4] = {'F', 'C', 'K', 'P'};
+
+int seq_of(const fs::path& path) {
+  // "ckpt_<seq>.bin" -> seq, or -1 if the name doesn't match.
+  std::string stem = path.stem().string();
+  if (stem.rfind("ckpt_", 0) != 0) return -1;
+  try {
+    return std::stoi(stem.substr(5));
+  } catch (const std::exception&) {
+    return -1;
+  }
+}
+
+}  // namespace
+
+std::vector<char> serialize_checkpoint(const SimCheckpoint& c) {
+  std::vector<char> out;
+  out.insert(out.end(), kMagic, kMagic + 4);
+  auto append = [&out](const void* p, std::size_t n) {
+    const char* b = static_cast<const char*>(p);
+    out.insert(out.end(), b, b + n);
+  };
+  append(&c.virtual_time_s, sizeof(c.virtual_time_s));
+  append(&c.round, sizeof(c.round));
+  append(&c.tasks_completed, sizeof(c.tasks_completed));
+  std::uint64_t n = c.model_parameters.size();
+  append(&n, sizeof(n));
+  append(c.model_parameters.data(), n * sizeof(float));
+  return out;
+}
+
+SimCheckpoint deserialize_checkpoint(const std::vector<char>& bytes) {
+  FLINT_CHECK_MSG(bytes.size() >= 4 && std::memcmp(bytes.data(), kMagic, 4) == 0,
+                  "bad checkpoint magic");
+  std::size_t offset = 4;
+  auto read = [&](void* p, std::size_t n) {
+    FLINT_CHECK_MSG(offset + n <= bytes.size(), "truncated checkpoint");
+    std::memcpy(p, bytes.data() + offset, n);
+    offset += n;
+  };
+  SimCheckpoint c;
+  read(&c.virtual_time_s, sizeof(c.virtual_time_s));
+  read(&c.round, sizeof(c.round));
+  read(&c.tasks_completed, sizeof(c.tasks_completed));
+  std::uint64_t n = 0;
+  read(&n, sizeof(n));
+  c.model_parameters.resize(n);
+  read(c.model_parameters.data(), n * sizeof(float));
+  return c;
+}
+
+CheckpointStore::CheckpointStore(std::string dir) : dir_(std::move(dir)) {
+  fs::create_directories(dir_);
+  // Resume numbering after any existing checkpoints.
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    int seq = seq_of(entry.path());
+    if (seq >= next_seq_) next_seq_ = seq + 1;
+  }
+}
+
+int CheckpointStore::write(const SimCheckpoint& checkpoint) {
+  int seq = next_seq_++;
+  auto blob = serialize_checkpoint(checkpoint);
+  fs::path final_path = fs::path(dir_) / ("ckpt_" + std::to_string(seq) + ".bin");
+  fs::path tmp_path = fs::path(dir_) / ("ckpt_" + std::to_string(seq) + ".tmp");
+  {
+    std::ofstream out(tmp_path, std::ios::binary);
+    FLINT_CHECK_MSG(out.good(), "cannot write " << tmp_path.string());
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  }
+  fs::rename(tmp_path, final_path);  // atomic publish
+  return seq;
+}
+
+std::optional<SimCheckpoint> CheckpointStore::latest() const {
+  int best = -1;
+  fs::path best_path;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (entry.path().extension() != ".bin") continue;
+    int seq = seq_of(entry.path());
+    if (seq > best) {
+      best = seq;
+      best_path = entry.path();
+    }
+  }
+  if (best < 0) return std::nullopt;
+  std::ifstream in(best_path, std::ios::binary);
+  FLINT_CHECK_MSG(in.good(), "cannot read " << best_path.string());
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return deserialize_checkpoint(bytes);
+}
+
+std::size_t CheckpointStore::checkpoint_count() const {
+  std::size_t n = 0;
+  for (const auto& entry : fs::directory_iterator(dir_))
+    if (entry.path().extension() == ".bin" && seq_of(entry.path()) >= 0) ++n;
+  return n;
+}
+
+void CheckpointStore::prune(std::size_t keep) {
+  std::vector<std::pair<int, fs::path>> files;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (entry.path().extension() != ".bin") continue;
+    int seq = seq_of(entry.path());
+    if (seq >= 0) files.emplace_back(seq, entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  if (files.size() <= keep) return;
+  for (std::size_t i = 0; i + keep < files.size(); ++i) fs::remove(files[i].second);
+}
+
+}  // namespace flint::store

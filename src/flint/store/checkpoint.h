@@ -1,0 +1,52 @@
+// Simulation checkpointing: "the leader frequently checkpoints the virtual
+// time and recent model weights to the pipeline storage, [so] any restarted
+// leader and executor can resume from the checkpoints without losing more
+// than one round of work" (§3.4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace flint::store {
+
+/// The state a restarted leader needs to resume.
+struct SimCheckpoint {
+  double virtual_time_s = 0.0;
+  std::uint64_t round = 0;               ///< completed aggregation rounds
+  std::uint64_t tasks_completed = 0;
+  std::vector<float> model_parameters;   ///< current global model
+};
+
+/// Durable checkpoint directory. Checkpoints are written atomically
+/// (tmp + rename) and numbered monotonically; latest() returns the highest
+/// complete one.
+class CheckpointStore {
+ public:
+  /// Creates the directory if missing.
+  explicit CheckpointStore(std::string dir);
+
+  /// Write the next checkpoint; returns its sequence number.
+  int write(const SimCheckpoint& checkpoint);
+
+  /// Highest complete checkpoint, or nullopt when none exist.
+  std::optional<SimCheckpoint> latest() const;
+
+  /// Number of complete checkpoints on disk.
+  std::size_t checkpoint_count() const;
+
+  /// Delete all but the most recent `keep` checkpoints.
+  void prune(std::size_t keep);
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+  int next_seq_ = 1;
+};
+
+std::vector<char> serialize_checkpoint(const SimCheckpoint& c);
+SimCheckpoint deserialize_checkpoint(const std::vector<char>& bytes);
+
+}  // namespace flint::store

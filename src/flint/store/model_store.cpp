@@ -1,0 +1,151 @@
+#include "flint/store/model_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "flint/util/check.h"
+
+namespace flint::store {
+
+namespace {
+
+constexpr char kMagic[4] = {'F', 'L', 'N', 'T'};
+
+template <typename T>
+void append_pod(std::vector<char>& out, const T& v) {
+  const char* p = reinterpret_cast<const char*>(&v);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T read_pod(const std::vector<char>& in, std::size_t& offset) {
+  FLINT_CHECK_MSG(offset + sizeof(T) <= in.size(), "truncated model version blob");
+  T v;
+  std::memcpy(&v, in.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return v;
+}
+
+}  // namespace
+
+int ModelStore::put(const std::string& name, std::vector<float> parameters, std::string tag,
+                    double virtual_time_s) {
+  FLINT_CHECK(!name.empty());
+  auto& versions = models_[name];
+  ModelVersion v;
+  v.version = static_cast<int>(versions.size()) + 1;
+  v.parameters = std::move(parameters);
+  v.tag = std::move(tag);
+  v.created_at_virtual_s = virtual_time_s;
+  versions.push_back(std::move(v));
+  return versions.back().version;
+}
+
+std::optional<ModelVersion> ModelStore::get(const std::string& name, int version) const {
+  auto it = models_.find(name);
+  if (it == models_.end()) return std::nullopt;
+  if (version < 1 || static_cast<std::size_t>(version) > it->second.size()) return std::nullopt;
+  return it->second[static_cast<std::size_t>(version) - 1];
+}
+
+std::optional<ModelVersion> ModelStore::latest(const std::string& name) const {
+  auto it = models_.find(name);
+  if (it == models_.end() || it->second.empty()) return std::nullopt;
+  return it->second.back();
+}
+
+std::size_t ModelStore::version_count(const std::string& name) const {
+  auto it = models_.find(name);
+  return it == models_.end() ? 0 : it->second.size();
+}
+
+std::vector<std::string> ModelStore::names() const {
+  std::vector<std::string> out;
+  out.reserve(models_.size());
+  for (const auto& [name, _] : models_) out.push_back(name);
+  return out;
+}
+
+std::uint64_t ModelStore::total_bytes() const {
+  std::uint64_t bytes = 0;
+  for (const auto& [_, versions] : models_)
+    for (const auto& v : versions) bytes += v.parameters.size() * sizeof(float);
+  return bytes;
+}
+
+std::vector<char> serialize_model_version(const ModelVersion& v) {
+  std::vector<char> out;
+  out.insert(out.end(), kMagic, kMagic + 4);
+  append_pod(out, static_cast<std::uint32_t>(v.version));
+  append_pod(out, v.created_at_virtual_s);
+  append_pod(out, static_cast<std::uint64_t>(v.parameters.size()));
+  const char* p = reinterpret_cast<const char*>(v.parameters.data());
+  out.insert(out.end(), p, p + v.parameters.size() * sizeof(float));
+  append_pod(out, static_cast<std::uint64_t>(v.tag.size()));
+  out.insert(out.end(), v.tag.begin(), v.tag.end());
+  return out;
+}
+
+ModelVersion deserialize_model_version(const std::vector<char>& bytes) {
+  FLINT_CHECK_MSG(bytes.size() >= 4 && std::memcmp(bytes.data(), kMagic, 4) == 0,
+                  "bad model version magic");
+  std::size_t offset = 4;
+  ModelVersion v;
+  v.version = static_cast<int>(read_pod<std::uint32_t>(bytes, offset));
+  v.created_at_virtual_s = read_pod<double>(bytes, offset);
+  auto count = read_pod<std::uint64_t>(bytes, offset);
+  FLINT_CHECK_MSG(offset + count * sizeof(float) <= bytes.size(), "truncated parameters");
+  v.parameters.resize(count);
+  std::memcpy(v.parameters.data(), bytes.data() + offset, count * sizeof(float));
+  offset += count * sizeof(float);
+  auto tag_len = read_pod<std::uint64_t>(bytes, offset);
+  FLINT_CHECK_MSG(offset + tag_len <= bytes.size(), "truncated tag");
+  v.tag.assign(bytes.data() + offset, tag_len);
+  return v;
+}
+
+void ModelStore::save_to_dir(const std::string& dir) const {
+  namespace fs = std::filesystem;
+  FLINT_CHECK_MSG(fs::is_directory(dir), "model store dir does not exist: " << dir);
+  for (const auto& [name, versions] : models_) {
+    for (const auto& v : versions) {
+      auto blob = serialize_model_version(v);
+      fs::path path = fs::path(dir) / (name + ".v" + std::to_string(v.version) + ".bin");
+      std::ofstream out(path, std::ios::binary);
+      FLINT_CHECK_MSG(out.good(), "cannot write " << path.string());
+      out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    }
+  }
+}
+
+ModelStore ModelStore::load_from_dir(const std::string& dir) {
+  namespace fs = std::filesystem;
+  FLINT_CHECK_MSG(fs::is_directory(dir), "model store dir does not exist: " << dir);
+  ModelStore store;
+  // Collect (name, version, path), sort, then insert in version order so
+  // put() re-assigns the same version numbers.
+  std::vector<std::tuple<std::string, int, fs::path>> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".bin") continue;
+    std::string stem = entry.path().stem().string();  // "<name>.v<k>"
+    auto pos = stem.rfind(".v");
+    if (pos == std::string::npos) continue;
+    std::string name = stem.substr(0, pos);
+    int version = std::stoi(stem.substr(pos + 2));
+    files.emplace_back(name, version, entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& [name, version, path] : files) {
+    std::ifstream in(path, std::ios::binary);
+    FLINT_CHECK_MSG(in.good(), "cannot read " << path.string());
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    ModelVersion v = deserialize_model_version(bytes);
+    store.put(name, std::move(v.parameters), std::move(v.tag), v.created_at_virtual_s);
+  }
+  return store;
+}
+
+}  // namespace flint::store

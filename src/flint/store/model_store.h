@@ -1,0 +1,53 @@
+// Versioned model parameter store, shared by centralized and FL training
+// ("the model store, which is shared by centralized training, can store and
+// retrieve versioned parameters during FL training", §3.1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace flint::store {
+
+/// One stored model version.
+struct ModelVersion {
+  int version = 0;
+  std::vector<float> parameters;
+  std::string tag;               ///< free-form ("round-120", "centralized-v3")
+  double created_at_virtual_s = 0.0;
+};
+
+/// In-memory versioned parameter store with optional directory persistence.
+class ModelStore {
+ public:
+  /// Append a version under `name`; returns the assigned version number
+  /// (1-based, monotonically increasing per name).
+  int put(const std::string& name, std::vector<float> parameters, std::string tag = "",
+          double virtual_time_s = 0.0);
+
+  std::optional<ModelVersion> get(const std::string& name, int version) const;
+  std::optional<ModelVersion> latest(const std::string& name) const;
+  std::size_t version_count(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+  /// Total parameter payload held, in bytes (capacity planning).
+  std::uint64_t total_bytes() const;
+
+  /// Persist every version as `<dir>/<name>.v<k>.bin`. Directory must exist.
+  void save_to_dir(const std::string& dir) const;
+
+  /// Load every *.bin under `dir` written by save_to_dir.
+  static ModelStore load_from_dir(const std::string& dir);
+
+ private:
+  std::map<std::string, std::vector<ModelVersion>> models_;
+};
+
+/// Binary (de)serialization of one version; format:
+/// magic "FLNT" | u32 version | u64 param_count | f32[] | u64 tag_len | tag
+std::vector<char> serialize_model_version(const ModelVersion& v);
+ModelVersion deserialize_model_version(const std::vector<char>& bytes);
+
+}  // namespace flint::store

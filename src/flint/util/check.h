@@ -1,0 +1,55 @@
+// Lightweight runtime contract checking for FLINT.
+//
+// FLINT_CHECK enforces preconditions / invariants that depend on runtime
+// inputs (config files, generated data); violations throw flint::util::CheckError
+// so callers can surface a useful message instead of crashing.
+// FLINT_DCHECK compiles away in NDEBUG builds and guards internal invariants.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace flint::util {
+
+/// Thrown when a FLINT_CHECK contract is violated.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "FLINT_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace flint::util
+
+#define FLINT_CHECK(cond)                                                        \
+  do {                                                                           \
+    if (!(cond)) ::flint::util::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define FLINT_CHECK_MSG(cond, msg)                                               \
+  do {                                                                           \
+    if (!(cond)) {                                                               \
+      std::ostringstream flint_check_os_;                                        \
+      flint_check_os_ << msg;                                                    \
+      ::flint::util::detail::check_failed(#cond, __FILE__, __LINE__,             \
+                                          flint_check_os_.str());                \
+    }                                                                            \
+  } while (0)
+
+#ifdef NDEBUG
+#define FLINT_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define FLINT_DCHECK(cond) FLINT_CHECK(cond)
+#endif

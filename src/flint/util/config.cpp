@@ -1,0 +1,104 @@
+#include "flint/util/config.h"
+
+#include <sstream>
+
+#include "flint/util/check.h"
+
+namespace flint::util {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+Config Config::parse(const std::string& text) {
+  Config cfg;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    auto eq = line.find('=');
+    FLINT_CHECK_MSG(eq != std::string::npos, "config line " << lineno << " missing '=': " << line);
+    std::string key = trim(line.substr(0, eq));
+    std::string value = trim(line.substr(eq + 1));
+    FLINT_CHECK_MSG(!key.empty(), "config line " << lineno << " has empty key");
+    cfg.set(key, value);
+  }
+  return cfg;
+}
+
+void Config::set(const std::string& key, const std::string& value) { entries_[key] = value; }
+void Config::set_int(const std::string& key, std::int64_t value) { entries_[key] = std::to_string(value); }
+void Config::set_double(const std::string& key, double value) {
+  std::ostringstream os;
+  os.precision(17);
+  os << value;
+  entries_[key] = os.str();
+}
+void Config::set_bool(const std::string& key, bool value) { entries_[key] = value ? "true" : "false"; }
+
+bool Config::contains(const std::string& key) const { return entries_.count(key) > 0; }
+
+std::optional<std::string> Config::find(const std::string& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& key, const std::string& fallback) const {
+  return find(key).value_or(fallback);
+}
+
+std::int64_t Config::get_int(const std::string& key, std::int64_t fallback) const {
+  auto v = find(key);
+  if (!v) return fallback;
+  return std::stoll(*v);
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  auto v = find(key);
+  if (!v) return fallback;
+  return std::stod(*v);
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  auto v = find(key);
+  if (!v) return fallback;
+  if (*v == "true" || *v == "1" || *v == "yes") return true;
+  if (*v == "false" || *v == "0" || *v == "no") return false;
+  FLINT_CHECK_MSG(false, "config key '" << key << "' has non-boolean value '" << *v << "'");
+  return fallback;
+}
+
+std::string Config::require_string(const std::string& key) const {
+  auto v = find(key);
+  FLINT_CHECK_MSG(v.has_value(), "missing required config key '" << key << "'");
+  return *v;
+}
+
+std::int64_t Config::require_int(const std::string& key) const {
+  return std::stoll(require_string(key));
+}
+
+double Config::require_double(const std::string& key) const {
+  return std::stod(require_string(key));
+}
+
+std::string Config::to_string() const {
+  std::ostringstream os;
+  for (const auto& [k, v] : entries_) os << k << "=" << v << "\n";
+  return os.str();
+}
+
+}  // namespace flint::util

@@ -1,0 +1,49 @@
+// Typed key-value configuration. Experiment configs in FLINT are flat
+// key=value maps (mirroring the paper's "job config specifies the device
+// traces, on-device performance distributions... and other hyper-parameters").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace flint::util {
+
+/// Flat string-keyed config with typed accessors. Unknown keys are an error
+/// only when read with `require_*`; `get_*` falls back to a default so configs
+/// stay forward-compatible.
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse "key=value" lines. '#' starts a comment; blank lines are skipped.
+  static Config parse(const std::string& text);
+
+  void set(const std::string& key, const std::string& value);
+  void set_int(const std::string& key, std::int64_t value);
+  void set_double(const std::string& key, double value);
+  void set_bool(const std::string& key, bool value);
+
+  bool contains(const std::string& key) const;
+
+  std::string get_string(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  std::string require_string(const std::string& key) const;
+  std::int64_t require_int(const std::string& key) const;
+  double require_double(const std::string& key) const;
+
+  /// Serialize back to key=value lines (sorted by key, deterministic).
+  std::string to_string() const;
+
+  const std::map<std::string, std::string>& entries() const { return entries_; }
+
+ private:
+  std::optional<std::string> find(const std::string& key) const;
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace flint::util

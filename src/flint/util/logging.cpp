@@ -1,0 +1,32 @@
+#include "flint/util/logging.h"
+
+#include <iostream>
+
+namespace flint::util {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_level(LogLevel level) {
+  std::lock_guard<std::mutex> lock(mu_);
+  level_ = level;
+}
+
+LogLevel Logger::level() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return level_;
+}
+
+void Logger::log(LogLevel level, const std::string& msg) {
+  static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  if (level == LogLevel::kOff) return;
+  // Unbuffered stderr for every level: diagnostic output must survive a
+  // killed process (debug logs are for exactly those situations).
+  std::cerr << "[" << kNames[static_cast<int>(level)] << "] " << msg << "\n";
+}
+
+}  // namespace flint::util

@@ -1,0 +1,56 @@
+// Leveled logging for the simulator. The leader/executor loops log progress
+// at Info; tests set the level to Warn to keep output clean.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace flint::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-global log configuration. Thread-safe.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level);
+  LogLevel level() const;
+
+  /// Emit a line if `level` passes the configured threshold.
+  void log(LogLevel level, const std::string& msg);
+
+ private:
+  Logger() = default;
+  mutable std::mutex mu_;
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().log(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace flint::util
+
+#define FLINT_LOG_DEBUG ::flint::util::detail::LogLine(::flint::util::LogLevel::kDebug)
+#define FLINT_LOG_INFO ::flint::util::detail::LogLine(::flint::util::LogLevel::kInfo)
+#define FLINT_LOG_WARN ::flint::util::detail::LogLine(::flint::util::LogLevel::kWarn)
+#define FLINT_LOG_ERROR ::flint::util::detail::LogLine(::flint::util::LogLevel::kError)

@@ -1,0 +1,162 @@
+#include "flint/util/rng.h"
+
+#include <cmath>
+
+namespace flint::util {
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  FLINT_CHECK_MSG(lo <= hi, "uniform_int bounds inverted: " << lo << " > " << hi);
+  std::uniform_int_distribution<std::int64_t> d(lo, hi);
+  return d(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  FLINT_CHECK(lo <= hi);
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  FLINT_CHECK_MSG(p >= 0.0 && p <= 1.0, "bernoulli p out of range: " << p);
+  std::bernoulli_distribution d(p);
+  return d(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> d(mean, stddev);
+  return d(engine_);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  std::lognormal_distribution<double> d(mu, sigma);
+  return d(engine_);
+}
+
+double Rng::exponential(double rate) {
+  FLINT_CHECK(rate > 0.0);
+  std::exponential_distribution<double> d(rate);
+  return d(engine_);
+}
+
+double Rng::pareto(double x_min, double alpha) {
+  FLINT_CHECK(x_min > 0.0 && alpha > 0.0);
+  double u = uniform(0.0, 1.0);
+  // Guard against u == 0 which would yield infinity.
+  if (u <= 0.0) u = std::numeric_limits<double>::min();
+  return x_min * std::pow(u, -1.0 / alpha);
+}
+
+double Rng::gamma(double shape, double scale) {
+  FLINT_CHECK(shape > 0.0 && scale > 0.0);
+  std::gamma_distribution<double> d(shape, scale);
+  return d(engine_);
+}
+
+std::int64_t Rng::poisson(double mean) {
+  FLINT_CHECK(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  std::poisson_distribution<std::int64_t> d(mean);
+  return d(engine_);
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  FLINT_CHECK(n > 0);
+  if (n == 1) return 0;
+  if (s == 0.0) return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  // Inverse-CDF over the harmonic weights. O(n) per draw is fine for the
+  // catalog sizes FLINT uses (device models, vocab buckets); callers that
+  // need bulk Zipf draws should precompute a categorical table instead.
+  double h = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) h += 1.0 / std::pow(static_cast<double>(i), s);
+  double u = uniform(0.0, h);
+  double acc = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i), s);
+    if (u <= acc) return i - 1;
+  }
+  return n - 1;
+}
+
+std::vector<double> Rng::dirichlet(std::size_t k, double alpha) {
+  return dirichlet(std::vector<double>(k, alpha));
+}
+
+std::vector<double> Rng::dirichlet(const std::vector<double>& alphas) {
+  FLINT_CHECK(!alphas.empty());
+  std::vector<double> out(alphas.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < alphas.size(); ++i) {
+    FLINT_CHECK(alphas[i] > 0.0);
+    out[i] = gamma(alphas[i], 1.0);
+    sum += out[i];
+  }
+  if (sum <= 0.0) {
+    // Numerically degenerate draw (possible for tiny alphas): fall back to
+    // a one-hot on a uniform category, the limiting Dirichlet behaviour.
+    std::fill(out.begin(), out.end(), 0.0);
+    out[static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(out.size()) - 1))] = 1.0;
+    return out;
+  }
+  for (double& v : out) v /= sum;
+  return out;
+}
+
+std::size_t Rng::categorical(const std::vector<double>& weights) {
+  FLINT_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    FLINT_CHECK(w >= 0.0);
+    total += w;
+  }
+  FLINT_CHECK_MSG(total > 0.0, "categorical weights sum to zero");
+  double u = uniform(0.0, total);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u <= acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+  FLINT_CHECK_MSG(k <= n, "cannot sample " << k << " from " << n);
+  // Floyd's algorithm: O(k) expected insertions.
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  std::vector<bool> chosen;  // used only for small n to keep memory bounded
+  if (n <= 1'000'000) {
+    chosen.assign(n, false);
+    for (std::size_t j = n - k; j < n; ++j) {
+      std::size_t t = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(j)));
+      if (chosen[t]) t = j;
+      chosen[t] = true;
+      out.push_back(t);
+    }
+  } else {
+    // For very large n, use a hash-set-free variant: sort-and-dedup of
+    // uniform draws with resampling. Collisions are rare when k << n.
+    while (out.size() < k) {
+      std::size_t t = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      bool dup = false;
+      for (std::size_t v : out) {
+        if (v == t) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) out.push_back(t);
+    }
+  }
+  return out;
+}
+
+Rng Rng::fork() { return Rng(splitmix64(engine_())); }
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace flint::util

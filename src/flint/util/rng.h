@@ -1,0 +1,96 @@
+// Deterministic random number generation for FLINT.
+//
+// Every stochastic component in the platform takes an explicit Rng& so that
+// simulations are reproducible bit-for-bit from a seed. Trials derive child
+// seeds via Rng::fork(), which decorrelates streams without global state.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "flint/util/check.h"
+
+namespace flint::util {
+
+/// Deterministic pseudo-random source. Wraps std::mt19937_64 with the
+/// distributions FLINT needs (heavy tails, Dirichlet, Zipf, sampling).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 42) : engine_(seed), seed_(seed) {}
+
+  /// The seed this stream was created with.
+  std::uint64_t seed() const { return seed_; }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0);
+
+  /// Bernoulli draw with success probability p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Normal draw.
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Lognormal draw with parameters of the underlying normal.
+  double lognormal(double mu, double sigma);
+
+  /// Exponential draw with the given rate (lambda > 0).
+  double exponential(double rate);
+
+  /// Pareto draw: x_min * U^{-1/alpha}; heavy-tailed for small alpha.
+  double pareto(double x_min, double alpha);
+
+  /// Gamma draw with the given shape (k > 0) and scale.
+  double gamma(double shape, double scale = 1.0);
+
+  /// Poisson draw with the given mean.
+  std::int64_t poisson(double mean);
+
+  /// Zipf-distributed rank in [0, n) with exponent s >= 0.
+  /// s = 0 degenerates to uniform. Uses a precomputable CDF for small n and
+  /// rejection sampling for large n.
+  std::size_t zipf(std::size_t n, double s);
+
+  /// Dirichlet draw over k categories with symmetric concentration alpha.
+  std::vector<double> dirichlet(std::size_t k, double alpha);
+
+  /// Dirichlet draw with per-category concentrations.
+  std::vector<double> dirichlet(const std::vector<double>& alphas);
+
+  /// Index drawn from a discrete distribution proportional to weights.
+  std::size_t categorical(const std::vector<double>& weights);
+
+  /// k distinct indices uniformly sampled from [0, n) (Floyd's algorithm).
+  /// Order of the returned indices is unspecified. Requires k <= n.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Child stream with a seed derived from this stream; decorrelated from
+  /// the parent's subsequent draws.
+  Rng fork();
+
+  /// Raw 64-bit draw (for hashing / seeding).
+  std::uint64_t next_u64() { return engine_(); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+/// SplitMix64 hash step; useful for deriving per-entity seeds from ids.
+std::uint64_t splitmix64(std::uint64_t x);
+
+}  // namespace flint::util

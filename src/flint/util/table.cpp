@@ -1,0 +1,88 @@
+#include "flint/util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+#include "flint/util/check.h"
+
+namespace flint::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  FLINT_CHECK(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  FLINT_CHECK_MSG(cells.size() == header_.size(),
+                  "row has " << cells.size() << " cells, header has " << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int decimals) {
+  std::ostringstream os;
+  if (decimals >= 0) {
+    os << std::fixed << std::setprecision(decimals) << v;
+    return os.str();
+  }
+  // Auto: integers print bare, otherwise 4 significant digits.
+  if (std::abs(v - std::round(v)) < 1e-9 && std::abs(v) < 1e15) {
+    os << static_cast<std::int64_t>(std::llround(v));
+  } else {
+    os << std::setprecision(4) << v;
+  }
+  return os.str();
+}
+
+std::string Table::count(std::int64_t v) {
+  std::string digits = std::to_string(std::abs(v));
+  std::string out;
+  int c = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (c > 0 && c % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++c;
+  }
+  if (v < 0) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string Table::pct(double fraction, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << fraction * 100.0 << "%";
+  return os.str();
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size(); ++i) widths[i] = std::max(widths[i], row[i].size());
+
+  auto rule = [&] {
+    std::string s = "+";
+    for (std::size_t w : widths) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::ostringstream os;
+    os << "|";
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      os << " " << std::setw(static_cast<int>(widths[i])) << std::left << cells[i] << " |";
+    return os.str() + "\n";
+  };
+
+  std::string out = rule() + line(header_) + rule();
+  for (const auto& row : rows_) out += line(row);
+  out += rule();
+  return out;
+}
+
+std::string banner(const std::string& title) {
+  std::string bar(title.size() + 6, '=');
+  return bar + "\n== " + title + " ==\n" + bar + "\n";
+}
+
+}  // namespace flint::util

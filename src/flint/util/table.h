@@ -1,0 +1,41 @@
+// ASCII table rendering for bench harness output. Every bench binary prints
+// the same rows the paper's tables report, using this formatter.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace flint::util {
+
+/// Column-aligned ASCII table. Cells are strings; numeric helpers format
+/// consistently. Example:
+///
+///   Table t({"MODEL", "PARAMS", "TIME (s)"});
+///   t.add_row({"A", Table::num(1510), Table::num(4.98, 2)});
+///   std::cout << t.render();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Format a number with `decimals` fraction digits (default: auto-trim).
+  static std::string num(double v, int decimals = -1);
+  /// Format an integer with thousands separators (e.g. 1,024,950).
+  static std::string count(std::int64_t v);
+  /// Format a percentage, e.g. pct(0.221) -> "22.1%".
+  static std::string pct(double fraction, int decimals = 1);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Section banner used by benches: "== Table 3: ... ==".
+std::string banner(const std::string& title);
+
+}  // namespace flint::util

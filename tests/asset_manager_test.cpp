@@ -1,0 +1,91 @@
+#include "flint/feature/asset_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "flint/util/check.h"
+
+namespace flint::feature {
+namespace {
+
+TEST(AssetRegistry, PublishAndVersioning) {
+  AssetRegistry registry;
+  EXPECT_EQ(registry.publish("vocab/geo", 1'280'000, "v1-sum"), 1);
+  EXPECT_EQ(registry.publish("vocab/geo", 1'300'000, "v2-sum"), 2);
+  EXPECT_EQ(registry.version_count("vocab/geo"), 2u);
+  auto latest = registry.latest("vocab/geo");
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->version, 2);
+  EXPECT_EQ(latest->bytes, 1'300'000u);
+  EXPECT_FALSE(registry.latest("missing").has_value());
+  EXPECT_THROW(registry.publish("", 1, "x"), util::CheckError);
+  EXPECT_THROW(registry.publish("a", 0, "x"), util::CheckError);
+}
+
+TEST(DeviceAssets, FirstPullDownloadsThenCaches) {
+  AssetRegistry registry;
+  registry.publish("vocab/title", 500'000, "t1");
+  DeviceAssetManager device(registry, 2'000'000);
+
+  auto v1 = device.ensure("vocab/title");
+  ASSERT_TRUE(v1.has_value());
+  EXPECT_EQ(device.stats().downloads, 1u);
+  EXPECT_EQ(device.stats().bytes_downloaded, 500'000u);
+  EXPECT_TRUE(device.is_current("vocab/title"));
+
+  device.ensure("vocab/title");  // cached and current: no new download
+  EXPECT_EQ(device.stats().downloads, 1u);
+  EXPECT_EQ(device.stats().up_to_date_hits, 1u);
+}
+
+TEST(DeviceAssets, RefreshOnNewVersion) {
+  AssetRegistry registry;
+  registry.publish("vocab/geo", 1'000'000, "g1");
+  DeviceAssetManager device(registry, 4'000'000);
+  device.ensure("vocab/geo");
+  EXPECT_TRUE(device.is_current("vocab/geo"));
+
+  registry.publish("vocab/geo", 1'200'000, "g2");  // cloud publishes update
+  EXPECT_FALSE(device.is_current("vocab/geo"));
+  auto v = device.ensure("vocab/geo");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->version, 2);
+  EXPECT_EQ(device.stats().refreshes, 1u);
+  EXPECT_EQ(device.stats().downloads, 2u);
+  EXPECT_EQ(device.storage_used(), 1'200'000u);  // old copy replaced
+}
+
+TEST(DeviceAssets, StorageBudgetEvictsLeastRecentlyUsed) {
+  AssetRegistry registry;
+  registry.publish("a", 900, "a1");
+  registry.publish("b", 900, "b1");
+  registry.publish("c", 900, "c1");
+  DeviceAssetManager device(registry, 2000);  // room for two
+  device.ensure("a");
+  device.ensure("b");
+  device.ensure("a");  // refresh a's recency; b is LRU
+  device.ensure("c");  // evicts b
+  EXPECT_TRUE(device.is_current("a"));
+  EXPECT_FALSE(device.is_current("b"));
+  EXPECT_TRUE(device.is_current("c"));
+  EXPECT_EQ(device.stats().evictions, 1u);
+  EXPECT_LE(device.storage_used(), 2000u);
+}
+
+TEST(DeviceAssets, OversizedAssetNeverFits) {
+  AssetRegistry registry;
+  registry.publish("huge-embedding", 500'000'000, "h1");  // the 500MB table
+  DeviceAssetManager device(registry, 10'000'000);        // 10MB budget
+  EXPECT_FALSE(device.ensure("huge-embedding").has_value());
+  EXPECT_EQ(device.stats().downloads, 0u);
+  EXPECT_EQ(device.storage_used(), 0u);
+}
+
+TEST(DeviceAssets, UnknownAssetReturnsNothing) {
+  AssetRegistry registry;
+  DeviceAssetManager device(registry, 1000);
+  EXPECT_FALSE(device.ensure("nope").has_value());
+  EXPECT_EQ(device.stats().requests, 1u);
+}
+
+}  // namespace
+}  // namespace flint::feature

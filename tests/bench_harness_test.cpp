@@ -1,0 +1,96 @@
+#include "flint/device/benchmark_harness.h"
+
+#include <gtest/gtest.h>
+
+#include "flint/util/stats.h"
+
+namespace flint::device {
+namespace {
+
+TEST(BenchmarkHarness, MemoryIntensityKnownForAllZooModels) {
+  for (const auto& spec : ml::model_zoo()) EXPECT_NO_THROW(model_memory_intensity(spec.id));
+  EXPECT_THROW(model_memory_intensity('Q'), util::CheckError);
+  EXPECT_LT(model_memory_intensity('A'), 0.0);
+  EXPECT_GT(model_memory_intensity('E'), 0.0);
+}
+
+TEST(BenchmarkHarness, EffectiveSpeedTiltsWithAffinity) {
+  DeviceProfile memory_strong;
+  memory_strong.speed_multiplier = 1.0;
+  memory_strong.memory_affinity = 0.8;
+  DeviceProfile memory_weak = memory_strong;
+  memory_weak.memory_affinity = -0.8;
+  // On a memory-bound task, the memory-strong device is faster.
+  EXPECT_LT(effective_speed(memory_strong, 0.9), effective_speed(memory_weak, 0.9));
+  // On a compute-bound task the ranking flips (Figure 4's point).
+  EXPECT_GT(effective_speed(memory_strong, -0.9), effective_speed(memory_weak, -0.9));
+}
+
+TEST(BenchmarkHarness, FleetReportAggregatesMatchCalibration) {
+  auto catalog = DeviceCatalog::standard();
+  util::Rng rng(1);
+  const auto& spec = ml::model_spec('B');
+  auto report = simulate_fleet_benchmark(spec, catalog, 5000, rng);
+  EXPECT_EQ(report.per_device.size(), 27u);
+  EXPECT_EQ(report.model_id, 'B');
+  // Fleet mean should land near the calibrated base (affinity tilt and
+  // jitter shift it somewhat).
+  EXPECT_NEAR(report.mean_time_s, spec.calibration.base_time_per_5k_s,
+              spec.calibration.base_time_per_5k_s * 0.35);
+  // Heterogeneity: stdev/mean in the same regime as the paper (~0.7).
+  EXPECT_GT(report.stdev_time_s / report.mean_time_s, 0.35);
+  EXPECT_GT(report.mean_cpu_pct, 0.0);
+  EXPECT_NEAR(report.mean_memory_mb, spec.calibration.memory_mb,
+              spec.calibration.memory_mb * 0.1);
+}
+
+TEST(BenchmarkHarness, RecordCountScalesTime) {
+  auto catalog = DeviceCatalog::standard();
+  util::Rng rng_a(2), rng_b(2);
+  const auto& spec = ml::model_spec('A');
+  auto r5k = simulate_fleet_benchmark(spec, catalog, 5000, rng_a);
+  auto r10k = simulate_fleet_benchmark(spec, catalog, 10000, rng_b);
+  EXPECT_NEAR(r10k.mean_time_s / r5k.mean_time_s, 2.0, 0.01);
+}
+
+TEST(BenchmarkHarness, TaskDependentDeviceRanking) {
+  // Figure 4: a device can be fast for one task and slow for another.
+  auto catalog = DeviceCatalog::standard();
+  util::Rng rng(3);
+  auto report_a = simulate_fleet_benchmark(ml::model_spec('A'), catalog, 5000, rng);
+  auto report_c = simulate_fleet_benchmark(ml::model_spec('C'), catalog, 5000, rng);
+  // Rank devices by time under each task; at least one pair must flip.
+  auto rank_of = [](const FleetBenchmarkReport& r) {
+    std::vector<std::size_t> order(r.per_device.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+      return r.per_device[x].train_time_s < r.per_device[y].train_time_s;
+    });
+    std::vector<std::size_t> rank(order.size());
+    for (std::size_t pos = 0; pos < order.size(); ++pos) rank[order[pos]] = pos;
+    return rank;
+  };
+  auto ra = rank_of(report_a);
+  auto rc = rank_of(report_c);
+  int flips = 0;
+  for (std::size_t i = 0; i < ra.size(); ++i)
+    if (ra[i] != rc[i]) ++flips;
+  EXPECT_GT(flips, 5);
+}
+
+TEST(BenchmarkHarness, HostMicrobenchmarkMeasuresRealTraining) {
+  util::Rng rng(4);
+  auto model = ml::build_zoo_model('A', rng);
+  double seconds = measure_host_training_time_s(*model, 256, rng);
+  EXPECT_GT(seconds, 0.0);
+  EXPECT_LT(seconds, 30.0);  // tiny model must be quick on any host
+}
+
+TEST(BenchmarkHarness, HostMicrobenchmarkTokenOnlyModel) {
+  util::Rng rng(5);
+  auto model = ml::build_zoo_model('C', rng);
+  EXPECT_GT(measure_host_training_time_s(*model, 64, rng), 0.0);
+}
+
+}  // namespace
+}  // namespace flint::device

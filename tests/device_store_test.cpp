@@ -1,0 +1,112 @@
+#include "flint/device/device_store.h"
+
+#include <gtest/gtest.h>
+
+#include "flint/util/check.h"
+
+namespace flint::device {
+namespace {
+
+ml::Example small_example(float label = 1.0f) {
+  ml::Example e;
+  e.dense = {1.0f, 2.0f, 3.0f, 4.0f};  // 16 bytes
+  e.tokens = {1, 2};                   // 8 bytes
+  e.label = label;
+  return e;                            // + 8 label bytes + 4 group = 36 total
+}
+
+TEST(DeviceStore, ExampleBytesCountsPayload) {
+  EXPECT_EQ(example_bytes(small_example()), 4 * 4 + 2 * 4 + 8 + 4);
+  ml::Example empty;
+  EXPECT_EQ(example_bytes(empty), 12u);
+}
+
+TEST(DeviceStore, LogAndView) {
+  DeviceExampleStore store(DeviceStoreConfig{});
+  store.log_example(small_example(0.0f), 10.0);
+  store.log_example(small_example(1.0f), 20.0);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.stats().logged, 2u);
+  auto view = store.training_view(30.0);
+  ASSERT_EQ(view.size(), 2u);
+  EXPECT_EQ(view[0].label, 0.0f);
+  EXPECT_EQ(view[1].label, 1.0f);
+}
+
+TEST(DeviceStore, ByteBudgetEvictsOldestFirst) {
+  DeviceStoreConfig cfg;
+  cfg.max_bytes = example_bytes(small_example()) * 3;  // room for 3
+  DeviceExampleStore store(cfg);
+  for (int i = 0; i < 5; ++i)
+    store.log_example(small_example(static_cast<float>(i)), static_cast<double>(i));
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.stats().evicted_space, 2u);
+  auto view = store.training_view(10.0);
+  EXPECT_EQ(view.front().label, 2.0f);  // 0 and 1 evicted
+  EXPECT_LE(store.bytes_used(), cfg.max_bytes);
+}
+
+TEST(DeviceStore, ExampleCountCap) {
+  DeviceStoreConfig cfg;
+  cfg.max_examples = 2;
+  DeviceExampleStore store(cfg);
+  for (int i = 0; i < 4; ++i)
+    store.log_example(small_example(), static_cast<double>(i));
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(DeviceStore, AgeExpiry) {
+  DeviceStoreConfig cfg;
+  cfg.max_age_s = 100.0;
+  DeviceExampleStore store(cfg);
+  store.log_example(small_example(0.0f), 0.0);
+  store.log_example(small_example(1.0f), 90.0);
+  // At t=150, the first record (age 150) has expired; the second (age 60)
+  // survives.
+  EXPECT_EQ(store.training_view(150.0).size(), 1u);
+  store.gc(150.0);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.stats().expired, 1u);
+}
+
+TEST(DeviceStore, ExpiryHappensOnLog) {
+  DeviceStoreConfig cfg;
+  cfg.max_age_s = 50.0;
+  DeviceExampleStore store(cfg);
+  store.log_example(small_example(), 0.0);
+  store.log_example(small_example(), 200.0);  // first one expires here
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.stats().expired, 1u);
+}
+
+TEST(DeviceStore, OversizedRecordRejected) {
+  DeviceStoreConfig cfg;
+  cfg.max_bytes = 8;
+  DeviceExampleStore store(cfg);
+  store.log_example(small_example(), 0.0);
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.bytes_used(), 0u);
+}
+
+TEST(DeviceStore, OutOfOrderLoggingThrows) {
+  DeviceExampleStore store(DeviceStoreConfig{});
+  store.log_example(small_example(), 100.0);
+  EXPECT_THROW(store.log_example(small_example(), 50.0), util::CheckError);
+}
+
+TEST(DeviceStore, BytesUsedTracksContents) {
+  DeviceExampleStore store(DeviceStoreConfig{});
+  std::uint64_t each = example_bytes(small_example());
+  store.log_example(small_example(), 0.0);
+  store.log_example(small_example(), 1.0);
+  EXPECT_EQ(store.bytes_used(), 2 * each);
+}
+
+TEST(DeviceStore, RejectsBadConfig) {
+  DeviceStoreConfig bad;
+  bad.max_bytes = 0;
+  EXPECT_THROW(DeviceExampleStore{bad}, util::CheckError);
+}
+
+}  // namespace
+}  // namespace flint::device

@@ -1,0 +1,219 @@
+// Integration tests: do the optimizer + losses + models actually learn?
+#include <gtest/gtest.h>
+
+#include "flint/ml/loss.h"
+#include "flint/ml/metrics.h"
+#include "flint/ml/model.h"
+#include "flint/ml/optimizer.h"
+#include "flint/util/rng.h"
+
+namespace flint::ml {
+namespace {
+
+/// Linearly separable binary data: label = 1 iff w.x > 0 for the GIVEN
+/// ground-truth w (shared between train and test splits).
+std::vector<Example> separable_data(std::size_t n, const std::vector<float>& w,
+                                    util::Rng& rng) {
+  std::size_t dim = w.size();
+  std::vector<Example> out(n);
+  for (auto& e : out) {
+    e.dense.resize(dim);
+    double dot = 0.0;
+    for (std::size_t j = 0; j < dim; ++j) {
+      e.dense[j] = static_cast<float>(rng.normal());
+      dot += static_cast<double>(e.dense[j]) * w[j];
+    }
+    e.label = dot > 0.0 ? 1.0f : 0.0f;
+  }
+  return out;
+}
+
+double eval_aupr(Model& model, const std::vector<Example>& data, std::size_t dim) {
+  Batch batch = Batch::from_examples(data, dim);
+  Tensor logits = model.forward(batch);
+  std::vector<float> scores, labels;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    scores.push_back(stable_sigmoid(logits.at(i, 0)));
+    labels.push_back(data[i].label);
+  }
+  return average_precision(scores, labels);
+}
+
+TEST(Training, MlpLearnsSeparableData) {
+  util::Rng rng(1);
+  constexpr std::size_t kDim = 8;
+  std::vector<float> w(kDim);
+  for (float& v : w) v = static_cast<float>(rng.normal());
+  auto train = separable_data(400, w, rng);
+  auto test = separable_data(200, w, rng);
+
+  FeedForwardConfig cfg;
+  cfg.dense_dim = kDim;
+  cfg.hidden = {16};
+  FeedForwardModel model(cfg);
+  model.init(rng);
+
+  double before = eval_aupr(model, test, kDim);
+  SgdOptimizer opt(0.9, 0.0);
+  for (int epoch = 0; epoch < 40; ++epoch) {
+    for (std::size_t start = 0; start < train.size(); start += 32) {
+      std::size_t end = std::min(train.size(), start + 32);
+      Batch batch =
+          Batch::from_examples(std::span(train).subspan(start, end - start), kDim);
+      Tensor logits = model.forward(batch);
+      auto loss = bce_with_logits(logits, batch.labels);
+      model.zero_grad();
+      model.backward(loss.d_logits);
+      opt.step(model.parameters(), 0.03);
+    }
+  }
+  double after = eval_aupr(model, test, kDim);
+  EXPECT_GT(after, 0.95);
+  EXPECT_GT(after, before);
+}
+
+TEST(Training, LossDecreasesMonotonically) {
+  util::Rng rng(2);
+  constexpr std::size_t kDim = 4;
+  std::vector<float> w(kDim);
+  for (float& v : w) v = static_cast<float>(rng.normal());
+  auto train = separable_data(200, w, rng);
+  FeedForwardConfig cfg;
+  cfg.dense_dim = kDim;
+  cfg.hidden = {8};
+  FeedForwardModel model(cfg);
+  model.init(rng);
+  SgdOptimizer opt;
+  Batch batch = Batch::from_examples(train, kDim);
+  double first = 0.0, last = 0.0;
+  for (int step = 0; step < 100; ++step) {
+    Tensor logits = model.forward(batch);
+    auto loss = bce_with_logits(logits, batch.labels);
+    if (step == 0) first = loss.loss;
+    last = loss.loss;
+    model.zero_grad();
+    model.backward(loss.d_logits);
+    opt.step(model.parameters(), 0.2);
+  }
+  EXPECT_LT(last, first * 0.5);
+}
+
+TEST(Training, RankingImprovesNdcg) {
+  util::Rng rng(3);
+  constexpr std::size_t kDim = 6;
+  std::vector<float> w(kDim);
+  for (float& v : w) v = static_cast<float>(rng.normal());
+  // Groups of 6 candidates; relevance follows w*.x ranking.
+  auto make_group = [&](std::vector<Example>& out) {
+    std::vector<std::pair<double, std::size_t>> scored;
+    std::size_t base = out.size();
+    for (std::size_t c = 0; c < 6; ++c) {
+      Example e;
+      e.dense.resize(kDim);
+      double dot = 0.0;
+      for (std::size_t j = 0; j < kDim; ++j) {
+        e.dense[j] = static_cast<float>(rng.normal());
+        dot += static_cast<double>(e.dense[j]) * w[j];
+      }
+      scored.push_back({dot, base + c});
+      out.push_back(std::move(e));
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    out[scored[0].second].label = 2.0f;
+    out[scored[1].second].label = 1.0f;
+  };
+  std::vector<Example> train;
+  for (int g = 0; g < 80; ++g) make_group(train);
+  std::vector<Example> test;
+  for (int g = 0; g < 30; ++g) make_group(test);
+
+  FeedForwardConfig cfg;
+  cfg.dense_dim = kDim;
+  cfg.hidden = {12};
+  FeedForwardModel model(cfg);
+  model.init(rng);
+
+  auto mean_ndcg = [&](const std::vector<Example>& data) {
+    double total = 0.0;
+    std::size_t groups = data.size() / 6;
+    for (std::size_t g = 0; g < groups; ++g) {
+      std::span<const Example> members(&data[g * 6], 6);
+      Batch batch = Batch::from_examples(members, kDim);
+      Tensor logits = model.forward(batch);
+      std::vector<float> scores, labels;
+      for (std::size_t i = 0; i < 6; ++i) {
+        scores.push_back(logits.at(i, 0));
+        labels.push_back(members[i].label);
+      }
+      total += ndcg_at_k(scores, labels, 10);
+    }
+    return total / static_cast<double>(groups);
+  };
+
+  double before = mean_ndcg(test);
+  SgdOptimizer opt(0.9, 0.0);
+  for (int epoch = 0; epoch < 25; ++epoch) {
+    for (std::size_t g = 0; g < train.size() / 6; ++g) {
+      std::span<const Example> members(&train[g * 6], 6);
+      Batch batch = Batch::from_examples(members, kDim);
+      Tensor logits = model.forward(batch);
+      auto loss = pairwise_ranking_loss(logits, batch.labels);
+      model.zero_grad();
+      model.backward(loss.d_logits);
+      opt.step(model.parameters(), 0.05);
+    }
+  }
+  double after = mean_ndcg(test);
+  EXPECT_GT(after, before + 0.05);
+  EXPECT_GT(after, 0.85);
+}
+
+TEST(Optimizer, MomentumAcceleratesOnQuadratic) {
+  // Single-parameter quadratic: momentum should reach the optimum faster.
+  auto run = [](double momentum) {
+    Parameter p(1, 1);
+    p.value[0] = 10.0f;
+    SgdOptimizer opt(momentum, 0.0);
+    std::vector<Parameter*> params = {&p};
+    for (int i = 0; i < 50; ++i) {
+      p.grad[0] = 2.0f * p.value[0];  // d/dx x^2
+      opt.step(params, 0.02);
+      p.grad.zero();
+    }
+    return std::abs(p.value[0]);
+  };
+  EXPECT_LT(run(0.9), run(0.0));
+}
+
+TEST(Optimizer, WeightDecayShrinksWeights) {
+  Parameter p(1, 1);
+  p.value[0] = 1.0f;
+  SgdOptimizer opt(0.0, 0.1);
+  std::vector<Parameter*> params = {&p};
+  for (int i = 0; i < 10; ++i) opt.step(params, 0.1);  // zero gradient
+  EXPECT_LT(p.value[0], 1.0f);
+  EXPECT_GT(p.value[0], 0.0f);
+}
+
+TEST(Optimizer, ClipGradientsBoundsNorm) {
+  Parameter p(1, 4);
+  for (std::size_t i = 0; i < 4; ++i) p.grad[i] = 10.0f;
+  std::vector<Parameter*> params = {&p};
+  double pre_norm = clip_gradients(params, 1.0);
+  EXPECT_NEAR(pre_norm, 20.0, 1e-4);
+  double post = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) post += p.grad[i] * p.grad[i];
+  EXPECT_NEAR(std::sqrt(post), 1.0, 1e-5);
+}
+
+TEST(Optimizer, ClipLeavesSmallGradientsAlone) {
+  Parameter p(1, 2);
+  p.grad[0] = 0.1f;
+  std::vector<Parameter*> params = {&p};
+  clip_gradients(params, 1.0);
+  EXPECT_FLOAT_EQ(p.grad[0], 0.1f);
+}
+
+}  // namespace
+}  // namespace flint::ml

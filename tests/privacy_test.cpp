@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "flint/privacy/dp.h"
+#include "flint/privacy/secure_agg.h"
+#include "flint/util/stats.h"
+
+namespace flint::privacy {
+namespace {
+
+double l2(const std::vector<float>& v) {
+  double sq = 0.0;
+  for (float x : v) sq += static_cast<double>(x) * x;
+  return std::sqrt(sq);
+}
+
+// ------------------------------------------------------------------------ DP
+
+TEST(Dp, ClipBoundsNorm) {
+  std::vector<float> update = {3.0f, 4.0f};  // norm 5
+  double pre = clip_update(update, 1.0);
+  EXPECT_NEAR(pre, 5.0, 1e-6);
+  EXPECT_NEAR(l2(update), 1.0, 1e-5);
+  // Direction preserved.
+  EXPECT_NEAR(update[0] / update[1], 0.75, 1e-5);
+}
+
+TEST(Dp, ClipLeavesSmallUpdates) {
+  std::vector<float> update = {0.1f, 0.1f};
+  clip_update(update, 10.0);
+  EXPECT_FLOAT_EQ(update[0], 0.1f);
+}
+
+class ClipPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ClipPropertyTest, PostNormNeverExceedsBound) {
+  double bound = GetParam();
+  util::Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<float> update(50);
+    for (float& v : update) v = static_cast<float>(rng.normal(0.0, 5.0));
+    clip_update(update, bound);
+    EXPECT_LE(l2(update), bound * (1.0 + 1e-5));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, ClipPropertyTest, ::testing::Values(0.1, 1.0, 10.0));
+
+TEST(Dp, GaussianNoiseHasRequestedStddev) {
+  util::Rng rng(2);
+  std::vector<float> update(50000, 0.0f);
+  add_gaussian_noise(update, 0.5, rng);
+  util::RunningStats s;
+  for (float v : update) s.add(v);
+  EXPECT_NEAR(s.mean(), 0.0, 0.01);
+  EXPECT_NEAR(s.stddev(), 0.5, 0.01);
+}
+
+TEST(Dp, ZeroStddevIsNoop) {
+  util::Rng rng(3);
+  std::vector<float> update = {1.0f, 2.0f};
+  add_gaussian_noise(update, 0.0, rng);
+  EXPECT_EQ(update, (std::vector<float>{1.0f, 2.0f}));
+}
+
+TEST(Dp, ApplyDpClipsThenNoises) {
+  util::Rng rng(4);
+  DpConfig cfg;
+  cfg.clip_norm = 1.0;
+  cfg.noise_multiplier = 0.0001;  // nearly deterministic
+  std::vector<float> update = {30.0f, 40.0f};
+  double pre = apply_dp(update, cfg, 10, rng);
+  EXPECT_NEAR(pre, 50.0, 1e-4);
+  EXPECT_NEAR(l2(update), 1.0, 0.01);
+}
+
+TEST(DpAccountant, EpsilonGrowsAsSqrtRounds) {
+  DpConfig cfg;
+  cfg.noise_multiplier = 1.0;
+  cfg.delta = 1e-6;
+  DpAccountant acc(cfg, 0.01);
+  EXPECT_DOUBLE_EQ(acc.epsilon(), 0.0);
+  acc.record_rounds(100);
+  double e100 = acc.epsilon();
+  acc.record_rounds(300);
+  double e400 = acc.epsilon();
+  EXPECT_NEAR(e400 / e100, 2.0, 1e-9);  // sqrt(400/100)
+}
+
+TEST(DpAccountant, MoreNoiseLessEpsilon) {
+  DpConfig loud;
+  loud.noise_multiplier = 0.5;
+  DpConfig quiet;
+  quiet.noise_multiplier = 2.0;
+  DpAccountant a(loud, 0.01), b(quiet, 0.01);
+  a.record_rounds(100);
+  b.record_rounds(100);
+  EXPECT_GT(a.epsilon(), b.epsilon());
+}
+
+TEST(DpAccountant, RoundsUntilInvertsEpsilon) {
+  DpConfig cfg;
+  cfg.noise_multiplier = 1.0;
+  cfg.delta = 1e-6;
+  DpAccountant acc(cfg, 0.01);
+  std::uint64_t budget_rounds = acc.rounds_until(1.0);
+  ASSERT_GT(budget_rounds, 0u);
+  acc.record_rounds(budget_rounds);
+  EXPECT_LE(acc.epsilon(), 1.0 + 1e-6);
+  acc.record_rounds(budget_rounds);  // double it: now over budget
+  EXPECT_GT(acc.epsilon(), 1.0);
+  EXPECT_EQ(acc.rounds_until(1.0), 0u);
+}
+
+TEST(DpAccountant, RejectsBadConfig) {
+  DpConfig bad;
+  bad.noise_multiplier = 0.0;
+  EXPECT_THROW(DpAccountant(bad, 0.1), util::CheckError);
+  DpConfig ok;
+  EXPECT_THROW(DpAccountant(ok, 0.0), util::CheckError);
+  EXPECT_THROW(DpAccountant(ok, 1.5), util::CheckError);
+}
+
+// -------------------------------------------------------------------- SecAgg
+
+TEST(TeeAggregator, WeightedMeanAndReset) {
+  TeeConfig cfg;
+  TeeSecureAggregator tee(cfg, 2);
+  std::vector<float> a = {1.0f, 2.0f};
+  std::vector<float> b = {3.0f, 6.0f};
+  tee.accumulate(a, 1.0);
+  tee.accumulate(b, 3.0);
+  auto mean = tee.finalize();
+  EXPECT_NEAR(mean[0], (1.0 + 9.0) / 4.0, 1e-5);
+  EXPECT_NEAR(mean[1], (2.0 + 18.0) / 4.0, 1e-5);
+  EXPECT_EQ(tee.updates_received(), 2u);
+  // After finalize the accumulator is reset.
+  EXPECT_THROW(tee.finalize(), util::CheckError);
+}
+
+TEST(TeeAggregator, DimMismatchThrows) {
+  TeeSecureAggregator tee(TeeConfig{}, 3);
+  std::vector<float> wrong = {1.0f};
+  EXPECT_THROW(tee.accumulate(wrong), util::CheckError);
+}
+
+TEST(TeeAggregator, BandwidthAccounting) {
+  TeeConfig cfg;
+  cfg.bandwidth_mbps = 8.0;  // 1 MB/s
+  cfg.attestation_s = 0.25;
+  cfg.per_update_overhead_bytes = 0;
+  TeeSecureAggregator tee(cfg, 250000);  // 1 MB updates
+  std::vector<float> update(250000, 0.0f);
+  tee.accumulate(update);
+  EXPECT_EQ(tee.bytes_received(), 1000000u);
+  // 1 MB at 1 MB/s plus one attestation.
+  EXPECT_NEAR(tee.busy_seconds(), 1.0 + 0.25, 1e-6);
+}
+
+TEST(TeeAggregator, CapacityCheckMatchesPaperProjection) {
+  // §3.5: 3.53 updates/s x 0.76MB updates ~= 2.68 MB/s, within a 24 Mbps TEE.
+  TeeConfig cfg;
+  cfg.bandwidth_mbps = 24.0;
+  cfg.per_update_overhead_bytes = 0;
+  TeeSecureAggregator tee(cfg, 1);
+  double mbps = tee.required_mbytes_per_s(3.53, 760000);
+  EXPECT_NEAR(mbps, 2.68, 0.02);
+  EXPECT_TRUE(tee.within_capacity(3.53, 760000));
+  EXPECT_FALSE(tee.within_capacity(35.3, 760000));
+}
+
+TEST(MaskUpdates, SumPreservedIndividualObscured) {
+  util::Rng rng(5);
+  std::vector<std::vector<float>> updates(4, std::vector<float>(16));
+  for (auto& u : updates)
+    for (float& v : u) v = static_cast<float>(rng.normal());
+
+  auto masked = mask_updates(updates, /*session_seed=*/777);
+  ASSERT_EQ(masked.size(), 4u);
+
+  // Property 1: the sum over clients is unchanged (masks cancel pairwise).
+  for (std::size_t d = 0; d < 16; ++d) {
+    double raw_sum = 0.0, masked_sum = 0.0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      raw_sum += updates[i][d];
+      masked_sum += masked[i][d];
+    }
+    EXPECT_NEAR(masked_sum, raw_sum, 1e-3);
+  }
+  // Property 2: each individual masked update differs from its raw form.
+  for (std::size_t i = 0; i < 4; ++i) {
+    double diff = 0.0;
+    for (std::size_t d = 0; d < 16; ++d) diff += std::abs(masked[i][d] - updates[i][d]);
+    EXPECT_GT(diff, 0.5);
+  }
+}
+
+TEST(MaskUpdates, SingleClientUnchanged) {
+  std::vector<std::vector<float>> updates = {{1.0f, 2.0f}};
+  auto masked = mask_updates(updates, 1);
+  EXPECT_EQ(masked[0], updates[0]);  // no pairs, no masks
+}
+
+TEST(MaskUpdates, RaggedUpdatesThrow) {
+  std::vector<std::vector<float>> updates = {{1.0f}, {1.0f, 2.0f}};
+  EXPECT_THROW(mask_updates(updates, 1), util::CheckError);
+}
+
+}  // namespace
+}  // namespace flint::privacy

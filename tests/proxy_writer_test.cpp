@@ -1,0 +1,145 @@
+#include "flint/data/proxy_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "flint/data/synthetic_tasks.h"
+#include "flint/util/check.h"
+
+namespace flint::data {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = fs::temp_directory_path() / ("flint_pw_" + tag + "_" + std::to_string(::getpid()));
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  std::string str() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+FederatedDataset sample_dataset(std::size_t clients, Domain domain = Domain::kAds) {
+  util::Rng rng(9);
+  SyntheticTaskConfig cfg;
+  cfg.domain = domain;
+  cfg.clients = clients;
+  cfg.mean_records = 12;
+  cfg.std_records = 8;
+  cfg.dense_dim = 5;
+  cfg.vocab = 50;
+  cfg.test_examples = 10;
+  return make_synthetic_task(cfg, rng).train;
+}
+
+void expect_same_examples(const ClientDataset& a, const ClientDataset& b) {
+  EXPECT_EQ(a.client_id, b.client_id);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.examples[i].dense, b.examples[i].dense);
+    EXPECT_EQ(a.examples[i].tokens, b.examples[i].tokens);
+    EXPECT_EQ(a.examples[i].label, b.examples[i].label);
+    EXPECT_EQ(a.examples[i].label2, b.examples[i].label2);
+    EXPECT_EQ(a.examples[i].group, b.examples[i].group);
+  }
+}
+
+TEST(ProxyWriter, SingleFileRoundTrip) {
+  TempDir dir("roundtrip");
+  auto dataset = sample_dataset(10);
+  std::string path = dir.str() + "/part.flpt";
+  std::uint64_t bytes = write_partition_file(path, dataset.clients());
+  EXPECT_GT(bytes, 0u);
+  EXPECT_EQ(static_cast<std::uint64_t>(fs::file_size(path)), bytes);
+
+  auto back = read_partition_file(path);
+  ASSERT_EQ(back.size(), dataset.client_count());
+  for (std::size_t i = 0; i < back.size(); ++i)
+    expect_same_examples(dataset.client_at(i), back[i]);
+}
+
+TEST(ProxyWriter, TokenDataRoundTrip) {
+  TempDir dir("tokens");
+  auto dataset = sample_dataset(8, Domain::kMessaging);
+  std::string path = dir.str() + "/tokens.flpt";
+  write_partition_file(path, dataset.clients());
+  auto back = read_partition_file(path);
+  for (std::size_t i = 0; i < back.size(); ++i)
+    expect_same_examples(dataset.client_at(i), back[i]);
+}
+
+TEST(ProxyWriter, RankingGroupsRoundTrip) {
+  TempDir dir("groups");
+  auto dataset = sample_dataset(6, Domain::kSearch);
+  std::string path = dir.str() + "/groups.flpt";
+  write_partition_file(path, dataset.clients());
+  auto back = read_partition_file(path);
+  for (std::size_t i = 0; i < back.size(); ++i)
+    expect_same_examples(dataset.client_at(i), back[i]);
+}
+
+TEST(ProxyWriter, PartitionsPerExecutor) {
+  TempDir dir("parts");
+  auto dataset = sample_dataset(20);
+  auto partitioning = partition_round_robin(dataset, 4);
+  auto sizes = write_partitions(dataset, partitioning, dir.str());
+  ASSERT_EQ(sizes.size(), 4u);
+
+  // Exactly one file per executor, not one per client (the §3.4 point).
+  std::size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(dir.str())) {
+    EXPECT_EQ(entry.path().extension(), ".flpt");
+    ++files;
+  }
+  EXPECT_EQ(files, 4u);
+
+  // Every executor's clients come back intact and owned by that executor.
+  std::size_t total_clients = 0;
+  for (std::size_t p = 0; p < 4; ++p) {
+    auto clients = read_partition(dir.str(), p);
+    total_clients += clients.size();
+    for (const auto& c : clients)
+      EXPECT_EQ(partitioning.executor_of(c.client_id), static_cast<int>(p));
+  }
+  EXPECT_EQ(total_clients, dataset.client_count());
+}
+
+TEST(ProxyWriter, GroupedLayoutBeatsPerClientFiles) {
+  auto dataset = sample_dataset(100);
+  auto partitioning = partition_round_robin(dataset, 4);
+  TempDir dir("sizes");
+  auto sizes = write_partitions(dataset, partitioning, dir.str());
+  std::uint64_t grouped = 0;
+  for (auto s : sizes) grouped += s;
+  std::uint64_t naive = naive_per_client_bytes(dataset);
+  EXPECT_LT(grouped, naive);  // per-file overhead dominates tiny client files
+}
+
+TEST(ProxyWriter, RejectsGarbageFiles) {
+  TempDir dir("garbage");
+  std::string path = dir.str() + "/bad.flpt";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a partition";
+  }
+  EXPECT_THROW(read_partition_file(path), util::CheckError);
+  EXPECT_THROW(read_partition_file(dir.str() + "/missing.flpt"), util::CheckError);
+}
+
+TEST(ProxyWriter, EmptyPartitionRoundTrips) {
+  TempDir dir("empty");
+  std::string path = dir.str() + "/empty.flpt";
+  write_partition_file(path, {});
+  EXPECT_TRUE(read_partition_file(path).empty());
+}
+
+}  // namespace
+}  // namespace flint::data

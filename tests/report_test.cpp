@@ -1,0 +1,108 @@
+#include "flint/core/report.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "flint/fl/fedbuff.h"
+#include "flint/util/csv.h"
+#include "test_helpers.h"
+
+namespace flint::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+fl::RunResult sample_run() {
+  util::Rng rng(1);
+  static auto task = test::small_task(rng, 40);
+  static auto catalog = device::DeviceCatalog::standard();
+  static net::FixedBandwidthModel bw(50.0);
+  static auto trace = test::always_available(40, 1e9);
+  static auto model = task.make_model(rng);
+  fl::AsyncConfig cfg;
+  test::wire_inputs(cfg.inputs, task, *model, trace, catalog, bw);
+  cfg.inputs.max_rounds = 8;
+  cfg.inputs.eval_every_rounds = 2;
+  cfg.buffer_size = 4;
+  cfg.max_concurrency = 8;
+  return fl::run_fedbuff(cfg);
+}
+
+TEST(Report, MarkdownContainsAllSections) {
+  fl::RunResult run = sample_run();
+  ResourceForecast forecast = forecast_resources(run, ForecastConfig{});
+  ReportInputs inputs;
+  inputs.title = "ads pilot";
+  inputs.run = &run;
+  inputs.forecast = &forecast;
+  inputs.centralized_metric = 0.9;
+  inputs.metric_name = "AUPR";
+  std::string md = render_report_markdown(inputs);
+  EXPECT_NE(md.find("# ads pilot"), std::string::npos);
+  EXPECT_NE(md.find("## Model metrics"), std::string::npos);
+  EXPECT_NE(md.find("## System metrics"), std::string::npos);
+  EXPECT_NE(md.find("## Resource forecast"), std::string::npos);
+  EXPECT_NE(md.find("Centralized baseline"), std::string::npos);
+  EXPECT_NE(md.find("AUPR"), std::string::npos);
+  EXPECT_EQ(md.find("Fairness"), std::string::npos);  // not supplied
+}
+
+TEST(Report, OptionalSectionsSkipped) {
+  fl::RunResult run = sample_run();
+  ReportInputs inputs;
+  inputs.run = &run;
+  std::string md = render_report_markdown(inputs);
+  EXPECT_EQ(md.find("Resource forecast"), std::string::npos);
+  EXPECT_EQ(md.find("Centralized baseline"), std::string::npos);
+}
+
+TEST(Report, RequiresRun) {
+  ReportInputs inputs;
+  EXPECT_THROW(render_report_markdown(inputs), util::CheckError);
+}
+
+TEST(Report, WriteProducesFilesAndParsableCsv) {
+  auto dir = fs::temp_directory_path() / "flint_report_test";
+  fs::remove_all(dir);
+  fl::RunResult run = sample_run();
+  ReportInputs inputs;
+  inputs.run = &run;
+  std::string path = write_report(dir.string(), inputs);
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_TRUE(fs::exists(dir / "eval_curve.csv"));
+  EXPECT_TRUE(fs::exists(dir / "rounds.csv"));
+
+  // rounds.csv parses back with one row per aggregation + header.
+  std::ifstream in(dir / "rounds.csv");
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(in, line)) {
+    auto cells = util::parse_csv_line(line);
+    EXPECT_EQ(cells.size(), 6u);
+    ++rows;
+  }
+  EXPECT_EQ(rows, run.metrics.rounds().size() + 1);
+  fs::remove_all(dir);
+}
+
+TEST(Report, EvalCurveCsvMatchesRun) {
+  auto dir = fs::temp_directory_path() / "flint_report_curve";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  fl::RunResult run = sample_run();
+  std::string path = (dir / "curve.csv").string();
+  write_eval_curve_csv(path, run);
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  std::size_t rows = 0;
+  std::string line;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, run.eval_curve.size());
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace flint::core

@@ -1,0 +1,183 @@
+#include "flint/data/synthetic_tasks.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "flint/util/stats.h"
+
+namespace flint::data {
+namespace {
+
+SyntheticTaskConfig small_config(Domain domain) {
+  SyntheticTaskConfig cfg;
+  cfg.domain = domain;
+  cfg.clients = 100;
+  cfg.mean_records = 15.0;
+  cfg.std_records = 10.0;
+  cfg.max_records = 120;
+  cfg.dense_dim = 6;
+  cfg.vocab = 80;
+  cfg.test_examples = 400;
+  return cfg;
+}
+
+TEST(SyntheticTasks, DomainNames) {
+  EXPECT_STREQ(domain_name(Domain::kAds), "ads");
+  EXPECT_STREQ(domain_name(Domain::kMessaging), "messaging");
+  EXPECT_STREQ(domain_name(Domain::kSearch), "search");
+}
+
+TEST(SyntheticTasks, AdsShapeAndLabels) {
+  util::Rng rng(1);
+  auto cfg = small_config(Domain::kAds);
+  cfg.label_ratio = 0.28;
+  FederatedTask task = make_synthetic_task(cfg, rng);
+  EXPECT_EQ(task.train.client_count(), 100u);
+  EXPECT_GE(task.test.size(), cfg.test_examples);
+  double positives = 0.0, total = 0.0;
+  for (const auto& c : task.train.clients()) {
+    for (const auto& e : c.examples) {
+      ASSERT_EQ(e.dense.size(), 6u);
+      positives += e.label;
+      total += 1.0;
+    }
+  }
+  EXPECT_NEAR(positives / total, 0.28, 0.08);
+  EXPECT_STREQ(task.metric_name(), "AUPR");
+  EXPECT_EQ(task.loss_kind(), LossKind::kBinaryCrossEntropy);
+  EXPECT_EQ(task.batch_dense_dim(), 6u);
+}
+
+TEST(SyntheticTasks, MessagingTokensInVocab) {
+  util::Rng rng(2);
+  auto cfg = small_config(Domain::kMessaging);
+  cfg.label_ratio = 0.05;
+  FederatedTask task = make_synthetic_task(cfg, rng);
+  for (const auto& c : task.train.clients()) {
+    for (const auto& e : c.examples) {
+      EXPECT_FALSE(e.tokens.empty());
+      for (auto t : e.tokens) {
+        EXPECT_GE(t, 0);
+        EXPECT_LT(t, static_cast<std::int32_t>(cfg.vocab));
+      }
+    }
+  }
+  EXPECT_EQ(task.batch_dense_dim(), 0u);
+}
+
+TEST(SyntheticTasks, MessagingLabelRatioNearTarget) {
+  util::Rng rng(3);
+  auto cfg = small_config(Domain::kMessaging);
+  cfg.clients = 200;
+  cfg.label_ratio = 0.05;
+  FederatedTask task = make_synthetic_task(cfg, rng);
+  double positives = 0.0, total = 0.0;
+  for (const auto& c : task.train.clients())
+    for (const auto& e : c.examples) {
+      positives += e.label;
+      total += 1.0;
+    }
+  EXPECT_NEAR(positives / total, 0.05, 0.03);
+  EXPECT_GT(positives, 0.0);  // regression: bias miscalibration zeroed labels
+}
+
+TEST(SyntheticTasks, SearchGroupsAreComplete) {
+  util::Rng rng(4);
+  auto cfg = small_config(Domain::kSearch);
+  cfg.candidates_per_group = 8;
+  FederatedTask task = make_synthetic_task(cfg, rng);
+  EXPECT_EQ(task.loss_kind(), LossKind::kPairwiseRanking);
+  EXPECT_STREQ(task.metric_name(), "NDCG@10");
+  // Each group id appears exactly candidates_per_group times, with one
+  // grade-2 item.
+  std::map<std::int32_t, std::vector<float>> groups;
+  for (const auto& c : task.train.clients())
+    for (const auto& e : c.examples) groups[e.group].push_back(e.label);
+  for (const auto& [gid, labels] : groups) {
+    EXPECT_EQ(labels.size(), 8u);
+    EXPECT_EQ(std::count(labels.begin(), labels.end(), 2.0f), 1);
+    EXPECT_EQ(std::count(labels.begin(), labels.end(), 1.0f), 2);
+  }
+}
+
+TEST(SyntheticTasks, GroupIdsDontCollideAcrossClients) {
+  util::Rng rng(5);
+  auto cfg = small_config(Domain::kSearch);
+  FederatedTask task = make_synthetic_task(cfg, rng);
+  std::map<std::int32_t, std::set<ClientId>> owners;
+  for (const auto& c : task.train.clients())
+    for (const auto& e : c.examples) owners[e.group].insert(c.client_id);
+  for (const auto& [gid, who] : owners) EXPECT_EQ(who.size(), 1u);
+}
+
+TEST(SyntheticTasks, DeterministicGivenSeed) {
+  util::Rng rng_a(42), rng_b(42);
+  auto cfg = small_config(Domain::kAds);
+  FederatedTask a = make_synthetic_task(cfg, rng_a);
+  FederatedTask b = make_synthetic_task(cfg, rng_b);
+  ASSERT_EQ(a.train.client_count(), b.train.client_count());
+  for (std::size_t i = 0; i < a.train.client_count(); ++i) {
+    const auto& ca = a.train.client_at(i);
+    const auto& cb = b.train.client_at(i);
+    ASSERT_EQ(ca.size(), cb.size());
+    for (std::size_t j = 0; j < ca.size(); ++j) {
+      EXPECT_EQ(ca.examples[j].label, cb.examples[j].label);
+      EXPECT_EQ(ca.examples[j].dense, cb.examples[j].dense);
+    }
+  }
+}
+
+TEST(SyntheticTasks, QuantitySkewIncreasesWithStd) {
+  util::Rng rng(6);
+  auto narrow_cfg = small_config(Domain::kAds);
+  narrow_cfg.clients = 300;
+  narrow_cfg.std_records = 1.0;
+  auto wide_cfg = narrow_cfg;
+  wide_cfg.std_records = 100.0;
+  wide_cfg.max_records = 5000;
+  FederatedTask narrow = make_synthetic_task(narrow_cfg, rng);
+  FederatedTask wide = make_synthetic_task(wide_cfg, rng);
+  auto cv = [](const FederatedTask& t) {
+    util::RunningStats s;
+    for (const auto& c : t.train.clients()) s.add(static_cast<double>(c.size()));
+    return s.stddev() / s.mean();
+  };
+  EXPECT_GT(cv(wide), cv(narrow) * 2.0);
+}
+
+TEST(SyntheticTasks, UntrainedModelScoresNearChance) {
+  util::Rng rng(7);
+  auto cfg = small_config(Domain::kAds);
+  cfg.label_ratio = 0.3;
+  FederatedTask task = make_synthetic_task(cfg, rng);
+  auto model = task.make_model(rng);
+  double aupr = task.evaluate(*model);
+  // Untrained model: AUPR near the base rate (0.3), far from 1.
+  EXPECT_GT(aupr, 0.1);
+  EXPECT_LT(aupr, 0.6);
+}
+
+TEST(SyntheticTasks, ModelArchitecturesMatchDomains) {
+  util::Rng rng(8);
+  for (Domain domain : {Domain::kAds, Domain::kMessaging, Domain::kSearch}) {
+    auto cfg = small_config(domain);
+    FederatedTask task = make_synthetic_task(cfg, rng);
+    auto model = task.make_model(rng);
+    EXPECT_GT(model->parameter_count(), 0u);
+    // Must be able to evaluate the test set without throwing.
+    EXPECT_NO_THROW(task.evaluate(*model));
+  }
+}
+
+TEST(EvaluateExamples, RejectsEmpty) {
+  util::Rng rng(9);
+  auto cfg = small_config(Domain::kAds);
+  FederatedTask task = make_synthetic_task(cfg, rng);
+  auto model = task.make_model(rng);
+  std::vector<ml::Example> empty;
+  EXPECT_THROW(evaluate_examples(*model, empty, Domain::kAds, 6), util::CheckError);
+}
+
+}  // namespace
+}  // namespace flint::data

@@ -1,0 +1,230 @@
+#include "flint/util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "flint/util/stats.h"
+
+namespace flint::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, UniformIntInvertedBoundsThrows) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform_int(3, 2), CheckError);
+}
+
+TEST(Rng, UniformRealBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng(11);
+  int heads = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++heads;
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliRejectsBadProbability) {
+  Rng rng(11);
+  EXPECT_THROW(rng.bernoulli(-0.1), CheckError);
+  EXPECT_THROW(rng.bernoulli(1.1), CheckError);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, LognormalMatchesMomentFormula) {
+  Rng rng(17);
+  LognormalParams p = lognormal_from_moments(100.0, 150.0);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.lognormal(p.mu, p.sigma));
+  EXPECT_NEAR(s.mean(), 100.0, 5.0);
+  EXPECT_NEAR(s.stddev(), 150.0, 15.0);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(19);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.exponential(0.5));
+  EXPECT_NEAR(s.mean(), 2.0, 0.1);
+}
+
+TEST(Rng, ParetoLowerBound) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.pareto(3.0, 1.5), 3.0);
+}
+
+TEST(Rng, ParetoHeavierTailForSmallerAlpha) {
+  Rng rng(23);
+  double p99_heavy = 0.0, p99_light = 0.0;
+  std::vector<double> heavy, light;
+  for (int i = 0; i < 20000; ++i) {
+    heavy.push_back(rng.pareto(1.0, 0.9));
+    light.push_back(rng.pareto(1.0, 3.0));
+  }
+  p99_heavy = percentile(heavy, 99.0);
+  p99_light = percentile(light, 99.0);
+  EXPECT_GT(p99_heavy, p99_light * 3.0);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(29);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(static_cast<double>(rng.poisson(4.0)));
+  EXPECT_NEAR(s.mean(), 4.0, 0.1);
+  EXPECT_EQ(rng.poisson(0.0), 0);
+}
+
+TEST(Rng, ZipfInRangeAndSkewed) {
+  Rng rng(31);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) {
+    std::size_t v = rng.zipf(10, 1.2);
+    ASSERT_LT(v, 10u);
+    ++counts[v];
+  }
+  // Rank 0 should dominate rank 9 heavily.
+  EXPECT_GT(counts[0], counts[9] * 5);
+}
+
+TEST(Rng, ZipfZeroExponentIsUniform) {
+  Rng rng(31);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[rng.zipf(4, 0.0)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(Rng, DirichletSumsToOne) {
+  Rng rng(37);
+  for (double alpha : {0.1, 1.0, 10.0}) {
+    auto v = rng.dirichlet(8, alpha);
+    double sum = 0.0;
+    for (double x : v) {
+      EXPECT_GE(x, 0.0);
+      sum += x;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(Rng, DirichletSmallAlphaIsSkewed) {
+  Rng rng(41);
+  double max_small = 0.0, max_large = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    auto s = rng.dirichlet(10, 0.05);
+    auto l = rng.dirichlet(10, 50.0);
+    max_small += *std::max_element(s.begin(), s.end());
+    max_large += *std::max_element(l.begin(), l.end());
+  }
+  EXPECT_GT(max_small / 200.0, 0.7);   // near one-hot
+  EXPECT_LT(max_large / 200.0, 0.25);  // near uniform
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(43);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[rng.categorical(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(Rng, CategoricalRejectsZeroTotal) {
+  Rng rng(43);
+  std::vector<double> w = {0.0, 0.0};
+  EXPECT_THROW(rng.categorical(w), CheckError);
+}
+
+class SampleWithoutReplacementTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(SampleWithoutReplacementTest, DistinctAndInRange) {
+  auto [n, k] = GetParam();
+  Rng rng(47);
+  auto sample = rng.sample_without_replacement(static_cast<std::size_t>(n),
+                                               static_cast<std::size_t>(k));
+  EXPECT_EQ(sample.size(), static_cast<std::size_t>(k));
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), static_cast<std::size_t>(k));
+  for (std::size_t v : sample) EXPECT_LT(v, static_cast<std::size_t>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SampleWithoutReplacementTest,
+                         ::testing::Values(std::pair{1, 1}, std::pair{10, 10}, std::pair{10, 3},
+                                           std::pair{1000, 50}, std::pair{5000, 1},
+                                           std::pair{100, 99}));
+
+TEST(Rng, SampleWithoutReplacementTooManyThrows) {
+  Rng rng(51);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), CheckError);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(53);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng parent(59);
+  Rng child = parent.fork();
+  // Child stream shouldn't mirror the parent.
+  int same = 0;
+  for (int i = 0; i < 50; ++i)
+    if (parent.next_u64() == child.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Splitmix, AvalanchesOnAdjacentInputs) {
+  auto a = splitmix64(1), b = splitmix64(2);
+  EXPECT_NE(a, b);
+  int differing_bits = __builtin_popcountll(a ^ b);
+  EXPECT_GT(differing_bits, 10);
+}
+
+}  // namespace
+}  // namespace flint::util
