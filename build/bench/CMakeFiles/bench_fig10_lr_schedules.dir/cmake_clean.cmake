@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_lr_schedules.dir/bench_fig10_lr_schedules.cpp.o"
+  "CMakeFiles/bench_fig10_lr_schedules.dir/bench_fig10_lr_schedules.cpp.o.d"
+  "bench_fig10_lr_schedules"
+  "bench_fig10_lr_schedules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_lr_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_hardware_dist.dir/bench_fig1_hardware_dist.cpp.o"
+  "CMakeFiles/bench_fig1_hardware_dist.dir/bench_fig1_hardware_dist.cpp.o.d"
+  "bench_fig1_hardware_dist"
+  "bench_fig1_hardware_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_hardware_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

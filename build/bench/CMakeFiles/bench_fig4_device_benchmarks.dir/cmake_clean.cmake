@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_device_benchmarks.dir/bench_fig4_device_benchmarks.cpp.o"
+  "CMakeFiles/bench_fig4_device_benchmarks.dir/bench_fig4_device_benchmarks.cpp.o.d"
+  "bench_fig4_device_benchmarks"
+  "bench_fig4_device_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_device_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_device_eval.dir/bench_table5_device_eval.cpp.o"
+  "CMakeFiles/bench_table5_device_eval.dir/bench_table5_device_eval.cpp.o.d"
+  "bench_table5_device_eval"
+  "bench_table5_device_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_device_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

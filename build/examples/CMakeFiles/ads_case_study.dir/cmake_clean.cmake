@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ads_case_study.dir/ads_case_study.cpp.o"
+  "CMakeFiles/ads_case_study.dir/ads_case_study.cpp.o.d"
+  "ads_case_study"
+  "ads_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ads_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decision_workflow_demo.dir/decision_workflow_demo.cpp.o"
+  "CMakeFiles/decision_workflow_demo.dir/decision_workflow_demo.cpp.o.d"
+  "decision_workflow_demo"
+  "decision_workflow_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decision_workflow_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

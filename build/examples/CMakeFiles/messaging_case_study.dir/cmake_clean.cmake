@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/messaging_case_study.dir/messaging_case_study.cpp.o"
+  "CMakeFiles/messaging_case_study.dir/messaging_case_study.cpp.o.d"
+  "messaging_case_study"
+  "messaging_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/messaging_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

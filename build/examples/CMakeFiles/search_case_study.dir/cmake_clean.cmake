@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_case_study.dir/search_case_study.cpp.o"
+  "CMakeFiles/search_case_study.dir/search_case_study.cpp.o.d"
+  "search_case_study"
+  "search_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flint_compress.dir/flint/compress/quantize.cpp.o"
+  "CMakeFiles/flint_compress.dir/flint/compress/quantize.cpp.o.d"
+  "libflint_compress.a"
+  "libflint_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flint_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

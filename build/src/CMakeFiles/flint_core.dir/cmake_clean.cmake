@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flint_core.dir/flint/core/decision_workflow.cpp.o"
+  "CMakeFiles/flint_core.dir/flint/core/decision_workflow.cpp.o.d"
+  "CMakeFiles/flint_core.dir/flint/core/experiment.cpp.o"
+  "CMakeFiles/flint_core.dir/flint/core/experiment.cpp.o.d"
+  "CMakeFiles/flint_core.dir/flint/core/fairness.cpp.o"
+  "CMakeFiles/flint_core.dir/flint/core/fairness.cpp.o.d"
+  "CMakeFiles/flint_core.dir/flint/core/forecasting.cpp.o"
+  "CMakeFiles/flint_core.dir/flint/core/forecasting.cpp.o.d"
+  "CMakeFiles/flint_core.dir/flint/core/platform.cpp.o"
+  "CMakeFiles/flint_core.dir/flint/core/platform.cpp.o.d"
+  "CMakeFiles/flint_core.dir/flint/core/report.cpp.o"
+  "CMakeFiles/flint_core.dir/flint/core/report.cpp.o.d"
+  "libflint_core.a"
+  "libflint_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flint_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flint/data/client_dataset.cpp" "src/CMakeFiles/flint_data.dir/flint/data/client_dataset.cpp.o" "gcc" "src/CMakeFiles/flint_data.dir/flint/data/client_dataset.cpp.o.d"
+  "/root/repo/src/flint/data/dataset_stats.cpp" "src/CMakeFiles/flint_data.dir/flint/data/dataset_stats.cpp.o" "gcc" "src/CMakeFiles/flint_data.dir/flint/data/dataset_stats.cpp.o.d"
+  "/root/repo/src/flint/data/partitioner.cpp" "src/CMakeFiles/flint_data.dir/flint/data/partitioner.cpp.o" "gcc" "src/CMakeFiles/flint_data.dir/flint/data/partitioner.cpp.o.d"
+  "/root/repo/src/flint/data/proxy_generator.cpp" "src/CMakeFiles/flint_data.dir/flint/data/proxy_generator.cpp.o" "gcc" "src/CMakeFiles/flint_data.dir/flint/data/proxy_generator.cpp.o.d"
+  "/root/repo/src/flint/data/proxy_writer.cpp" "src/CMakeFiles/flint_data.dir/flint/data/proxy_writer.cpp.o" "gcc" "src/CMakeFiles/flint_data.dir/flint/data/proxy_writer.cpp.o.d"
+  "/root/repo/src/flint/data/synthetic_tasks.cpp" "src/CMakeFiles/flint_data.dir/flint/data/synthetic_tasks.cpp.o" "gcc" "src/CMakeFiles/flint_data.dir/flint/data/synthetic_tasks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flint_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flint_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flint_data.dir/flint/data/client_dataset.cpp.o"
+  "CMakeFiles/flint_data.dir/flint/data/client_dataset.cpp.o.d"
+  "CMakeFiles/flint_data.dir/flint/data/dataset_stats.cpp.o"
+  "CMakeFiles/flint_data.dir/flint/data/dataset_stats.cpp.o.d"
+  "CMakeFiles/flint_data.dir/flint/data/partitioner.cpp.o"
+  "CMakeFiles/flint_data.dir/flint/data/partitioner.cpp.o.d"
+  "CMakeFiles/flint_data.dir/flint/data/proxy_generator.cpp.o"
+  "CMakeFiles/flint_data.dir/flint/data/proxy_generator.cpp.o.d"
+  "CMakeFiles/flint_data.dir/flint/data/proxy_writer.cpp.o"
+  "CMakeFiles/flint_data.dir/flint/data/proxy_writer.cpp.o.d"
+  "CMakeFiles/flint_data.dir/flint/data/synthetic_tasks.cpp.o"
+  "CMakeFiles/flint_data.dir/flint/data/synthetic_tasks.cpp.o.d"
+  "libflint_data.a"
+  "libflint_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flint_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

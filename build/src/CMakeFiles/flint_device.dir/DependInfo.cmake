@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flint/device/attribute_profile.cpp" "src/CMakeFiles/flint_device.dir/flint/device/attribute_profile.cpp.o" "gcc" "src/CMakeFiles/flint_device.dir/flint/device/attribute_profile.cpp.o.d"
+  "/root/repo/src/flint/device/availability.cpp" "src/CMakeFiles/flint_device.dir/flint/device/availability.cpp.o" "gcc" "src/CMakeFiles/flint_device.dir/flint/device/availability.cpp.o.d"
+  "/root/repo/src/flint/device/benchmark_harness.cpp" "src/CMakeFiles/flint_device.dir/flint/device/benchmark_harness.cpp.o" "gcc" "src/CMakeFiles/flint_device.dir/flint/device/benchmark_harness.cpp.o.d"
+  "/root/repo/src/flint/device/device_catalog.cpp" "src/CMakeFiles/flint_device.dir/flint/device/device_catalog.cpp.o" "gcc" "src/CMakeFiles/flint_device.dir/flint/device/device_catalog.cpp.o.d"
+  "/root/repo/src/flint/device/device_store.cpp" "src/CMakeFiles/flint_device.dir/flint/device/device_store.cpp.o" "gcc" "src/CMakeFiles/flint_device.dir/flint/device/device_store.cpp.o.d"
+  "/root/repo/src/flint/device/hardware_distribution.cpp" "src/CMakeFiles/flint_device.dir/flint/device/hardware_distribution.cpp.o" "gcc" "src/CMakeFiles/flint_device.dir/flint/device/hardware_distribution.cpp.o.d"
+  "/root/repo/src/flint/device/session_generator.cpp" "src/CMakeFiles/flint_device.dir/flint/device/session_generator.cpp.o" "gcc" "src/CMakeFiles/flint_device.dir/flint/device/session_generator.cpp.o.d"
+  "/root/repo/src/flint/device/session_io.cpp" "src/CMakeFiles/flint_device.dir/flint/device/session_io.cpp.o" "gcc" "src/CMakeFiles/flint_device.dir/flint/device/session_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flint_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flint_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flint_device.dir/flint/device/attribute_profile.cpp.o"
+  "CMakeFiles/flint_device.dir/flint/device/attribute_profile.cpp.o.d"
+  "CMakeFiles/flint_device.dir/flint/device/availability.cpp.o"
+  "CMakeFiles/flint_device.dir/flint/device/availability.cpp.o.d"
+  "CMakeFiles/flint_device.dir/flint/device/benchmark_harness.cpp.o"
+  "CMakeFiles/flint_device.dir/flint/device/benchmark_harness.cpp.o.d"
+  "CMakeFiles/flint_device.dir/flint/device/device_catalog.cpp.o"
+  "CMakeFiles/flint_device.dir/flint/device/device_catalog.cpp.o.d"
+  "CMakeFiles/flint_device.dir/flint/device/device_store.cpp.o"
+  "CMakeFiles/flint_device.dir/flint/device/device_store.cpp.o.d"
+  "CMakeFiles/flint_device.dir/flint/device/hardware_distribution.cpp.o"
+  "CMakeFiles/flint_device.dir/flint/device/hardware_distribution.cpp.o.d"
+  "CMakeFiles/flint_device.dir/flint/device/session_generator.cpp.o"
+  "CMakeFiles/flint_device.dir/flint/device/session_generator.cpp.o.d"
+  "CMakeFiles/flint_device.dir/flint/device/session_io.cpp.o"
+  "CMakeFiles/flint_device.dir/flint/device/session_io.cpp.o.d"
+  "libflint_device.a"
+  "libflint_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flint_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

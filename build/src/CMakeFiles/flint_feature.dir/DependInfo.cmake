@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flint/feature/asset_manager.cpp" "src/CMakeFiles/flint_feature.dir/flint/feature/asset_manager.cpp.o" "gcc" "src/CMakeFiles/flint_feature.dir/flint/feature/asset_manager.cpp.o.d"
+  "/root/repo/src/flint/feature/feature_cache.cpp" "src/CMakeFiles/flint_feature.dir/flint/feature/feature_cache.cpp.o" "gcc" "src/CMakeFiles/flint_feature.dir/flint/feature/feature_cache.cpp.o.d"
+  "/root/repo/src/flint/feature/feature_catalog.cpp" "src/CMakeFiles/flint_feature.dir/flint/feature/feature_catalog.cpp.o" "gcc" "src/CMakeFiles/flint_feature.dir/flint/feature/feature_catalog.cpp.o.d"
+  "/root/repo/src/flint/feature/feature_hashing.cpp" "src/CMakeFiles/flint_feature.dir/flint/feature/feature_hashing.cpp.o" "gcc" "src/CMakeFiles/flint_feature.dir/flint/feature/feature_hashing.cpp.o.d"
+  "/root/repo/src/flint/feature/transform.cpp" "src/CMakeFiles/flint_feature.dir/flint/feature/transform.cpp.o" "gcc" "src/CMakeFiles/flint_feature.dir/flint/feature/transform.cpp.o.d"
+  "/root/repo/src/flint/feature/vocab.cpp" "src/CMakeFiles/flint_feature.dir/flint/feature/vocab.cpp.o" "gcc" "src/CMakeFiles/flint_feature.dir/flint/feature/vocab.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flint_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flint_feature.dir/flint/feature/asset_manager.cpp.o"
+  "CMakeFiles/flint_feature.dir/flint/feature/asset_manager.cpp.o.d"
+  "CMakeFiles/flint_feature.dir/flint/feature/feature_cache.cpp.o"
+  "CMakeFiles/flint_feature.dir/flint/feature/feature_cache.cpp.o.d"
+  "CMakeFiles/flint_feature.dir/flint/feature/feature_catalog.cpp.o"
+  "CMakeFiles/flint_feature.dir/flint/feature/feature_catalog.cpp.o.d"
+  "CMakeFiles/flint_feature.dir/flint/feature/feature_hashing.cpp.o"
+  "CMakeFiles/flint_feature.dir/flint/feature/feature_hashing.cpp.o.d"
+  "CMakeFiles/flint_feature.dir/flint/feature/transform.cpp.o"
+  "CMakeFiles/flint_feature.dir/flint/feature/transform.cpp.o.d"
+  "CMakeFiles/flint_feature.dir/flint/feature/vocab.cpp.o"
+  "CMakeFiles/flint_feature.dir/flint/feature/vocab.cpp.o.d"
+  "libflint_feature.a"
+  "libflint_feature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flint_feature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

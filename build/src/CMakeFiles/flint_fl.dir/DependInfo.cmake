@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flint/fl/client_selection.cpp" "src/CMakeFiles/flint_fl.dir/flint/fl/client_selection.cpp.o" "gcc" "src/CMakeFiles/flint_fl.dir/flint/fl/client_selection.cpp.o.d"
+  "/root/repo/src/flint/fl/fedavg.cpp" "src/CMakeFiles/flint_fl.dir/flint/fl/fedavg.cpp.o" "gcc" "src/CMakeFiles/flint_fl.dir/flint/fl/fedavg.cpp.o.d"
+  "/root/repo/src/flint/fl/fedbuff.cpp" "src/CMakeFiles/flint_fl.dir/flint/fl/fedbuff.cpp.o" "gcc" "src/CMakeFiles/flint_fl.dir/flint/fl/fedbuff.cpp.o.d"
+  "/root/repo/src/flint/fl/lr_schedule.cpp" "src/CMakeFiles/flint_fl.dir/flint/fl/lr_schedule.cpp.o" "gcc" "src/CMakeFiles/flint_fl.dir/flint/fl/lr_schedule.cpp.o.d"
+  "/root/repo/src/flint/fl/run_common.cpp" "src/CMakeFiles/flint_fl.dir/flint/fl/run_common.cpp.o" "gcc" "src/CMakeFiles/flint_fl.dir/flint/fl/run_common.cpp.o.d"
+  "/root/repo/src/flint/fl/task_duration.cpp" "src/CMakeFiles/flint_fl.dir/flint/fl/task_duration.cpp.o" "gcc" "src/CMakeFiles/flint_fl.dir/flint/fl/task_duration.cpp.o.d"
+  "/root/repo/src/flint/fl/trainer.cpp" "src/CMakeFiles/flint_fl.dir/flint/fl/trainer.cpp.o" "gcc" "src/CMakeFiles/flint_fl.dir/flint/fl/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flint_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flint_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flint_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flint_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flint_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flint_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flint_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flint_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flint_store.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flint_fl.dir/flint/fl/client_selection.cpp.o"
+  "CMakeFiles/flint_fl.dir/flint/fl/client_selection.cpp.o.d"
+  "CMakeFiles/flint_fl.dir/flint/fl/fedavg.cpp.o"
+  "CMakeFiles/flint_fl.dir/flint/fl/fedavg.cpp.o.d"
+  "CMakeFiles/flint_fl.dir/flint/fl/fedbuff.cpp.o"
+  "CMakeFiles/flint_fl.dir/flint/fl/fedbuff.cpp.o.d"
+  "CMakeFiles/flint_fl.dir/flint/fl/lr_schedule.cpp.o"
+  "CMakeFiles/flint_fl.dir/flint/fl/lr_schedule.cpp.o.d"
+  "CMakeFiles/flint_fl.dir/flint/fl/run_common.cpp.o"
+  "CMakeFiles/flint_fl.dir/flint/fl/run_common.cpp.o.d"
+  "CMakeFiles/flint_fl.dir/flint/fl/task_duration.cpp.o"
+  "CMakeFiles/flint_fl.dir/flint/fl/task_duration.cpp.o.d"
+  "CMakeFiles/flint_fl.dir/flint/fl/trainer.cpp.o"
+  "CMakeFiles/flint_fl.dir/flint/fl/trainer.cpp.o.d"
+  "libflint_fl.a"
+  "libflint_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flint_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

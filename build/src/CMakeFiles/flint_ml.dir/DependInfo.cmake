@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flint/ml/layers.cpp" "src/CMakeFiles/flint_ml.dir/flint/ml/layers.cpp.o" "gcc" "src/CMakeFiles/flint_ml.dir/flint/ml/layers.cpp.o.d"
+  "/root/repo/src/flint/ml/loss.cpp" "src/CMakeFiles/flint_ml.dir/flint/ml/loss.cpp.o" "gcc" "src/CMakeFiles/flint_ml.dir/flint/ml/loss.cpp.o.d"
+  "/root/repo/src/flint/ml/metrics.cpp" "src/CMakeFiles/flint_ml.dir/flint/ml/metrics.cpp.o" "gcc" "src/CMakeFiles/flint_ml.dir/flint/ml/metrics.cpp.o.d"
+  "/root/repo/src/flint/ml/model.cpp" "src/CMakeFiles/flint_ml.dir/flint/ml/model.cpp.o" "gcc" "src/CMakeFiles/flint_ml.dir/flint/ml/model.cpp.o.d"
+  "/root/repo/src/flint/ml/model_zoo.cpp" "src/CMakeFiles/flint_ml.dir/flint/ml/model_zoo.cpp.o" "gcc" "src/CMakeFiles/flint_ml.dir/flint/ml/model_zoo.cpp.o.d"
+  "/root/repo/src/flint/ml/optimizer.cpp" "src/CMakeFiles/flint_ml.dir/flint/ml/optimizer.cpp.o" "gcc" "src/CMakeFiles/flint_ml.dir/flint/ml/optimizer.cpp.o.d"
+  "/root/repo/src/flint/ml/serialize.cpp" "src/CMakeFiles/flint_ml.dir/flint/ml/serialize.cpp.o" "gcc" "src/CMakeFiles/flint_ml.dir/flint/ml/serialize.cpp.o.d"
+  "/root/repo/src/flint/ml/tensor.cpp" "src/CMakeFiles/flint_ml.dir/flint/ml/tensor.cpp.o" "gcc" "src/CMakeFiles/flint_ml.dir/flint/ml/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flint_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flint_ml.dir/flint/ml/layers.cpp.o"
+  "CMakeFiles/flint_ml.dir/flint/ml/layers.cpp.o.d"
+  "CMakeFiles/flint_ml.dir/flint/ml/loss.cpp.o"
+  "CMakeFiles/flint_ml.dir/flint/ml/loss.cpp.o.d"
+  "CMakeFiles/flint_ml.dir/flint/ml/metrics.cpp.o"
+  "CMakeFiles/flint_ml.dir/flint/ml/metrics.cpp.o.d"
+  "CMakeFiles/flint_ml.dir/flint/ml/model.cpp.o"
+  "CMakeFiles/flint_ml.dir/flint/ml/model.cpp.o.d"
+  "CMakeFiles/flint_ml.dir/flint/ml/model_zoo.cpp.o"
+  "CMakeFiles/flint_ml.dir/flint/ml/model_zoo.cpp.o.d"
+  "CMakeFiles/flint_ml.dir/flint/ml/optimizer.cpp.o"
+  "CMakeFiles/flint_ml.dir/flint/ml/optimizer.cpp.o.d"
+  "CMakeFiles/flint_ml.dir/flint/ml/serialize.cpp.o"
+  "CMakeFiles/flint_ml.dir/flint/ml/serialize.cpp.o.d"
+  "CMakeFiles/flint_ml.dir/flint/ml/tensor.cpp.o"
+  "CMakeFiles/flint_ml.dir/flint/ml/tensor.cpp.o.d"
+  "libflint_ml.a"
+  "libflint_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flint_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

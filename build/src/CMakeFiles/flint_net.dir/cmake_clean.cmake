@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flint_net.dir/flint/net/bandwidth_model.cpp.o"
+  "CMakeFiles/flint_net.dir/flint/net/bandwidth_model.cpp.o.d"
+  "libflint_net.a"
+  "libflint_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flint_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

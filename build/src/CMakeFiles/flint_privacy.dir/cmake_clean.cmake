@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flint_privacy.dir/flint/privacy/dp.cpp.o"
+  "CMakeFiles/flint_privacy.dir/flint/privacy/dp.cpp.o.d"
+  "CMakeFiles/flint_privacy.dir/flint/privacy/secure_agg.cpp.o"
+  "CMakeFiles/flint_privacy.dir/flint/privacy/secure_agg.cpp.o.d"
+  "libflint_privacy.a"
+  "libflint_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flint_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flint/sim/event_queue.cpp" "src/CMakeFiles/flint_sim.dir/flint/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/flint_sim.dir/flint/sim/event_queue.cpp.o.d"
+  "/root/repo/src/flint/sim/executor.cpp" "src/CMakeFiles/flint_sim.dir/flint/sim/executor.cpp.o" "gcc" "src/CMakeFiles/flint_sim.dir/flint/sim/executor.cpp.o.d"
+  "/root/repo/src/flint/sim/fault_injector.cpp" "src/CMakeFiles/flint_sim.dir/flint/sim/fault_injector.cpp.o" "gcc" "src/CMakeFiles/flint_sim.dir/flint/sim/fault_injector.cpp.o.d"
+  "/root/repo/src/flint/sim/leader.cpp" "src/CMakeFiles/flint_sim.dir/flint/sim/leader.cpp.o" "gcc" "src/CMakeFiles/flint_sim.dir/flint/sim/leader.cpp.o.d"
+  "/root/repo/src/flint/sim/scheduler.cpp" "src/CMakeFiles/flint_sim.dir/flint/sim/scheduler.cpp.o" "gcc" "src/CMakeFiles/flint_sim.dir/flint/sim/scheduler.cpp.o.d"
+  "/root/repo/src/flint/sim/sim_metrics.cpp" "src/CMakeFiles/flint_sim.dir/flint/sim/sim_metrics.cpp.o" "gcc" "src/CMakeFiles/flint_sim.dir/flint/sim/sim_metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flint_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flint_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flint_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flint_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flint_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

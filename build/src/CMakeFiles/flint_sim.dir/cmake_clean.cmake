@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flint_sim.dir/flint/sim/event_queue.cpp.o"
+  "CMakeFiles/flint_sim.dir/flint/sim/event_queue.cpp.o.d"
+  "CMakeFiles/flint_sim.dir/flint/sim/executor.cpp.o"
+  "CMakeFiles/flint_sim.dir/flint/sim/executor.cpp.o.d"
+  "CMakeFiles/flint_sim.dir/flint/sim/fault_injector.cpp.o"
+  "CMakeFiles/flint_sim.dir/flint/sim/fault_injector.cpp.o.d"
+  "CMakeFiles/flint_sim.dir/flint/sim/leader.cpp.o"
+  "CMakeFiles/flint_sim.dir/flint/sim/leader.cpp.o.d"
+  "CMakeFiles/flint_sim.dir/flint/sim/scheduler.cpp.o"
+  "CMakeFiles/flint_sim.dir/flint/sim/scheduler.cpp.o.d"
+  "CMakeFiles/flint_sim.dir/flint/sim/sim_metrics.cpp.o"
+  "CMakeFiles/flint_sim.dir/flint/sim/sim_metrics.cpp.o.d"
+  "libflint_sim.a"
+  "libflint_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flint_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flint/store/checkpoint.cpp" "src/CMakeFiles/flint_store.dir/flint/store/checkpoint.cpp.o" "gcc" "src/CMakeFiles/flint_store.dir/flint/store/checkpoint.cpp.o.d"
+  "/root/repo/src/flint/store/model_store.cpp" "src/CMakeFiles/flint_store.dir/flint/store/model_store.cpp.o" "gcc" "src/CMakeFiles/flint_store.dir/flint/store/model_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flint_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flint_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

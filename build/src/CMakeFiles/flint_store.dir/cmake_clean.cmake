@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flint_store.dir/flint/store/checkpoint.cpp.o"
+  "CMakeFiles/flint_store.dir/flint/store/checkpoint.cpp.o.d"
+  "CMakeFiles/flint_store.dir/flint/store/model_store.cpp.o"
+  "CMakeFiles/flint_store.dir/flint/store/model_store.cpp.o.d"
+  "libflint_store.a"
+  "libflint_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flint_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flint/util/config.cpp" "src/CMakeFiles/flint_util.dir/flint/util/config.cpp.o" "gcc" "src/CMakeFiles/flint_util.dir/flint/util/config.cpp.o.d"
+  "/root/repo/src/flint/util/csv.cpp" "src/CMakeFiles/flint_util.dir/flint/util/csv.cpp.o" "gcc" "src/CMakeFiles/flint_util.dir/flint/util/csv.cpp.o.d"
+  "/root/repo/src/flint/util/histogram.cpp" "src/CMakeFiles/flint_util.dir/flint/util/histogram.cpp.o" "gcc" "src/CMakeFiles/flint_util.dir/flint/util/histogram.cpp.o.d"
+  "/root/repo/src/flint/util/logging.cpp" "src/CMakeFiles/flint_util.dir/flint/util/logging.cpp.o" "gcc" "src/CMakeFiles/flint_util.dir/flint/util/logging.cpp.o.d"
+  "/root/repo/src/flint/util/rng.cpp" "src/CMakeFiles/flint_util.dir/flint/util/rng.cpp.o" "gcc" "src/CMakeFiles/flint_util.dir/flint/util/rng.cpp.o.d"
+  "/root/repo/src/flint/util/stats.cpp" "src/CMakeFiles/flint_util.dir/flint/util/stats.cpp.o" "gcc" "src/CMakeFiles/flint_util.dir/flint/util/stats.cpp.o.d"
+  "/root/repo/src/flint/util/table.cpp" "src/CMakeFiles/flint_util.dir/flint/util/table.cpp.o" "gcc" "src/CMakeFiles/flint_util.dir/flint/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flint_util.dir/flint/util/config.cpp.o"
+  "CMakeFiles/flint_util.dir/flint/util/config.cpp.o.d"
+  "CMakeFiles/flint_util.dir/flint/util/csv.cpp.o"
+  "CMakeFiles/flint_util.dir/flint/util/csv.cpp.o.d"
+  "CMakeFiles/flint_util.dir/flint/util/histogram.cpp.o"
+  "CMakeFiles/flint_util.dir/flint/util/histogram.cpp.o.d"
+  "CMakeFiles/flint_util.dir/flint/util/logging.cpp.o"
+  "CMakeFiles/flint_util.dir/flint/util/logging.cpp.o.d"
+  "CMakeFiles/flint_util.dir/flint/util/rng.cpp.o"
+  "CMakeFiles/flint_util.dir/flint/util/rng.cpp.o.d"
+  "CMakeFiles/flint_util.dir/flint/util/stats.cpp.o"
+  "CMakeFiles/flint_util.dir/flint/util/stats.cpp.o.d"
+  "CMakeFiles/flint_util.dir/flint/util/table.cpp.o"
+  "CMakeFiles/flint_util.dir/flint/util/table.cpp.o.d"
+  "libflint_util.a"
+  "libflint_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flint_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asset_manager_test.dir/asset_manager_test.cpp.o"
+  "CMakeFiles/asset_manager_test.dir/asset_manager_test.cpp.o.d"
+  "asset_manager_test"
+  "asset_manager_test.pdb"
+  "asset_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asset_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

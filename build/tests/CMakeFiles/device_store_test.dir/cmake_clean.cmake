@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_store_test.dir/device_store_test.cpp.o"
+  "CMakeFiles/device_store_test.dir/device_store_test.cpp.o.d"
+  "device_store_test"
+  "device_store_test.pdb"
+  "device_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/feature_test.cpp" "tests/CMakeFiles/feature_test.dir/feature_test.cpp.o" "gcc" "tests/CMakeFiles/feature_test.dir/feature_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flint_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flint_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flint_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flint_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flint_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flint_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flint_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flint_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flint_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flint_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flint_feature.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flint_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_fedavg_test.dir/fl_fedavg_test.cpp.o"
+  "CMakeFiles/fl_fedavg_test.dir/fl_fedavg_test.cpp.o.d"
+  "fl_fedavg_test"
+  "fl_fedavg_test.pdb"
+  "fl_fedavg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_fedavg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

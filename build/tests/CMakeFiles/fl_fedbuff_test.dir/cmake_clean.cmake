@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_fedbuff_test.dir/fl_fedbuff_test.cpp.o"
+  "CMakeFiles/fl_fedbuff_test.dir/fl_fedbuff_test.cpp.o.d"
+  "fl_fedbuff_test"
+  "fl_fedbuff_test.pdb"
+  "fl_fedbuff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_fedbuff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_property_test.dir/fl_property_test.cpp.o"
+  "CMakeFiles/fl_property_test.dir/fl_property_test.cpp.o.d"
+  "fl_property_test"
+  "fl_property_test.pdb"
+  "fl_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_unit_test.dir/fl_unit_test.cpp.o"
+  "CMakeFiles/fl_unit_test.dir/fl_unit_test.cpp.o.d"
+  "fl_unit_test"
+  "fl_unit_test.pdb"
+  "fl_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

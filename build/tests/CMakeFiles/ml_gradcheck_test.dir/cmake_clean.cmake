@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_gradcheck_test.dir/ml_gradcheck_test.cpp.o"
+  "CMakeFiles/ml_gradcheck_test.dir/ml_gradcheck_test.cpp.o.d"
+  "ml_gradcheck_test"
+  "ml_gradcheck_test.pdb"
+  "ml_gradcheck_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_gradcheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

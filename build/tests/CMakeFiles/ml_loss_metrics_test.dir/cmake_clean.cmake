@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_loss_metrics_test.dir/ml_loss_metrics_test.cpp.o"
+  "CMakeFiles/ml_loss_metrics_test.dir/ml_loss_metrics_test.cpp.o.d"
+  "ml_loss_metrics_test"
+  "ml_loss_metrics_test.pdb"
+  "ml_loss_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_loss_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

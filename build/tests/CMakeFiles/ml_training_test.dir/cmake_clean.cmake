@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_training_test.dir/ml_training_test.cpp.o"
+  "CMakeFiles/ml_training_test.dir/ml_training_test.cpp.o.d"
+  "ml_training_test"
+  "ml_training_test.pdb"
+  "ml_training_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_training_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serialize_session_io_test.dir/serialize_session_io_test.cpp.o"
+  "CMakeFiles/serialize_session_io_test.dir/serialize_session_io_test.cpp.o.d"
+  "serialize_session_io_test"
+  "serialize_session_io_test.pdb"
+  "serialize_session_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serialize_session_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

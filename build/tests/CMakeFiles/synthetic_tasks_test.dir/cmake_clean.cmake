@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_tasks_test.dir/synthetic_tasks_test.cpp.o"
+  "CMakeFiles/synthetic_tasks_test.dir/synthetic_tasks_test.cpp.o.d"
+  "synthetic_tasks_test"
+  "synthetic_tasks_test.pdb"
+  "synthetic_tasks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_tasks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
