@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# clang-tidy gate over src/ using the compile database.
+#
+# Usage:
+#   scripts/run_tidy.sh                # tidy everything under src/
+#   scripts/run_tidy.sh src/flint/sim  # tidy one subtree
+#
+# Exit codes: 0 clean (or clang-tidy unavailable — reported, gated, skipped),
+# 1 findings, 2 setup error. The container this repo builds in ships only gcc;
+# the gate degrades to a no-op there and runs for real in environments (CI
+# images, dev boxes) that have clang-tidy installed.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TARGET="${1:-src}"
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${JOBS:-$(nproc)}"
+
+TIDY="$(command -v clang-tidy || true)"
+if [ -z "$TIDY" ]; then
+  # Accept versioned binaries (clang-tidy-18 etc.), newest first.
+  for v in 21 20 19 18 17 16 15 14; do
+    if command -v "clang-tidy-$v" > /dev/null 2>&1; then
+      TIDY="clang-tidy-$v"
+      break
+    fi
+  done
+fi
+if [ -z "$TIDY" ]; then
+  echo "run_tidy.sh: clang-tidy not found on PATH — skipping tidy gate (install clang-tidy to enable)." >&2
+  exit 0
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_tidy.sh: $BUILD_DIR/compile_commands.json missing; configuring..." >&2
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null || exit 2
+fi
+
+mapfile -t FILES < <(find "$TARGET" -name '*.cpp' | sort)
+if [ "${#FILES[@]}" -eq 0 ]; then
+  echo "run_tidy.sh: no .cpp files under $TARGET" >&2
+  exit 2
+fi
+
+echo "run_tidy.sh: $TIDY over ${#FILES[@]} files ($TARGET)"
+if command -v run-clang-tidy > /dev/null 2>&1; then
+  run-clang-tidy -clang-tidy-binary "$TIDY" -p "$BUILD_DIR" -j "$JOBS" -quiet "${FILES[@]}"
+else
+  status=0
+  for f in "${FILES[@]}"; do
+    "$TIDY" -p "$BUILD_DIR" --quiet "$f" || status=1
+  done
+  exit "$status"
+fi

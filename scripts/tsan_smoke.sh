@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Fast ThreadSanitizer smoke: compiles tools/tsan_smoke.cpp plus the
+# checkpoint TU directly (no cmake tree) and runs it. Seconds, not minutes —
+# suitable as a ctest entry. For the full threaded test set under TSan use
+# scripts/run_sanitizers.sh thread [--fast].
+#
+# Usage: scripts/tsan_smoke.sh [output-binary-path]
+# Exit: 0 clean (or TSan unsupported by the compiler — reported, skipped),
+# nonzero on a data race or smoke failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT="${1:-build/tsan_smoke_bin}"
+CXX="${CXX:-g++}"
+mkdir -p "$(dirname "$OUT")"
+
+if ! "$CXX" -fsanitize=thread -pthread -x c++ -std=c++20 -o /dev/null - \
+    <<< 'int main(){}' 2> /dev/null; then
+  echo "tsan_smoke.sh: $CXX does not support -fsanitize=thread — skipping." >&2
+  exit 0
+fi
+
+"$CXX" -std=c++20 -O1 -g -fsanitize=thread -fno-omit-frame-pointer -pthread \
+  -I src tools/tsan_smoke.cpp src/flint/store/checkpoint.cpp -o "$OUT"
+
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" "$OUT"

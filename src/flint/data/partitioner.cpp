@@ -22,8 +22,12 @@ FederatedDataset partition_natural(const std::vector<ml::Example>& records,
 
 FederatedDataset partition_dirichlet(const std::vector<ml::Example>& records,
                                      const DirichletPartitionConfig& config, util::Rng& rng) {
-  FLINT_CHECK(config.clients > 0);
-  FLINT_CHECK(config.num_classes >= 1);
+  FLINT_CHECK_GT(config.clients, std::size_t{0});
+  FLINT_CHECK_GE(config.num_classes, std::size_t{1});
+  FLINT_CHECK_FINITE(config.quantity_alpha);
+  FLINT_CHECK_GT(config.quantity_alpha, 0.0);
+  FLINT_CHECK_FINITE(config.label_alpha);
+  FLINT_CHECK_GT(config.label_alpha, 0.0);
   FLINT_CHECK(!records.empty());
 
   // Quantity shares: how much of the corpus each client receives.
@@ -55,7 +59,8 @@ FederatedDataset partition_dirichlet(const std::vector<ml::Example>& records,
 
 FederatedDataset downsample_clients(const FederatedDataset& dataset, double keep_fraction,
                                     util::Rng& rng) {
-  FLINT_CHECK(keep_fraction > 0.0 && keep_fraction <= 1.0);
+  FLINT_CHECK_PROB(keep_fraction);
+  FLINT_CHECK_GT(keep_fraction, 0.0);
   FederatedDataset out;
   for (const auto& c : dataset.clients())
     if (rng.bernoulli(keep_fraction)) out.add_client(c);

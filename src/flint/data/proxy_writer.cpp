@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "flint/util/bytes.h"
 #include "flint/util/check.h"
 
 namespace flint::data {
@@ -42,18 +43,11 @@ std::int64_t unzigzag(std::uint64_t v) {
   return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
 }
 
-void put_float(std::vector<char>& out, float f) {
-  char buf[sizeof(float)];
-  std::memcpy(buf, &f, sizeof(float));
-  out.insert(out.end(), buf, buf + sizeof(float));
-}
+void put_float(std::vector<char>& out, float f) { util::append_pod(out, f); }
 
 float get_float(const std::vector<char>& in, std::size_t& offset) {
   FLINT_CHECK_MSG(offset + sizeof(float) <= in.size(), "truncated float");
-  float f;
-  std::memcpy(&f, in.data() + offset, sizeof(float));
-  offset += sizeof(float);
-  return f;
+  return util::read_pod<float>(in, offset);
 }
 
 void encode_client(std::vector<char>& out, const ClientDataset& client) {
@@ -114,8 +108,7 @@ std::uint64_t write_partition_file(const std::string& path,
   std::vector<char> out;
   out.insert(out.end(), kMagic, kMagic + 4);
   std::uint32_t count = static_cast<std::uint32_t>(clients.size());
-  out.insert(out.end(), reinterpret_cast<char*>(&count),
-             reinterpret_cast<char*>(&count) + sizeof(count));
+  util::append_pod(out, count);
   for (const auto& client : clients) encode_client(out, client);
 
   std::ofstream file(path, std::ios::binary);
@@ -132,9 +125,7 @@ std::vector<ClientDataset> read_partition_file(const std::string& path) {
   FLINT_CHECK_MSG(in.size() >= 8 && std::memcmp(in.data(), kMagic, 4) == 0,
                   "bad partition magic in " << path);
   std::size_t offset = 4;
-  std::uint32_t count;
-  std::memcpy(&count, in.data() + offset, sizeof(count));
-  offset += sizeof(count);
+  auto count = util::read_pod<std::uint32_t>(in, offset);
   std::vector<ClientDataset> clients;
   clients.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) clients.push_back(decode_client(in, offset));

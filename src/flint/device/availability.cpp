@@ -23,6 +23,13 @@ bool AvailabilityCriteria::accepts(const Session& session, const DeviceCatalog& 
 
 AvailabilityTrace::AvailabilityTrace(std::vector<AvailabilityWindow> windows)
     : windows_(std::move(windows)) {
+  // Windows come from session logs / generators (config-derived data): every
+  // downstream scheduler invariant assumes finite, non-empty windows.
+  for (const auto& w : windows_) {
+    FLINT_CHECK_FINITE(w.start);
+    FLINT_CHECK_FINITE(w.end);
+    FLINT_CHECK_LT(w.start, w.end);
+  }
   std::sort(windows_.begin(), windows_.end(),
             [](const AvailabilityWindow& a, const AvailabilityWindow& b) {
               return a.start < b.start;

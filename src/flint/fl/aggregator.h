@@ -22,9 +22,9 @@ class UpdateAccumulator {
   explicit UpdateAccumulator(std::size_t dim) : sum_(dim, 0.0) { FLINT_CHECK(dim > 0); }
 
   void add(std::span<const float> delta, double weight) {
-    FLINT_CHECK_MSG(delta.size() == sum_.size(),
-                    "delta dim " << delta.size() << " != accumulator dim " << sum_.size());
-    FLINT_CHECK(weight > 0.0);
+    FLINT_CHECK_EQ(delta.size(), sum_.size());
+    FLINT_CHECK_FINITE(weight);
+    FLINT_CHECK_GT(weight, 0.0);
     for (std::size_t i = 0; i < delta.size(); ++i)
       sum_[i] += weight * static_cast<double>(delta[i]);
     weight_sum_ += weight;
@@ -37,7 +37,11 @@ class UpdateAccumulator {
 
   /// Weighted mean of everything added since the last reset.
   std::vector<float> weighted_mean() const {
-    FLINT_CHECK_MSG(weight_sum_ > 0.0, "weighted_mean of empty accumulator");
+    // Weight conservation: the divisor must be the (positive, finite) sum of
+    // all weights accepted by add(); a NaN here means a client smuggled a
+    // non-finite weight past the per-update checks.
+    FLINT_CHECK_FINITE(weight_sum_);
+    FLINT_CHECK_GT(weight_sum_, 0.0);
     std::vector<float> out(sum_.size());
     for (std::size_t i = 0; i < sum_.size(); ++i)
       out[i] = static_cast<float>(sum_[i] / weight_sum_);
@@ -59,7 +63,8 @@ class UpdateAccumulator {
 /// Apply a server update: params += server_lr * mean_delta.
 inline void apply_server_update(std::vector<float>& params, std::span<const float> mean_delta,
                                 double server_lr) {
-  FLINT_CHECK(params.size() == mean_delta.size());
+  FLINT_CHECK_EQ(params.size(), mean_delta.size());
+  FLINT_CHECK_FINITE(server_lr);
   for (std::size_t i = 0; i < params.size(); ++i)
     params[i] += static_cast<float>(server_lr) * mean_delta[i];
 }
@@ -70,8 +75,11 @@ class ServerOptimizer {
  public:
   ServerOptimizer(double server_lr, double momentum)
       : server_lr_(server_lr), momentum_(momentum) {
-    FLINT_CHECK(server_lr > 0.0);
-    FLINT_CHECK(momentum >= 0.0 && momentum < 1.0);
+    FLINT_CHECK_FINITE(server_lr);
+    FLINT_CHECK_GT(server_lr, 0.0);
+    FLINT_CHECK_FINITE(momentum);
+    FLINT_CHECK_GE(momentum, 0.0);
+    FLINT_CHECK_LT(momentum, 1.0);
   }
 
   /// Apply one aggregated delta to the global parameters.
@@ -80,7 +88,7 @@ class ServerOptimizer {
       apply_server_update(params, mean_delta, server_lr_);
       return;
     }
-    FLINT_CHECK(params.size() == mean_delta.size());
+    FLINT_CHECK_EQ(params.size(), mean_delta.size());
     if (velocity_.size() != params.size()) velocity_.assign(params.size(), 0.0f);
     for (std::size_t i = 0; i < params.size(); ++i) {
       velocity_[i] = static_cast<float>(momentum_) * velocity_[i] + mean_delta[i];

@@ -10,8 +10,9 @@ namespace flint::fl {
 std::vector<sim::Arrival> select_cohort(sim::ArrivalScheduler& scheduler, sim::VirtualTime t,
                                         std::size_t count, const ExcludedUntilFn& excluded_until,
                                         double max_wait_s) {
-  FLINT_CHECK(count > 0);
-  FLINT_CHECK(max_wait_s >= 0.0);
+  FLINT_CHECK_GT(count, std::size_t{0});
+  FLINT_CHECK_FINITE(max_wait_s);
+  FLINT_CHECK_GE(max_wait_s, 0.0);
   std::vector<sim::Arrival> cohort;
   std::unordered_set<std::uint64_t> picked;
   sim::VirtualTime cursor = t;
@@ -40,8 +41,9 @@ std::vector<sim::Arrival> select_cohort(sim::ArrivalScheduler& scheduler, sim::V
 }
 
 std::size_t overcommitted_size(std::size_t cohort, double factor) {
-  FLINT_CHECK(cohort > 0);
-  FLINT_CHECK(factor >= 1.0);
+  FLINT_CHECK_GT(cohort, std::size_t{0});
+  FLINT_CHECK_FINITE(factor);
+  FLINT_CHECK_GE(factor, 1.0);
   return static_cast<std::size_t>(std::ceil(static_cast<double>(cohort) * factor));
 }
 

@@ -26,8 +26,9 @@ struct CohortTask {
 RunResult run_fedavg(const SyncConfig& config) {
   const RunInputs& in = config.inputs;
   validate_common_inputs(in);
-  FLINT_CHECK(config.cohort_size > 0);
-  FLINT_CHECK(config.round_deadline_s > 0.0);
+  FLINT_CHECK_GT(config.cohort_size, std::size_t{0});
+  FLINT_CHECK_FINITE(config.round_deadline_s);
+  FLINT_CHECK_GT(config.round_deadline_s, 0.0);
 
   util::Rng rng(in.seed);
   sim::Leader leader(in.leader, *in.trace);

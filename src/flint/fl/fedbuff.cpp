@@ -61,6 +61,9 @@ void aggregate(FedBuffState& s) {
   double mean_staleness =
       s.accumulator->empty() ? 0.0
                              : s.staleness_sum / static_cast<double>(s.accumulator->count());
+  // Every buffered update passed the staleness gate individually, so the
+  // buffer mean must respect the configured bound too.
+  FLINT_CHECK_LE(mean_staleness, static_cast<double>(s.config->max_staleness));
   std::size_t aggregated = s.accumulator->count();
   if (!in.model_free) {
     auto mean = s.accumulator->weighted_mean();
@@ -90,6 +93,9 @@ void on_task_end(FedBuffState& s, const InFlight& task, bool interrupted) {
   if (interrupted) {
     tr.outcome = sim::TaskOutcome::kInterrupted;
   } else {
+    // Staleness bound: a task can never have trained on a model version the
+    // server hasn't produced yet (unsigned subtraction would wrap).
+    FLINT_CHECK_GE(s.version, task.spec.model_version);
     std::uint64_t staleness = s.version - task.spec.model_version;
     if (s.done || staleness > s.config->max_staleness) {
       tr.outcome = sim::TaskOutcome::kStale;
@@ -220,8 +226,8 @@ void pump(FedBuffState& s) {
 RunResult run_fedbuff(const AsyncConfig& config) {
   const RunInputs& in = config.inputs;
   validate_common_inputs(in);
-  FLINT_CHECK(config.buffer_size > 0);
-  FLINT_CHECK(config.max_concurrency > 0);
+  FLINT_CHECK_GT(config.buffer_size, std::size_t{0});
+  FLINT_CHECK_GT(config.max_concurrency, std::size_t{0});
 
   FedBuffState s;
   s.config = &config;

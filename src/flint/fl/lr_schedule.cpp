@@ -15,7 +15,8 @@ LrSchedule::LrSchedule(Kind kind, double initial, double decay_rate, std::uint64
       period_(period),
       staircase_(staircase),
       min_lr_(min_lr) {
-  FLINT_CHECK(initial > 0.0);
+  FLINT_CHECK_FINITE(initial);
+  FLINT_CHECK_GT(initial, 0.0);
 }
 
 LrSchedule LrSchedule::constant(double lr) {
@@ -25,13 +26,14 @@ LrSchedule LrSchedule::constant(double lr) {
 LrSchedule LrSchedule::exponential_decay(double initial, double decay_rate,
                                          std::uint64_t decay_rounds, bool staircase,
                                          double min_lr) {
-  FLINT_CHECK(decay_rate > 0.0 && decay_rate <= 1.0);
-  FLINT_CHECK(decay_rounds > 0);
+  FLINT_CHECK_GT(decay_rate, 0.0);
+  FLINT_CHECK_LE(decay_rate, 1.0);
+  FLINT_CHECK_GT(decay_rounds, std::uint64_t{0});
   return LrSchedule(Kind::kExponential, initial, decay_rate, decay_rounds, staircase, min_lr);
 }
 
 LrSchedule LrSchedule::inverse_sqrt(double initial, std::uint64_t warmup_rounds) {
-  FLINT_CHECK(warmup_rounds > 0);
+  FLINT_CHECK_GT(warmup_rounds, std::uint64_t{0});
   return LrSchedule(Kind::kInverseSqrt, initial, 1.0, warmup_rounds, false, 0.0);
 }
 

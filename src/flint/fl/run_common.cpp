@@ -24,8 +24,16 @@ void validate_common_inputs(const RunInputs& inputs) {
     FLINT_CHECK_MSG(inputs.model_template != nullptr, "run needs a model template");
     FLINT_CHECK_MSG(inputs.dataset != nullptr, "run needs a federated dataset");
   }
-  FLINT_CHECK(inputs.max_rounds > 0);
-  FLINT_CHECK(inputs.server_lr > 0.0);
+  FLINT_CHECK_GT(inputs.max_rounds, std::uint64_t{0});
+  FLINT_CHECK_FINITE(inputs.server_lr);
+  FLINT_CHECK_GT(inputs.server_lr, 0.0);
+  FLINT_CHECK_FINITE(inputs.server_momentum);
+  FLINT_CHECK_GE(inputs.server_momentum, 0.0);
+  FLINT_CHECK_LT(inputs.server_momentum, 1.0);
+  FLINT_CHECK_FINITE(inputs.max_virtual_s);
+  FLINT_CHECK_GT(inputs.max_virtual_s, 0.0);
+  FLINT_CHECK_FINITE(inputs.reparticipation_gap_s);
+  FLINT_CHECK_GE(inputs.reparticipation_gap_s, 0.0);
 }
 
 }  // namespace flint::fl

@@ -8,15 +8,16 @@ TaskDurationModel::TaskDurationModel(const TaskDurationConfig& config,
                                      const device::DeviceCatalog& catalog,
                                      const net::BandwidthModel& bandwidth)
     : config_(config), catalog_(&catalog), bandwidth_(&bandwidth) {
-  FLINT_CHECK(config.base_time_per_example_s > 0.0);
-  FLINT_CHECK(config.local_epochs >= 1);
-  FLINT_CHECK(config.update_bytes > 0);
+  FLINT_CHECK_FINITE(config.base_time_per_example_s);
+  FLINT_CHECK_GT(config.base_time_per_example_s, 0.0);
+  FLINT_CHECK_GE(config.local_epochs, 1);
+  FLINT_CHECK_GT(config.update_bytes, std::uint64_t{0});
 }
 
 TaskDurationModel::Sample TaskDurationModel::sample(std::size_t device_index,
                                                     std::size_t examples,
                                                     util::Rng& rng) const {
-  FLINT_CHECK(examples > 0);
+  FLINT_CHECK_GT(examples, std::size_t{0});
   const device::DeviceProfile& dev = catalog_->profile(device_index);
   // t ~ T: fleet-mean per-example time scaled by the device's effective
   // speed for this model plus run-to-run jitter.

@@ -6,12 +6,16 @@ namespace flint::ml {
 
 SgdOptimizer::SgdOptimizer(double momentum, double weight_decay)
     : momentum_(momentum), weight_decay_(weight_decay) {
-  FLINT_CHECK(momentum >= 0.0 && momentum < 1.0);
-  FLINT_CHECK(weight_decay >= 0.0);
+  FLINT_CHECK_FINITE(momentum);
+  FLINT_CHECK_GE(momentum, 0.0);
+  FLINT_CHECK_LT(momentum, 1.0);
+  FLINT_CHECK_FINITE(weight_decay);
+  FLINT_CHECK_GE(weight_decay, 0.0);
 }
 
 void SgdOptimizer::step(const std::vector<Parameter*>& params, double lr) {
-  FLINT_CHECK(lr >= 0.0);
+  FLINT_CHECK_FINITE(lr);
+  FLINT_CHECK_GE(lr, 0.0);
   if (momentum_ > 0.0 && velocity_.size() != params.size()) {
     velocity_.clear();
     velocity_.reserve(params.size());
@@ -42,11 +46,15 @@ void SgdOptimizer::step(const std::vector<Parameter*>& params, double lr) {
 void SgdOptimizer::reset() { velocity_.clear(); }
 
 double clip_gradients(const std::vector<Parameter*>& params, double max_norm) {
-  FLINT_CHECK(max_norm > 0.0);
+  FLINT_CHECK_FINITE(max_norm);
+  FLINT_CHECK_GT(max_norm, 0.0);
   double sq = 0.0;
   for (Parameter* p : params)
     for (float g : p->grad.flat()) sq += static_cast<double>(g) * g;
   double norm = std::sqrt(sq);
+  // A non-finite gradient norm means training has already diverged; clipping
+  // would silently turn every weight into NaN on the next step.
+  FLINT_CHECK_FINITE(norm);
   if (norm > max_norm) {
     auto scale = static_cast<float>(max_norm / norm);
     for (Parameter* p : params)

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "flint/util/bytes.h"
 #include "flint/util/check.h"
 
 namespace flint::ml {
@@ -15,19 +16,13 @@ constexpr std::uint8_t kKindConvText = 2;
 
 template <typename T>
 void put(std::vector<char>& out, const T& v) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  const char* p = reinterpret_cast<const char*>(&v);
-  out.insert(out.end(), p, p + sizeof(T));
+  util::append_pod(out, v);
 }
 
 template <typename T>
 T get(const std::vector<char>& in, std::size_t& offset) {
-  static_assert(std::is_trivially_copyable_v<T>);
   FLINT_CHECK_MSG(offset + sizeof(T) <= in.size(), "truncated model blob");
-  T v;
-  std::memcpy(&v, in.data() + offset, sizeof(T));
-  offset += sizeof(T);
-  return v;
+  return util::read_pod<T>(in, offset);
 }
 
 void put_sizes(std::vector<char>& out, const std::vector<std::size_t>& sizes) {
@@ -102,8 +97,7 @@ std::vector<char> serialize_model(Model& model) {
   }
   std::vector<float> params = model.get_flat_parameters();
   put(out, static_cast<std::uint64_t>(params.size()));
-  const char* p = reinterpret_cast<const char*>(params.data());
-  out.insert(out.end(), p, p + params.size() * sizeof(float));
+  util::append_pod_array(out, params.data(), params.size());
   return out;
 }
 
@@ -129,7 +123,7 @@ std::unique_ptr<Model> deserialize_model(const std::vector<char>& bytes) {
                               << model->parameter_count());
   FLINT_CHECK_MSG(offset + count * sizeof(float) <= bytes.size(), "truncated weights");
   std::vector<float> params(count);
-  std::memcpy(params.data(), bytes.data() + offset, count * sizeof(float));
+  util::read_pod_array(bytes, offset, params.data(), params.size());
   model->set_flat_parameters(params);
   return model;
 }

@@ -8,8 +8,7 @@ namespace flint::ml {
 
 Tensor::Tensor(std::size_t rows, std::size_t cols, std::vector<float> data)
     : rows_(rows), cols_(cols), data_(std::move(data)) {
-  FLINT_CHECK_MSG(data_.size() == rows_ * cols_,
-                  "tensor data size " << data_.size() << " != " << rows_ << "x" << cols_);
+  FLINT_CHECK_EQ(data_.size(), rows_ * cols_);
 }
 
 Tensor Tensor::from_vector(std::vector<float> v) {
@@ -60,8 +59,7 @@ float Tensor::l2_norm() const {
 }
 
 Tensor Tensor::matmul(const Tensor& rhs) const {
-  FLINT_CHECK_MSG(cols_ == rhs.rows_,
-                  "matmul shape mismatch: " << shape_string() << " x " << rhs.shape_string());
+  FLINT_CHECK_EQ(cols_, rhs.rows_);
   Tensor out(rows_, rhs.cols_);
   // ikj loop order keeps the inner loop streaming over contiguous memory.
   for (std::size_t i = 0; i < rows_; ++i) {
@@ -78,8 +76,7 @@ Tensor Tensor::matmul(const Tensor& rhs) const {
 }
 
 Tensor Tensor::transposed_matmul(const Tensor& rhs) const {
-  FLINT_CHECK_MSG(rows_ == rhs.rows_, "transposed_matmul shape mismatch: " << shape_string()
-                                                                           << " vs " << rhs.shape_string());
+  FLINT_CHECK_EQ(rows_, rhs.rows_);
   Tensor out(cols_, rhs.cols_);
   for (std::size_t k = 0; k < rows_; ++k) {
     const float* a_row = &data_[k * cols_];
@@ -95,8 +92,7 @@ Tensor Tensor::transposed_matmul(const Tensor& rhs) const {
 }
 
 Tensor Tensor::matmul_transposed(const Tensor& rhs) const {
-  FLINT_CHECK_MSG(cols_ == rhs.cols_, "matmul_transposed shape mismatch: "
-                                          << shape_string() << " vs " << rhs.shape_string());
+  FLINT_CHECK_EQ(cols_, rhs.cols_);
   Tensor out(rows_, rhs.rows_);
   for (std::size_t i = 0; i < rows_; ++i) {
     const float* a_row = &data_[i * cols_];

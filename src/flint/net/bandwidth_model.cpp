@@ -6,7 +6,8 @@
 namespace flint::net {
 
 FixedBandwidthModel::FixedBandwidthModel(double mbps) : mbps_(mbps) {
-  FLINT_CHECK(mbps > 0.0);
+  FLINT_CHECK_FINITE(mbps);
+  FLINT_CHECK_GT(mbps, 0.0);
 }
 
 double FixedBandwidthModel::sample_mbps(util::Rng& rng) const {
@@ -26,9 +27,12 @@ PufferLikeBandwidthModel::PufferLikeBandwidthModel(std::vector<BandwidthComponen
                                                    double floor_mbps, double ceil_mbps)
     : components_(std::move(components)), floor_mbps_(floor_mbps), ceil_mbps_(ceil_mbps) {
   FLINT_CHECK(!components_.empty());
-  FLINT_CHECK(floor_mbps_ > 0.0 && ceil_mbps_ > floor_mbps_);
+  FLINT_CHECK_GT(floor_mbps_, 0.0);
+  FLINT_CHECK_GT(ceil_mbps_, floor_mbps_);
   for (const auto& c : components_) {
-    FLINT_CHECK(c.weight > 0.0 && c.sigma > 0.0);
+    FLINT_CHECK_FINITE(c.mu);
+    FLINT_CHECK_GT(c.weight, 0.0);
+    FLINT_CHECK_GT(c.sigma, 0.0);
     weights_.push_back(c.weight);
   }
 }
@@ -40,7 +44,8 @@ double PufferLikeBandwidthModel::sample_mbps(util::Rng& rng) const {
 }
 
 double transfer_seconds(std::uint64_t bytes, double mbps) {
-  FLINT_CHECK(mbps > 0.0);
+  FLINT_CHECK_FINITE(mbps);
+  FLINT_CHECK_GT(mbps, 0.0);
   return static_cast<double>(bytes) * 8.0 / (mbps * 1e6);
 }
 

@@ -7,7 +7,8 @@
 namespace flint::privacy {
 
 double clip_update(std::vector<float>& update, double clip_norm) {
-  FLINT_CHECK(clip_norm > 0.0);
+  FLINT_CHECK_FINITE(clip_norm);
+  FLINT_CHECK_GT(clip_norm, 0.0);
   double sq = 0.0;
   for (float v : update) sq += static_cast<double>(v) * v;
   double norm = std::sqrt(sq);
@@ -19,14 +20,15 @@ double clip_update(std::vector<float>& update, double clip_norm) {
 }
 
 void add_gaussian_noise(std::vector<float>& update, double stddev, util::Rng& rng) {
-  FLINT_CHECK(stddev >= 0.0);
+  FLINT_CHECK_FINITE(stddev);
+  FLINT_CHECK_GE(stddev, 0.0);
   if (stddev == 0.0) return;
   for (float& v : update) v += static_cast<float>(rng.normal(0.0, stddev));
 }
 
 double apply_dp(std::vector<float>& update, const DpConfig& config, std::size_t participants,
                 util::Rng& rng) {
-  FLINT_CHECK(participants > 0);
+  FLINT_CHECK_GT(participants, std::size_t{0});
   double norm = clip_update(update, config.clip_norm);
   double stddev =
       config.noise_multiplier * config.clip_norm / static_cast<double>(participants);
@@ -36,9 +38,12 @@ double apply_dp(std::vector<float>& update, const DpConfig& config, std::size_t 
 
 DpAccountant::DpAccountant(const DpConfig& config, double sampling_rate)
     : config_(config), sampling_rate_(sampling_rate) {
-  FLINT_CHECK(config.noise_multiplier > 0.0);
-  FLINT_CHECK(config.delta > 0.0 && config.delta < 1.0);
-  FLINT_CHECK(sampling_rate > 0.0 && sampling_rate <= 1.0);
+  FLINT_CHECK_GT(config.noise_multiplier, 0.0);
+  FLINT_CHECK_PROB(config.delta);
+  FLINT_CHECK_GT(config.delta, 0.0);
+  FLINT_CHECK_LT(config.delta, 1.0);
+  FLINT_CHECK_PROB(sampling_rate);
+  FLINT_CHECK_GT(sampling_rate, 0.0);
 }
 
 double DpAccountant::epsilon() const {
@@ -49,7 +54,8 @@ double DpAccountant::epsilon() const {
 }
 
 std::uint64_t DpAccountant::rounds_until(double epsilon_budget) const {
-  FLINT_CHECK(epsilon_budget > 0.0);
+  FLINT_CHECK_FINITE(epsilon_budget);
+  FLINT_CHECK_GT(epsilon_budget, 0.0);
   // Invert epsilon(T) = q * sqrt(2 T ln(1/delta)) / sigma for T.
   double ratio = epsilon_budget * config_.noise_multiplier / sampling_rate_;
   double t_max = ratio * ratio / (2.0 * std::log(1.0 / config_.delta));

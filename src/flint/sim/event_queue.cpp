@@ -5,12 +5,14 @@
 namespace flint::sim {
 
 void EventQueue::schedule(VirtualTime t, std::function<void()> fn) {
-  FLINT_CHECK_MSG(t >= now_, "cannot schedule in the past: " << t << " < " << now_);
+  FLINT_CHECK_FINITE(t);
+  FLINT_CHECK_GE(t, now_);
   heap_.push({t, next_seq_++, std::move(fn)});
 }
 
 void EventQueue::schedule_in(VirtualTime delay, std::function<void()> fn) {
-  FLINT_CHECK(delay >= 0.0);
+  FLINT_CHECK_FINITE(delay);
+  FLINT_CHECK_GE(delay, 0.0);
   schedule(now_ + delay, std::move(fn));
 }
 
@@ -19,6 +21,10 @@ bool EventQueue::step() {
   // Copy out before pop so the callback can schedule new events freely.
   Event ev = heap_.top();
   heap_.pop();
+  // Virtual-clock monotonicity: the heap can never yield an event earlier
+  // than the last one executed (schedule() rejects past times, so a
+  // violation here means heap-order corruption).
+  FLINT_CHECK_GE(ev.time, now_);
   now_ = ev.time;
   ++executed_;
   ev.fn();
@@ -32,7 +38,8 @@ void EventQueue::run(std::uint64_t max_events) {
 }
 
 void EventQueue::run_until(VirtualTime t) {
-  FLINT_CHECK(t >= now_);
+  FLINT_CHECK_FINITE(t);
+  FLINT_CHECK_GE(t, now_);
   while (!heap_.empty() && heap_.top().time <= t) step();
   now_ = t;
 }

@@ -13,6 +13,11 @@ Leader::Leader(const LeaderConfig& config, const device::AvailabilityTrace& trac
 
 void Leader::on_aggregation(std::uint64_t round, const std::vector<float>& model_parameters,
                             std::uint64_t tasks_completed) {
+  // Aggregations are numbered from 1 and arrive in order on the virtual
+  // clock; a regression here means a runner replayed or skipped a round.
+  FLINT_CHECK_GT(round, std::uint64_t{0});
+  FLINT_CHECK_GT(round, last_aggregation_round_);
+  last_aggregation_round_ = round;
   if (config_.checkpoint_every_rounds == 0) return;
   if (round % config_.checkpoint_every_rounds != 0) return;
   store::SimCheckpoint ckpt;

@@ -52,6 +52,7 @@ class Leader {
   ExecutorPool executors_;
   SimMetrics metrics_;
   std::uint64_t checkpoints_written_ = 0;
+  std::uint64_t last_aggregation_round_ = 0;
 };
 
 }  // namespace flint::sim

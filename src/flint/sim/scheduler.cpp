@@ -20,23 +20,31 @@ std::optional<Arrival> ArrivalScheduler::trace_candidate(VirtualTime t) {
 }
 
 std::optional<Arrival> ArrivalScheduler::next(VirtualTime t) {
+  FLINT_CHECK_FINITE(t);
   // Drop requeued arrivals whose window has closed.
   while (!requeued_.empty() && requeued_.top().window_end <= t) requeued_.pop();
 
+  std::optional<Arrival> picked;
   std::optional<Arrival> from_trace = trace_candidate(t);
   if (!requeued_.empty()) {
     Arrival r = requeued_.top();
     r.time = std::max(r.time, t);
     if (!from_trace.has_value() || r.time <= from_trace->time) {
       requeued_.pop();
-      return r;
+      picked = r;
     }
   }
-  if (from_trace.has_value()) {
+  if (!picked.has_value() && from_trace.has_value()) {
     ++cursor_;  // consume the trace window
-    return from_trace;
+    picked = from_trace;
   }
-  return std::nullopt;
+  if (picked.has_value()) {
+    // Priority order: arrivals are delivered at or after the query time and
+    // strictly inside their availability window.
+    FLINT_CHECK_GE(picked->time, t);
+    FLINT_CHECK_LT(picked->time, picked->window_end);
+  }
+  return picked;
 }
 
 std::optional<VirtualTime> ArrivalScheduler::peek_time(VirtualTime t) {
@@ -52,7 +60,8 @@ std::optional<VirtualTime> ArrivalScheduler::peek_time(VirtualTime t) {
 }
 
 void ArrivalScheduler::requeue(Arrival arrival, VirtualTime retry_time) {
-  FLINT_CHECK(retry_time >= arrival.time);
+  FLINT_CHECK_FINITE(retry_time);
+  FLINT_CHECK_GE(retry_time, arrival.time);
   if (retry_time >= arrival.window_end) return;  // nothing left of the window
   arrival.time = retry_time;
   requeued_.push(arrival);

@@ -7,6 +7,14 @@
 namespace flint::sim {
 
 void SimMetrics::on_task_finished(const TaskResult& result) {
+  // Task-state transition: a task can only finish after being started, and
+  // only once (finished counts never exceed started).
+  std::uint64_t finished =
+      tasks_succeeded_ + tasks_interrupted_ + tasks_stale_ + tasks_failed_;
+  FLINT_CHECK_LT(finished, tasks_started_);
+  FLINT_CHECK_GE(result.spent_compute_s, 0.0);
+  FLINT_CHECK_FINITE(result.spent_compute_s);
+  FLINT_CHECK_GE(result.finish_time, result.spec.dispatch_time);
   client_compute_s_ += result.spent_compute_s;
   switch (result.outcome) {
     case TaskOutcome::kSucceeded:
@@ -19,6 +27,18 @@ void SimMetrics::on_task_finished(const TaskResult& result) {
   }
 }
 
+void SimMetrics::on_round(const RoundRecord& record) {
+  // Rounds are recorded in aggregation order over a monotone virtual clock.
+  FLINT_CHECK_GE(record.end, record.start);
+  FLINT_CHECK_FINITE(record.mean_staleness);
+  FLINT_CHECK_GE(record.mean_staleness, 0.0);
+  if (!rounds_.empty()) {
+    FLINT_CHECK_GT(record.round, rounds_.back().round);
+    FLINT_CHECK_GE(record.start, rounds_.back().start);
+  }
+  rounds_.push_back(record);
+}
+
 double SimMetrics::mean_round_duration_s() const {
   if (rounds_.empty()) return 0.0;
   double total = 0.0;
@@ -27,7 +47,8 @@ double SimMetrics::mean_round_duration_s() const {
 }
 
 double SimMetrics::updates_per_second(VirtualTime horizon) const {
-  FLINT_CHECK(horizon > 0.0);
+  FLINT_CHECK_GT(horizon, 0.0);
+  FLINT_CHECK_FINITE(horizon);
   std::uint64_t updates = 0;
   for (const auto& r : rounds_) updates += r.updates_aggregated;
   return static_cast<double>(updates) / horizon;

@@ -35,7 +35,7 @@ class SimMetrics {
  public:
   void on_task_started() { ++tasks_started_; }
   void on_task_finished(const TaskResult& result);
-  void on_round(const RoundRecord& record) { rounds_.push_back(record); }
+  void on_round(const RoundRecord& record);
 
   std::uint64_t tasks_started() const { return tasks_started_; }
   std::uint64_t tasks_succeeded() const { return tasks_succeeded_; }

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "flint/util/bytes.h"
 #include "flint/util/check.h"
 
 namespace flint::store {
@@ -31,16 +32,11 @@ int seq_of(const fs::path& path) {
 std::vector<char> serialize_checkpoint(const SimCheckpoint& c) {
   std::vector<char> out;
   out.insert(out.end(), kMagic, kMagic + 4);
-  auto append = [&out](const void* p, std::size_t n) {
-    const char* b = static_cast<const char*>(p);
-    out.insert(out.end(), b, b + n);
-  };
-  append(&c.virtual_time_s, sizeof(c.virtual_time_s));
-  append(&c.round, sizeof(c.round));
-  append(&c.tasks_completed, sizeof(c.tasks_completed));
-  std::uint64_t n = c.model_parameters.size();
-  append(&n, sizeof(n));
-  append(c.model_parameters.data(), n * sizeof(float));
+  util::append_pod(out, c.virtual_time_s);
+  util::append_pod(out, c.round);
+  util::append_pod(out, c.tasks_completed);
+  util::append_pod(out, static_cast<std::uint64_t>(c.model_parameters.size()));
+  util::append_pod_array(out, c.model_parameters.data(), c.model_parameters.size());
   return out;
 }
 
@@ -48,19 +44,16 @@ SimCheckpoint deserialize_checkpoint(const std::vector<char>& bytes) {
   FLINT_CHECK_MSG(bytes.size() >= 4 && std::memcmp(bytes.data(), kMagic, 4) == 0,
                   "bad checkpoint magic");
   std::size_t offset = 4;
-  auto read = [&](void* p, std::size_t n) {
-    FLINT_CHECK_MSG(offset + n <= bytes.size(), "truncated checkpoint");
-    std::memcpy(p, bytes.data() + offset, n);
-    offset += n;
-  };
   SimCheckpoint c;
-  read(&c.virtual_time_s, sizeof(c.virtual_time_s));
-  read(&c.round, sizeof(c.round));
-  read(&c.tasks_completed, sizeof(c.tasks_completed));
-  std::uint64_t n = 0;
-  read(&n, sizeof(n));
+  c.virtual_time_s = util::read_pod<double>(bytes, offset);
+  c.round = util::read_pod<std::uint64_t>(bytes, offset);
+  c.tasks_completed = util::read_pod<std::uint64_t>(bytes, offset);
+  auto n = util::read_pod<std::uint64_t>(bytes, offset);
+  FLINT_CHECK_LE(offset + n * sizeof(float), bytes.size());
   c.model_parameters.resize(n);
-  read(c.model_parameters.data(), n * sizeof(float));
+  util::read_pod_array(bytes, offset, c.model_parameters.data(), c.model_parameters.size());
+  FLINT_CHECK_FINITE(c.virtual_time_s);
+  FLINT_CHECK_GE(c.virtual_time_s, 0.0);
   return c;
 }
 
@@ -74,7 +67,11 @@ CheckpointStore::CheckpointStore(std::string dir) : dir_(std::move(dir)) {
 }
 
 int CheckpointStore::write(const SimCheckpoint& checkpoint) {
-  int seq = next_seq_++;
+  int seq;
+  {
+    std::lock_guard<std::mutex> lock(seq_mutex_);
+    seq = next_seq_++;
+  }
   auto blob = serialize_checkpoint(checkpoint);
   fs::path final_path = fs::path(dir_) / ("ckpt_" + std::to_string(seq) + ".bin");
   fs::path tmp_path = fs::path(dir_) / ("ckpt_" + std::to_string(seq) + ".tmp");

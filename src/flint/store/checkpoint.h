@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -21,7 +22,8 @@ struct SimCheckpoint {
 
 /// Durable checkpoint directory. Checkpoints are written atomically
 /// (tmp + rename) and numbered monotonically; latest() returns the highest
-/// complete one.
+/// complete one. write() is safe to call from multiple threads (parallel
+/// executors checkpoint through one store); sequence numbers stay unique.
 class CheckpointStore {
  public:
   /// Creates the directory if missing.
@@ -43,6 +45,7 @@ class CheckpointStore {
 
  private:
   std::string dir_;
+  std::mutex seq_mutex_;  ///< guards next_seq_ across writer threads
   int next_seq_ = 1;
 };
 

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "flint/util/bytes.h"
 #include "flint/util/check.h"
 
 namespace flint::store {
@@ -13,19 +14,12 @@ namespace {
 
 constexpr char kMagic[4] = {'F', 'L', 'N', 'T'};
 
-template <typename T>
-void append_pod(std::vector<char>& out, const T& v) {
-  const char* p = reinterpret_cast<const char*>(&v);
-  out.insert(out.end(), p, p + sizeof(T));
-}
+using util::append_pod;
 
 template <typename T>
 T read_pod(const std::vector<char>& in, std::size_t& offset) {
   FLINT_CHECK_MSG(offset + sizeof(T) <= in.size(), "truncated model version blob");
-  T v;
-  std::memcpy(&v, in.data() + offset, sizeof(T));
-  offset += sizeof(T);
-  return v;
+  return util::read_pod<T>(in, offset);
 }
 
 }  // namespace
@@ -81,8 +75,7 @@ std::vector<char> serialize_model_version(const ModelVersion& v) {
   append_pod(out, static_cast<std::uint32_t>(v.version));
   append_pod(out, v.created_at_virtual_s);
   append_pod(out, static_cast<std::uint64_t>(v.parameters.size()));
-  const char* p = reinterpret_cast<const char*>(v.parameters.data());
-  out.insert(out.end(), p, p + v.parameters.size() * sizeof(float));
+  util::append_pod_array(out, v.parameters.data(), v.parameters.size());
   append_pod(out, static_cast<std::uint64_t>(v.tag.size()));
   out.insert(out.end(), v.tag.begin(), v.tag.end());
   return out;
@@ -98,8 +91,7 @@ ModelVersion deserialize_model_version(const std::vector<char>& bytes) {
   auto count = read_pod<std::uint64_t>(bytes, offset);
   FLINT_CHECK_MSG(offset + count * sizeof(float) <= bytes.size(), "truncated parameters");
   v.parameters.resize(count);
-  std::memcpy(v.parameters.data(), bytes.data() + offset, count * sizeof(float));
-  offset += count * sizeof(float);
+  util::read_pod_array(bytes, offset, v.parameters.data(), v.parameters.size());
   auto tag_len = read_pod<std::uint64_t>(bytes, offset);
   FLINT_CHECK_MSG(offset + tag_len <= bytes.size(), "truncated tag");
   v.tag.assign(bytes.data() + offset, tag_len);

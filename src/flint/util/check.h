@@ -4,11 +4,20 @@
 // inputs (config files, generated data); violations throw flint::util::CheckError
 // so callers can surface a useful message instead of crashing.
 // FLINT_DCHECK compiles away in NDEBUG builds and guards internal invariants.
+//
+// The comparison forms (FLINT_CHECK_EQ/NE/LT/LE/GT/GE) evaluate each operand
+// exactly once and report both values on failure, so a violated invariant in a
+// long simulation run tells you *what* the clock/weight/shape actually was,
+// not just that the comparison failed. FLINT_CHECK_FINITE and FLINT_CHECK_PROB
+// cover the two numeric contracts FL code states most often: "this quantity is
+// a real number" and "this quantity is a probability".
 #pragma once
 
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 
 namespace flint::util {
 
@@ -20,12 +29,60 @@ class CheckError : public std::runtime_error {
 
 namespace detail {
 
+/// Streams `v`, promoting character types to int so that std::uint8_t
+/// operands print as numbers rather than control characters.
+template <typename T>
+void stream_operand(std::ostringstream& os, const T& v) {
+  if constexpr (std::is_same_v<T, char> || std::is_same_v<T, signed char> ||
+                std::is_same_v<T, unsigned char>) {
+    os << static_cast<int>(v);
+  } else if constexpr (std::is_same_v<T, bool>) {
+    os << (v ? "true" : "false");
+  } else {
+    os << v;
+  }
+}
+
 [[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
                                       const std::string& msg) {
   std::ostringstream os;
   os << "FLINT_CHECK failed: (" << expr << ") at " << file << ":" << line;
   if (!msg.empty()) os << " — " << msg;
   throw CheckError(os.str());
+}
+
+template <typename A, typename B>
+[[noreturn]] void check_op_failed(const char* a_expr, const char* op, const char* b_expr,
+                                  const A& a, const B& b, const char* file, int line) {
+  std::ostringstream os;
+  os << "operands: ";
+  stream_operand(os, a);
+  os << " " << op << " ";
+  stream_operand(os, b);
+  std::ostringstream expr;
+  expr << a_expr << " " << op << " " << b_expr;
+  check_failed(expr.str().c_str(), file, line, os.str());
+}
+
+template <typename T>
+[[noreturn]] void check_finite_failed(const char* expr, const T& v, const char* file,
+                                      int line) {
+  std::ostringstream os;
+  os << "value = ";
+  stream_operand(os, v);
+  std::ostringstream expr_os;
+  expr_os << "isfinite(" << expr << ")";
+  check_failed(expr_os.str().c_str(), file, line, os.str());
+}
+
+template <typename T>
+[[noreturn]] void check_prob_failed(const char* expr, const T& v, const char* file, int line) {
+  std::ostringstream os;
+  os << "value = ";
+  stream_operand(os, v);
+  std::ostringstream expr_os;
+  expr_os << "0 <= " << expr << " <= 1";
+  check_failed(expr_os.str().c_str(), file, line, os.str());
 }
 
 }  // namespace detail
@@ -46,10 +103,71 @@ namespace detail {
     }                                                                            \
   } while (0)
 
+// Operand-capturing comparisons. Each operand is evaluated exactly once; both
+// values are included in the CheckError message on failure. Compare operands
+// of matching signedness (cast at the call site) — the macro forwards the raw
+// `a op b` comparison.
+#define FLINT_CHECK_OP_(op, a, b)                                                  \
+  do {                                                                             \
+    auto&& flint_va_ = (a);                                                        \
+    auto&& flint_vb_ = (b);                                                        \
+    if (!(flint_va_ op flint_vb_))                                                 \
+      ::flint::util::detail::check_op_failed(#a, #op, #b, flint_va_, flint_vb_,    \
+                                             __FILE__, __LINE__);                  \
+  } while (0)
+
+#define FLINT_CHECK_EQ(a, b) FLINT_CHECK_OP_(==, a, b)
+#define FLINT_CHECK_NE(a, b) FLINT_CHECK_OP_(!=, a, b)
+#define FLINT_CHECK_LT(a, b) FLINT_CHECK_OP_(<, a, b)
+#define FLINT_CHECK_LE(a, b) FLINT_CHECK_OP_(<=, a, b)
+#define FLINT_CHECK_GT(a, b) FLINT_CHECK_OP_(>, a, b)
+#define FLINT_CHECK_GE(a, b) FLINT_CHECK_OP_(>=, a, b)
+
+/// The value is a finite floating-point number (no NaN, no ±inf).
+#define FLINT_CHECK_FINITE(x)                                                      \
+  do {                                                                             \
+    auto&& flint_vx_ = (x);                                                        \
+    if (!std::isfinite(static_cast<double>(flint_vx_)))                            \
+      ::flint::util::detail::check_finite_failed(#x, flint_vx_, __FILE__, __LINE__); \
+  } while (0)
+
+/// The value is a valid probability: finite and within [0, 1].
+#define FLINT_CHECK_PROB(p)                                                        \
+  do {                                                                             \
+    auto&& flint_vp_ = (p);                                                        \
+    double flint_vp_d_ = static_cast<double>(flint_vp_);                           \
+    if (!std::isfinite(flint_vp_d_) || flint_vp_d_ < 0.0 || flint_vp_d_ > 1.0)     \
+      ::flint::util::detail::check_prob_failed(#p, flint_vp_, __FILE__, __LINE__);  \
+  } while (0)
+
 #ifdef NDEBUG
 #define FLINT_DCHECK(cond) \
   do {                     \
   } while (0)
+#define FLINT_DCHECK_EQ(a, b) \
+  do {                        \
+  } while (0)
+#define FLINT_DCHECK_NE(a, b) \
+  do {                        \
+  } while (0)
+#define FLINT_DCHECK_LT(a, b) \
+  do {                        \
+  } while (0)
+#define FLINT_DCHECK_LE(a, b) \
+  do {                        \
+  } while (0)
+#define FLINT_DCHECK_GT(a, b) \
+  do {                        \
+  } while (0)
+#define FLINT_DCHECK_GE(a, b) \
+  do {                        \
+  } while (0)
 #else
 #define FLINT_DCHECK(cond) FLINT_CHECK(cond)
+#define FLINT_DCHECK_EQ(a, b) FLINT_CHECK_EQ(a, b)
+#define FLINT_DCHECK_NE(a, b) FLINT_CHECK_NE(a, b)
+#define FLINT_DCHECK_LT(a, b) FLINT_CHECK_LT(a, b)
+#define FLINT_DCHECK_LE(a, b) FLINT_CHECK_LE(a, b)
+#define FLINT_DCHECK_GT(a, b) FLINT_CHECK_GT(a, b)
+#define FLINT_DCHECK_GE(a, b) FLINT_CHECK_GE(a, b)
 #endif

@@ -17,7 +17,7 @@ double Rng::uniform(double lo, double hi) {
 }
 
 bool Rng::bernoulli(double p) {
-  FLINT_CHECK_MSG(p >= 0.0 && p <= 1.0, "bernoulli p out of range: " << p);
+  FLINT_CHECK_PROB(p);
   std::bernoulli_distribution d(p);
   return d(engine_);
 }
@@ -33,13 +33,15 @@ double Rng::lognormal(double mu, double sigma) {
 }
 
 double Rng::exponential(double rate) {
-  FLINT_CHECK(rate > 0.0);
+  FLINT_CHECK_FINITE(rate);
+  FLINT_CHECK_GT(rate, 0.0);
   std::exponential_distribution<double> d(rate);
   return d(engine_);
 }
 
 double Rng::pareto(double x_min, double alpha) {
-  FLINT_CHECK(x_min > 0.0 && alpha > 0.0);
+  FLINT_CHECK_GT(x_min, 0.0);
+  FLINT_CHECK_GT(alpha, 0.0);
   double u = uniform(0.0, 1.0);
   // Guard against u == 0 which would yield infinity.
   if (u <= 0.0) u = std::numeric_limits<double>::min();
@@ -47,22 +49,30 @@ double Rng::pareto(double x_min, double alpha) {
 }
 
 double Rng::gamma(double shape, double scale) {
-  FLINT_CHECK(shape > 0.0 && scale > 0.0);
+  FLINT_CHECK_GT(shape, 0.0);
+  FLINT_CHECK_GT(scale, 0.0);
   std::gamma_distribution<double> d(shape, scale);
   return d(engine_);
 }
 
 std::int64_t Rng::poisson(double mean) {
-  FLINT_CHECK(mean >= 0.0);
-  if (mean == 0.0) return 0;
+  FLINT_CHECK_FINITE(mean);
+  FLINT_CHECK_GE(mean, 0.0);
+  // fpclassify makes the "exactly zero, not merely small" intent explicit:
+  // tiny positive means are valid Poisson parameters and go to the library.
+  if (std::fpclassify(mean) == FP_ZERO) return 0;
   std::poisson_distribution<std::int64_t> d(mean);
   return d(engine_);
 }
 
 std::size_t Rng::zipf(std::size_t n, double s) {
-  FLINT_CHECK(n > 0);
+  FLINT_CHECK_GT(n, std::size_t{0});
+  FLINT_CHECK_FINITE(s);
   if (n == 1) return 0;
-  if (s == 0.0) return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  // Near-zero exponents make every 1/i^s weight ~1; short-circuit to the
+  // exact uniform draw instead of accumulating n pow() round-off errors.
+  if (std::abs(s) < 1e-12)
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
   // Inverse-CDF over the harmonic weights. O(n) per draw is fine for the
   // catalog sizes FLINT uses (device models, vocab buckets); callers that
   // need bulk Zipf draws should precompute a categorical table instead.

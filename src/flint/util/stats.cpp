@@ -47,7 +47,9 @@ double RunningStats::stddev() const { return std::sqrt(sample_variance()); }
 
 double percentile(std::vector<double> values, double p) {
   FLINT_CHECK(!values.empty());
-  FLINT_CHECK(p >= 0.0 && p <= 100.0);
+  FLINT_CHECK_FINITE(p);
+  FLINT_CHECK_GE(p, 0.0);
+  FLINT_CHECK_LE(p, 100.0);
   std::sort(values.begin(), values.end());
   if (values.size() == 1) return values[0];
   double rank = p / 100.0 * static_cast<double>(values.size() - 1);
@@ -60,10 +62,15 @@ double percentile(std::vector<double> values, double p) {
 double median(std::vector<double> values) { return percentile(std::move(values), 50.0); }
 
 LognormalParams lognormal_from_moments(double mean, double stddev) {
-  FLINT_CHECK(mean > 0.0);
-  FLINT_CHECK(stddev >= 0.0);
+  FLINT_CHECK_FINITE(mean);
+  FLINT_CHECK_GT(mean, 0.0);
+  FLINT_CHECK_FINITE(stddev);
+  FLINT_CHECK_GE(stddev, 0.0);
   LognormalParams p;
-  if (stddev == 0.0) {
+  // The real hazard is a near-zero coefficient of variation, not exact 0.0:
+  // (stddev/mean)^2 underflows and log1p returns a denormal sigma. Treat any
+  // ratio below 1e-9 as the degenerate point-mass case.
+  if (stddev < mean * 1e-9) {
     p.mu = std::log(mean);
     p.sigma = 1e-9;
     return p;

@@ -1,0 +1,28 @@
+// Compiled with NDEBUG forced on (see tests/CMakeLists.txt) so
+// util_check_test can observe FLINT_DCHECK elision no matter how the rest of
+// the build is configured.
+#ifndef NDEBUG
+#define NDEBUG
+#endif
+
+#include "flint/util/check.h"
+
+namespace flint::test {
+
+bool dcheck_elides_in_ndebug() {
+  FLINT_DCHECK(false);
+  FLINT_DCHECK_EQ(1, 2);
+  FLINT_DCHECK_LT(10, 0);
+  return true;  // reaching here means nothing threw
+}
+
+bool dcheck_skips_side_effects_in_ndebug() {
+  int evaluations = 0;
+  auto bump = [&evaluations] { return ++evaluations; };
+  FLINT_DCHECK(bump() < 0);
+  FLINT_DCHECK_GT(0, bump());
+  (void)bump;
+  return evaluations == 0;
+}
+
+}  // namespace flint::test

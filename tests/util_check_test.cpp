@@ -1,0 +1,133 @@
+#include "flint/util/check.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+// Compiled with NDEBUG in util_check_ndebug_helper.cpp: returns true when
+// FLINT_DCHECK(false) compiled away there.
+namespace flint::test {
+bool dcheck_elides_in_ndebug();
+bool dcheck_skips_side_effects_in_ndebug();
+}  // namespace flint::test
+
+namespace flint::util {
+namespace {
+
+std::string failure_message(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const CheckError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected CheckError";
+  return "";
+}
+
+TEST(Check, PassingChecksAreSilent) {
+  EXPECT_NO_THROW(FLINT_CHECK(true));
+  EXPECT_NO_THROW(FLINT_CHECK_MSG(1 + 1 == 2, "math"));
+  EXPECT_NO_THROW(FLINT_CHECK_EQ(2, 2));
+  EXPECT_NO_THROW(FLINT_CHECK_NE(2, 3));
+  EXPECT_NO_THROW(FLINT_CHECK_LT(2, 3));
+  EXPECT_NO_THROW(FLINT_CHECK_LE(3, 3));
+  EXPECT_NO_THROW(FLINT_CHECK_GT(3, 2));
+  EXPECT_NO_THROW(FLINT_CHECK_GE(3, 3));
+  EXPECT_NO_THROW(FLINT_CHECK_FINITE(1.5));
+  EXPECT_NO_THROW(FLINT_CHECK_PROB(0.0));
+  EXPECT_NO_THROW(FLINT_CHECK_PROB(1.0));
+}
+
+TEST(Check, ThrowsCheckErrorSubclassOfRuntimeError) {
+  EXPECT_THROW(FLINT_CHECK(false), CheckError);
+  EXPECT_THROW(FLINT_CHECK(false), std::runtime_error);
+  EXPECT_THROW(FLINT_CHECK_EQ(1, 2), CheckError);
+  EXPECT_THROW(FLINT_CHECK_FINITE(std::nan("")), CheckError);
+  EXPECT_THROW(FLINT_CHECK_PROB(1.5), CheckError);
+}
+
+TEST(Check, MessageCarriesExpressionFileAndLine) {
+  std::string msg = failure_message([] { FLINT_CHECK(2 < 1); });
+  EXPECT_NE(msg.find("2 < 1"), std::string::npos);
+  EXPECT_NE(msg.find("util_check_test.cpp"), std::string::npos);
+}
+
+TEST(Check, CheckMsgAppendsStreamedContext) {
+  std::string msg = failure_message([] { FLINT_CHECK_MSG(false, "round " << 7 << " bad"); });
+  EXPECT_NE(msg.find("round 7 bad"), std::string::npos);
+}
+
+TEST(Check, ComparisonMacrosCaptureBothOperands) {
+  double now = 5.25;
+  double event_time = 3.5;
+  std::string msg = failure_message([&] { FLINT_CHECK_GE(event_time, now); });
+  EXPECT_NE(msg.find("event_time >= now"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("3.5"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("5.25"), std::string::npos) << msg;
+}
+
+TEST(Check, ComparisonMacrosWorkAcrossTypes) {
+  std::size_t dim = 4;
+  EXPECT_NO_THROW(FLINT_CHECK_EQ(dim, std::size_t{4}));
+  std::string msg = failure_message([&] { FLINT_CHECK_EQ(dim, std::size_t{8}); });
+  EXPECT_NE(msg.find("4 == 8"), std::string::npos) << msg;
+}
+
+TEST(Check, OperandsEvaluatedExactlyOnce) {
+  int calls = 0;
+  auto next = [&calls] { return ++calls; };
+  FLINT_CHECK_LE(next(), 10);
+  EXPECT_EQ(calls, 1);
+  EXPECT_THROW(FLINT_CHECK_GT(next(), 10), CheckError);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(Check, FiniteRejectsInfinityAndNan) {
+  EXPECT_THROW(FLINT_CHECK_FINITE(std::numeric_limits<double>::infinity()), CheckError);
+  EXPECT_THROW(FLINT_CHECK_FINITE(-std::numeric_limits<double>::infinity()), CheckError);
+  EXPECT_THROW(FLINT_CHECK_FINITE(std::numeric_limits<float>::quiet_NaN()), CheckError);
+  std::string msg = failure_message(
+      [] { FLINT_CHECK_FINITE(std::numeric_limits<double>::infinity()); });
+  EXPECT_NE(msg.find("isfinite"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("inf"), std::string::npos) << msg;
+}
+
+TEST(Check, ProbRejectsOutOfRangeAndNan) {
+  EXPECT_THROW(FLINT_CHECK_PROB(-0.001), CheckError);
+  EXPECT_THROW(FLINT_CHECK_PROB(1.001), CheckError);
+  EXPECT_THROW(FLINT_CHECK_PROB(std::nan("")), CheckError);
+  std::string msg = failure_message([] { FLINT_CHECK_PROB(2.5); });
+  EXPECT_NE(msg.find("2.5"), std::string::npos) << msg;
+}
+
+TEST(Check, SmallIntegerOperandsPrintAsNumbers) {
+  std::uint8_t version = 7;
+  std::string msg = failure_message([&] { FLINT_CHECK_EQ(version, std::uint8_t{9}); });
+  EXPECT_NE(msg.find('7'), std::string::npos) << msg;
+  EXPECT_NE(msg.find('9'), std::string::npos) << msg;
+}
+
+TEST(Check, DcheckActiveInDebugBuilds) {
+#ifdef NDEBUG
+  EXPECT_NO_THROW(FLINT_DCHECK(false));
+  EXPECT_NO_THROW(FLINT_DCHECK_EQ(1, 2));
+#else
+  EXPECT_THROW(FLINT_DCHECK(false), CheckError);
+  EXPECT_THROW(FLINT_DCHECK_EQ(1, 2), CheckError);
+  EXPECT_THROW(FLINT_DCHECK_LT(2, 1), CheckError);
+#endif
+}
+
+TEST(Check, DcheckElidesUnderNdebug) {
+  // The helper TU is always compiled with NDEBUG, regardless of this TU's
+  // build type, so elision is observable from any build.
+  EXPECT_TRUE(test::dcheck_elides_in_ndebug());
+  EXPECT_TRUE(test::dcheck_skips_side_effects_in_ndebug());
+}
+
+}  // namespace
+}  // namespace flint::util

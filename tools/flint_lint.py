@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""FLINT-specific lint: project rules clang-tidy cannot express.
+
+Rules (suppress a finding with `// flint-lint: allow(<rule>): <why>` on the
+offending line or the line above; file-level rules accept the comment anywhere
+in the file):
+
+  pragma-once     every header under src/ starts its include guard with
+                  `#pragma once`.
+  rng             no std::rand/srand/random_device or raw std::mt19937 outside
+                  util/rng — all randomness flows through the seeded,
+                  forkable util::Rng so simulations stay reproducible.
+  throw           library code throws only flint::util::CheckError (via the
+                  FLINT_CHECK macros or explicitly); bare rethrow `throw;` is
+                  allowed. Other exception types bypass the runner's contract
+                  reporting.
+  byte-punning    reinterpret_cast is allowed only next to a
+                  static_assert(std::is_trivially_copyable_v<...>) (the
+                  util/bytes.h pattern); everything else routes through
+                  std::memcpy helpers.
+  config-checks   a .cpp that consumes a *Config struct must FLINT_CHECK at
+                  least one config-derived quantity (module entry points
+                  validate their inputs).
+
+Usage: tools/flint_lint.py [paths...]   (default: src/)
+Exit: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+SUPPRESS_RE = re.compile(r"//\s*flint-lint:\s*allow\(([a-z-]+)\)")
+
+# rng rule: forbidden outside util/rng.
+RNG_FORBIDDEN = [
+    (re.compile(r"\bstd::rand\b|\bsrand\s*\("), "std::rand/srand is unseeded global state"),
+    (re.compile(r"\bstd::random_device\b"), "std::random_device breaks run reproducibility"),
+    (re.compile(r"\bstd::mt19937(_64)?\b"), "raw engines bypass util::Rng seeding/forking"),
+]
+
+THROW_RE = re.compile(r"\bthrow\b(?!\s*;)")
+THROW_ALLOWED_RE = re.compile(r"\bthrow\s+(::)?(flint::)?(util::)?CheckError\b")
+REINTERPRET_RE = re.compile(r"\breinterpret_cast\b")
+TRIVIAL_ASSERT_RE = re.compile(r"static_assert\s*\(\s*std::is_trivially_copyable")
+CONFIG_PARAM_RE = re.compile(r"\b(const\s+)?\w*Config\s*[&*]\s*\w+|\bconst\s+\w*Config\s+\w+\s*[,)]")
+FLINT_CHECK_RE = re.compile(r"\bFLINT_D?CHECK")
+COMMENT_RE = re.compile(r"^\s*(//|\*|/\*)")
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path, self.line, self.rule, self.message = path, line, rule, message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def suppressed(rule: str, lines: list[str], idx: int) -> bool:
+    """True if line idx (0-based) or the line above carries an allow() for rule."""
+    for i in (idx, idx - 1):
+        if 0 <= i < len(lines):
+            m = SUPPRESS_RE.search(lines[i])
+            if m and m.group(1) == rule:
+                return True
+    return False
+
+
+def file_suppressed(rule: str, text: str) -> bool:
+    return any(m.group(1) == rule for m in SUPPRESS_RE.finditer(text))
+
+
+def is_code_line(line: str) -> bool:
+    return not COMMENT_RE.match(line)
+
+
+def lint_file(path: Path) -> list[Finding]:
+    text = path.read_text(encoding="utf-8", errors="replace")
+    lines = text.splitlines()
+    findings: list[Finding] = []
+    in_util_rng = path.name.startswith("rng.") and path.parent.name == "util"
+    is_header = path.suffix in (".h", ".hpp")
+
+    # pragma-once
+    if is_header and "#pragma once" not in text:
+        if not file_suppressed("pragma-once", text):
+            findings.append(Finding(path, 1, "pragma-once", "header missing '#pragma once'"))
+
+    for idx, line in enumerate(lines):
+        lineno = idx + 1
+        if not is_code_line(line):
+            continue
+
+        # rng
+        if not in_util_rng:
+            for pattern, why in RNG_FORBIDDEN:
+                if pattern.search(line) and not suppressed("rng", lines, idx):
+                    findings.append(Finding(path, lineno, "rng", f"{why}; use util::Rng"))
+
+        # throw
+        if THROW_RE.search(line) and not THROW_ALLOWED_RE.search(line):
+            # `throw;` rethrow already excluded by the regex lookahead.
+            if not suppressed("throw", lines, idx):
+                findings.append(
+                    Finding(path, lineno, "throw",
+                            "library code must throw flint::util::CheckError "
+                            "(use FLINT_CHECK / FLINT_CHECK_MSG)"))
+
+        # byte-punning
+        if REINTERPRET_RE.search(line) and not suppressed("byte-punning", lines, idx):
+            window = lines[max(0, idx - 15):idx + 3]
+            if not any(TRIVIAL_ASSERT_RE.search(w) for w in window):
+                findings.append(
+                    Finding(path, lineno, "byte-punning",
+                            "reinterpret_cast without a nearby static_assert"
+                            "(std::is_trivially_copyable_v<...>); route through "
+                            "util/bytes.h memcpy helpers"))
+
+    # config-checks (cpp files only; headers hold declarations)
+    if path.suffix == ".cpp":
+        code_lines = [l for l in lines if is_code_line(l)]
+        has_config_param = any(CONFIG_PARAM_RE.search(l) for l in code_lines)
+        uses_check = any(FLINT_CHECK_RE.search(l) for l in code_lines)
+        if has_config_param and not uses_check and not file_suppressed("config-checks", text):
+            findings.append(
+                Finding(path, 1, "config-checks",
+                        "consumes a *Config but never FLINT_CHECKs a "
+                        "config-derived quantity"))
+
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    roots = [Path(p) for p in (argv[1:] or ["src"])]
+    files: list[Path] = []
+    for root in roots:
+        if root.is_file():
+            files.append(root)
+        elif root.is_dir():
+            files.extend(sorted(root.rglob("*.h")))
+            files.extend(sorted(root.rglob("*.hpp")))
+            files.extend(sorted(root.rglob("*.cpp")))
+        else:
+            print(f"flint_lint: no such path: {root}", file=sys.stderr)
+            return 2
+
+    findings: list[Finding] = []
+    for f in files:
+        findings.extend(lint_file(f))
+
+    for finding in findings:
+        print(finding)
+    print(f"flint_lint: {len(files)} files, {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
