@@ -2,7 +2,9 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "flint/core/platform.h"
@@ -11,9 +13,49 @@
 #include "flint/device/session_generator.h"
 #include "flint/fl/fedavg.h"
 #include "flint/fl/fedbuff.h"
+#include "flint/obs/telemetry.h"
 #include "flint/util/table.h"
 
 namespace flint::bench {
+
+/// Opt-in profiling for a bench binary: `--trace-out t.json` and/or
+/// `--metrics-out m.jsonl` build a Telemetry, install it as the ambient obs
+/// context for the bench's lifetime, and export the files on destruction.
+/// Without either flag nothing is installed, so the instrumented hot paths
+/// keep their disabled cost (one relaxed load + branch per site) and bench
+/// timings stay comparable.
+class BenchTelemetry {
+ public:
+  BenchTelemetry(int argc, char** argv) {
+    obs::TelemetryConfig config;
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "--trace-out") == 0) config.trace_out = argv[i + 1];
+      if (std::strcmp(argv[i], "--metrics-out") == 0) config.metrics_out = argv[i + 1];
+    }
+    if (config.trace_out.empty() && config.metrics_out.empty()) return;
+    config.tracing_enabled = !config.trace_out.empty();
+    telemetry_.emplace(config);
+    scope_.emplace(&*telemetry_);
+  }
+
+  ~BenchTelemetry() {
+    if (!telemetry_.has_value()) return;
+    scope_.reset();  // uninstall before export so no more samples land
+    telemetry_->snapshot_now();
+    telemetry_->export_all();
+    std::cout << "\nTelemetry: " << telemetry_->metrics().series_count() << " metric series, "
+              << telemetry_->tracer().event_count() << " trace spans exported\n";
+  }
+
+  BenchTelemetry(const BenchTelemetry&) = delete;
+  BenchTelemetry& operator=(const BenchTelemetry&) = delete;
+
+  obs::Telemetry* telemetry() { return telemetry_.has_value() ? &*telemetry_ : nullptr; }
+
+ private:
+  std::optional<obs::Telemetry> telemetry_;
+  std::optional<obs::ScopedTelemetry> scope_;
+};
 
 /// The paper's strict participation criteria (§4.1): foreground app,
 /// battery > 80%, WiFi, and a modern OS.

@@ -82,7 +82,8 @@ ModeResult run_mode(const TaskSpec& spec, bool async, const std::vector<std::uin
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchTelemetry profiling(argc, argv);
   bench::print_header("Table 3: Projected FedBuff speedup over FedAvg",
                       "Model-free system simulation; convergence proxy = fixed "
                       "aggregation count per task; async concurrency exceeds the "

@@ -8,16 +8,54 @@
 //   4. Compare against the centralized baseline and forecast resources.
 //
 // Build & run:  ./build/examples/quickstart
+//
+// Profiling: pass --trace-out trace.json to record a Chrome trace-event file
+// (open in Perfetto / chrome://tracing; wall and virtual clocks are separate
+// process tracks) plus a metrics JSONL dump (--metrics-out overrides its
+// default path, quickstart_metrics.jsonl).
+#include <cstring>
 #include <iostream>
+#include <optional>
+#include <string>
 
 #include "flint/core/platform.h"
 #include "flint/core/report.h"
 #include "flint/data/synthetic_tasks.h"
 #include "flint/net/bandwidth_model.h"
+#include "flint/obs/telemetry.h"
+#include "flint/store/checkpoint.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace flint;
+
+  std::string trace_out;
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else {
+      std::cerr << "usage: quickstart [--trace-out trace.json] [--metrics-out metrics.jsonl]\n";
+      return 2;
+    }
+  }
+  const bool telemetry_on = !trace_out.empty() || !metrics_out.empty();
+  if (telemetry_on && metrics_out.empty()) metrics_out = "quickstart_metrics.jsonl";
+
+  obs::TelemetryConfig telemetry_cfg;
+  telemetry_cfg.metrics_enabled = telemetry_on;
+  telemetry_cfg.tracing_enabled = !trace_out.empty();
+  telemetry_cfg.trace_out = trace_out;
+  telemetry_cfg.metrics_out = metrics_out;
+  obs::Telemetry telemetry(telemetry_cfg);
+  // Ambient for the whole example so the pre-training sections (feature
+  // cache replay below) record too, not just the FL trials.
+  std::optional<obs::ScopedTelemetry> ambient;
+  if (telemetry_on) ambient.emplace(&telemetry);
+
   core::FlintPlatform platform(/*seed=*/42);
+  if (telemetry_on) platform.set_telemetry(&telemetry);
 
   // --- 1. On-device benchmark of the candidate architecture. -------------
   auto benchmark = platform.benchmark_model('B', /*records=*/5000);
@@ -38,6 +76,23 @@ int main() {
   auto trace = platform.build_availability(log, criteria);
   std::cout << "Availability: " << trace.client_count() << " of " << sessions.clients
             << " clients eligible across " << trace.window_count() << " windows\n";
+
+  // --- 2b. Device-cloud feature plumbing (Figure 6): register the model's
+  // features and replay a short access pattern so the report shows the
+  // device-side cache behaviour the training rounds would see. -------------
+  platform.features().register_feature({"member_embedding", feature::FeatureSource::kCloud,
+                                        /*value_bytes=*/256, /*retention_days=*/30,
+                                        /*cacheable=*/true});
+  platform.features().register_feature({"session_context", feature::FeatureSource::kDevice,
+                                        /*value_bytes=*/64});
+  feature::DeviceFeatureRuntime features(platform.features(), /*cache_bytes=*/16 * 1024);
+  for (int pass = 0; pass < 4; ++pass)
+    for (std::uint64_t entity = 0; entity < 32; ++entity) {
+      features.fetch("member_embedding", entity);
+      features.fetch("session_context", entity);
+    }
+  const auto& cache = features.cache_stats();
+  std::cout << "Feature cache: " << cache.hits << " hits / " << cache.misses << " misses\n";
 
   // --- 3. Federated proxy task + simulated async FL. ---------------------
   data::SyntheticTaskConfig task_cfg;
@@ -62,6 +117,12 @@ int main() {
   fl_cfg.inputs.max_rounds = 60;
   fl_cfg.buffer_size = 10;
   fl_cfg.max_concurrency = 30;
+
+  // Periodic leader checkpoints (§3.4 fault tolerance) — also what gives the
+  // profiling run its checkpoint-latency series.
+  store::CheckpointStore checkpoints("quickstart_report/checkpoints");
+  fl_cfg.inputs.leader.checkpoint_every_rounds = 10;
+  fl_cfg.inputs.leader.checkpoint_store = &checkpoints;
 
   // --- 4. FL vs centralized, with a resource forecast. --------------------
   core::ForecastConfig forecast;
@@ -94,5 +155,15 @@ int main() {
   report.metric_name = task.metric_name();
   std::string path = core::write_report("quickstart_report", report);
   std::cout << "Full report written to " << path << " (+ CSV series)\n";
+
+  if (telemetry_on) {
+    telemetry.snapshot_now();
+    telemetry.export_all();
+    std::cout << "Telemetry: " << telemetry.metrics().series_count() << " metric series";
+    if (!metrics_out.empty()) std::cout << " -> " << metrics_out;
+    if (!trace_out.empty())
+      std::cout << "; " << telemetry.tracer().event_count() << " trace spans -> " << trace_out;
+    std::cout << "\n";
+  }
   return 0;
 }

@@ -22,6 +22,8 @@ if ! "$CXX" -fsanitize=thread -pthread -x c++ -std=c++20 -o /dev/null - \
 fi
 
 "$CXX" -std=c++20 -O1 -g -fsanitize=thread -fno-omit-frame-pointer -pthread \
-  -I src tools/tsan_smoke.cpp src/flint/store/checkpoint.cpp -o "$OUT"
+  -I src tools/tsan_smoke.cpp src/flint/store/checkpoint.cpp \
+  src/flint/obs/metrics.cpp src/flint/obs/trace.cpp src/flint/obs/telemetry.cpp \
+  -o "$OUT"
 
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" "$OUT"

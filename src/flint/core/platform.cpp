@@ -1,5 +1,7 @@
 #include "flint/core/platform.h"
 
+#include <optional>
+
 #include "flint/fl/trainer.h"
 #include "flint/util/check.h"
 
@@ -37,6 +39,12 @@ CaseStudyResult FlintPlatform::evaluate_case_study(const data::FederatedTask& ta
   FLINT_CHECK(centralized_epochs >= 1);
   CaseStudyResult result;
 
+  // Ambient obs context for the whole case study, so the centralized
+  // baseline's local-SGD spans land in the same trace as the FL trials.
+  std::optional<obs::ScopedTelemetry> obs_scope;
+  if (telemetry_ != nullptr && obs::current() != telemetry_) obs_scope.emplace(telemetry_);
+  FLINT_TRACE_SPAN("platform.case_study", "core");
+
   // Centralized baseline on the merged proxy.
   auto centralized_model = task.make_model(rng_);
   fl::LocalTrainConfig central_cfg = fl_config.inputs.local;
@@ -47,8 +55,11 @@ CaseStudyResult FlintPlatform::evaluate_case_study(const data::FederatedTask& ta
   model_store_.put("centralized/" + std::string(data::domain_name(task.config.domain)),
                    centralized_model->get_flat_parameters(), "baseline");
 
-  // FL trials under the measured constraints.
-  TrialSummary summary = run_trials_fedbuff(fl_config, trials);
+  // FL trials under the measured constraints; each trial's runner sees the
+  // platform telemetry through its RunInputs.
+  fl::AsyncConfig trial_config = fl_config;
+  trial_config.inputs.telemetry = telemetry_;
+  TrialSummary summary = run_trials_fedbuff(trial_config, trials);
   result.fl_metric = summary.median_metric;
   result.fl_metric_stdev = summary.stdev_metric;
   result.projected_training_h = summary.median_duration_s / 3600.0;

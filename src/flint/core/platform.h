@@ -12,6 +12,7 @@
 #include "flint/device/availability.h"
 #include "flint/device/benchmark_harness.h"
 #include "flint/feature/feature_catalog.h"
+#include "flint/obs/telemetry.h"
 #include "flint/store/model_store.h"
 
 namespace flint::core {
@@ -40,6 +41,12 @@ class FlintPlatform {
   store::ModelStore& model_store() { return model_store_; }
   feature::FeatureCatalog& features() { return features_; }
   util::Rng& rng() { return rng_; }
+
+  /// Attach a telemetry context (non-owning; must outlive the platform's
+  /// use of it, nullptr detaches). evaluate_case_study installs it as the
+  /// ambient obs context and threads it into every FL trial it runs.
+  void set_telemetry(obs::Telemetry* telemetry) { telemetry_ = telemetry; }
+  obs::Telemetry* telemetry() const { return telemetry_; }
 
   // --- Measurement tools (§3.2). ---
 
@@ -72,6 +79,7 @@ class FlintPlatform {
 
  private:
   util::Rng rng_;
+  obs::Telemetry* telemetry_ = nullptr;
   device::DeviceCatalog devices_;
   data::DataCatalog data_catalog_;
   store::ModelStore model_store_;

@@ -44,6 +44,20 @@ std::string render_report_markdown(const ReportInputs& inputs) {
      << " h; mean round: " << m.mean_round_duration_s() << " s; updates/s: "
      << run.updates_per_second() << "\n\n";
 
+  if (!run.telemetry.empty()) {
+    os << "## Telemetry\n\n";
+    os << "| series | type | value | count | mean |\n";
+    os << "|---|---|---|---|---|\n";
+    for (const auto& s : run.telemetry) {
+      os << "| " << s.name << " | " << obs::kind_name(s.kind) << " | ";
+      if (s.kind == obs::MetricSample::Kind::kHistogram)
+        os << "- | " << s.count << " | " << s.value << " |\n";  // value holds the mean
+      else
+        os << s.value << " | - | - |\n";
+    }
+    os << "\n";
+  }
+
   if (inputs.forecast != nullptr) {
     os << "## Resource forecast\n\n" << inputs.forecast->summary() << "\n\n";
   }

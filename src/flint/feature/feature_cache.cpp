@@ -12,9 +12,11 @@ std::optional<std::vector<float>> FeatureCache::get(const std::string& key) {
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
+    if (auto* c = misses_counter_.resolve("feature.cache.misses")) c->add(1);
     return std::nullopt;
   }
   ++stats_.hits;
+  if (auto* c = hits_counter_.resolve("feature.cache.hits")) c->add(1);
   entries_.splice(entries_.begin(), entries_, it->second);  // refresh recency
   return it->second->value;
 }
@@ -41,6 +43,7 @@ void FeatureCache::evict_until_fits(std::uint64_t incoming) {
     index_.erase(victim.key);
     entries_.pop_back();
     ++stats_.evictions;
+    if (auto* c = evictions_counter_.resolve("feature.cache.evictions")) c->add(1);
   }
 }
 

@@ -11,6 +11,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "flint/obs/telemetry.h"
+
 namespace flint::feature {
 
 /// Cache statistics for resource accounting.
@@ -59,6 +61,11 @@ class FeatureCache {
   std::list<Entry> entries_;  // front = most recent
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
   CacheStats stats_;
+  // Mirrored into the ambient telemetry so live hit rate shows up next to
+  // the simulator series, not just in end-of-run CacheStats.
+  obs::CachedCounter hits_counter_;
+  obs::CachedCounter misses_counter_;
+  obs::CachedCounter evictions_counter_;
 };
 
 }  // namespace flint::feature

@@ -5,6 +5,7 @@
 
 #include "flint/fl/aggregator.h"
 #include "flint/fl/client_selection.h"
+#include "flint/obs/telemetry.h"
 #include "flint/util/check.h"
 #include "flint/util/logging.h"
 
@@ -29,6 +30,7 @@ RunResult run_fedavg(const SyncConfig& config) {
   FLINT_CHECK_GT(config.cohort_size, std::size_t{0});
   FLINT_CHECK_FINITE(config.round_deadline_s);
   FLINT_CHECK_GT(config.round_deadline_s, 0.0);
+  RunTelemetryScope telemetry_scope(in);
 
   util::Rng rng(in.seed);
   sim::Leader leader(in.leader, *in.trace);
@@ -146,6 +148,13 @@ RunResult run_fedavg(const SyncConfig& config) {
     }
 
     ++round;
+    // The sync runner drives virtual time by hand (no EventQueue), so it
+    // publishes the clock itself: round_start before the span opens and
+    // round_end before it closes, giving the span its virtual duration.
+    obs::advance_virtual_time(round_start);
+    FLINT_TRACE_SPAN("fedavg.round", "fl");
+    obs::add_counter("fl.rounds");
+    obs::record_histogram("fl.round_duration_s", round_end - round_start, 0.0, 7200.0, 48);
     if (!in.model_free) {
       UpdateAccumulator acc(params.size());
       LocalTrainConfig local = in.local;
@@ -173,6 +182,7 @@ RunResult run_fedavg(const SyncConfig& config) {
     leader.on_aggregation(round, params, leader.metrics().tasks_succeeded());
     if (in.eval_every_rounds > 0 && round % in.eval_every_rounds == 0) evaluate(round_end);
     t = round_end;
+    obs::advance_virtual_time(round_end);  // closes the round span at round_end
   }
 
   result.virtual_duration_s = t;
@@ -185,6 +195,7 @@ RunResult run_fedavg(const SyncConfig& config) {
   }
   result.final_parameters = std::move(params);
   result.metrics = leader.metrics();
+  telemetry_scope.finish(result);
   return result;
 }
 

@@ -1,10 +1,12 @@
 #include "flint/fl/fedbuff.h"
 
+#include <algorithm>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "flint/fl/aggregator.h"
+#include "flint/obs/telemetry.h"
 #include "flint/util/check.h"
 #include "flint/util/logging.h"
 
@@ -35,6 +37,13 @@ struct FedBuffState {
   bool done = false;
   sim::VirtualTime last_aggregation_time = 0.0;
   RunResult result;
+
+  // Telemetry handles for the per-task hot path (single-threaded pump).
+  obs::CachedCounter dispatched_counter;
+  obs::CachedCounter aggregations_counter;
+  obs::CachedHistogram staleness_hist;
+  obs::CachedHistogram round_duration_hist;
+  obs::CachedGauge buffer_gauge;
 };
 
 /// One in-flight task: its spec plus the (eagerly computed) local update.
@@ -50,12 +59,14 @@ void pump(FedBuffState& s);
 void evaluate(FedBuffState& s, sim::VirtualTime when) {
   const RunInputs& in = s.config->inputs;
   if (in.model_free || in.test == nullptr) return;
+  FLINT_TRACE_SPAN("fedbuff.evaluate", "fl");
   s.eval_model->set_flat_parameters(s.params);
   double metric = data::evaluate_examples(*s.eval_model, *in.test, in.domain, in.dense_dim);
   s.result.eval_curve.push_back({when, s.version, metric, 0.0});
 }
 
 void aggregate(FedBuffState& s) {
+  FLINT_TRACE_SPAN("fedbuff.aggregate", "fl");
   const RunInputs& in = s.config->inputs;
   sim::VirtualTime now = s.leader->queue().now();
   double mean_staleness =
@@ -74,6 +85,9 @@ void aggregate(FedBuffState& s) {
   ++s.version;
   s.leader->metrics().on_round({s.version, s.round_start, now, aggregated, mean_staleness});
   s.leader->on_aggregation(s.version, s.params, s.leader->metrics().tasks_succeeded());
+  if (auto* c = s.aggregations_counter.resolve("fl.aggregations")) c->add(1);
+  if (auto* h = s.round_duration_hist.resolve("fl.round_duration_s", 0.0, 7200.0, 48))
+    h->record(now - s.round_start);
   s.round_start = now;
   s.last_aggregation_time = now;
   FLINT_LOG_DEBUG << "fedbuff aggregation v=" << s.version << " t=" << now
@@ -101,6 +115,12 @@ void on_task_end(FedBuffState& s, const InFlight& task, bool interrupted) {
       tr.outcome = sim::TaskOutcome::kStale;
     } else {
       tr.outcome = sim::TaskOutcome::kSucceeded;
+      // Staleness distribution (Figure 8's control variable) as a live
+      // histogram, bucketed per model-version lag.
+      if (auto* h = s.staleness_hist.resolve(
+              "fl.staleness", 0.0, static_cast<double>(s.config->max_staleness) + 1.0,
+              std::min<std::size_t>(s.config->max_staleness + 1, 64)))
+        h->record(static_cast<double>(staleness));
       if (!s.config->inputs.model_free) {
         double w = s.config->staleness_weighting ? staleness_weight(staleness) : 1.0;
         s.accumulator->add(task.train.delta, w);
@@ -110,6 +130,8 @@ void on_task_end(FedBuffState& s, const InFlight& task, bool interrupted) {
         s.accumulator->add(kZero, 1.0);
       }
       s.staleness_sum += static_cast<double>(staleness);
+      if (auto* g = s.buffer_gauge.resolve("fl.buffer_occupancy"))
+        g->set(static_cast<double>(s.accumulator->count()));
       if (s.accumulator->count() >= s.config->buffer_size) aggregate(s);
     }
   }
@@ -125,8 +147,10 @@ void on_task_end(FedBuffState& s, const InFlight& task, bool interrupted) {
 }
 
 void dispatch(FedBuffState& s, const sim::Arrival& arrival) {
+  FLINT_TRACE_SPAN("fedbuff.dispatch", "fl");
   const RunInputs& in = s.config->inputs;
   sim::VirtualTime now = s.leader->queue().now();
+  if (auto* c = s.dispatched_counter.resolve("fl.tasks_dispatched")) c->add(1);
   std::size_t examples = client_example_count(in, arrival.client_id);
   FLINT_DCHECK(examples > 0);
   auto dur = s.durations->sample(arrival.device_index, examples, s.rng);
@@ -228,6 +252,7 @@ RunResult run_fedbuff(const AsyncConfig& config) {
   validate_common_inputs(in);
   FLINT_CHECK_GT(config.buffer_size, std::size_t{0});
   FLINT_CHECK_GT(config.max_concurrency, std::size_t{0});
+  RunTelemetryScope telemetry_scope(in);
 
   FedBuffState s;
   s.config = &config;
@@ -263,6 +288,7 @@ RunResult run_fedbuff(const AsyncConfig& config) {
   }
   s.result.final_parameters = std::move(s.params);
   s.result.metrics = s.leader->metrics();
+  telemetry_scope.finish(s.result);
   return s.result;
 }
 

@@ -36,4 +36,15 @@ void validate_common_inputs(const RunInputs& inputs) {
   FLINT_CHECK_GE(inputs.reparticipation_gap_s, 0.0);
 }
 
+RunTelemetryScope::RunTelemetryScope(const RunInputs& inputs) : telemetry_(inputs.telemetry) {
+  if (telemetry_ != nullptr && obs::current() != telemetry_) scope_.emplace(telemetry_);
+}
+
+void RunTelemetryScope::finish(RunResult& result) {
+  if (telemetry_ == nullptr) return;
+  telemetry_->snapshot_now();
+  if (telemetry_->config().metrics_enabled)
+    result.telemetry = telemetry_->metrics().snapshot();
+}
+
 }  // namespace flint::fl

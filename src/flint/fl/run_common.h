@@ -11,6 +11,7 @@
 #include "flint/fl/task_duration.h"
 #include "flint/fl/trainer.h"
 #include "flint/net/bandwidth_model.h"
+#include "flint/obs/telemetry.h"
 #include "flint/privacy/dp.h"
 #include "flint/sim/leader.h"
 
@@ -69,6 +70,12 @@ struct RunInputs {
   /// A client participates at most once per this many virtual seconds.
   double reparticipation_gap_s = 4.0 * 3600.0;
 
+  // --- Observability. Non-owning, like the other infrastructure pointers;
+  // when set, the runner installs it as the ambient obs context for the run
+  // (unless it already is), publishes the virtual clock into it, and copies
+  // a final metric snapshot into RunResult::telemetry. ---
+  obs::Telemetry* telemetry = nullptr;
+
   std::uint64_t seed = 1;
 };
 
@@ -80,6 +87,9 @@ struct RunResult {
   double virtual_duration_s = 0.0;
   std::uint64_t rounds = 0;
   std::vector<float> final_parameters;
+  /// Final telemetry snapshot (empty unless RunInputs::telemetry was set);
+  /// core/report embeds it as the run's metrics summary table.
+  std::vector<obs::MetricSample> telemetry;
 
   /// Aggregated-update throughput, for TEE sizing (§3.5).
   double updates_per_second() const {
@@ -92,5 +102,22 @@ std::size_t client_example_count(const RunInputs& inputs, std::uint64_t client_i
 
 /// Validate the parts of the config every runner needs.
 void validate_common_inputs(const RunInputs& inputs);
+
+/// Shared runner-side telemetry plumbing: installs `inputs.telemetry` as the
+/// ambient context for the runner's scope (skipped when it already is, so an
+/// outer ScopedTelemetry keeps working). Call finish(result) just before
+/// returning to take the run's final snapshot — it must happen before the
+/// result is copied out, which is why it is not done in the destructor.
+class RunTelemetryScope {
+ public:
+  explicit RunTelemetryScope(const RunInputs& inputs);
+  void finish(RunResult& result);
+  RunTelemetryScope(const RunTelemetryScope&) = delete;
+  RunTelemetryScope& operator=(const RunTelemetryScope&) = delete;
+
+ private:
+  obs::Telemetry* telemetry_;
+  std::optional<obs::ScopedTelemetry> scope_;
+};
 
 }  // namespace flint::fl

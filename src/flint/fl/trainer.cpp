@@ -4,6 +4,7 @@
 #include <map>
 
 #include "flint/ml/loss.h"
+#include "flint/obs/telemetry.h"
 #include "flint/util/check.h"
 
 namespace flint::fl {
@@ -78,6 +79,11 @@ LocalTrainResult LocalTrainer::train(std::span<const ml::Example> data,
                                      std::span<const float> global_params,
                                      const LocalTrainConfig& config) {
   FLINT_CHECK(!data.empty());
+  // Local SGD is the wall-clock hot spot of a model-full simulation; the span
+  // makes per-client training cost visible on the wall track of the trace.
+  FLINT_TRACE_SPAN("fl.local_sgd", "fl");
+  obs::add_counter("fl.local_sgd_calls");
+  obs::add_counter("fl.local_sgd_examples", data.size());
   model_->set_flat_parameters(global_params);
   if (config.prox_mu > 0.0) prox_anchor_.assign(global_params.begin(), global_params.end());
   ml::SgdOptimizer opt(config.momentum, 0.0);

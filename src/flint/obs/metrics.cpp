@@ -1,0 +1,184 @@
+#include "flint/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "flint/util/check.h"
+
+namespace flint::obs {
+
+HistogramMetric::HistogramMetric(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), buckets_(buckets) {
+  FLINT_CHECK_FINITE(lo);
+  FLINT_CHECK_FINITE(hi);
+  FLINT_CHECK_LT(lo, hi);
+  FLINT_CHECK_GT(buckets, std::size_t{0});
+}
+
+void HistogramMetric::record(double x) {
+  if (std::isnan(x)) return;  // a NaN sample has no bucket; drop it
+  double pos = (x - lo_) / (hi_ - lo_) * static_cast<double>(buckets_.size());
+  std::size_t idx;
+  if (pos <= 0.0) {
+    idx = 0;
+  } else if (pos >= static_cast<double>(buckets_.size())) {
+    idx = buckets_.size() - 1;
+  } else {
+    idx = static_cast<std::size_t>(pos);
+  }
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> is C++20 but not universally lock-free; a CAS
+  // loop keeps the sum exact and portable.
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + x, std::memory_order_relaxed)) {
+  }
+}
+
+double HistogramMetric::mean() const {
+  std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+const char* kind_name(MetricSample::Kind kind) {
+  switch (kind) {
+    case MetricSample::Kind::kCounter: return "counter";
+    case MetricSample::Kind::kGauge: return "gauge";
+    case MetricSample::Kind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void append_json_number(std::ostringstream& os, double v) {
+  // JSON has no NaN/inf literals; clamp to null which every parser accepts.
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  os << v;
+}
+
+// Series names are usually literals, but executor counters splice in ids, so
+// escape defensively — an unescaped quote would corrupt the whole JSONL file.
+void append_json_string(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string MetricSample::to_jsonl(double virtual_time_s) const {
+  std::ostringstream os;
+  os.precision(12);
+  os << "{\"series\":";
+  append_json_string(os, name);
+  os << ",\"type\":\"" << kind_name(kind) << "\",\"t_virtual_s\":";
+  append_json_number(os, virtual_time_s);
+  if (kind == Kind::kHistogram) {
+    os << ",\"count\":" << count << ",\"sum\":";
+    append_json_number(os, sum);
+    os << ",\"mean\":";
+    append_json_number(os, value);
+    os << ",\"lo\":";
+    append_json_number(os, lo);
+    os << ",\"hi\":";
+    append_json_number(os, hi);
+    os << ",\"buckets\":[";
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      if (i > 0) os << ",";
+      os << buckets[i];
+    }
+    os << "]";
+  } else {
+    os << ",\"value\":";
+    append_json_number(os, value);
+  }
+  os << "}";
+  return os.str();
+}
+
+Counter& MetricRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+HistogramMetric& MetricRegistry::histogram(const std::string& name, double lo, double hi,
+                                           std::size_t buckets) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<HistogramMetric>(lo, hi, buckets);
+  return *slot;
+}
+
+std::size_t MetricRegistry::series_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+std::vector<MetricSample> MetricRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::kCounter;
+    s.value = static_cast<double>(c->value());
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::kGauge;
+    s.value = g->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::kHistogram;
+    s.count = h->count();
+    s.sum = h->sum();
+    s.value = s.count == 0 ? 0.0 : s.sum / static_cast<double>(s.count);
+    s.lo = h->lo();
+    s.hi = h->hi();
+    s.buckets.reserve(h->bucket_count());
+    for (std::size_t i = 0; i < h->bucket_count(); ++i) s.buckets.push_back(h->bucket(i));
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) { return a.name < b.name; });
+  return out;
+}
+
+}  // namespace flint::obs

@@ -1,0 +1,111 @@
+// Runtime metric registry for the observability subsystem (flint::obs).
+//
+// The paper's pitch is that FL experiments land in the same monitoring
+// surface as centralized ML (Figure 3); core/report covers the after-the-fact
+// half of that, and this registry covers the live half: counters, gauges, and
+// fixed-bucket histograms that hot simulator code records into through cheap,
+// stable handles. Recording is lock-free (plain atomics); only handle
+// creation and snapshotting take the registry mutex, so a disabled or absent
+// registry costs a pointer load per instrumented site (see telemetry.h).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace flint::obs {
+
+/// Monotone event count. add() is safe from any thread.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, buffer occupancy).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed uniform-bucket histogram over [lo, hi); out-of-range samples land in
+/// the saturating edge buckets (the util::Histogram convention) so nothing is
+/// silently dropped. record() is safe from any thread.
+class HistogramMetric {
+ public:
+  HistogramMetric(double lo, double hi, std::size_t buckets);
+
+  void record(double x);
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t bucket_count() const { return buckets_.size(); }
+  std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// One series' state at snapshot time.
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  double value = 0.0;  ///< counter/gauge value; histogram mean
+  // Histogram-only fields.
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<std::uint64_t> buckets;
+
+  /// One JSONL line: {"series":...,"type":...,"t_virtual_s":...,...}.
+  std::string to_jsonl(double virtual_time_s) const;
+};
+
+const char* kind_name(MetricSample::Kind kind);
+
+/// Name -> metric map with stable handle addresses. Handle creation is
+/// idempotent: asking for an existing name returns the same object, so call
+/// sites can re-resolve after a telemetry swap without duplicating series.
+class MetricRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Requesting an existing histogram ignores the shape arguments.
+  HistogramMetric& histogram(const std::string& name, double lo, double hi,
+                             std::size_t buckets);
+
+  std::size_t series_count() const;
+
+  /// Point-in-time copy of every series, sorted by name.
+  std::vector<MetricSample> snapshot() const;
+
+ private:
+  mutable std::mutex mu_;  ///< guards the maps; recording never takes it
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+}  // namespace flint::obs

@@ -1,0 +1,141 @@
+#include "flint/obs/telemetry.h"
+
+#include <fstream>
+
+#include "flint/util/check.h"
+
+namespace flint::obs {
+
+namespace {
+
+std::atomic<Telemetry*> g_current{nullptr};
+// Starts at 1 so the default-constructed cache generation (0) never matches.
+std::atomic<std::uint64_t> g_generation{1};
+
+}  // namespace
+
+Telemetry::Telemetry(TelemetryConfig config)
+    : config_(std::move(config)), tracer_(config_.max_trace_events) {
+  FLINT_CHECK_FINITE(config_.snapshot_every_virtual_s);
+  FLINT_CHECK_GE(config_.snapshot_every_virtual_s, 0.0);
+  FLINT_CHECK_GT(config_.max_trace_events, std::size_t{0});
+  tracer_.set_enabled(config_.tracing_enabled);
+  next_snapshot_vt_ = config_.snapshot_every_virtual_s;
+}
+
+void Telemetry::maybe_snapshot() {
+  if (!config_.metrics_enabled || config_.snapshot_every_virtual_s <= 0.0) return;
+  double now = virtual_now();
+  if (now < next_snapshot_vt_) return;
+  // Catch up past idle gaps: one snapshot, cadence re-anchored after `now`.
+  while (next_snapshot_vt_ <= now) next_snapshot_vt_ += config_.snapshot_every_virtual_s;
+  snapshot_now();
+}
+
+void Telemetry::snapshot_now() {
+  if (!config_.metrics_enabled) return;
+  double now = virtual_now();
+  auto samples = metrics_.snapshot();
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  for (const auto& s : samples) snapshot_rows_.push_back(s.to_jsonl(now));
+}
+
+std::size_t Telemetry::snapshot_row_count() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_rows_.size();
+}
+
+bool Telemetry::write_metrics_jsonl(const std::string& path) {
+  if (!config_.metrics_enabled) return false;
+  snapshot_now();  // final state always lands in the file
+  std::ofstream out(path);
+  FLINT_CHECK_MSG(out.good(), "cannot write " << path);
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  for (const auto& row : snapshot_rows_) out << row << "\n";
+  return true;
+}
+
+bool Telemetry::write_trace(const std::string& path) const {
+  if (!config_.tracing_enabled) return false;
+  std::ofstream out(path);
+  FLINT_CHECK_MSG(out.good(), "cannot write " << path);
+  tracer_.write_chrome_trace(out);
+  return true;
+}
+
+void Telemetry::export_all() {
+  if (!config_.metrics_out.empty()) write_metrics_jsonl(config_.metrics_out);
+  if (!config_.trace_out.empty()) write_trace(config_.trace_out);
+}
+
+Telemetry* current() { return g_current.load(std::memory_order_acquire); }
+
+std::uint64_t current_generation() {
+  return g_generation.load(std::memory_order_acquire);
+}
+
+ScopedTelemetry::ScopedTelemetry(Telemetry* t) {
+  previous_ = g_current.exchange(t, std::memory_order_acq_rel);
+  g_generation.fetch_add(1, std::memory_order_acq_rel);
+}
+
+ScopedTelemetry::~ScopedTelemetry() {
+  g_current.store(previous_, std::memory_order_release);
+  g_generation.fetch_add(1, std::memory_order_acq_rel);
+}
+
+Counter* CachedCounter::resolve(const char* name) {
+  std::uint64_t generation = current_generation();
+  if (generation_ != generation) {
+    generation_ = generation;
+    Telemetry* t = current();
+    ptr_ = (t != nullptr && t->config().metrics_enabled) ? &t->metrics().counter(name)
+                                                         : nullptr;
+  }
+  return ptr_;
+}
+
+Gauge* CachedGauge::resolve(const char* name) {
+  std::uint64_t generation = current_generation();
+  if (generation_ != generation) {
+    generation_ = generation;
+    Telemetry* t = current();
+    ptr_ = (t != nullptr && t->config().metrics_enabled) ? &t->metrics().gauge(name)
+                                                         : nullptr;
+  }
+  return ptr_;
+}
+
+HistogramMetric* CachedHistogram::resolve(const char* name, double lo, double hi,
+                                          std::size_t buckets) {
+  std::uint64_t generation = current_generation();
+  if (generation_ != generation) {
+    generation_ = generation;
+    Telemetry* t = current();
+    ptr_ = (t != nullptr && t->config().metrics_enabled)
+               ? &t->metrics().histogram(name, lo, hi, buckets)
+               : nullptr;
+  }
+  return ptr_;
+}
+
+void add_counter(const char* name, std::uint64_t n) {
+  Telemetry* t = current();
+  if (t != nullptr && t->config().metrics_enabled) t->metrics().counter(name).add(n);
+}
+
+void record_histogram(const char* name, double value, double lo, double hi,
+                      std::size_t buckets) {
+  Telemetry* t = current();
+  if (t != nullptr && t->config().metrics_enabled)
+    t->metrics().histogram(name, lo, hi, buckets).record(value);
+}
+
+void advance_virtual_time(double t) {
+  Telemetry* telemetry = current();
+  if (telemetry == nullptr) return;
+  telemetry->set_virtual_now(t);
+  telemetry->maybe_snapshot();
+}
+
+}  // namespace flint::obs

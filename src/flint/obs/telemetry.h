@@ -1,0 +1,210 @@
+// Telemetry context: the integration point of flint::obs.
+//
+// A Telemetry object bundles one MetricRegistry and one Tracer behind a
+// TelemetryConfig, tracks the simulator's virtual clock, and accumulates
+// periodic JSONL metric snapshots. Exactly one Telemetry can be "ambient" at
+// a time (ScopedTelemetry installs it); instrumented code reads it through
+// obs::current(), which is a single atomic pointer load — when no telemetry
+// is installed, every instrumented site reduces to load + branch, which is
+// how the whole subsystem stays out of the hot path's way by default.
+//
+// Hot single-threaded sites cache their metric handles in Cached{Counter,
+// Gauge,Histogram} members; the cache re-resolves when the ambient telemetry
+// generation changes, so a stale handle can never dangle across runs.
+// Cold or multi-threaded sites use the record_*/add_counter free functions,
+// which do a registry lookup per call.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flint/obs/metrics.h"
+#include "flint/obs/trace.h"
+
+namespace flint::obs {
+
+/// What to observe and where to put it.
+struct TelemetryConfig {
+  bool metrics_enabled = true;
+  bool tracing_enabled = true;
+  /// Output paths for export_all(); empty skips that file.
+  std::string trace_out;
+  std::string metrics_out;
+  /// Virtual seconds between metric snapshots (0 = final snapshot only).
+  double snapshot_every_virtual_s = 600.0;
+  std::size_t max_trace_events = 1'000'000;
+
+  bool enabled() const { return metrics_enabled || tracing_enabled; }
+};
+
+/// One run's (or one process's) observability state.
+class Telemetry {
+ public:
+  explicit Telemetry(TelemetryConfig config);
+
+  const TelemetryConfig& config() const { return config_; }
+  MetricRegistry& metrics() { return metrics_; }
+  const MetricRegistry& metrics() const { return metrics_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
+  /// Simulator-published virtual time, read by spans and snapshots.
+  double virtual_now() const { return virtual_now_.load(std::memory_order_relaxed); }
+  void set_virtual_now(double t) { virtual_now_.store(t, std::memory_order_relaxed); }
+
+  /// Append a snapshot row set if the snapshot cadence has elapsed. Called
+  /// from the event-queue pump; cheap when not due (one comparison).
+  void maybe_snapshot();
+
+  /// Unconditionally append a snapshot at the current virtual time.
+  void snapshot_now();
+
+  std::size_t snapshot_row_count() const;
+
+  /// Write accumulated snapshot rows plus one final snapshot as JSONL.
+  /// Returns false (and writes nothing) when metrics are disabled.
+  bool write_metrics_jsonl(const std::string& path);
+
+  /// Write the Chrome trace-event JSON. Returns false (and writes nothing)
+  /// when tracing is disabled.
+  bool write_trace(const std::string& path) const;
+
+  /// Export to the configured paths; no-op for empty/disabled outputs.
+  void export_all();
+
+ private:
+  TelemetryConfig config_;
+  MetricRegistry metrics_;
+  Tracer tracer_;
+  std::atomic<double> virtual_now_{0.0};
+  double next_snapshot_vt_ = 0.0;
+  mutable std::mutex snapshot_mu_;  ///< guards snapshot_rows_
+  std::vector<std::string> snapshot_rows_;
+};
+
+/// The ambient telemetry, or nullptr when none is installed.
+Telemetry* current();
+
+/// Bumped on every install/uninstall; cached handles key off it.
+std::uint64_t current_generation();
+
+/// Installs `t` as the ambient telemetry for this scope (nullptr allowed:
+/// it masks an outer telemetry). Restores the previous one on destruction.
+class ScopedTelemetry {
+ public:
+  explicit ScopedTelemetry(Telemetry* t);
+  ~ScopedTelemetry();
+  ScopedTelemetry(const ScopedTelemetry&) = delete;
+  ScopedTelemetry& operator=(const ScopedTelemetry&) = delete;
+
+ private:
+  Telemetry* previous_;
+};
+
+// --- Cached handles for hot single-threaded call sites. --------------------
+
+// Names are `const char*` on purpose: the common (disabled / already-cached)
+// path must not construct a std::string — most series names exceed SSO, and
+// a per-call heap allocation in the scheduler pick loop is a measurable
+// bench regression. The string materializes only on an actual registry
+// lookup.
+
+class CachedCounter {
+ public:
+  /// The counter under the ambient telemetry, or nullptr when metrics are
+  /// off. Re-resolves only when the telemetry generation changes.
+  Counter* resolve(const char* name);
+
+ private:
+  Counter* ptr_ = nullptr;
+  std::uint64_t generation_ = 0;  ///< 0 never matches a live generation
+};
+
+class CachedGauge {
+ public:
+  Gauge* resolve(const char* name);
+
+ private:
+  Gauge* ptr_ = nullptr;
+  std::uint64_t generation_ = 0;
+};
+
+class CachedHistogram {
+ public:
+  HistogramMetric* resolve(const char* name, double lo, double hi, std::size_t buckets);
+
+ private:
+  HistogramMetric* ptr_ = nullptr;
+  std::uint64_t generation_ = 0;
+};
+
+// --- Free-function recording for cold or multi-threaded sites. -------------
+
+/// Increment a counter under the ambient telemetry (no-op when absent).
+void add_counter(const char* name, std::uint64_t n = 1);
+
+/// Record into a histogram under the ambient telemetry (no-op when absent).
+void record_histogram(const char* name, double value, double lo, double hi,
+                      std::size_t buckets);
+
+/// Publish the simulator's virtual clock and fire any due snapshot. Runners
+/// that do not drive an EventQueue (the sync FedAvg loop) call this directly.
+void advance_virtual_time(double t);
+
+// --- RAII span guard (use via FLINT_TRACE_SPAN). ---------------------------
+
+class SpanGuard {
+ public:
+  SpanGuard(const char* name, const char* category) : name_(name), category_(category) {
+    Telemetry* t = obs::current();
+    if (t != nullptr && t->tracer().enabled()) {
+      telemetry_ = t;
+      token_ = t->tracer().begin_span(t->virtual_now());
+    }
+  }
+  ~SpanGuard() {
+    if (telemetry_ != nullptr)
+      telemetry_->tracer().end_span(token_, telemetry_->virtual_now(), name_, category_);
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  Telemetry* telemetry_ = nullptr;
+  Tracer::SpanToken token_;
+};
+
+/// Measures the wall latency of a scope into a cached histogram. Resolves the
+/// histogram up front so a disabled telemetry costs one branch.
+class LatencyTimer {
+ public:
+  LatencyTimer(CachedHistogram& cache, const char* name, double lo_us, double hi_us,
+               std::size_t buckets)
+      : histogram_(cache.resolve(name, lo_us, hi_us, buckets)) {
+    if (histogram_ != nullptr) start_ = current()->tracer().wall_now_us();
+  }
+  ~LatencyTimer() {
+    if (histogram_ != nullptr)
+      histogram_->record(current()->tracer().wall_now_us() - start_);
+  }
+  LatencyTimer(const LatencyTimer&) = delete;
+  LatencyTimer& operator=(const LatencyTimer&) = delete;
+
+ private:
+  HistogramMetric* histogram_;
+  double start_ = 0.0;
+};
+
+}  // namespace flint::obs
+
+#define FLINT_OBS_CONCAT_INNER_(a, b) a##b
+#define FLINT_OBS_CONCAT_(a, b) FLINT_OBS_CONCAT_INNER_(a, b)
+
+/// Open a dual-clock span for the rest of the enclosing scope. Near-zero cost
+/// when no telemetry is installed or tracing is disabled (one pointer load
+/// and branch). The only sanctioned way to create spans outside flint::obs.
+#define FLINT_TRACE_SPAN(name, category) \
+  ::flint::obs::SpanGuard FLINT_OBS_CONCAT_(flint_trace_span_, __LINE__)(name, category)

@@ -1,0 +1,107 @@
+#include "flint/obs/trace.h"
+
+#include <algorithm>
+
+#include "flint/util/check.h"
+
+namespace flint::obs {
+
+namespace {
+
+/// Minimal JSON string escaping. Span names are code literals, but escaping
+/// keeps the exporter safe if a caller ever passes user data.
+void write_escaped(std::ostream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    char c = *s;
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      os << ' ';
+    } else {
+      os << c;
+    }
+  }
+}
+
+void write_event(std::ostream& os, const TraceEvent& e, int pid, double ts_us,
+                 double dur_us) {
+  os << "{\"name\":\"";
+  write_escaped(os, e.name);
+  os << "\",\"cat\":\"";
+  write_escaped(os, e.category);
+  os << "\",\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":1,\"ts\":" << ts_us
+     << ",\"dur\":" << dur_us << ",\"args\":{\"virtual_start_s\":" << e.virtual_start_s
+     << ",\"virtual_dur_s\":" << e.virtual_dur_s << ",\"wall_dur_us\":" << e.wall_dur_us
+     << "}}";
+}
+
+void write_process_name(std::ostream& os, int pid, const char* name) {
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+     << ",\"tid\":1,\"args\":{\"name\":\"" << name << "\"}}";
+}
+
+}  // namespace
+
+Tracer::Tracer(std::size_t max_events)
+    : max_events_(max_events), epoch_(std::chrono::steady_clock::now()) {
+  FLINT_CHECK_GT(max_events, std::size_t{0});
+}
+
+double Tracer::wall_now_us() const {
+  auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return std::chrono::duration<double, std::micro>(elapsed).count();
+}
+
+Tracer::SpanToken Tracer::begin_span(double virtual_now_s) {
+  SpanToken token;
+  if (!enabled()) return token;
+  token.wall_start_us = wall_now_us();
+  token.virtual_start_s = virtual_now_s;
+  token.active = true;
+  return token;
+}
+
+void Tracer::end_span(const SpanToken& token, double virtual_now_s, const char* name,
+                      const char* category) {
+  if (!token.active || !enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.category = category;
+  e.wall_start_us = token.wall_start_us;
+  e.wall_dur_us = wall_now_us() - token.wall_start_us;
+  e.virtual_start_s = token.virtual_start_s;
+  // The virtual clock is monotone but a span can close in the same instant it
+  // opened (callbacks are instantaneous in virtual time).
+  e.virtual_dur_s = std::max(0.0, virtual_now_s - token.virtual_start_s);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= max_events_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(e);
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os.precision(12);
+  os << "{\"traceEvents\":[\n";
+  write_process_name(os, 1, "wall clock");
+  os << ",\n";
+  write_process_name(os, 2, "virtual clock");
+  for (const auto& e : events_) {
+    os << ",\n";
+    write_event(os, e, /*pid=*/1, e.wall_start_us, e.wall_dur_us);
+    os << ",\n";
+    // Virtual seconds rendered as trace microseconds: 1 virtual second shows
+    // as 1 "microsecond" tick, keeping both tracks readable in one UI.
+    write_event(os, e, /*pid=*/2, e.virtual_start_s * 1e6, e.virtual_dur_s * 1e6);
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace flint::obs

@@ -1,0 +1,79 @@
+// Dual-clock span tracer for the observability subsystem (flint::obs).
+//
+// The simulator reports results over a virtual clock computed independently
+// of the hardware clock (§3.4), so a useful profile must answer two distinct
+// questions: where does *virtual* time go (round pacing, staleness windows)
+// and where does *wall* time go (the actual cost of running the simulation).
+// Every span therefore carries both clocks, and the exporter emits each span
+// on two Perfetto/chrome://tracing tracks — pid 1 plots wall microseconds,
+// pid 2 plots virtual seconds scaled to microseconds — from one recording.
+//
+// Spans are opened and closed only through the RAII FLINT_TRACE_SPAN macro in
+// telemetry.h (tools/flint_lint.py enforces this outside obs/): manual
+// begin/end pairs in simulator code inevitably leak across the event-driven
+// control flow.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace flint::obs {
+
+/// One completed span on both clocks.
+struct TraceEvent {
+  const char* name = "";  ///< span sites pass string literals
+  const char* category = "";
+  double wall_start_us = 0.0;  ///< since tracer construction
+  double wall_dur_us = 0.0;
+  double virtual_start_s = 0.0;
+  double virtual_dur_s = 0.0;
+};
+
+/// Bounded in-memory span buffer with Chrome trace-event JSON export.
+/// Recording is mutex-serialized (spans are orders of magnitude rarer than
+/// metric updates); the enabled() gate is an atomic so disabled tracing costs
+/// one load at each span site.
+class Tracer {
+ public:
+  explicit Tracer(std::size_t max_events = 1'000'000);
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Wall microseconds since tracer construction (steady clock).
+  double wall_now_us() const;
+
+  struct SpanToken {
+    double wall_start_us = 0.0;
+    double virtual_start_s = 0.0;
+    bool active = false;
+  };
+
+  // Low-level span API — call only through FLINT_TRACE_SPAN (lint-enforced
+  // outside obs/). begin_span returns an inactive token when tracing is off.
+  SpanToken begin_span(double virtual_now_s);
+  void end_span(const SpanToken& token, double virtual_now_s, const char* name,
+                const char* category);
+
+  std::size_t event_count() const;
+  /// Spans discarded after the buffer filled.
+  std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// Chrome trace-event JSON ({"traceEvents":[...]}), loadable in Perfetto.
+  void write_chrome_trace(std::ostream& os) const;
+
+ private:
+  std::size_t max_events_;
+  std::atomic<bool> enabled_{true};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;  ///< guards events_
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace flint::obs

@@ -27,6 +27,13 @@ bool EventQueue::step() {
   FLINT_CHECK_GE(ev.time, now_);
   now_ = ev.time;
   ++executed_;
+  if (obs::Telemetry* telemetry = obs::current(); telemetry != nullptr) {
+    telemetry->set_virtual_now(now_);
+    if (auto* c = events_counter_.resolve("sim.events_executed")) c->add(1);
+    if (auto* g = depth_gauge_.resolve("sim.queue_depth"))
+      g->set(static_cast<double>(heap_.size()));
+    telemetry->maybe_snapshot();
+  }
   ev.fn();
   return true;
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "flint/data/client_dataset.h"
+#include "flint/obs/telemetry.h"
 #include "flint/sim/event_queue.h"
 
 namespace flint::sim {
@@ -51,6 +52,9 @@ class ExecutorPool {
   std::size_t count_;
   std::vector<ExecutorOutage> outages_;
   std::vector<std::uint64_t> tasks_run_;
+  // Per-executor task counters exported as sim.executor.<i>.tasks so a trace
+  // viewer can spot partition skew (one hot executor stalling the leader).
+  std::vector<obs::CachedCounter> task_counters_;
   // Sparse map from client to executor; empty = hash assignment.
   std::vector<std::uint32_t> client_executor_;
   bool has_partitioning_ = false;

@@ -1,5 +1,6 @@
 #include "flint/sim/leader.h"
 
+#include "flint/obs/telemetry.h"
 #include "flint/util/check.h"
 
 namespace flint::sim {
@@ -20,6 +21,7 @@ void Leader::on_aggregation(std::uint64_t round, const std::vector<float>& model
   last_aggregation_round_ = round;
   if (config_.checkpoint_every_rounds == 0) return;
   if (round % config_.checkpoint_every_rounds != 0) return;
+  FLINT_TRACE_SPAN("leader.checkpoint", "store");
   store::SimCheckpoint ckpt;
   ckpt.virtual_time_s = queue_.now();
   ckpt.round = round;
@@ -27,6 +29,7 @@ void Leader::on_aggregation(std::uint64_t round, const std::vector<float>& model
   ckpt.model_parameters = model_parameters;
   config_.checkpoint_store->write(ckpt);
   ++checkpoints_written_;
+  obs::add_counter("leader.checkpoints_written");
 }
 
 }  // namespace flint::sim

@@ -21,6 +21,10 @@ std::optional<Arrival> ArrivalScheduler::trace_candidate(VirtualTime t) {
 
 std::optional<Arrival> ArrivalScheduler::next(VirtualTime t) {
   FLINT_CHECK_FINITE(t);
+  // Pick latency is the leader's per-task scheduling cost (§3.4's "priority
+  // queue-based task scheduler"); it bounds dispatch throughput.
+  obs::LatencyTimer timer(pick_latency_, "sim.pick_latency_us", 0.0, 50.0, 50);
+  if (auto* c = picks_counter_.resolve("sim.scheduler_picks")) c->add(1);
   // Drop requeued arrivals whose window has closed.
   while (!requeued_.empty() && requeued_.top().window_end <= t) requeued_.pop();
 

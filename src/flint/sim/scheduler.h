@@ -12,6 +12,7 @@
 #include <queue>
 
 #include "flint/device/availability.h"
+#include "flint/obs/telemetry.h"
 #include "flint/sim/event_queue.h"
 
 namespace flint::sim {
@@ -56,6 +57,8 @@ class ArrivalScheduler {
   const device::AvailabilityTrace* trace_;
   std::size_t cursor_ = 0;
   std::priority_queue<Arrival, std::vector<Arrival>, LaterArrival> requeued_;
+  obs::CachedHistogram pick_latency_;  ///< wall cost of next(), microseconds
+  obs::CachedCounter picks_counter_;
 };
 
 }  // namespace flint::sim

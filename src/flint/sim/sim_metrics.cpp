@@ -1,5 +1,6 @@
 #include "flint/sim/sim_metrics.h"
 
+#include <cmath>
 #include <sstream>
 
 #include "flint/util/check.h"
@@ -47,8 +48,10 @@ double SimMetrics::mean_round_duration_s() const {
 }
 
 double SimMetrics::updates_per_second(VirtualTime horizon) const {
-  FLINT_CHECK_GT(horizon, 0.0);
-  FLINT_CHECK_FINITE(horizon);
+  // A degenerate horizon (zero-length run, or a caller passing an unset
+  // duration) yields a well-defined 0 rather than a throw or a NaN/inf that
+  // would poison downstream report arithmetic.
+  if (!(horizon > 0.0) || !std::isfinite(horizon)) return 0.0;
   std::uint64_t updates = 0;
   for (const auto& r : rounds_) updates += r.updates_aggregated;
   return static_cast<double>(updates) / horizon;

@@ -53,7 +53,8 @@ class SimMetrics {
   /// Mean round (buffer-fill) duration over completed rounds.
   double mean_round_duration_s() const;
 
-  /// Aggregated updates per virtual second over [0, horizon].
+  /// Aggregated updates per virtual second over [0, horizon]. A non-positive
+  /// or non-finite horizon returns 0 (never NaN/inf, never throws).
   double updates_per_second(VirtualTime horizon) const;
 
   /// Fraction of started tasks whose work was wasted (not aggregated).

@@ -1,32 +1,53 @@
 #include "flint/util/logging.h"
 
+#include <chrono>
+#include <cstdio>
+#include <ctime>
 #include <iostream>
 
 namespace flint::util {
+
+namespace {
+
+// "[2026-08-05T12:34:56.789]" — UTC wall clock, millisecond precision.
+std::string timestamp_utc() {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const std::time_t secs = system_clock::to_time_t(now);
+  const auto ms = duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000;
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &secs);
+#else
+  gmtime_r(&secs, &tm);
+#endif
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "[%04d-%02d-%02dT%02d:%02d:%02d.%03d]", tm.tm_year + 1900,
+                tm.tm_mon + 1, tm.tm_mday, tm.tm_hour, tm.tm_min, tm.tm_sec,
+                static_cast<int>(ms));
+  return buf;
+}
+
+}  // namespace
 
 Logger& Logger::instance() {
   static Logger logger;
   return logger;
 }
 
-void Logger::set_level(LogLevel level) {
+void Logger::set_sink(std::ostream* sink) {
   std::lock_guard<std::mutex> lock(mu_);
-  level_ = level;
-}
-
-LogLevel Logger::level() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return level_;
+  sink_ = sink;
 }
 
 void Logger::log(LogLevel level, const std::string& msg) {
   static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  if (!enabled(level)) return;  // callers may bypass the macros
   std::lock_guard<std::mutex> lock(mu_);
-  if (static_cast<int>(level) < static_cast<int>(level_)) return;
-  if (level == LogLevel::kOff) return;
-  // Unbuffered stderr for every level: diagnostic output must survive a
-  // killed process (debug logs are for exactly those situations).
-  std::cerr << "[" << kNames[static_cast<int>(level)] << "] " << msg << "\n";
+  // Unbuffered stderr by default for every level: diagnostic output must
+  // survive a killed process (debug logs are for exactly those situations).
+  std::ostream& out = sink_ != nullptr ? *sink_ : std::cerr;
+  out << timestamp_utc() << " [" << kNames[static_cast<int>(level)] << "] " << msg << "\n";
 }
 
 }  // namespace flint::util

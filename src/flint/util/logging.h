@@ -1,7 +1,14 @@
 // Leveled logging for the simulator. The leader/executor loops log progress
 // at Info; tests set the level to Warn to keep output clean.
+//
+// The level check is a single relaxed atomic load, and the FLINT_LOG_* macros
+// skip message formatting entirely when the level is disabled — a Debug line
+// in a hot loop costs one load + branch. Emission itself stays serialized
+// under a mutex so concurrent lines never interleave.
 #pragma once
 
+#include <atomic>
+#include <iosfwd>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -15,16 +22,28 @@ class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level);
-  LogLevel level() const;
+  void set_level(LogLevel level) { level_.store(level, std::memory_order_relaxed); }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
 
-  /// Emit a line if `level` passes the configured threshold.
+  /// Lock-free check used by the macros to skip formatting early.
+  bool enabled(LogLevel level) const {
+    return level != LogLevel::kOff &&
+           static_cast<int>(level) >= static_cast<int>(level_.load(std::memory_order_relaxed));
+  }
+
+  /// Redirect output (tests capture into an ostringstream). nullptr restores
+  /// the default sink, unbuffered stderr. The sink must outlive its use.
+  void set_sink(std::ostream* sink);
+
+  /// Emit a line if `level` passes the configured threshold. Serialized:
+  /// concurrent calls never interleave within a line.
   void log(LogLevel level, const std::string& msg);
 
  private:
   Logger() = default;
-  mutable std::mutex mu_;
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  mutable std::mutex mu_;           ///< guards emission and sink_
+  std::ostream* sink_ = nullptr;    ///< nullptr = stderr
 };
 
 namespace detail {
@@ -50,7 +69,15 @@ class LogLine {
 }  // namespace detail
 }  // namespace flint::util
 
-#define FLINT_LOG_DEBUG ::flint::util::detail::LogLine(::flint::util::LogLevel::kDebug)
-#define FLINT_LOG_INFO ::flint::util::detail::LogLine(::flint::util::LogLevel::kInfo)
-#define FLINT_LOG_WARN ::flint::util::detail::LogLine(::flint::util::LogLevel::kWarn)
-#define FLINT_LOG_ERROR ::flint::util::detail::LogLine(::flint::util::LogLevel::kError)
+// The empty-if/else shape makes the whole statement (including the streamed
+// operands) dead when the level is disabled, while still binding a trailing
+// `<< x << y;` to the LogLine and staying safe under an unbraced `if (c) FLINT_LOG_...`.
+#define FLINT_LOG_AT_(lvl)                                      \
+  if (!::flint::util::Logger::instance().enabled(lvl)) { \
+  } else                                                        \
+    ::flint::util::detail::LogLine(lvl)
+
+#define FLINT_LOG_DEBUG FLINT_LOG_AT_(::flint::util::LogLevel::kDebug)
+#define FLINT_LOG_INFO FLINT_LOG_AT_(::flint::util::LogLevel::kInfo)
+#define FLINT_LOG_WARN FLINT_LOG_AT_(::flint::util::LogLevel::kWarn)
+#define FLINT_LOG_ERROR FLINT_LOG_AT_(::flint::util::LogLevel::kError)

@@ -1,0 +1,385 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "flint/obs/metrics.h"
+#include "flint/obs/telemetry.h"
+#include "flint/obs/trace.h"
+
+namespace flint::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ------------------------------------------------------------- JSON checker
+//
+// Minimal recursive-descent JSON parser: accepts exactly RFC-ish JSON and
+// nothing else, so a malformed byte anywhere in an emitted trace or JSONL
+// line fails the test. Values are not materialized — we only validate.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control char
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(static_cast<unsigned char>(s_[pos_])))
+              return false;
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!digits()) return false;
+    if (peek() == '.') { ++pos_; if (!digits()) return false; }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!digits()) return false;
+    }
+    return pos_ > start;
+  }
+
+  bool digits() {
+    std::size_t start = pos_;
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    return pos_ > start;
+  }
+
+  bool literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p, ++pos_)
+      if (pos_ >= s_.size() || s_[pos_] != *p) return false;
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                                s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// --------------------------------------------------------------- Registry
+
+TEST(ObsRegistry, CounterGaugeBasics) {
+  MetricRegistry registry;
+  registry.counter("a").add(3);
+  registry.counter("a").add(4);
+  EXPECT_EQ(registry.counter("a").value(), 7u);
+  registry.gauge("g").set(2.5);
+  registry.gauge("g").set(-1.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("g").value(), -1.0);
+  EXPECT_EQ(registry.series_count(), 2u);
+}
+
+TEST(ObsRegistry, HandleIsStableAcrossInsertions) {
+  MetricRegistry registry;
+  Counter& a = registry.counter("stable");
+  for (int i = 0; i < 100; ++i) registry.counter("filler." + std::to_string(i));
+  a.add(1);  // must still be the live object after 100 more insertions
+  EXPECT_EQ(registry.counter("stable").value(), 1u);
+  EXPECT_EQ(&registry.counter("stable"), &a);
+}
+
+TEST(ObsRegistry, HistogramEdgeBucketsSaturate) {
+  MetricRegistry registry;
+  HistogramMetric& h = registry.histogram("h", 0.0, 10.0, 10);
+  h.record(-100.0);  // below lo -> first bucket
+  h.record(100.0);   // above hi -> last bucket
+  h.record(5.0);
+  h.record(std::nan(""));  // dropped
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(9), 1u);
+  EXPECT_EQ(h.bucket(5), 1u);
+}
+
+TEST(ObsRegistry, SnapshotIsSortedAndTyped) {
+  MetricRegistry registry;
+  registry.gauge("z.gauge").set(1.0);
+  registry.counter("a.counter").add(5);
+  registry.histogram("m.hist", 0.0, 1.0, 4).record(0.3);
+  auto samples = registry.snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "a.counter");
+  EXPECT_EQ(samples[0].kind, MetricSample::Kind::kCounter);
+  EXPECT_EQ(samples[1].name, "m.hist");
+  EXPECT_EQ(samples[1].kind, MetricSample::Kind::kHistogram);
+  EXPECT_EQ(samples[1].count, 1u);
+  EXPECT_EQ(samples[2].name, "z.gauge");
+  EXPECT_EQ(samples[2].kind, MetricSample::Kind::kGauge);
+}
+
+TEST(ObsRegistry, ConcurrentMixedOperations) {
+  // Hammer one registry from several threads with lookups, recording, and
+  // snapshots at once. Run under the TSan preset (scripts/run_sanitizers.sh
+  // thread) this is the subsystem's data-race gate; in a plain build it
+  // still checks no update is lost.
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  MetricRegistry registry;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry, t] {
+      for (int i = 0; i < kIters; ++i) {
+        registry.counter("shared").add(1);
+        registry.counter("own." + std::to_string(t)).add(1);
+        registry.gauge("depth").set(static_cast<double>(i));
+        registry.histogram("lat", 0.0, 1000.0, 20).record(static_cast<double>(i % 1000));
+        if (i % 1024 == 0) (void)registry.snapshot();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(registry.counter("shared").value(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(registry.histogram("lat", 0.0, 1000.0, 20).count(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  for (int t = 0; t < kThreads; ++t)
+    EXPECT_EQ(registry.counter("own." + std::to_string(t)).value(),
+              static_cast<std::uint64_t>(kIters));
+}
+
+TEST(ObsRegistry, JsonlLinesAreValidJson) {
+  MetricRegistry registry;
+  registry.counter("c\"quoted\\name").add(1);  // name needing escapes
+  registry.gauge("g").set(std::nan(""));        // non-finite -> null
+  registry.histogram("h", 0.0, 2.0, 2).record(1.0);
+  for (const auto& sample : registry.snapshot()) {
+    std::string line = sample.to_jsonl(12.5);
+    EXPECT_TRUE(JsonChecker(line).valid()) << line;
+    EXPECT_NE(line.find("\"t_virtual_s\":12.5"), std::string::npos) << line;
+  }
+}
+
+// ----------------------------------------------------------------- Tracer
+
+TEST(ObsTrace, ChromeTraceParsesBack) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  for (int i = 0; i < 5; ++i) {
+    Tracer::SpanToken token = tracer.begin_span(/*virtual_now_s=*/i * 1.0);
+    tracer.end_span(token, /*virtual_now_s=*/i * 1.0 + 0.5, "round \"x\"", "fl");
+  }
+  EXPECT_EQ(tracer.event_count(), 5u);
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  const std::string text = os.str();
+  EXPECT_TRUE(JsonChecker(text).valid()) << text.substr(0, 400);
+  // Dual-clock export: every span appears on the wall track and the
+  // virtual track, plus one process_name metadata event per track.
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("wall clock"), std::string::npos);
+  EXPECT_NE(text.find("virtual clock"), std::string::npos);
+}
+
+TEST(ObsTrace, DropsWhenFull) {
+  Tracer tracer(/*max_events=*/2);
+  tracer.set_enabled(true);
+  for (int i = 0; i < 5; ++i) {
+    Tracer::SpanToken token = tracer.begin_span(0.0);
+    tracer.end_span(token, 1.0, "s", "t");
+  }
+  EXPECT_EQ(tracer.event_count(), 2u);
+  EXPECT_EQ(tracer.dropped(), 3u);
+}
+
+// -------------------------------------------------------------- Telemetry
+
+TEST(ObsTelemetry, DisabledTracingProducesNoFile) {
+  const fs::path out = fs::temp_directory_path() / "flint_obs_disabled_trace.json";
+  fs::remove(out);
+  TelemetryConfig config;
+  config.tracing_enabled = false;
+  Telemetry telemetry(config);
+  {
+    ScopedTelemetry scope(&telemetry);
+    FLINT_TRACE_SPAN("never.recorded", "test");
+    obs::advance_virtual_time(1.0);
+  }
+  EXPECT_EQ(telemetry.tracer().event_count(), 0u);
+  EXPECT_FALSE(telemetry.write_trace(out.string()));
+  EXPECT_FALSE(fs::exists(out));
+}
+
+TEST(ObsTelemetry, NoAmbientContextIsANoOp) {
+  ASSERT_EQ(current(), nullptr);
+  // None of these may crash or allocate a registry out of thin air.
+  add_counter("ghost");
+  record_histogram("ghost.h", 1.0, 0.0, 10.0, 10);
+  advance_virtual_time(42.0);
+  FLINT_TRACE_SPAN("ghost.span", "test");
+}
+
+TEST(ObsTelemetry, SpanMacroRecordsDualClocks) {
+  TelemetryConfig config;
+  Telemetry telemetry(config);
+  {
+    ScopedTelemetry scope(&telemetry);
+    telemetry.set_virtual_now(10.0);
+    {
+      FLINT_TRACE_SPAN("timed", "test");
+      telemetry.set_virtual_now(12.0);
+    }
+  }
+  EXPECT_EQ(telemetry.tracer().event_count(), 1u);
+  std::ostringstream os;
+  telemetry.tracer().write_chrome_trace(os);
+  // Virtual duration 2s -> 2e6 virtual-track microseconds.
+  EXPECT_NE(os.str().find("\"virtual_dur_s\":2"), std::string::npos) << os.str();
+}
+
+TEST(ObsTelemetry, CachedHandlesSurviveContextSwap) {
+  CachedCounter cached;
+  {
+    TelemetryConfig config;
+    Telemetry first(config);
+    ScopedTelemetry scope(&first);
+    ASSERT_NE(cached.resolve("swap.counter"), nullptr);
+    cached.resolve("swap.counter")->add(1);
+    EXPECT_EQ(first.metrics().counter("swap.counter").value(), 1u);
+  }
+  // First telemetry is gone; the cache must re-resolve, not dangle.
+  EXPECT_EQ(cached.resolve("swap.counter"), nullptr);
+  TelemetryConfig config;
+  Telemetry second(config);
+  ScopedTelemetry scope(&second);
+  ASSERT_NE(cached.resolve("swap.counter"), nullptr);
+  cached.resolve("swap.counter")->add(5);
+  EXPECT_EQ(second.metrics().counter("swap.counter").value(), 5u);
+}
+
+TEST(ObsTelemetry, VirtualTimeSnapshotCadence) {
+  TelemetryConfig config;
+  config.snapshot_every_virtual_s = 100.0;
+  Telemetry telemetry(config);
+  ScopedTelemetry scope(&telemetry);
+  add_counter("cadence.counter");
+  advance_virtual_time(50.0);   // before first boundary
+  EXPECT_EQ(telemetry.snapshot_row_count(), 0u);
+  advance_virtual_time(150.0);  // crosses 100
+  EXPECT_EQ(telemetry.snapshot_row_count(), 1u);
+  advance_virtual_time(450.0);  // crosses 200,300,400 -> one catch-up snapshot
+  EXPECT_GE(telemetry.snapshot_row_count(), 2u);
+}
+
+TEST(ObsTelemetry, MetricsJsonlRoundTrip) {
+  const fs::path out = fs::temp_directory_path() / "flint_obs_metrics.jsonl";
+  fs::remove(out);
+  TelemetryConfig config;
+  Telemetry telemetry(config);
+  {
+    ScopedTelemetry scope(&telemetry);
+    add_counter("file.counter", 2);
+    record_histogram("file.hist", 3.0, 0.0, 10.0, 5);
+    telemetry.set_virtual_now(7.0);
+  }
+  // write_metrics_jsonl takes the final snapshot itself: 1 snapshot x 2 series.
+  ASSERT_TRUE(telemetry.write_metrics_jsonl(out.string()));
+  std::istringstream lines(read_file(out));
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    EXPECT_TRUE(JsonChecker(line).valid()) << line;
+    ++n;
+  }
+  EXPECT_EQ(n, 2u);
+  fs::remove(out);
+}
+
+}  // namespace
+}  // namespace flint::obs

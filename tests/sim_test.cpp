@@ -8,7 +8,9 @@
 #include "flint/sim/sim_metrics.h"
 #include "flint/store/checkpoint.h"
 
+#include <cmath>
 #include <filesystem>
+#include <limits>
 
 namespace flint::sim {
 namespace {
@@ -252,6 +254,19 @@ TEST(SimMetrics, RoundDurationsAndThroughput) {
   EXPECT_EQ(m.aggregations(), 2u);
   EXPECT_DOUBLE_EQ(m.mean_round_duration_s(), 15.0);
   EXPECT_DOUBLE_EQ(m.updates_per_second(100.0), 0.1);
+}
+
+TEST(SimMetrics, DegenerateDenominatorsYieldZeroNotNan) {
+  SimMetrics m;
+  // No tasks started: waste is 0, not 0/0.
+  EXPECT_DOUBLE_EQ(m.waste_fraction(), 0.0);
+  // Degenerate horizons: 0, not a throw or inf/NaN.
+  m.on_round({1, 0.0, 10.0, 5, 0.0});
+  EXPECT_DOUBLE_EQ(m.updates_per_second(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.updates_per_second(-5.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.updates_per_second(std::numeric_limits<double>::quiet_NaN()), 0.0);
+  EXPECT_DOUBLE_EQ(m.updates_per_second(std::numeric_limits<double>::infinity()), 0.0);
+  EXPECT_FALSE(std::isnan(m.waste_fraction()));
 }
 
 // ------------------------------------------------------------------- Leader

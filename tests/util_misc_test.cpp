@@ -192,5 +192,52 @@ TEST(Logging, LevelGate) {
   Logger::instance().set_level(LogLevel::kWarn);
 }
 
+TEST(Logging, EnabledCheckMatchesLevel) {
+  Logger::instance().set_level(LogLevel::kWarn);
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kDebug));
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kWarn));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kError));
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kOff));
+}
+
+TEST(Logging, SinkCapturesTimestampedTaggedLine) {
+  std::ostringstream captured;
+  Logger::instance().set_sink(&captured);
+  Logger::instance().set_level(LogLevel::kInfo);
+  FLINT_LOG_INFO << "payload " << 42;
+  FLINT_LOG_DEBUG << "filtered out";
+  Logger::instance().set_sink(nullptr);  // restore stderr
+  Logger::instance().set_level(LogLevel::kWarn);
+
+  const std::string line = captured.str();
+  EXPECT_NE(line.find("[INFO] payload 42"), std::string::npos) << line;
+  EXPECT_EQ(line.find("filtered"), std::string::npos);
+  // Wall-clock stamp: "[YYYY-MM-DDTHH:MM:SS.mmm]" prefix.
+  ASSERT_GE(line.size(), 25u);
+  EXPECT_EQ(line[0], '[');
+  EXPECT_EQ(line[5], '-');
+  EXPECT_EQ(line[11], 'T');
+  EXPECT_EQ(line[20], '.');
+  EXPECT_EQ(line[24], ']');
+}
+
+TEST(Logging, MacroBindsInUnbracedIf) {
+  std::ostringstream captured;
+  Logger::instance().set_sink(&captured);
+  Logger::instance().set_level(LogLevel::kInfo);
+  // The dangling-else shape must keep this statement well-formed: the log
+  // belongs to the inner if, the else to the outer one.
+  bool flag = false;
+  if (flag)
+    FLINT_LOG_INFO << "not reached";
+  else
+    FLINT_LOG_INFO << "else branch";
+  Logger::instance().set_sink(nullptr);
+  Logger::instance().set_level(LogLevel::kWarn);
+  EXPECT_NE(captured.str().find("else branch"), std::string::npos);
+  EXPECT_EQ(captured.str().find("not reached"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace flint::util

@@ -21,6 +21,10 @@ in the file):
   config-checks   a .cpp that consumes a *Config struct must FLINT_CHECK at
                   least one config-derived quantity (module entry points
                   validate their inputs).
+  obs-spans       trace spans are opened/closed only through the RAII
+                  FLINT_TRACE_SPAN macro; direct begin_span/end_span calls are
+                  allowed only inside obs/ itself. A manual begin without a
+                  guaranteed end corrupts the span pairing on early return.
 
 Usage: tools/flint_lint.py [paths...]   (default: src/)
 Exit: 0 clean, 1 findings, 2 usage error.
@@ -47,6 +51,7 @@ REINTERPRET_RE = re.compile(r"\breinterpret_cast\b")
 TRIVIAL_ASSERT_RE = re.compile(r"static_assert\s*\(\s*std::is_trivially_copyable")
 CONFIG_PARAM_RE = re.compile(r"\b(const\s+)?\w*Config\s*[&*]\s*\w+|\bconst\s+\w*Config\s+\w+\s*[,)]")
 FLINT_CHECK_RE = re.compile(r"\bFLINT_D?CHECK")
+SPAN_CALL_RE = re.compile(r"\b(begin_span|end_span)\s*\(")
 COMMENT_RE = re.compile(r"^\s*(//|\*|/\*)")
 
 
@@ -81,6 +86,7 @@ def lint_file(path: Path) -> list[Finding]:
     lines = text.splitlines()
     findings: list[Finding] = []
     in_util_rng = path.name.startswith("rng.") and path.parent.name == "util"
+    in_obs = "obs" in path.parts
     is_header = path.suffix in (".h", ".hpp")
 
     # pragma-once
@@ -107,6 +113,14 @@ def lint_file(path: Path) -> list[Finding]:
                     Finding(path, lineno, "throw",
                             "library code must throw flint::util::CheckError "
                             "(use FLINT_CHECK / FLINT_CHECK_MSG)"))
+
+        # obs-spans
+        if not in_obs and SPAN_CALL_RE.search(line) and not suppressed("obs-spans", lines, idx):
+            findings.append(
+                Finding(path, lineno, "obs-spans",
+                        "open/close trace spans only via FLINT_TRACE_SPAN "
+                        "(RAII); manual begin_span/end_span is reserved for "
+                        "obs/ internals"))
 
         # byte-punning
         if REINTERPRET_RE.search(line) and not suppressed("byte-punning", lines, idx):

@@ -1,15 +1,59 @@
-// Standalone ThreadSanitizer smoke: hammers CheckpointStore from several
-// threads without pulling in gtest or the full library. scripts/tsan_smoke.sh
-// compiles this TU plus src/flint/store/checkpoint.cpp directly with
-// -fsanitize=thread, so the race check runs in seconds instead of requiring a
-// full sanitizer tree. Registered as the `tsan_smoke` ctest entry.
+// Standalone ThreadSanitizer smoke: hammers CheckpointStore and the obs
+// MetricRegistry from several threads without pulling in gtest or the full
+// library. scripts/tsan_smoke.sh compiles this TU plus the checkpoint and obs
+// TUs directly with -fsanitize=thread, so the race check runs in seconds
+// instead of requiring a full sanitizer tree. Registered as the `tsan_smoke`
+// ctest entry.
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <thread>
 #include <vector>
 
+#include "flint/obs/telemetry.h"
 #include "flint/store/checkpoint.h"
+
+namespace {
+
+// Mixed-operation hammer on one registry: concurrent lookup/creation of the
+// same and distinct series, plus recording through the returned handles while
+// another thread snapshots. Any unlocked map mutation or non-atomic metric
+// update shows up as a TSan report here.
+int hammer_registry() {
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2000;
+  flint::obs::MetricRegistry registry;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry, t] {
+      for (int i = 0; i < kIters; ++i) {
+        registry.counter("shared.counter").add(1);
+        registry.counter("worker." + std::to_string(t) + ".counter").add(2);
+        registry.gauge("shared.gauge").set(static_cast<double>(i));
+        registry.histogram("shared.hist", 0.0, 100.0, 10).record(i % 100);
+        if (i % 256 == 0) (void)registry.snapshot();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  int failures = 0;
+  const auto expected =
+      static_cast<std::uint64_t>(kThreads) * static_cast<std::uint64_t>(kIters);
+  if (registry.counter("shared.counter").value() != expected) {
+    std::fprintf(stderr, "tsan_smoke: shared.counter lost updates\n");
+    ++failures;
+  }
+  if (registry.series_count() != static_cast<std::size_t>(kThreads) + 3) {
+    std::fprintf(stderr, "tsan_smoke: unexpected series count %zu\n",
+                 registry.series_count());
+    ++failures;
+  }
+  return failures;
+}
+
+}  // namespace
 
 int main() {
   namespace fs = std::filesystem;
@@ -19,6 +63,13 @@ int main() {
   constexpr int kThreads = 4;
   constexpr int kWritesPerThread = 16;
   std::atomic<int> failures{0};
+  failures.fetch_add(hammer_registry());
+
+  // Ambient telemetry so the checkpoint writers below also exercise the obs
+  // cold recording path (checkpoint write latency/bytes) concurrently.
+  flint::obs::TelemetryConfig telemetry_config;
+  flint::obs::Telemetry telemetry(telemetry_config);
+  flint::obs::ScopedTelemetry telemetry_scope(&telemetry);
   {
     flint::store::CheckpointStore store(dir.string());
     std::vector<std::thread> writers;

@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Validate FLINT observability output: a Chrome trace-event JSON file and a
+metrics JSONL dump, as produced by `quickstart --trace-out` or any binary
+using obs::Telemetry::export_all().
+
+Checks
+  trace:   top-level object with a `traceEvents` array; every event has the
+           required trace-event keys for its phase ("X" spans need
+           name/cat/pid/tid/ts/dur with numeric non-negative ts/dur; "M"
+           metadata needs name/pid); both clock tracks (pid 1 wall, pid 2
+           virtual) are present when any span exists.
+  metrics: every line parses as a JSON object with series/type/t_virtual_s,
+           type is counter|gauge|histogram, histograms carry consistent
+           count/buckets, and no numeric field is NaN/inf (the exporter must
+           have written null instead).
+  series:  at least --min-series distinct series names, and every name given
+           via --require is present.
+
+Usage:
+  tools/validate_trace.py --trace trace.json --metrics metrics.jsonl \
+      [--min-series N] [--require name]...
+Exit: 0 valid, 1 validation failure, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+
+ERRORS: list[str] = []
+
+
+def fail(msg: str) -> None:
+    ERRORS.append(msg)
+
+
+def finite(x) -> bool:
+    return isinstance(x, (int, float)) and not isinstance(x, bool) and math.isfinite(x)
+
+
+def validate_trace(path: str) -> None:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not readable as JSON: {e}")
+        return
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path}: top level must be an object with a traceEvents array")
+        return
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail(f"{path}: traceEvents is not an array")
+        return
+
+    pids = set()
+    span_count = 0
+    for i, ev in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            fail(f"{where}: event is not an object")
+            continue
+        ph = ev.get("ph")
+        if ph == "X":
+            span_count += 1
+            for key in ("name", "cat", "pid", "tid", "ts", "dur"):
+                if key not in ev:
+                    fail(f"{where}: complete event missing '{key}'")
+            for key in ("ts", "dur"):
+                if key in ev and (not finite(ev[key]) or ev[key] < 0):
+                    fail(f"{where}: '{key}' must be a non-negative finite number")
+            if "pid" in ev:
+                pids.add(ev["pid"])
+        elif ph == "M":
+            for key in ("name", "pid"):
+                if key not in ev:
+                    fail(f"{where}: metadata event missing '{key}'")
+        else:
+            fail(f"{where}: unexpected phase {ph!r} (emitter writes only X and M)")
+    if span_count > 0 and pids != {1, 2}:
+        fail(f"{path}: expected spans on both clock tracks (pids 1 and 2), got {sorted(pids)}")
+    print(f"{path}: {span_count} spans across pids {sorted(pids)}: OK"
+          if not ERRORS else f"{path}: checked {span_count} spans")
+
+
+def validate_metrics(path: str) -> set[str]:
+    series: set[str] = set()
+    kinds = {"counter", "gauge", "histogram"}
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        fail(f"{path}: {e}")
+        return series
+    if not lines:
+        fail(f"{path}: empty metrics file")
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        where = f"{path}:{lineno}"
+        try:
+            # parse_constant rejects the non-standard NaN/Infinity literals
+            # json.loads would otherwise happily accept.
+            row = json.loads(line, parse_constant=lambda c: fail(f"{where}: literal {c}"))
+        except json.JSONDecodeError as e:
+            fail(f"{where}: invalid JSON: {e}")
+            continue
+        if not isinstance(row, dict):
+            fail(f"{where}: line is not an object")
+            continue
+        name = row.get("series")
+        kind = row.get("type")
+        if not isinstance(name, str) or not name:
+            fail(f"{where}: missing series name")
+            continue
+        series.add(name)
+        if kind not in kinds:
+            fail(f"{where}: type {kind!r} not in {sorted(kinds)}")
+        if not finite(row.get("t_virtual_s")) and row.get("t_virtual_s") is not None:
+            fail(f"{where}: t_virtual_s must be finite or null")
+        if kind == "histogram":
+            buckets = row.get("buckets")
+            count = row.get("count")
+            if not isinstance(buckets, list) or not all(
+                    isinstance(b, int) and b >= 0 for b in buckets):
+                fail(f"{where}: histogram buckets must be non-negative integers")
+            elif not isinstance(count, int) or sum(buckets) != count:
+                fail(f"{where}: histogram count {count} != bucket sum {sum(buckets or [])}")
+        elif kind in ("counter", "gauge"):
+            v = row.get("value")
+            if v is not None and not finite(v):
+                fail(f"{where}: value must be finite or null")
+    return series
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--trace", help="Chrome trace-event JSON file")
+    ap.add_argument("--metrics", help="metrics JSONL file")
+    ap.add_argument("--min-series", type=int, default=0,
+                    help="minimum number of distinct metric series")
+    ap.add_argument("--require", action="append", default=[],
+                    help="series name that must be present (repeatable)")
+    args = ap.parse_args()
+    if not args.trace and not args.metrics:
+        ap.error("nothing to validate: pass --trace and/or --metrics")
+
+    if args.trace:
+        validate_trace(args.trace)
+    if args.metrics:
+        series = validate_metrics(args.metrics)
+        if len(series) < args.min_series:
+            fail(f"{args.metrics}: {len(series)} distinct series < required "
+                 f"{args.min_series}: {sorted(series)}")
+        for name in args.require:
+            if name not in series:
+                fail(f"{args.metrics}: required series '{name}' missing")
+        if not ERRORS:
+            print(f"{args.metrics}: {len(series)} distinct series: OK")
+
+    for e in ERRORS:
+        print(f"validate_trace: {e}", file=sys.stderr)
+    return 1 if ERRORS else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
