@@ -15,6 +15,9 @@ namespace {
 
 using namespace flint;
 
+// Set by main; the ablations feed their headline numbers into it.
+bench::BenchArtifact* g_artifact = nullptr;
+
 void ablate_overcommit() {
   std::cout << util::banner("Ablation (a): FedAvg over-commitment factor");
   util::Rng rng(31);
@@ -48,6 +51,8 @@ void ablate_overcommit() {
     cfg.cohort_size = 20;
     cfg.overcommit = factor;
     fl::RunResult r = fl::run_fedavg(cfg);
+    g_artifact->add_scalar("overcommit_waste.x" + std::to_string(static_cast<int>(factor * 100)),
+                           r.metrics.waste_fraction());
     t.add_row({util::Table::num(factor, 2),
                util::Table::num(r.metrics.mean_round_duration_s(), 1),
                util::Table::count(static_cast<std::int64_t>(r.metrics.tasks_stale())),
@@ -108,6 +113,9 @@ void ablate_staleness_weighting() {
       for (const auto& round : r.metrics.rounds()) staleness += round.mean_staleness;
       staleness /= static_cast<double>(std::max<std::size_t>(1, r.metrics.rounds().size()));
     }
+    g_artifact->add_scalar(std::string("staleness_weighting_aupr.") +
+                               (weighting ? "on" : "off"),
+                           util::median(metrics));
     t.add_row({weighting ? "1/sqrt(1+s) (FedBuff)" : "uniform",
                util::Table::num(util::median(metrics), 4), util::Table::num(staleness, 2)});
   }
@@ -136,6 +144,9 @@ void ablate_partitioning() {
     for (std::size_t p = 0; p < 20; ++p)
       for (auto client : parts.partitions[p]) load[p] += task.train.client(client).size();
     auto [mn, mx] = std::minmax_element(load.begin(), load.end());
+    g_artifact->add_scalar(std::string("partition_load_ratio.") +
+                               (balanced ? "balanced" : "round_robin"),
+                           static_cast<double>(*mx) / std::max<std::size_t>(1, *mn));
     t.add_row({balanced ? "balanced (LPT)" : "round-robin",
                util::Table::num(static_cast<double>(*mx) / std::max<std::size_t>(1, *mn), 2),
                util::Table::count(static_cast<std::int64_t>(*mx))});
@@ -166,6 +177,7 @@ void ablate_hashing() {
     feature::FeatureHasher hasher(buckets);
     double measured = feature::measured_collision_rate(tokens, hasher);
     double expected = feature::expected_collision_rate(tokens.size(), buckets);
+    g_artifact->add_scalar("collision_rate.buckets_" + std::to_string(buckets), measured);
     t.add_row({util::Table::count(static_cast<std::int64_t>(buckets)), "0",
                util::Table::pct(measured), util::Table::pct(expected)});
   }
@@ -236,7 +248,10 @@ void ablate_server_momentum() {
                "client drift, momentum smooths the buffered server updates.\n";
 }
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchArtifact artifact(argc, argv, "ablation_design");
+  artifact.set_config_text("ablations: overcommit/staleness/partitioning/hashing/momentum");
+  g_artifact = &artifact;
   bench::print_header("Design ablations", "DESIGN.md §5 — the design choices worth measuring");
   ablate_overcommit();
   ablate_staleness_weighting();

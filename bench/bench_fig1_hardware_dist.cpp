@@ -21,8 +21,9 @@ void print_distribution(const flint::device::HardwareDistribution& dist,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace flint;
+  bench::BenchArtifact artifact(argc, argv, "fig1_hardware_dist");
   bench::print_header("Figure 1: Hardware distribution of the user base (iOS vs Android)",
                       "Sampled from 200k synthetic users per OS; legend shows top models");
 
@@ -38,6 +39,11 @@ int main() {
       device::sampled_hardware_distribution(catalog, device::Os::kAndroid, 200'000, rng);
   print_distribution(android, 6);
 
+  artifact.set_config_text("fig1: 200k users per OS, standard catalog, seed 1006");
+  artifact.add_scalar("entropy_bits.ios", ios.entropy_bits);
+  artifact.add_scalar("entropy_bits.android", android.entropy_bits);
+  artifact.add_scalar("top3_share.ios", ios.top3_share);
+  artifact.add_scalar("top3_share.android", android.top3_share);
   bench::print_compare("diversity ordering", "Android >> iOS (Figure 1)",
                        std::string("Android ") + util::Table::num(android.entropy_bits, 2) +
                            " bits vs iOS " + util::Table::num(ios.entropy_bits, 2) + " bits");

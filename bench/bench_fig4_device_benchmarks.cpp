@@ -8,8 +8,9 @@
 
 #include "flint/device/benchmark_harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace flint;
+  bench::BenchArtifact artifact(argc, argv, "fig4_device_benchmarks");
   bench::print_header("Figure 4: Per-device training time and CPU for two FL tasks",
                       "Task A := zoo Model C (fast embedding MLP); Task B := zoo "
                       "Model B (sparse-feature MLP); 5000 records per device");
@@ -30,6 +31,10 @@ int main() {
   }
   std::cout << t.render();
 
+  artifact.set_config_text("fig4: zoo models C and B, 27-device fleet, 5000 records, seed 1008");
+  artifact.add_scalar("mean_time_s.task_a", fast.mean_time_s);
+  artifact.add_scalar("mean_time_s.task_b", slow.mean_time_s);
+  artifact.add_scalar("time_ratio", slow.mean_time_s / fast.mean_time_s);
   bench::print_compare("task time magnitudes", "Task B ~19x Task A (61.81s vs 3.26s)",
                        util::Table::num(slow.mean_time_s / fast.mean_time_s, 1) +
                            "x (" + util::Table::num(slow.mean_time_s, 2) + "s vs " +
@@ -51,6 +56,7 @@ int main() {
   std::size_t moved = 0;
   for (std::size_t i = 0; i < ra.size(); ++i)
     if (ra[i] != rb[i]) ++moved;
+  artifact.add_scalar("rank_moved_devices", static_cast<double>(moved));
   bench::print_compare("devices whose speed rank differs between tasks",
                        "\"devices optimized for one task might be worse for another\"",
                        util::Table::num(static_cast<double>(moved)) + " of 27");

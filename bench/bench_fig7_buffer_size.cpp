@@ -5,8 +5,9 @@
 // understand the impact of different parameters".
 #include "bench_helpers.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace flint;
+  bench::BenchArtifact artifact(argc, argv, "fig7_buffer_size");
   bench::print_header("Figure 7: Buffer size vs buffer-fill duration (max concurrency = 180)",
                       "Model-free FedBuff; ads-like workload; mean seconds per "
                       "aggregation across the run");
@@ -50,10 +51,13 @@ int main() {
     fl::RunResult r = fl::run_fedbuff(cfg);
     double fill = r.metrics.mean_round_duration_s();
     series.push_back({buffer, fill});
+    artifact.add_scalar("fill_time_s.buffer_" + std::to_string(buffer), fill);
+    if (buffer == 180u) artifact.set_run(r, "none (model-free)");
     t.add_row({util::Table::num(static_cast<double>(buffer)), util::Table::num(fill, 1),
                util::Table::num(static_cast<double>(r.rounds)),
                util::Table::count(static_cast<std::int64_t>(r.metrics.tasks_started()))});
   }
+  artifact.set_config_text("fig7: 20k clients, model-free fedbuff, concurrency 180, seed 11");
   std::cout << t.render();
 
   bool monotone = true;

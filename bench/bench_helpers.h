@@ -1,13 +1,17 @@
 // Shared builders for the table/figure reproduction benches.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "flint/core/platform.h"
+#include "flint/core/run_artifact.h"
 #include "flint/data/proxy_generator.h"
 #include "flint/device/availability.h"
 #include "flint/device/session_generator.h"
@@ -55,6 +59,66 @@ class BenchTelemetry {
  private:
   std::optional<obs::Telemetry> telemetry_;
   std::optional<obs::ScopedTelemetry> scope_;
+};
+
+/// Every bench binary's regression interface: declare one of these at the
+/// top of main and it writes a schema-versioned core::RunArtifact JSON on
+/// exit — `BENCH_<name>.json` in the working directory, or wherever
+/// `--artifact-out path` points. Benches feed it their headline numbers via
+/// add_scalar(), and FL-running benches hand over a representative RunResult
+/// via set_run() so model/system/ledger sections are populated too.
+/// tools/flint_compare.py diffs two such artifacts; the CI smoke-bench job
+/// compares against checked-in baselines. (flint_lint enforces that every
+/// bench_*.cpp declares one.)
+class BenchArtifact {
+ public:
+  BenchArtifact(int argc, char** argv, std::string name) {
+    inputs_.name = std::move(name);
+    path_ = "BENCH_" + inputs_.name + ".json";
+    for (int i = 1; i + 1 < argc; ++i)
+      if (std::strcmp(argv[i], "--artifact-out") == 0) path_ = argv[i + 1];
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  ~BenchArtifact() {
+    inputs_.run = &run_;
+    if (forecast_.has_value()) inputs_.forecast = &*forecast_;
+    inputs_.wall_time_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+    try {
+      core::write_run_artifact(path_, inputs_);
+      std::cout << "\nRun artifact: " << path_ << "\n";
+    } catch (const std::exception& e) {
+      // A destructor must not throw; an unwritable artifact is a reporting
+      // failure, not a bench failure.
+      std::cerr << "\nRun artifact write failed: " << e.what() << "\n";
+    }
+  }
+
+  BenchArtifact(const BenchArtifact&) = delete;
+  BenchArtifact& operator=(const BenchArtifact&) = delete;
+
+  /// Record the bench's representative run (copied; call once, last wins).
+  void set_run(const fl::RunResult& run, const std::string& metric_name) {
+    run_ = run;
+    inputs_.metric_name = metric_name;
+  }
+  /// Config text to fingerprint (so compare can flag setup drift).
+  void set_config_text(std::string text) { inputs_.config_text = std::move(text); }
+  void set_forecast(const core::ResourceForecast& forecast) { forecast_ = forecast; }
+  /// One named headline number (fill time, pass fraction, speedup, ...).
+  void add_scalar(const std::string& name, double value) {
+    inputs_.scalars.emplace_back(name, value);
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  core::RunArtifactInputs inputs_;
+  fl::RunResult run_;  ///< default (all-zero) when the bench never runs FL
+  std::optional<core::ResourceForecast> forecast_;
+  std::string path_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 /// The paper's strict participation criteria (§4.1): foreground app,

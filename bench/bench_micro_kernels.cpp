@@ -3,6 +3,7 @@
 // hashing, loss computation, local SGD steps, cache ops, and the event queue.
 #include <benchmark/benchmark.h>
 
+#include "bench_helpers.h"
 #include "flint/data/proxy_generator.h"
 #include "flint/feature/feature_cache.h"
 #include "flint/feature/feature_hashing.h"
@@ -141,4 +142,24 @@ BENCHMARK(BM_QuantityProfile);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so the binary also emits a run artifact: the
+// --artifact-out flag is consumed here and hidden from google-benchmark's
+// flag parser (which rejects flags it does not know).
+int main(int argc, char** argv) {
+  flint::bench::BenchArtifact artifact(argc, argv, "micro_kernels");
+  artifact.set_config_text("micro_kernels: google-benchmark hot-path kernels");
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (i + 1 < argc && std::strcmp(argv[i], "--artifact-out") == 0) {
+      ++i;  // skip the flag and its value
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -58,7 +58,9 @@ struct Workbench {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchArtifact artifact(argc, argv, "privacy_tradeoffs");
+  artifact.set_config_text("privacy: DP noise sweep + compression sweep, seed 1013");
   bench::print_header("Privacy & communication trade-offs (paper Section 3.6)",
                       "FL-DP noise sweep and update-compression sweep on an ads-like "
                       "task; median of 3 trials per cell");
@@ -92,6 +94,8 @@ int main() {
       accountant.record_rounds(60);
       epsilon = util::Table::num(accountant.epsilon(), 3);
     }
+    artifact.add_scalar("dp_aupr.noise_" + std::to_string(static_cast<int>(noise * 10)),
+                        util::median(metrics));
     dp_table.add_row({util::Table::num(noise, 1), util::Table::num(util::median(metrics), 4),
                       epsilon});
   }
@@ -128,6 +132,11 @@ int main() {
       metrics.push_back(r.final_metric);
       rounds.push_back(r.metrics.mean_round_duration_s());
     }
+    std::string key(scheme.name);
+    for (char& c : key)
+      if (c == ' ' || c == '-' || c == '%') c = '_';
+    artifact.add_scalar("compression_aupr." + key, util::median(metrics));
+    artifact.add_scalar("compression_bytes." + key, static_cast<double>(bytes));
     c_table.add_row({scheme.name, util::Table::count(static_cast<std::int64_t>(bytes)),
                      util::Table::num(util::median(metrics), 4),
                      util::Table::num(util::median(rounds), 2)});

@@ -5,8 +5,9 @@
 //         A ∩ B ∩ C = 22%
 #include "bench_helpers.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace flint;
+  bench::BenchArtifact artifact(argc, argv, "table1_availability");
   bench::print_header(
       "Table 1: Device availability under participation criteria",
       "2-week synthetic session log, 6000 clients, duration-weighted fractions");
@@ -30,6 +31,12 @@ int main() {
   double fb = device::criteria_pass_fraction(log, battery, catalog);
   double fc = device::criteria_pass_fraction(log, os, catalog);
   double fall = device::criteria_pass_fraction(log, all, catalog);
+  artifact.set_config_text("table1: 2-week log, 6000 clients, seed 1001");
+  artifact.add_scalar("pass_fraction.wifi", fa);
+  artifact.add_scalar("pass_fraction.battery", fb);
+  artifact.add_scalar("pass_fraction.os", fc);
+  artifact.add_scalar("pass_fraction.all", fall);
+  artifact.add_scalar("sessions", static_cast<double>(log.sessions.size()));
 
   util::Table t({"TRAINING CRITERIA", "DEVICES AVAILABLE (measured)", "PAPER"});
   t.add_row({"A: connected to WiFi", util::Table::pct(fa), "70%"});

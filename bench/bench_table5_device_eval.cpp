@@ -17,8 +17,9 @@
 
 #include "flint/device/benchmark_harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace flint;
+  bench::BenchArtifact artifact(argc, argv, "table5_device_eval");
   bench::print_header("Table 5: On-device evaluation of Models A-E",
                       "27-device fleet simulation, 5000 records per run; params are "
                       "measured from the real models; host column is real wall-clock");
@@ -29,11 +30,15 @@ int main() {
   util::Table t({"Model", "Description", "Trainable Params", "Storage (MB)", "Network (MB)",
                  "Memory (MB)", "Mean Time (s)", "Stdev Time (s)", "Mean CPU (%)",
                  "Host 500-rec (s)"});
+  artifact.set_config_text("table5: zoo models A-E over 27-device fleet, seed 1005");
   for (const auto& spec : ml::model_zoo()) {
     auto model = ml::build_zoo_model(spec.id, rng);
     auto report = device::simulate_fleet_benchmark(spec, catalog, 5000, rng);
     // Real micro-benchmark on this machine (500 records keeps E tractable).
     double host_s = device::measure_host_training_time_s(*model, 500, rng);
+    std::string key(1, spec.id);
+    artifact.add_scalar("params." + key, static_cast<double>(model->parameter_count()));
+    artifact.add_scalar("mean_time_s." + key, report.mean_time_s);
 
     t.add_row({std::string(1, spec.id), spec.description,
                util::Table::count(static_cast<std::int64_t>(model->parameter_count())),

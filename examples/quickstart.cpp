@@ -20,6 +20,7 @@
 
 #include "flint/core/platform.h"
 #include "flint/core/report.h"
+#include "flint/core/run_artifact.h"
 #include "flint/data/synthetic_tasks.h"
 #include "flint/net/bandwidth_model.h"
 #include "flint/obs/telemetry.h"
@@ -30,13 +31,17 @@ int main(int argc, char** argv) {
 
   std::string trace_out;
   std::string metrics_out;
+  std::string artifact_out = "quickstart_report/run_artifact.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--artifact-out") == 0 && i + 1 < argc) {
+      artifact_out = argv[++i];
     } else {
-      std::cerr << "usage: quickstart [--trace-out trace.json] [--metrics-out metrics.jsonl]\n";
+      std::cerr << "usage: quickstart [--trace-out trace.json] [--metrics-out metrics.jsonl]"
+                   " [--artifact-out artifact.json]\n";
       return 2;
     }
   }
@@ -155,6 +160,20 @@ int main(int argc, char** argv) {
   report.metric_name = task.metric_name();
   std::string path = core::write_report("quickstart_report", report);
   std::cout << "Full report written to " << path << " (+ CSV series)\n";
+
+  // Machine-readable twin of the report: the schema-versioned run artifact
+  // that tools/flint_compare.py diffs across runs.
+  core::RunArtifactInputs artifact;
+  artifact.run = report.run;
+  artifact.name = "quickstart";
+  artifact.metric_name = task.metric_name();
+  artifact.forecast = &result.forecast;
+  artifact.config_text = "quickstart: ads proxy, 500 clients, fedbuff, seed 42";
+  artifact.scalars = {{"centralized_metric", result.centralized_metric},
+                      {"fl_metric_median", result.fl_metric},
+                      {"performance_diff_pct", result.performance_diff_pct}};
+  core::write_run_artifact(artifact_out, artifact);
+  std::cout << "Run artifact written to " << artifact_out << "\n";
 
   if (telemetry_on) {
     telemetry.snapshot_now();

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# End-to-end check of the bench artifact regression pipeline:
+#
+#   1. run a (fast, seeded) bench binary twice with --artifact-out
+#   2. both artifacts must pass tools/validate_trace.py --artifact
+#   3. flint_compare.py must accept the pair at the tight default tolerance
+#      (same binary + same seed reproduces bit-near-identically)
+#   4. a synthetically perturbed copy must make flint_compare.py exit nonzero
+#
+# Usage: bench_artifact_test.sh <bench-binary> <source-dir> [python]
+set -euo pipefail
+
+bench=${1:?usage: bench_artifact_test.sh <bench-binary> <source-dir> [python]}
+src=${2:?missing source dir}
+py=${3:-python3}
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+echo "== run bench twice =="
+"$bench" --artifact-out "$work/run1.json" > /dev/null
+"$bench" --artifact-out "$work/run2.json" > /dev/null
+
+echo "== schema-validate both artifacts =="
+"$py" "$src/tools/validate_trace.py" --artifact "$work/run1.json" \
+                                     --artifact "$work/run2.json"
+
+echo "== same-seed reruns must compare clean =="
+"$py" "$src/tools/flint_compare.py" "$work/run1.json" "$work/run2.json"
+
+echo "== a perturbed artifact must be flagged =="
+"$py" - "$work/run1.json" "$work/perturbed.json" <<'PYEOF'
+import json, sys
+
+with open(sys.argv[1], encoding="utf-8") as f:
+    doc = json.load(f)
+
+# Nudge the first numeric leaf in a compared section by 7% — far beyond any
+# same-machine tolerance, small enough to look like a plausible regression.
+def perturb(node):
+    if isinstance(node, dict):
+        for key in node:
+            if isinstance(node[key], (int, float)) and not isinstance(node[key], bool):
+                node[key] = node[key] * 1.07 + 0.07
+                return True
+            if perturb(node[key]):
+                return True
+    elif isinstance(node, list):
+        for item in node:
+            if perturb(item):
+                return True
+    return False
+
+for section in ("scalars", "system", "model"):
+    if section in doc and perturb(doc[section]):
+        break
+else:
+    sys.exit("perturb: no numeric leaf found to perturb")
+
+with open(sys.argv[2], "w", encoding="utf-8") as f:
+    json.dump(doc, f)
+PYEOF
+
+if "$py" "$src/tools/flint_compare.py" "$work/run1.json" "$work/perturbed.json" \
+      > /dev/null 2>&1; then
+  echo "FAIL: flint_compare accepted a perturbed artifact" >&2
+  exit 1
+fi
+echo "perturbation flagged as expected"
+echo "bench_artifact_test: OK"

@@ -7,21 +7,6 @@
 
 namespace flint::core {
 
-const char* tier_name(DeviceTier tier) {
-  switch (tier) {
-    case DeviceTier::kHighEnd: return "high-end";
-    case DeviceTier::kMidRange: return "mid-range";
-    case DeviceTier::kLowEnd: return "low-end";
-  }
-  return "?";
-}
-
-DeviceTier tier_of(const device::DeviceProfile& profile) {
-  if (profile.speed_multiplier < 0.7) return DeviceTier::kHighEnd;
-  if (profile.speed_multiplier > 1.5) return DeviceTier::kLowEnd;
-  return DeviceTier::kMidRange;
-}
-
 std::string FairnessReport::to_string() const {
   std::ostringstream os;
   os.precision(4);

@@ -17,13 +17,12 @@
 
 namespace flint::core {
 
-/// Device tiers by relative speed (the catalog's heterogeneity axis).
-enum class DeviceTier { kHighEnd, kMidRange, kLowEnd };
-
-const char* tier_name(DeviceTier tier);
-
-/// Tier of a device: high-end < 0.7x fleet-mean time, low-end > 1.5x.
-DeviceTier tier_of(const device::DeviceProfile& profile);
+/// Device tiers now live in device/device_profile.h so lower layers (sim, fl,
+/// the obs client ledger) can attribute by tier; re-exported here for the
+/// existing core-level callers.
+using DeviceTier = device::DeviceTier;
+using device::tier_name;
+using device::tier_of;
 
 /// One sub-population's slice of the evaluation.
 struct SubpopulationMetric {

@@ -38,6 +38,16 @@ struct ForecastConfig {
   privacy::TeeConfig tee;              ///< enclave capacity model
   double updates_per_worker_per_s = 20.0;
   double device_watts = 2.5;           ///< mobile SoC under training load
+  /// Population scaling (§3.5: project a simulated cohort onto the target
+  /// deployment). When both are > 0, device-side totals and update
+  /// throughput scale by target/simulated (more — or fewer — clients at the
+  /// same participation fraction and round cadence); the projected training
+  /// duration is cadence-bound and does not scale. 0 disables scaling.
+  double simulated_population = 0.0;
+  double target_population = 0.0;
+
+  /// target/simulated when both set (and finite), else 1.
+  double population_scale() const;
 };
 
 /// Build a forecast from a finished (or simulated) run.

@@ -29,9 +29,24 @@ std::string render_report_markdown(const ReportInputs& inputs) {
        << diff << "% vs FL)\n\n";
   }
   if (!run.eval_curve.empty()) {
-    os << "Evaluation curve (round: " << inputs.metric_name << "): ";
-    for (const auto& p : run.eval_curve) os << p.round << ": " << p.metric << "  ";
-    os << "\n\n";
+    // Proper table instead of an unbounded inline paragraph; long runs are
+    // downsampled to at most kMaxCurveRows rows, always keeping the final
+    // point (the full-resolution series lives in eval_curve.csv).
+    constexpr std::size_t kMaxCurveRows = 20;
+    const auto& curve = run.eval_curve;
+    std::size_t stride = (curve.size() + kMaxCurveRows - 1) / kMaxCurveRows;
+    os << "Evaluation curve";
+    if (stride > 1)
+      os << " (downsampled 1/" << stride << " from " << curve.size() << " points)";
+    os << ":\n\n";
+    os << "| round | virtual time (h) | " << inputs.metric_name << " |\n";
+    os << "|---|---|---|\n";
+    for (std::size_t i = 0; i < curve.size(); i += stride) {
+      // Show the last point in place of the last strided one.
+      const auto& p = (i + stride >= curve.size()) ? curve.back() : curve[i];
+      os << "| " << p.round << " | " << p.time / 3600.0 << " | " << p.metric << " |\n";
+    }
+    os << "\n";
   }
 
   os << "## System metrics\n\n";
@@ -46,16 +61,48 @@ std::string render_report_markdown(const ReportInputs& inputs) {
 
   if (!run.telemetry.empty()) {
     os << "## Telemetry\n\n";
-    os << "| series | type | value | count | mean |\n";
-    os << "|---|---|---|---|---|\n";
+    os << "| series | type | value | count | mean | p50 | p95 | p99 |\n";
+    os << "|---|---|---|---|---|---|---|---|\n";
     for (const auto& s : run.telemetry) {
       os << "| " << s.name << " | " << obs::kind_name(s.kind) << " | ";
       if (s.kind == obs::MetricSample::Kind::kHistogram)
-        os << "- | " << s.count << " | " << s.value << " |\n";  // value holds the mean
+        os << "- | " << s.count << " | " << s.value << " | " << s.quantile(0.50) << " | "
+           << s.quantile(0.95) << " | " << s.quantile(0.99) << " |\n";  // value holds the mean
       else
-        os << s.value << " | - | - |\n";
+        os << s.value << " | - | - | - | - | - |\n";
     }
     os << "\n";
+  }
+
+  if (!run.ledger.empty()) {
+    os << "## Client attribution\n\n";
+    auto rollup_table = [&os](const std::vector<obs::LedgerRollup>& rows, const char* axis) {
+      os << "| " << axis
+         << " | clients | succeeded | interrupted | stale | failed | compute (h) | wasted (h) "
+            "| bytes up (MB) | bytes down (MB) |\n";
+      os << "|---|---|---|---|---|---|---|---|---|---|\n";
+      for (const auto& r : rows) {
+        if (r.clients == 0 && r.tasks_finished() == 0) continue;
+        os << "| " << r.key << " | " << r.clients << " | " << r.tasks_succeeded << " | "
+           << r.tasks_interrupted << " | " << r.tasks_stale << " | " << r.tasks_failed << " | "
+           << r.compute_s / 3600.0 << " | " << r.wasted_compute_s / 3600.0 << " | "
+           << static_cast<double>(r.bytes_up) / 1e6 << " | "
+           << static_cast<double>(r.bytes_down) / 1e6 << " |\n";
+      }
+      os << "\n";
+    };
+    rollup_table(run.ledger.by_tier, "device tier");
+    rollup_table(run.ledger.by_cohort, "availability cohort");
+    if (!run.ledger.stragglers.empty()) {
+      os << "Top stragglers (wasted compute):\n\n";
+      os << "| client | wasted (s) | compute (s) | succeeded | interrupted | stale |\n";
+      os << "|---|---|---|---|---|---|\n";
+      for (const auto& c : run.ledger.stragglers)
+        os << "| " << c.client_id << " | " << c.wasted_compute_s << " | " << c.compute_s
+           << " | " << c.tasks_succeeded << " | " << c.tasks_interrupted << " | "
+           << c.tasks_stale << " |\n";
+      os << "\n";
+    }
   }
 
   if (inputs.forecast != nullptr) {

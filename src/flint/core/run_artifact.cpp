@@ -1,0 +1,302 @@
+#include "flint/core/run_artifact.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "flint/util/check.h"
+
+namespace flint::core {
+namespace {
+
+void json_number(std::ostringstream& os, double v) {
+  // JSON has no NaN/inf literals; null keeps the document parseable and the
+  // validator flags it as a producer bug.
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  os << v;
+}
+
+void json_string(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void json_rollup(std::ostringstream& os, const obs::LedgerRollup& r) {
+  os << "{\"key\":";
+  json_string(os, r.key);
+  os << ",\"clients\":" << r.clients << ",\"tasks_succeeded\":" << r.tasks_succeeded
+     << ",\"tasks_interrupted\":" << r.tasks_interrupted << ",\"tasks_stale\":" << r.tasks_stale
+     << ",\"tasks_failed\":" << r.tasks_failed << ",\"compute_s\":";
+  json_number(os, r.compute_s);
+  os << ",\"wasted_compute_s\":";
+  json_number(os, r.wasted_compute_s);
+  os << ",\"bytes_down\":" << r.bytes_down << ",\"bytes_up\":" << r.bytes_up << "}";
+}
+
+void json_rollup_array(std::ostringstream& os, const std::vector<obs::LedgerRollup>& rows) {
+  os << "[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i > 0) os << ",";
+    json_rollup(os, rows[i]);
+  }
+  os << "]";
+}
+
+/// One timeline event, flattened so the tooling can sort/filter on kind.
+struct TimelineEvent {
+  double t_s = 0.0;
+  const char* kind = "";
+  std::uint64_t round = 0;
+  double end_s = 0.0;    ///< rounds only
+  double metric = 0.0;   ///< evals only
+};
+
+}  // namespace
+
+std::uint64_t fingerprint64(const std::string& text) {
+  // FNV-1a, 64-bit: tiny, stable across platforms, and collision-resistant
+  // enough for "did the config change" — this is not a security hash.
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string render_run_artifact_json(const RunArtifactInputs& inputs) {
+  FLINT_CHECK_MSG(inputs.run != nullptr, "run artifact needs a run result");
+  const fl::RunResult& run = *inputs.run;
+  const sim::SimMetrics& m = run.metrics;
+
+  std::ostringstream os;
+  os.precision(12);
+  os << "{\n";
+  os << "  \"schema\": ";
+  json_string(os, kRunArtifactSchema);
+  os << ",\n  \"schema_version\": " << kRunArtifactSchemaVersion;
+  os << ",\n  \"name\": ";
+  json_string(os, inputs.name);
+  os << ",\n  \"metric_name\": ";
+  json_string(os, inputs.metric_name);
+  {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(fingerprint64(inputs.config_text)));
+    os << ",\n  \"config_fingerprint\": \"" << buf << "\"";
+  }
+  os << ",\n  \"wall_time_s\": ";
+  json_number(os, inputs.wall_time_s);
+
+  // --- Model metrics. ---
+  os << ",\n  \"model\": {\"final_metric\": ";
+  json_number(os, run.final_metric);
+  os << ", \"rounds\": " << run.rounds << ", \"eval_curve\": [";
+  for (std::size_t i = 0; i < run.eval_curve.size(); ++i) {
+    const auto& p = run.eval_curve[i];
+    if (i > 0) os << ",";
+    os << "{\"t_s\":";
+    json_number(os, p.time);
+    os << ",\"round\":" << p.round << ",\"metric\":";
+    json_number(os, p.metric);
+    os << "}";
+  }
+  os << "]}";
+
+  // --- System metrics. ---
+  os << ",\n  \"system\": {\"tasks_started\": " << m.tasks_started()
+     << ", \"tasks_succeeded\": " << m.tasks_succeeded()
+     << ", \"tasks_interrupted\": " << m.tasks_interrupted()
+     << ", \"tasks_stale\": " << m.tasks_stale() << ", \"tasks_failed\": " << m.tasks_failed()
+     << ", \"client_compute_s\": ";
+  json_number(os, m.client_compute_s());
+  os << ", \"waste_fraction\": ";
+  json_number(os, m.waste_fraction());
+  os << ", \"mean_round_duration_s\": ";
+  json_number(os, m.mean_round_duration_s());
+  os << ", \"updates_per_second\": ";
+  json_number(os, run.updates_per_second());
+  os << ", \"virtual_duration_s\": ";
+  json_number(os, run.virtual_duration_s);
+  os << "}";
+
+  // --- Resource forecast (optional). ---
+  if (inputs.forecast != nullptr) {
+    const ResourceForecast& f = *inputs.forecast;
+    os << ",\n  \"forecast\": {\"total_client_compute_h\": ";
+    json_number(os, f.total_client_compute_h);
+    os << ", \"wasted_client_compute_h\": ";
+    json_number(os, f.wasted_client_compute_h);
+    os << ", \"client_tasks_started\": " << f.client_tasks_started
+       << ", \"mean_task_compute_s\": ";
+    json_number(os, f.mean_task_compute_s);
+    os << ", \"device_energy_kwh\": ";
+    json_number(os, f.device_energy_kwh);
+    os << ", \"training_duration_h\": ";
+    json_number(os, f.training_duration_h);
+    os << ", \"updates_per_second\": ";
+    json_number(os, f.updates_per_second);
+    os << ", \"aggregation_mbytes_per_s\": ";
+    json_number(os, f.aggregation_mbytes_per_s);
+    os << ", \"fits_tee\": " << (f.fits_tee ? "true" : "false")
+       << ", \"aggregator_workers\": " << f.aggregator_workers << "}";
+  }
+
+  // --- Telemetry snapshot. Histograms carry their summary statistics, not
+  // raw buckets — the artifact is for regression comparison, and the bucket
+  // layout is an implementation detail the JSONL export already captures. ---
+  os << ",\n  \"telemetry\": [";
+  for (std::size_t i = 0; i < run.telemetry.size(); ++i) {
+    const auto& s = run.telemetry[i];
+    if (i > 0) os << ",";
+    os << "{\"series\":";
+    json_string(os, s.name);
+    os << ",\"type\":\"" << obs::kind_name(s.kind) << "\"";
+    if (s.kind == obs::MetricSample::Kind::kHistogram) {
+      os << ",\"count\":" << s.count << ",\"mean\":";
+      json_number(os, s.value);
+      os << ",\"p50\":";
+      json_number(os, s.quantile(0.50));
+      os << ",\"p95\":";
+      json_number(os, s.quantile(0.95));
+      os << ",\"p99\":";
+      json_number(os, s.quantile(0.99));
+    } else {
+      os << ",\"value\":";
+      json_number(os, s.value);
+    }
+    os << "}";
+  }
+  os << "]";
+
+  // --- Client attribution rollups. ---
+  os << ",\n  \"ledger\": {\"by_tier\": ";
+  json_rollup_array(os, run.ledger.by_tier);
+  os << ", \"by_cohort\": ";
+  json_rollup_array(os, run.ledger.by_cohort);
+  os << ", \"by_executor\": ";
+  json_rollup_array(os, run.ledger.by_executor);
+  os << ", \"totals\": ";
+  json_rollup(os, run.ledger.totals);
+  os << ", \"stragglers\": [";
+  for (std::size_t i = 0; i < run.ledger.stragglers.size(); ++i) {
+    const auto& c = run.ledger.stragglers[i];
+    if (i > 0) os << ",";
+    os << "{\"client_id\":" << c.client_id << ",\"tier\":" << c.tier
+       << ",\"cohort\":" << c.cohort << ",\"executor\":" << c.executor
+       << ",\"tasks_succeeded\":" << c.tasks_succeeded
+       << ",\"tasks_interrupted\":" << c.tasks_interrupted << ",\"tasks_stale\":" << c.tasks_stale
+       << ",\"tasks_failed\":" << c.tasks_failed << ",\"compute_s\":";
+    json_number(os, c.compute_s);
+    os << ",\"wasted_compute_s\":";
+    json_number(os, c.wasted_compute_s);
+    os << ",\"bytes_down\":" << c.bytes_down << ",\"bytes_up\":" << c.bytes_up << "}";
+  }
+  os << "]}";
+
+  // --- Virtual-time timeline: rounds (strided down to the event budget),
+  // evals, and checkpoints, merged in time order. ---
+  {
+    const auto& rounds = m.rounds();
+    const auto& checkpoints = m.checkpoints();
+    std::vector<TimelineEvent> events;
+    std::size_t budget = inputs.max_timeline_events;
+    std::size_t fixed = run.eval_curve.size() + checkpoints.size();
+    std::size_t round_budget =
+        budget == 0 ? rounds.size() : (budget > fixed ? budget - fixed : std::size_t{1});
+    std::size_t stride =
+        rounds.empty() ? 1 : std::max<std::size_t>(1, (rounds.size() + round_budget - 1) / round_budget);
+    events.reserve(fixed + (rounds.empty() ? 0 : rounds.size() / stride + 1));
+    for (std::size_t i = 0; i < rounds.size(); i += stride) {
+      // Keep the final round in place of the last strided one.
+      const auto& r = (i + stride >= rounds.size()) ? rounds.back() : rounds[i];
+      TimelineEvent e;
+      e.t_s = r.start;
+      e.kind = "round";
+      e.round = r.round;
+      e.end_s = r.end;
+      events.push_back(e);
+    }
+    for (const auto& p : run.eval_curve) {
+      TimelineEvent e;
+      e.t_s = p.time;
+      e.kind = "eval";
+      e.round = p.round;
+      e.metric = p.metric;
+      events.push_back(e);
+    }
+    for (const auto& c : checkpoints) {
+      TimelineEvent e;
+      e.t_s = c.time;
+      e.kind = "checkpoint";
+      e.round = c.round;
+      events.push_back(e);
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TimelineEvent& a, const TimelineEvent& b) { return a.t_s < b.t_s; });
+    os << ",\n  \"timeline\": [";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const auto& e = events[i];
+      if (i > 0) os << ",";
+      os << "{\"t_s\":";
+      json_number(os, e.t_s);
+      os << ",\"kind\":\"" << e.kind << "\",\"round\":" << e.round;
+      if (e.kind[0] == 'r') {  // round
+        os << ",\"end_s\":";
+        json_number(os, e.end_s);
+      } else if (e.kind[0] == 'e') {  // eval
+        os << ",\"metric\":";
+        json_number(os, e.metric);
+      }
+      os << "}";
+    }
+    os << "]";
+  }
+
+  // --- Bench-defined scalars. ---
+  os << ",\n  \"scalars\": {";
+  for (std::size_t i = 0; i < inputs.scalars.size(); ++i) {
+    if (i > 0) os << ", ";
+    json_string(os, inputs.scalars[i].first);
+    os << ": ";
+    json_number(os, inputs.scalars[i].second);
+  }
+  os << "}\n}\n";
+  return os.str();
+}
+
+void write_run_artifact(const std::string& path, const RunArtifactInputs& inputs) {
+  std::string json = render_run_artifact_json(inputs);
+  namespace fs = std::filesystem;
+  fs::path p(path);
+  if (p.has_parent_path()) fs::create_directories(p.parent_path());
+  std::ofstream out(path);
+  FLINT_CHECK_MSG(out.good(), "cannot write run artifact " << path);
+  out << json;
+  FLINT_CHECK_MSG(out.good(), "short write on run artifact " << path);
+}
+
+}  // namespace flint::core

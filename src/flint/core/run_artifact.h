@@ -1,0 +1,59 @@
+// Schema-versioned run artifact: one JSON file that captures everything a
+// regression pipeline needs to compare two runs of the same experiment —
+// model curve, system metrics, resource forecast, telemetry snapshot, the
+// per-client attribution rollups, and a virtual-time timeline of rounds /
+// evals / checkpoints. Written by run_common-based drivers (examples, bench
+// binaries via bench_helpers.h) and consumed by tools/flint_compare.py and
+// tools/validate_trace.py --artifact.
+//
+// Stability contract: bump kRunArtifactSchemaVersion whenever a field is
+// removed or changes meaning; adding fields is backward compatible (the
+// tooling ignores unknown keys). Checked-in bench baselines depend on this.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "flint/core/forecasting.h"
+#include "flint/fl/run_common.h"
+
+namespace flint::core {
+
+inline constexpr int kRunArtifactSchemaVersion = 1;
+inline constexpr const char* kRunArtifactSchema = "flint.run_artifact";
+
+/// 64-bit FNV-1a over arbitrary text; used to fingerprint the run's config so
+/// compare tooling can warn when two artifacts came from different setups.
+std::uint64_t fingerprint64(const std::string& text);
+
+/// What goes into an artifact. Pointers are non-owning and may be null except
+/// `run`.
+struct RunArtifactInputs {
+  const fl::RunResult* run = nullptr;  ///< required
+  std::string name;                    ///< experiment / bench name
+  std::string metric_name = "metric";  ///< what RunResult::final_metric means
+  /// Human-readable config dump; only its fingerprint lands in the artifact.
+  std::string config_text;
+  const ResourceForecast* forecast = nullptr;  ///< optional §3.5 projection
+  /// Bench-defined extra scalars (throughput, wall-time-per-round, ...),
+  /// compared leaf-by-leaf like the built-in sections.
+  std::vector<std::pair<std::string, double>> scalars;
+  /// Real (wall) seconds the run took. Recorded for humans; the compare tool
+  /// ignores it — wall time is machine-dependent noise.
+  double wall_time_s = 0.0;
+  /// Timeline rows are capped at this many events (rounds are strided down;
+  /// evals and checkpoints are always kept). 0 keeps everything.
+  std::size_t max_timeline_events = 200;
+};
+
+/// Render the artifact as a JSON document (always finite: NaN/inf become
+/// null, which the tooling rejects — producing one is a producer bug).
+std::string render_run_artifact_json(const RunArtifactInputs& inputs);
+
+/// Render and write to `path`, creating parent directories. Throws CheckError
+/// when the file cannot be written.
+void write_run_artifact(const std::string& path, const RunArtifactInputs& inputs);
+
+}  // namespace flint::core

@@ -14,6 +14,20 @@ enum class Os { kIos, kAndroid };
 
 inline const char* os_name(Os os) { return os == Os::kIos ? "iOS" : "Android"; }
 
+/// Hardware tiers by relative speed (the catalog's heterogeneity axis).
+/// Lives here (not in core/fairness) so the FL runners and the client ledger
+/// can attribute work by tier without depending on the core layer.
+enum class DeviceTier { kHighEnd, kMidRange, kLowEnd };
+
+inline const char* tier_name(DeviceTier tier) {
+  switch (tier) {
+    case DeviceTier::kHighEnd: return "high-end";
+    case DeviceTier::kMidRange: return "mid-range";
+    case DeviceTier::kLowEnd: return "low-end";
+  }
+  return "?";
+}
+
 /// One device model in the catalog.
 struct DeviceProfile {
   std::string name;
@@ -34,5 +48,12 @@ struct DeviceProfile {
   /// (e.g. 201909 = Sept 2019). Availability criterion C filters on this.
   int os_release = 202001;
 };
+
+/// Tier of a device: high-end < 0.7x fleet-mean time, low-end > 1.5x.
+inline DeviceTier tier_of(const DeviceProfile& profile) {
+  if (profile.speed_multiplier < 0.7) return DeviceTier::kHighEnd;
+  if (profile.speed_multiplier > 1.5) return DeviceTier::kLowEnd;
+  return DeviceTier::kMidRange;
+}
 
 }  // namespace flint::device

@@ -35,6 +35,7 @@ RunResult run_fedavg(const SyncConfig& config) {
   util::Rng rng(in.seed);
   sim::Leader leader(in.leader, *in.trace);
   for (const auto& o : in.outages) leader.executors().add_outage(o);
+  RunAttributionScope attribution_scope(in, leader);
   TaskDurationModel durations(in.duration, *in.catalog, *in.bandwidth);
 
   std::vector<float> params;
@@ -88,7 +89,7 @@ RunResult run_fedavg(const SyncConfig& config) {
       CohortTask task;
       task.client_id = arr.client_id;
       task.spec = {task_ids++, arr.client_id, arr.device_index, round, dispatch_t,
-                   dur.compute_s, dur.comm_s, examples};
+                   dur.compute_s, dur.comm_s, examples, in.duration.update_bytes};
       task.finish = dispatch_t + dur.total_s();
       task.window_interrupted = task.finish > arr.window_end;
       if (task.window_interrupted) {
@@ -195,6 +196,7 @@ RunResult run_fedavg(const SyncConfig& config) {
   }
   result.final_parameters = std::move(params);
   result.metrics = leader.metrics();
+  attribution_scope.finish(result);
   telemetry_scope.finish(result);
   return result;
 }

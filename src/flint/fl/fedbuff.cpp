@@ -156,8 +156,9 @@ void dispatch(FedBuffState& s, const sim::Arrival& arrival) {
   auto dur = s.durations->sample(arrival.device_index, examples, s.rng);
 
   auto task = std::make_shared<InFlight>();
-  task->spec = {s.task_ids++, arrival.client_id, arrival.device_index, s.version,
-                now,          dur.compute_s,     dur.comm_s,           examples};
+  task->spec = {s.task_ids++, arrival.client_id, arrival.device_index,
+                s.version,    now,               dur.compute_s,
+                dur.comm_s,   examples,          in.duration.update_bytes};
   task->window_end = arrival.window_end;
   ++s.running;
   s.busy.insert(arrival.client_id);
@@ -259,6 +260,7 @@ RunResult run_fedbuff(const AsyncConfig& config) {
   s.rng = util::Rng(in.seed);
   s.leader = std::make_unique<sim::Leader>(in.leader, *in.trace);
   for (const auto& o : in.outages) s.leader->executors().add_outage(o);
+  RunAttributionScope attribution_scope(in, *s.leader);
   s.durations = std::make_unique<TaskDurationModel>(in.duration, *in.catalog, *in.bandwidth);
   s.server_opt = std::make_unique<ServerOptimizer>(in.server_lr, in.server_momentum);
   if (!in.model_free) {
@@ -288,6 +290,7 @@ RunResult run_fedbuff(const AsyncConfig& config) {
   }
   s.result.final_parameters = std::move(s.params);
   s.result.metrics = s.leader->metrics();
+  attribution_scope.finish(s.result);
   telemetry_scope.finish(s.result);
   return s.result;
 }

@@ -1,5 +1,7 @@
 #include "flint/fl/run_common.h"
 
+#include <unordered_map>
+
 #include "flint/util/check.h"
 
 namespace flint::fl {
@@ -45,6 +47,46 @@ void RunTelemetryScope::finish(RunResult& result) {
   telemetry_->snapshot_now();
   if (telemetry_->config().metrics_enabled)
     result.telemetry = telemetry_->metrics().snapshot();
+}
+
+RunAttributionScope::RunAttributionScope(const RunInputs& inputs, sim::Leader& leader)
+    : enabled_(inputs.collect_ledger), leader_(&leader) {
+  if (!enabled_) return;
+  // Classify every client the trace can offer: device tier from the catalog
+  // profile of its (first-seen) device, availability cohort from how much of
+  // the horizon its windows cover, executor from the pool's assignment.
+  const device::AvailabilityTrace& trace = *inputs.trace;
+  double horizon = trace.horizon();
+  struct Seen {
+    std::size_t device_index = 0;
+    double window_s = 0.0;
+  };
+  std::unordered_map<std::uint64_t, Seen> seen;
+  for (const auto& w : trace.windows()) {
+    auto [it, inserted] = seen.try_emplace(w.client_id);
+    if (inserted) it->second.device_index = w.device_index;
+    it->second.window_s += w.duration();
+  }
+  for (const auto& [client, info] : seen) {
+    device::DeviceTier tier = device::tier_of(inputs.catalog->profile(info.device_index));
+    double coverage = horizon > 0.0 ? info.window_s / horizon : 1.0;
+    AvailabilityCohort cohort = coverage < 0.05   ? AvailabilityCohort::kRare
+                                : coverage < 0.50 ? AvailabilityCohort::kRegular
+                                                  : AvailabilityCohort::kAlwaysOn;
+    ledger_.register_client(client, static_cast<std::uint32_t>(tier),
+                            static_cast<std::uint32_t>(cohort),
+                            static_cast<std::uint32_t>(leader.executors().executor_of(client)));
+  }
+  leader.metrics().attach_ledger(&ledger_);
+}
+
+void RunAttributionScope::finish(RunResult& result) {
+  if (!enabled_) return;
+  leader_->metrics().attach_ledger(nullptr);
+  result.ledger = ledger_.summary();
+  // The metrics copy in the result must not carry a pointer to this scope's
+  // (stack-lifetime) ledger.
+  result.metrics.attach_ledger(nullptr);
 }
 
 }  // namespace flint::fl

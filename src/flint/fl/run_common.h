@@ -11,6 +11,7 @@
 #include "flint/fl/task_duration.h"
 #include "flint/fl/trainer.h"
 #include "flint/net/bandwidth_model.h"
+#include "flint/obs/client_ledger.h"
 #include "flint/obs/telemetry.h"
 #include "flint/privacy/dp.h"
 #include "flint/sim/leader.h"
@@ -76,6 +77,12 @@ struct RunInputs {
   // a final metric snapshot into RunResult::telemetry. ---
   obs::Telemetry* telemetry = nullptr;
 
+  /// Attribute task outcomes, compute, and bytes per client (device tier /
+  /// availability cohort / executor) into RunResult::ledger. Cost is one
+  /// hash-map update per task completion; disable for capacity studies where
+  /// even that matters.
+  bool collect_ledger = true;
+
   std::uint64_t seed = 1;
 };
 
@@ -90,6 +97,9 @@ struct RunResult {
   /// Final telemetry snapshot (empty unless RunInputs::telemetry was set);
   /// core/report embeds it as the run's metrics summary table.
   std::vector<obs::MetricSample> telemetry;
+  /// Per-client attribution rollups (empty unless RunInputs::collect_ledger);
+  /// totals reconcile with `metrics` by construction.
+  obs::ClientLedgerSummary ledger;
 
   /// Aggregated-update throughput, for TEE sizing (§3.5).
   double updates_per_second() const {
@@ -118,6 +128,32 @@ class RunTelemetryScope {
  private:
   obs::Telemetry* telemetry_;
   std::optional<obs::ScopedTelemetry> scope_;
+};
+
+/// Availability cohort of a client: the fraction of the trace horizon its
+/// windows cover. `rare` < 5%, `regular` < 50%, `always-on` otherwise —
+/// the axis Figure 2's diurnal curve makes decision-relevant (a model that
+/// only ever trains on always-on devices is the bias §3.2 warns about).
+enum class AvailabilityCohort : std::uint32_t { kRare = 0, kRegular = 1, kAlwaysOn = 2 };
+
+/// Shared attribution plumbing: owns the run's ClientLedger, classifies every
+/// client in the availability trace by device tier (from the catalog) and
+/// availability cohort (window coverage), maps clients to executors, and
+/// attaches the ledger to the leader's SimMetrics so task completions are
+/// mirrored in. finish(result) folds the rollups into the result and detaches
+/// — call it before the result's metrics are copied out, alongside
+/// RunTelemetryScope::finish. No-op throughout when collect_ledger is false.
+class RunAttributionScope {
+ public:
+  RunAttributionScope(const RunInputs& inputs, sim::Leader& leader);
+  void finish(RunResult& result);
+  RunAttributionScope(const RunAttributionScope&) = delete;
+  RunAttributionScope& operator=(const RunAttributionScope&) = delete;
+
+ private:
+  bool enabled_;
+  sim::Leader* leader_;
+  obs::ClientLedger ledger_;
 };
 
 }  // namespace flint::fl

@@ -1,0 +1,136 @@
+#include "flint/obs/client_ledger.h"
+
+#include <algorithm>
+
+#include "flint/util/check.h"
+
+namespace flint::obs {
+
+const char* ledger_outcome_name(LedgerOutcome outcome) {
+  switch (outcome) {
+    case LedgerOutcome::kSucceeded: return "succeeded";
+    case LedgerOutcome::kInterrupted: return "interrupted";
+    case LedgerOutcome::kStale: return "stale";
+    case LedgerOutcome::kFailed: return "failed";
+  }
+  return "?";
+}
+
+ClientLedger::ClientLedger()
+    : tier_labels_{"high-end", "mid-range", "low-end"},
+      cohort_labels_{"rare", "regular", "always-on"} {}
+
+void ClientLedger::set_tier_labels(std::vector<std::string> labels) {
+  FLINT_CHECK_MSG(!labels.empty(), "ledger needs at least one tier label");
+  tier_labels_ = std::move(labels);
+}
+
+void ClientLedger::set_cohort_labels(std::vector<std::string> labels) {
+  FLINT_CHECK_MSG(!labels.empty(), "ledger needs at least one cohort label");
+  cohort_labels_ = std::move(labels);
+}
+
+ClientLedgerEntry& ClientLedger::entry(std::uint64_t client_id) {
+  auto [it, inserted] = entries_.try_emplace(client_id);
+  if (inserted) it->second.client_id = client_id;
+  return it->second;
+}
+
+void ClientLedger::register_client(std::uint64_t client_id, std::uint32_t tier,
+                                   std::uint32_t cohort, std::uint32_t executor) {
+  ClientLedgerEntry& e = entry(client_id);
+  e.tier = tier;
+  e.cohort = cohort;
+  e.executor = executor;
+}
+
+void ClientLedger::on_task_finished(std::uint64_t client_id, LedgerOutcome outcome,
+                                    double compute_s, std::uint64_t update_bytes) {
+  FLINT_CHECK_FINITE(compute_s);
+  FLINT_CHECK_GE(compute_s, 0.0);
+  ClientLedgerEntry& e = entry(client_id);
+  e.compute_s += compute_s;
+  e.bytes_down += update_bytes;
+  switch (outcome) {
+    case LedgerOutcome::kSucceeded:
+      ++e.tasks_succeeded;
+      e.bytes_up += update_bytes;
+      break;
+    case LedgerOutcome::kInterrupted:
+      // Left the availability window mid-task: partial compute, no upload.
+      ++e.tasks_interrupted;
+      e.wasted_compute_s += compute_s;
+      break;
+    case LedgerOutcome::kStale:
+      // Ran to completion and uploaded, but the update was discarded.
+      ++e.tasks_stale;
+      e.wasted_compute_s += compute_s;
+      e.bytes_up += update_bytes;
+      break;
+    case LedgerOutcome::kFailed:
+      ++e.tasks_failed;
+      e.wasted_compute_s += compute_s;
+      break;
+  }
+}
+
+namespace {
+
+void fold(LedgerRollup& rollup, const ClientLedgerEntry& e) {
+  ++rollup.clients;
+  rollup.tasks_succeeded += e.tasks_succeeded;
+  rollup.tasks_interrupted += e.tasks_interrupted;
+  rollup.tasks_stale += e.tasks_stale;
+  rollup.tasks_failed += e.tasks_failed;
+  rollup.compute_s += e.compute_s;
+  rollup.wasted_compute_s += e.wasted_compute_s;
+  rollup.bytes_down += e.bytes_down;
+  rollup.bytes_up += e.bytes_up;
+}
+
+}  // namespace
+
+ClientLedgerSummary ClientLedger::summary(std::size_t top_k) const {
+  ClientLedgerSummary out;
+  out.totals.key = "all";
+  out.by_tier.resize(tier_labels_.size());
+  for (std::size_t i = 0; i < tier_labels_.size(); ++i) out.by_tier[i].key = tier_labels_[i];
+  out.by_cohort.resize(cohort_labels_.size());
+  for (std::size_t i = 0; i < cohort_labels_.size(); ++i)
+    out.by_cohort[i].key = cohort_labels_[i];
+
+  std::uint32_t max_executor = 0;
+  for (const auto& [id, e] : entries_) max_executor = std::max(max_executor, e.executor);
+  out.by_executor.resize(static_cast<std::size_t>(max_executor) + 1);
+  for (std::size_t i = 0; i < out.by_executor.size(); ++i)
+    out.by_executor[i].key = "executor-" + std::to_string(i);
+
+  std::vector<const ClientLedgerEntry*> ranked;
+  ranked.reserve(entries_.size());
+  for (const auto& [id, e] : entries_) {
+    if (e.tasks_finished() == 0) continue;  // registered but never ran
+    fold(out.totals, e);
+    fold(out.by_tier[std::min<std::size_t>(e.tier, out.by_tier.size() - 1)], e);
+    fold(out.by_cohort[std::min<std::size_t>(e.cohort, out.by_cohort.size() - 1)], e);
+    fold(out.by_executor[e.executor], e);
+    ranked.push_back(&e);
+  }
+  // Drop trailing executors with no work so sparse assignments stay compact.
+  while (!out.by_executor.empty() && out.by_executor.back().clients == 0)
+    out.by_executor.pop_back();
+
+  // Stragglers: worst wasted compute first; ties broken by client id so the
+  // ranking (and therefore the artifact) is deterministic.
+  std::size_t k = std::min(top_k, ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + static_cast<std::ptrdiff_t>(k),
+                    ranked.end(), [](const ClientLedgerEntry* a, const ClientLedgerEntry* b) {
+                      if (a->wasted_compute_s != b->wasted_compute_s)
+                        return a->wasted_compute_s > b->wasted_compute_s;
+                      return a->client_id < b->client_id;
+                    });
+  out.stragglers.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) out.stragglers.push_back(*ranked[i]);
+  return out;
+}
+
+}  // namespace flint::obs

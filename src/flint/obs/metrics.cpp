@@ -42,6 +42,43 @@ double HistogramMetric::mean() const {
   return n == 0 ? 0.0 : sum() / static_cast<double>(n);
 }
 
+double HistogramMetric::quantile(double q) const {
+  std::vector<std::uint64_t> counts;
+  counts.reserve(buckets_.size());
+  for (const auto& b : buckets_) counts.push_back(b.load(std::memory_order_relaxed));
+  return histogram_quantile(q, lo_, hi_, counts);
+}
+
+double histogram_quantile(double q, double lo, double hi,
+                          const std::vector<std::uint64_t>& buckets) {
+  FLINT_CHECK_PROB(q);
+  std::uint64_t total = 0;
+  for (std::uint64_t b : buckets) total += b;
+  if (total == 0 || buckets.empty()) return 0.0;
+  // Rank of the target sample (1-based, midpoint convention): the smallest
+  // rank r with cumulative(r) >= q * total, interpolated within its bucket
+  // under a uniform-within-bucket assumption.
+  double target = q * static_cast<double>(total);
+  if (target < 1.0) target = 1.0;
+  double width = (hi - lo) / static_cast<double>(buckets.size());
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    double before = static_cast<double>(cum);
+    cum += buckets[i];
+    if (static_cast<double>(cum) >= target) {
+      double frac = (target - before) / static_cast<double>(buckets[i]);
+      return lo + (static_cast<double>(i) + frac) * width;
+    }
+  }
+  return hi;  // unreachable given total > 0, but keeps the compiler honest
+}
+
+double MetricSample::quantile(double q) const {
+  if (kind != Kind::kHistogram) return 0.0;
+  return histogram_quantile(q, lo, hi, buckets);
+}
+
 const char* kind_name(MetricSample::Kind kind) {
   switch (kind) {
     case MetricSample::Kind::kCounter: return "counter";
@@ -100,6 +137,12 @@ std::string MetricSample::to_jsonl(double virtual_time_s) const {
     append_json_number(os, sum);
     os << ",\"mean\":";
     append_json_number(os, value);
+    os << ",\"p50\":";
+    append_json_number(os, quantile(0.50));
+    os << ",\"p95\":";
+    append_json_number(os, quantile(0.95));
+    os << ",\"p99\":";
+    append_json_number(os, quantile(0.99));
     os << ",\"lo\":";
     append_json_number(os, lo);
     os << ",\"hi\":";

@@ -57,6 +57,8 @@ class HistogramMetric {
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
   double mean() const;
+  /// Estimated q-quantile (see histogram_quantile); 0 when empty.
+  double quantile(double q) const;
 
  private:
   double lo_;
@@ -81,9 +83,20 @@ struct MetricSample {
 
   /// One JSONL line: {"series":...,"type":...,"t_virtual_s":...,...}.
   std::string to_jsonl(double virtual_time_s) const;
+
+  /// Estimated q-quantile of a histogram sample (0 for other kinds / empty).
+  double quantile(double q) const;
 };
 
 const char* kind_name(MetricSample::Kind kind);
+
+/// Estimate the q-quantile (q in [0,1]) of a fixed-uniform-bucket histogram
+/// over [lo, hi) by linear interpolation inside the covering bucket. Samples
+/// beyond the range sit in the saturating edge buckets, so estimates clamp to
+/// [lo, hi] — tails wider than the configured range are reported at the edge
+/// rather than invented. Returns 0 when the histogram is empty.
+double histogram_quantile(double q, double lo, double hi,
+                          const std::vector<std::uint64_t>& buckets);
 
 /// Name -> metric map with stable handle addresses. Handle creation is
 /// idempotent: asking for an existing name returns the same object, so call

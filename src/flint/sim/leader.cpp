@@ -23,12 +23,17 @@ void Leader::on_aggregation(std::uint64_t round, const std::vector<float>& model
   if (round % config_.checkpoint_every_rounds != 0) return;
   FLINT_TRACE_SPAN("leader.checkpoint", "store");
   store::SimCheckpoint ckpt;
-  ckpt.virtual_time_s = queue_.now();
+  // The sync runner drives virtual time by hand and never pumps queue_, so
+  // the just-recorded round's end (on_round always precedes on_aggregation)
+  // is the authoritative clock for both runners.
+  VirtualTime now = metrics_.rounds().empty() ? queue_.now() : metrics_.rounds().back().end;
+  ckpt.virtual_time_s = now;
   ckpt.round = round;
   ckpt.tasks_completed = tasks_completed;
   ckpt.model_parameters = model_parameters;
   config_.checkpoint_store->write(ckpt);
   ++checkpoints_written_;
+  metrics_.on_checkpoint({round, now});
   obs::add_counter("leader.checkpoints_written");
 }
 

@@ -17,15 +17,29 @@ void SimMetrics::on_task_finished(const TaskResult& result) {
   FLINT_CHECK_FINITE(result.spent_compute_s);
   FLINT_CHECK_GE(result.finish_time, result.spec.dispatch_time);
   client_compute_s_ += result.spent_compute_s;
+  obs::LedgerOutcome ledger_outcome = obs::LedgerOutcome::kSucceeded;
   switch (result.outcome) {
     case TaskOutcome::kSucceeded:
       ++tasks_succeeded_;
       ++updates_aggregated_;
+      ledger_outcome = obs::LedgerOutcome::kSucceeded;
       break;
-    case TaskOutcome::kInterrupted: ++tasks_interrupted_; break;
-    case TaskOutcome::kStale: ++tasks_stale_; break;
-    case TaskOutcome::kFailed: ++tasks_failed_; break;
+    case TaskOutcome::kInterrupted:
+      ++tasks_interrupted_;
+      ledger_outcome = obs::LedgerOutcome::kInterrupted;
+      break;
+    case TaskOutcome::kStale:
+      ++tasks_stale_;
+      ledger_outcome = obs::LedgerOutcome::kStale;
+      break;
+    case TaskOutcome::kFailed:
+      ++tasks_failed_;
+      ledger_outcome = obs::LedgerOutcome::kFailed;
+      break;
   }
+  if (ledger_ != nullptr)
+    ledger_->on_task_finished(result.spec.client_id, ledger_outcome, result.spent_compute_s,
+                              result.spec.update_bytes);
 }
 
 void SimMetrics::on_round(const RoundRecord& record) {

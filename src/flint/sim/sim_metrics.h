@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "flint/obs/client_ledger.h"
 #include "flint/sim/task.h"
 
 namespace flint::sim {
@@ -30,12 +31,24 @@ struct EvalPoint {
   double train_loss = 0.0;
 };
 
+/// One leader checkpoint write, for the run timeline.
+struct CheckpointRecord {
+  std::uint64_t round = 0;
+  VirtualTime time = 0.0;
+};
+
 /// Accumulated system metrics for one simulation run.
 class SimMetrics {
  public:
   void on_task_started() { ++tasks_started_; }
   void on_task_finished(const TaskResult& result);
   void on_round(const RoundRecord& record);
+  void on_checkpoint(const CheckpointRecord& record) { checkpoints_.push_back(record); }
+
+  /// Attach a per-client attribution ledger (non-owning; must outlive the
+  /// metrics' use). Every subsequent on_task_finished is mirrored into it,
+  /// so ledger totals reconcile with the aggregate counters by construction.
+  void attach_ledger(obs::ClientLedger* ledger) { ledger_ = ledger; }
 
   std::uint64_t tasks_started() const { return tasks_started_; }
   std::uint64_t tasks_succeeded() const { return tasks_succeeded_; }
@@ -49,6 +62,7 @@ class SimMetrics {
 
   std::uint64_t aggregations() const { return rounds_.size(); }
   const std::vector<RoundRecord>& rounds() const { return rounds_; }
+  const std::vector<CheckpointRecord>& checkpoints() const { return checkpoints_; }
 
   /// Mean round (buffer-fill) duration over completed rounds.
   double mean_round_duration_s() const;
@@ -71,6 +85,8 @@ class SimMetrics {
   double client_compute_s_ = 0.0;
   std::uint64_t updates_aggregated_ = 0;
   std::vector<RoundRecord> rounds_;
+  std::vector<CheckpointRecord> checkpoints_;
+  obs::ClientLedger* ledger_ = nullptr;  ///< non-owning; null = no attribution
 };
 
 }  // namespace flint::sim

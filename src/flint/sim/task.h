@@ -36,6 +36,9 @@ struct TaskSpec {
   double compute_s = 0.0;  ///< on-device training time (t * E * |D_k|)
   double comm_s = 0.0;     ///< model down+up transfer time (2M / N)
   std::size_t examples = 0;
+  /// Update size M in bytes (also the model download size); attribution
+  /// bookkeeping derives per-client bytes up/down from it.
+  std::uint64_t update_bytes = 0;
 
   double duration_s() const { return compute_s + comm_s; }
 };

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "flint/core/decision_workflow.h"
 #include "flint/core/experiment.h"
 #include "flint/core/forecasting.h"
@@ -86,6 +88,104 @@ TEST(Forecasting, TeePaperProjection) {
   ResourceForecast f = forecast_resources(run, cfg);
   EXPECT_NEAR(f.updates_per_second, 3.53, 0.01);
   EXPECT_NEAR(f.aggregation_mbytes_per_s, 2.68, 0.01);
+}
+
+TEST(Forecasting, ZeroRoundRunForecastsFiniteZeros) {
+  // A run that never got off the ground (no tasks, no rounds, zero horizon)
+  // must project zeros, not NaN from 0/0 divisions.
+  fl::RunResult run;
+  ResourceForecast f = forecast_resources(run, ForecastConfig{});
+  EXPECT_EQ(f.total_client_compute_h, 0.0);
+  EXPECT_EQ(f.wasted_client_compute_h, 0.0);
+  EXPECT_EQ(f.client_tasks_started, 0u);
+  EXPECT_EQ(f.mean_task_compute_s, 0.0);
+  EXPECT_EQ(f.device_energy_kwh, 0.0);
+  EXPECT_EQ(f.training_duration_h, 0.0);
+  EXPECT_EQ(f.updates_per_second, 0.0);
+  EXPECT_EQ(f.aggregator_workers, 0u);
+  EXPECT_TRUE(std::isfinite(f.aggregation_mbytes_per_s));
+}
+
+TEST(Forecasting, ZeroDurationHorizonStaysFinite) {
+  // Tasks ran but the virtual clock never advanced (degenerate trace):
+  // throughput-derived projections must be 0, not compute/0.
+  fl::RunResult run;
+  run.virtual_duration_s = 0.0;
+  sim::TaskResult tr;
+  tr.spent_compute_s = 5.0;
+  tr.outcome = sim::TaskOutcome::kSucceeded;
+  run.metrics.on_task_started();
+  run.metrics.on_task_finished(tr);
+  ResourceForecast f = forecast_resources(run, ForecastConfig{});
+  EXPECT_GT(f.total_client_compute_h, 0.0);
+  EXPECT_EQ(f.updates_per_second, 0.0);
+  EXPECT_EQ(f.training_duration_h, 0.0);
+  EXPECT_TRUE(std::isfinite(f.mean_task_compute_s));
+  EXPECT_TRUE(std::isfinite(f.aggregation_mbytes_per_s));
+}
+
+TEST(Forecasting, PopulationScalingGrowsDeviceSideOnly) {
+  fl::RunResult run;
+  run.virtual_duration_s = 3600.0;
+  sim::TaskResult tr;
+  tr.spent_compute_s = 100.0;
+  tr.outcome = sim::TaskOutcome::kSucceeded;
+  for (int i = 0; i < 36; ++i) {
+    run.metrics.on_task_started();
+    run.metrics.on_task_finished(tr);
+  }
+  run.metrics.on_round({1, 0.0, 3600.0, 36, 0.0});
+
+  ForecastConfig base;
+  ForecastConfig scaled = base;
+  scaled.simulated_population = 1000.0;
+  scaled.target_population = 10'000.0;
+  EXPECT_NEAR(scaled.population_scale(), 10.0, 1e-12);
+
+  ResourceForecast f1 = forecast_resources(run, base);
+  ResourceForecast f10 = forecast_resources(run, scaled);
+  // Device-side totals and aggregate throughput scale with the cohort...
+  EXPECT_NEAR(f10.total_client_compute_h, f1.total_client_compute_h * 10.0, 1e-9);
+  EXPECT_EQ(f10.client_tasks_started, f1.client_tasks_started * 10);
+  EXPECT_NEAR(f10.updates_per_second, f1.updates_per_second * 10.0, 1e-9);
+  EXPECT_NEAR(f10.device_energy_kwh, f1.device_energy_kwh * 10.0, 1e-9);
+  // ...while per-task means and the cadence-bound duration do not.
+  EXPECT_NEAR(f10.mean_task_compute_s, f1.mean_task_compute_s, 1e-12);
+  EXPECT_NEAR(f10.training_duration_h, f1.training_duration_h, 1e-12);
+}
+
+TEST(Forecasting, PopulationScalingShrinksWhenTargetSmaller) {
+  fl::RunResult run;
+  run.virtual_duration_s = 3600.0;
+  sim::TaskResult tr;
+  tr.spent_compute_s = 100.0;
+  tr.outcome = sim::TaskOutcome::kSucceeded;
+  for (int i = 0; i < 40; ++i) {
+    run.metrics.on_task_started();
+    run.metrics.on_task_finished(tr);
+  }
+  run.metrics.on_round({1, 0.0, 3600.0, 40, 0.0});
+
+  ForecastConfig cfg;
+  cfg.simulated_population = 4000.0;
+  cfg.target_population = 1000.0;  // pilot smaller than the simulation
+  EXPECT_NEAR(cfg.population_scale(), 0.25, 1e-12);
+  ResourceForecast f = forecast_resources(run, cfg);
+  EXPECT_EQ(f.client_tasks_started, 10u);
+  EXPECT_NEAR(f.total_client_compute_h, 40.0 * 100.0 / 3600.0 * 0.25, 1e-9);
+  EXPECT_TRUE(std::isfinite(f.updates_per_second));
+}
+
+TEST(Forecasting, PopulationScalingDisabledWhenUnset) {
+  ForecastConfig cfg;
+  EXPECT_EQ(cfg.population_scale(), 1.0);
+  cfg.simulated_population = 500.0;  // target still unset
+  EXPECT_EQ(cfg.population_scale(), 1.0);
+  cfg.simulated_population = 0.0;
+  cfg.target_population = 500.0;  // simulated unset
+  EXPECT_EQ(cfg.population_scale(), 1.0);
+  cfg.simulated_population = -3.0;  // nonsense disables rather than flips sign
+  EXPECT_EQ(cfg.population_scale(), 1.0);
 }
 
 TEST(Forecasting, WasteFractionDrivesWastedCompute) {

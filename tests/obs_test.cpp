@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "flint/obs/client_ledger.h"
 #include "flint/obs/metrics.h"
 #include "flint/obs/telemetry.h"
 #include "flint/obs/trace.h"
@@ -246,6 +247,103 @@ TEST(ObsRegistry, JsonlLinesAreValidJson) {
 }
 
 // ----------------------------------------------------------------- Tracer
+
+// ----------------------------------------------------------- client ledger
+
+TEST(ObsLedger, AttributesOutcomesAndBytesPerClient) {
+  ClientLedger ledger;
+  ledger.register_client(1, /*tier=*/0, /*cohort=*/2, /*executor=*/0);
+  ledger.register_client(2, /*tier=*/1, /*cohort=*/0, /*executor=*/1);
+  ledger.on_task_finished(1, LedgerOutcome::kSucceeded, 10.0, 1000);
+  ledger.on_task_finished(1, LedgerOutcome::kStale, 5.0, 1000);
+  ledger.on_task_finished(2, LedgerOutcome::kInterrupted, 2.0, 1000);
+
+  auto s = ledger.summary();
+  EXPECT_EQ(s.totals.tasks_succeeded, 1u);
+  EXPECT_EQ(s.totals.tasks_stale, 1u);
+  EXPECT_EQ(s.totals.tasks_interrupted, 1u);
+  EXPECT_EQ(s.totals.clients, 2u);
+  EXPECT_NEAR(s.totals.compute_s, 17.0, 1e-12);
+  // Stale + interrupted compute is wasted; succeeded compute is not.
+  EXPECT_NEAR(s.totals.wasted_compute_s, 7.0, 1e-12);
+  // Downloads happen for every task; uploads only for tasks that ran to the
+  // end (succeeded or stale) — interruptions never send the update.
+  EXPECT_EQ(s.totals.bytes_down, 3000u);
+  EXPECT_EQ(s.totals.bytes_up, 2000u);
+}
+
+TEST(ObsLedger, UnregisteredClientsStillReconcileInTotals) {
+  ClientLedger ledger;
+  ledger.on_task_finished(99, LedgerOutcome::kFailed, 1.5, 500);
+  auto s = ledger.summary();
+  EXPECT_EQ(s.totals.tasks_failed, 1u);
+  EXPECT_NEAR(s.totals.compute_s, 1.5, 1e-12);
+  // Lands in the default tier/cohort bucket rather than disappearing.
+  std::uint64_t tier_failed = 0;
+  for (const auto& row : s.by_tier) tier_failed += row.tasks_failed;
+  EXPECT_EQ(tier_failed, 1u);
+}
+
+TEST(ObsLedger, StragglersRankedByWastedCompute) {
+  ClientLedger ledger;
+  for (std::uint64_t c = 0; c < 20; ++c)
+    ledger.on_task_finished(c, LedgerOutcome::kStale, static_cast<double>(c), 0);
+  auto s = ledger.summary(/*top_k=*/5);
+  ASSERT_EQ(s.stragglers.size(), 5u);
+  EXPECT_EQ(s.stragglers.front().client_id, 19u);
+  for (std::size_t i = 1; i < s.stragglers.size(); ++i)
+    EXPECT_GE(s.stragglers[i - 1].wasted_compute_s, s.stragglers[i].wasted_compute_s);
+}
+
+// ----------------------------------------------------- histogram quantiles
+
+TEST(ObsQuantile, EmptyHistogramIsZero) {
+  MetricRegistry r;
+  auto& h = r.histogram("empty", 0.0, 10.0, 10);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(histogram_quantile(0.5, 0.0, 10.0, {0, 0, 0}), 0.0);
+  EXPECT_EQ(histogram_quantile(0.5, 0.0, 10.0, {}), 0.0);
+}
+
+TEST(ObsQuantile, UniformSamplesInterpolateLinearly) {
+  MetricRegistry r;
+  auto& h = r.histogram("lat", 0.0, 10.0, 10);
+  // 100 samples spread uniformly over [0, 10): 10 per unit-wide bucket.
+  for (int i = 0; i < 100; ++i) h.record(static_cast<double>(i) * 0.1);
+  EXPECT_NEAR(h.quantile(0.50), 5.0, 1e-12);
+  EXPECT_NEAR(h.quantile(0.95), 9.5, 1e-12);
+  EXPECT_NEAR(h.quantile(0.99), 9.9, 1e-12);
+  // Quantiles are monotone in q.
+  EXPECT_LE(h.quantile(0.50), h.quantile(0.95));
+  EXPECT_LE(h.quantile(0.95), h.quantile(0.99));
+}
+
+TEST(ObsQuantile, EstimatesClampToConfiguredRange) {
+  MetricRegistry r;
+  auto& h = r.histogram("spiky", 0.0, 10.0, 10);
+  for (int i = 0; i < 50; ++i) h.record(1e6);  // far beyond hi: edge bucket
+  h.record(-5.0);                              // below lo: first bucket
+  EXPECT_LE(h.quantile(0.99), 10.0);
+  EXPECT_GE(h.quantile(0.01), 0.0);
+}
+
+TEST(ObsQuantile, SampleQuantileMatchesLiveHistogram) {
+  MetricRegistry r;
+  auto& h = r.histogram("dur", 0.0, 4.0, 8);
+  for (int i = 0; i < 40; ++i) h.record(static_cast<double>(i % 4) + 0.25);
+  auto snap = r.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  ASSERT_EQ(snap[0].kind, MetricSample::Kind::kHistogram);
+  for (double q : {0.5, 0.95, 0.99})
+    EXPECT_NEAR(snap[0].quantile(q), h.quantile(q), 1e-12) << q;
+}
+
+TEST(ObsQuantile, NonHistogramSamplesReadZero) {
+  MetricRegistry r;
+  r.counter("c").add(100);
+  r.gauge("g").set(3.0);
+  for (const auto& s : r.snapshot()) EXPECT_EQ(s.quantile(0.95), 0.0) << s.name;
+}
 
 TEST(ObsTrace, ChromeTraceParsesBack) {
   Tracer tracer;

@@ -4,6 +4,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "flint/fl/fedbuff.h"
 #include "flint/util/csv.h"
@@ -85,6 +86,50 @@ TEST(Report, WriteProducesFilesAndParsableCsv) {
   }
   EXPECT_EQ(rows, run.metrics.rounds().size() + 1);
   fs::remove_all(dir);
+}
+
+TEST(Report, EvalCurveRendersAsBoundedMarkdownTable) {
+  // A long run's curve must come out as a real markdown table, downsampled to
+  // a bounded number of rows with the final point always present.
+  fl::RunResult run;
+  for (std::uint64_t r = 1; r <= 100; ++r)
+    run.eval_curve.push_back({static_cast<double>(r) * 60.0, r, 0.5 + 0.001 * r, 0.0});
+  run.rounds = 100;
+  run.final_metric = run.eval_curve.back().metric;
+  run.virtual_duration_s = 6000.0;
+  ReportInputs inputs;
+  inputs.run = &run;
+  inputs.metric_name = "AUPR";
+  std::string md = render_report_markdown(inputs);
+
+  auto header = md.find("| round | virtual time (h) | AUPR |");
+  ASSERT_NE(header, std::string::npos);
+  EXPECT_NE(md.find("downsampled"), std::string::npos);
+  // Count table body rows between the header separator and the blank line.
+  auto sep = md.find("|---|---|---|", header);
+  ASSERT_NE(sep, std::string::npos);
+  std::size_t rows = 0;
+  std::istringstream is(md.substr(md.find('\n', sep) + 1));
+  std::string line;
+  while (std::getline(is, line) && !line.empty() && line.front() == '|') ++rows;
+  EXPECT_LE(rows, 20u);
+  EXPECT_GE(rows, 10u);
+  // The last eval point survives downsampling.
+  EXPECT_NE(md.find("| 100 | "), std::string::npos);
+}
+
+TEST(Report, ShortEvalCurveKeepsEveryRow) {
+  fl::RunResult run;
+  for (std::uint64_t r = 1; r <= 5; ++r)
+    run.eval_curve.push_back({static_cast<double>(r) * 60.0, r, 0.6, 0.0});
+  run.rounds = 5;
+  run.virtual_duration_s = 300.0;
+  ReportInputs inputs;
+  inputs.run = &run;
+  std::string md = render_report_markdown(inputs);
+  EXPECT_EQ(md.find("downsampled"), std::string::npos);
+  for (const char* row : {"| 1 | ", "| 2 | ", "| 3 | ", "| 4 | ", "| 5 | "})
+    EXPECT_NE(md.find(row), std::string::npos) << row;
 }
 
 TEST(Report, EvalCurveCsvMatchesRun) {

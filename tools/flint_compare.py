@@ -1,0 +1,215 @@
+#!/usr/bin/env python3
+"""Compare two FLINT run artifacts (core::write_run_artifact JSON) and flag
+regressions.
+
+Walks the numeric leaves of the comparable sections — model, system,
+forecast, scalars, and the ledger totals — and reports every leaf whose
+relative difference exceeds its threshold. Wall time, telemetry histogram
+means, and other wall-clock-derived values are ignored: they measure the
+machine, not the code. Telemetry counters and histogram *counts* are
+compared (event counts are deterministic under a fixed seed); gauges are
+last-write snapshots and compared too.
+
+Thresholds, most specific wins:
+  --threshold PATH=REL   per-leaf override, repeatable; PATH is the dotted
+                         leaf path (e.g. system.client_compute_s=0.02) or a
+                         prefix ending in '.' (e.g. scalars.=0.1)
+  --default-rel REL      everything else (default 1e-9: same binary + same
+                         seed must reproduce bit-near-identically; loosen to
+                         ~0.05 when comparing across compilers/machines)
+
+Integer count leaves (task counts, rounds, bytes) use the same relative
+test, so --default-rel 0 demands exact equality.
+
+The config fingerprint is compared and a mismatch is a warning (the runs
+came from different setups), not a regression, unless --require-same-config.
+
+Usage:
+  tools/flint_compare.py baseline.json candidate.json [options]
+Exit: 0 within thresholds, 1 regression (or schema/usage problem), 2 IO.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+
+# Leaves that measure the host machine rather than the simulated system.
+IGNORED_LEAVES = {"wall_time_s"}
+# Telemetry histogram fields derived from wall-clock samples.
+WALL_CLOCK_HISTOGRAM_FIELDS = {"mean", "p50", "p95", "p99"}
+COMPARED_SECTIONS = ("model", "system", "forecast", "scalars")
+
+
+def die(msg: str) -> "NoReturn":  # noqa: F821
+    print(f"flint_compare: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        die(f"{path}: {e}")
+    if not isinstance(doc, dict) or doc.get("schema") != "flint.run_artifact":
+        die(f"{path}: not a flint.run_artifact JSON document")
+    return doc
+
+
+def is_number(x) -> bool:
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def numeric_leaves(node, prefix: str = "") -> dict:
+    """Flatten nested dicts/lists to {dotted.path: number}."""
+    out = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            out.update(numeric_leaves(value, f"{prefix}{key}."))
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            out.update(numeric_leaves(value, f"{prefix}{i}."))
+    elif is_number(node):
+        out[prefix[:-1]] = float(node)
+    return out
+
+
+def rel_diff(a: float, b: float) -> float:
+    if a == b:
+        return 0.0
+    return abs(a - b) / max(abs(a), abs(b), 1e-12)
+
+
+class Thresholds:
+    def __init__(self, default_rel: float, overrides: list[str]):
+        self.default_rel = default_rel
+        self.exact: dict[str, float] = {}
+        self.prefixes: list[tuple[str, float]] = []
+        for spec in overrides:
+            if "=" not in spec:
+                die(f"--threshold needs PATH=REL, got {spec!r}")
+            path, _, value = spec.rpartition("=")
+            try:
+                rel = float(value)
+            except ValueError:
+                die(f"--threshold {spec!r}: {value!r} is not a number")
+            if path.endswith("."):
+                self.prefixes.append((path, rel))
+            else:
+                self.exact[path] = rel
+        # Longest prefix = most specific.
+        self.prefixes.sort(key=lambda p: -len(p[0]))
+
+    def for_path(self, path: str) -> float:
+        if path in self.exact:
+            return self.exact[path]
+        for prefix, rel in self.prefixes:
+            if path.startswith(prefix):
+                return rel
+        return self.default_rel
+
+
+def comparable_leaves(doc: dict) -> dict:
+    leaves = {}
+    for section in COMPARED_SECTIONS:
+        if section in doc:
+            leaves.update(numeric_leaves(doc[section], f"{section}."))
+    # Ledger: compare the rollups (keyed by axis label, not list index, so a
+    # straggler-order change doesn't produce phantom diffs).
+    ledger = doc.get("ledger")
+    if isinstance(ledger, dict):
+        for axis in ("by_tier", "by_cohort", "totals"):
+            rows = ledger.get(axis)
+            if isinstance(rows, dict):
+                rows = [rows]
+            if not isinstance(rows, list):
+                continue
+            for row in rows:
+                if not isinstance(row, dict):
+                    continue
+                key = row.get("key", "?")
+                for field, value in row.items():
+                    if is_number(value):
+                        leaves[f"ledger.{axis}[{key}].{field}"] = float(value)
+    # Telemetry: counters/gauges by value, histograms by event count only.
+    for sample in doc.get("telemetry", []):
+        if not isinstance(sample, dict):
+            continue
+        name = sample.get("series", "?")
+        if sample.get("type") == "histogram":
+            if is_number(sample.get("count")):
+                leaves[f"telemetry[{name}].count"] = float(sample["count"])
+        elif is_number(sample.get("value")):
+            leaves[f"telemetry[{name}].value"] = float(sample["value"])
+    return {path: v for path, v in leaves.items()
+            if path.rpartition(".")[2] not in IGNORED_LEAVES}
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--default-rel", type=float, default=1e-9,
+                    help="default relative tolerance (default: %(default)s)")
+    ap.add_argument("--threshold", action="append", default=[],
+                    help="per-leaf override PATH=REL (repeatable; PATH ending "
+                         "in '.' matches as a prefix)")
+    ap.add_argument("--require-same-config", action="store_true",
+                    help="treat a config-fingerprint mismatch as a failure")
+    ap.add_argument("--quiet", action="store_true", help="only print regressions")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+    thresholds = Thresholds(args.default_rel, args.threshold)
+
+    failures: list[str] = []
+    if base.get("schema_version") != cand.get("schema_version"):
+        failures.append(f"schema_version: {base.get('schema_version')} vs "
+                        f"{cand.get('schema_version')}")
+    if base.get("config_fingerprint") != cand.get("config_fingerprint"):
+        msg = (f"config_fingerprint: {base.get('config_fingerprint')} vs "
+               f"{cand.get('config_fingerprint')} (different setups?)")
+        if args.require_same_config:
+            failures.append(msg)
+        else:
+            print(f"flint_compare: warning: {msg}", file=sys.stderr)
+
+    base_leaves = comparable_leaves(base)
+    cand_leaves = comparable_leaves(cand)
+    compared = 0
+    for path in sorted(base_leaves.keys() | cand_leaves.keys()):
+        if path not in base_leaves:
+            failures.append(f"{path}: only in candidate ({cand_leaves[path]:g})")
+            continue
+        if path not in cand_leaves:
+            failures.append(f"{path}: only in baseline ({base_leaves[path]:g})")
+            continue
+        a, b = base_leaves[path], cand_leaves[path]
+        if not (math.isfinite(a) and math.isfinite(b)):
+            failures.append(f"{path}: non-finite value ({a} vs {b})")
+            continue
+        compared += 1
+        limit = thresholds.for_path(path)
+        diff = rel_diff(a, b)
+        if diff > limit:
+            failures.append(f"{path}: {a:g} -> {b:g} (rel {diff:.3g} > {limit:g})")
+
+    if failures:
+        print(f"flint_compare: {args.candidate} regressed vs {args.baseline} "
+              f"({len(failures)} of {compared} compared leaves):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        print(f"flint_compare: {compared} leaves within thresholds "
+              f"({args.baseline} vs {args.candidate}): OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,15 +18,20 @@ in the file):
                   static_assert(std::is_trivially_copyable_v<...>) (the
                   util/bytes.h pattern); everything else routes through
                   std::memcpy helpers.
-  config-checks   a .cpp that consumes a *Config struct must FLINT_CHECK at
-                  least one config-derived quantity (module entry points
-                  validate their inputs).
+  config-checks   a .cpp under src/ that consumes a *Config struct must
+                  FLINT_CHECK at least one config-derived quantity (module
+                  entry points validate their inputs; bench/example drivers
+                  rely on the library's checks).
   obs-spans       trace spans are opened/closed only through the RAII
                   FLINT_TRACE_SPAN macro; direct begin_span/end_span calls are
                   allowed only inside obs/ itself. A manual begin without a
                   guaranteed end corrupts the span pairing on early return.
+  bench-artifact  every bench_*.cpp declares a bench::BenchArtifact (or a
+                  custom main that calls core::write_run_artifact) so each
+                  bench binary emits a BENCH_<name>.json the regression
+                  pipeline (tools/flint_compare.py + CI smoke-bench) can diff.
 
-Usage: tools/flint_lint.py [paths...]   (default: src/)
+Usage: tools/flint_lint.py [paths...]   (default: src/ bench/)
 Exit: 0 clean, 1 findings, 2 usage error.
 """
 
@@ -132,8 +137,9 @@ def lint_file(path: Path) -> list[Finding]:
                             "(std::is_trivially_copyable_v<...>); route through "
                             "util/bytes.h memcpy helpers"))
 
-    # config-checks (cpp files only; headers hold declarations)
-    if path.suffix == ".cpp":
+    # config-checks (library .cpp only; headers hold declarations, and bench/
+    # example drivers configure the library rather than validating for it)
+    if path.suffix == ".cpp" and "src" in path.parts:
         code_lines = [l for l in lines if is_code_line(l)]
         has_config_param = any(CONFIG_PARAM_RE.search(l) for l in code_lines)
         uses_check = any(FLINT_CHECK_RE.search(l) for l in code_lines)
@@ -142,6 +148,16 @@ def lint_file(path: Path) -> list[Finding]:
                 Finding(path, 1, "config-checks",
                         "consumes a *Config but never FLINT_CHECKs a "
                         "config-derived quantity"))
+
+    # bench-artifact: every bench binary joins the regression pipeline.
+    if path.name.startswith("bench_") and path.suffix == ".cpp":
+        if "BenchArtifact" not in text and "write_run_artifact" not in text \
+                and not file_suppressed("bench-artifact", text):
+            findings.append(
+                Finding(path, 1, "bench-artifact",
+                        "bench binary never emits a run artifact; declare "
+                        "bench::BenchArtifact(argc, argv, \"<name>\") in main "
+                        "(see bench_helpers.h)"))
 
     return findings
 

@@ -1,24 +1,31 @@
 #!/usr/bin/env python3
-"""Validate FLINT observability output: a Chrome trace-event JSON file and a
-metrics JSONL dump, as produced by `quickstart --trace-out` or any binary
-using obs::Telemetry::export_all().
+"""Validate FLINT observability output: a Chrome trace-event JSON file, a
+metrics JSONL dump (as produced by `quickstart --trace-out` or any binary
+using obs::Telemetry::export_all()), and/or a schema-versioned run artifact
+(core::write_run_artifact, e.g. a bench's BENCH_<name>.json).
 
 Checks
-  trace:   top-level object with a `traceEvents` array; every event has the
-           required trace-event keys for its phase ("X" spans need
-           name/cat/pid/tid/ts/dur with numeric non-negative ts/dur; "M"
-           metadata needs name/pid); both clock tracks (pid 1 wall, pid 2
-           virtual) are present when any span exists.
-  metrics: every line parses as a JSON object with series/type/t_virtual_s,
-           type is counter|gauge|histogram, histograms carry consistent
-           count/buckets, and no numeric field is NaN/inf (the exporter must
-           have written null instead).
-  series:  at least --min-series distinct series names, and every name given
-           via --require is present.
+  trace:    top-level object with a `traceEvents` array; every event has the
+            required trace-event keys for its phase ("X" spans need
+            name/cat/pid/tid/ts/dur with numeric non-negative ts/dur; "M"
+            metadata needs name/pid); both clock tracks (pid 1 wall, pid 2
+            virtual) are present when any span exists.
+  metrics:  every line parses as a JSON object with series/type/t_virtual_s,
+            type is counter|gauge|histogram, histograms carry consistent
+            count/buckets, and no numeric field is NaN/inf (the exporter must
+            have written null instead).
+  series:   at least --min-series distinct series names, and every name given
+            via --require is present.
+  artifact: schema == flint.run_artifact at a supported version; the
+            model/system/telemetry/ledger/timeline/scalars sections are
+            present and well-typed; every number is finite (a null means the
+            producer computed NaN/inf — rejected); ledger totals reconcile
+            with the system section (task counts exactly, compute seconds to
+            float tolerance).
 
 Usage:
-  tools/validate_trace.py --trace trace.json --metrics metrics.jsonl \
-      [--min-series N] [--require name]...
+  tools/validate_trace.py [--trace trace.json] [--metrics metrics.jsonl] \
+      [--artifact BENCH_foo.json]... [--min-series N] [--require name]...
 Exit: 0 valid, 1 validation failure, 2 usage/IO error.
 """
 
@@ -135,6 +142,169 @@ def validate_metrics(path: str) -> set[str]:
     return series
 
 
+ARTIFACT_SCHEMA = "flint.run_artifact"
+SUPPORTED_ARTIFACT_VERSIONS = {1}
+
+SYSTEM_COUNT_KEYS = ("tasks_started", "tasks_succeeded", "tasks_interrupted",
+                     "tasks_stale", "tasks_failed")
+SYSTEM_FLOAT_KEYS = ("client_compute_s", "waste_fraction", "mean_round_duration_s",
+                     "updates_per_second", "virtual_duration_s")
+ROLLUP_COUNT_KEYS = ("clients", "tasks_succeeded", "tasks_interrupted", "tasks_stale",
+                     "tasks_failed", "bytes_down", "bytes_up")
+ROLLUP_FLOAT_KEYS = ("compute_s", "wasted_compute_s")
+TIMELINE_KINDS = {"round", "eval", "checkpoint"}
+
+
+def _check_rollup(where: str, rollup) -> None:
+    if not isinstance(rollup, dict):
+        fail(f"{where}: rollup is not an object")
+        return
+    if not isinstance(rollup.get("key"), str):
+        fail(f"{where}: rollup missing string 'key'")
+    for key in ROLLUP_COUNT_KEYS:
+        v = rollup.get(key)
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            fail(f"{where}: '{key}' must be a non-negative integer, got {v!r}")
+    for key in ROLLUP_FLOAT_KEYS:
+        if not finite(rollup.get(key)):
+            fail(f"{where}: '{key}' must be finite, got {rollup.get(key)!r}")
+
+
+def validate_artifact(path: str) -> None:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f, parse_constant=lambda c: fail(f"{path}: literal {c}"))
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not readable as JSON: {e}")
+        return
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level must be an object")
+        return
+    if doc.get("schema") != ARTIFACT_SCHEMA:
+        fail(f"{path}: schema {doc.get('schema')!r} != {ARTIFACT_SCHEMA!r}")
+        return
+    if doc.get("schema_version") not in SUPPORTED_ARTIFACT_VERSIONS:
+        fail(f"{path}: schema_version {doc.get('schema_version')!r} not in "
+             f"{sorted(SUPPORTED_ARTIFACT_VERSIONS)}")
+        return
+
+    for key in ("name", "metric_name", "config_fingerprint"):
+        if not isinstance(doc.get(key), str):
+            fail(f"{path}: missing string '{key}'")
+    fp = doc.get("config_fingerprint", "")
+    if isinstance(fp, str) and (len(fp) != 16 or any(c not in "0123456789abcdef" for c in fp)):
+        fail(f"{path}: config_fingerprint must be 16 lowercase hex chars, got {fp!r}")
+    if not finite(doc.get("wall_time_s")):
+        fail(f"{path}: wall_time_s must be finite")
+
+    model = doc.get("model")
+    if not isinstance(model, dict):
+        fail(f"{path}: missing 'model' object")
+    else:
+        if not finite(model.get("final_metric")):
+            fail(f"{path}: model.final_metric must be finite")
+        if not isinstance(model.get("rounds"), int):
+            fail(f"{path}: model.rounds must be an integer")
+        curve = model.get("eval_curve")
+        if not isinstance(curve, list):
+            fail(f"{path}: model.eval_curve must be an array")
+        else:
+            for i, p in enumerate(curve):
+                if (not isinstance(p, dict) or not finite(p.get("t_s"))
+                        or not isinstance(p.get("round"), int) or not finite(p.get("metric"))):
+                    fail(f"{path}: model.eval_curve[{i}] needs finite t_s/metric and int round")
+
+    system = doc.get("system")
+    if not isinstance(system, dict):
+        fail(f"{path}: missing 'system' object")
+    else:
+        for key in SYSTEM_COUNT_KEYS:
+            v = system.get(key)
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                fail(f"{path}: system.{key} must be a non-negative integer, got {v!r}")
+        for key in SYSTEM_FLOAT_KEYS:
+            if not finite(system.get(key)):
+                fail(f"{path}: system.{key} must be finite, got {system.get(key)!r}")
+
+    telemetry = doc.get("telemetry")
+    if not isinstance(telemetry, list):
+        fail(f"{path}: missing 'telemetry' array")
+    else:
+        for i, s in enumerate(telemetry):
+            where = f"{path}: telemetry[{i}]"
+            if not isinstance(s, dict) or not isinstance(s.get("series"), str):
+                fail(f"{where}: needs a string 'series'")
+                continue
+            if s.get("type") not in ("counter", "gauge", "histogram"):
+                fail(f"{where}: bad type {s.get('type')!r}")
+            numeric = ("count", "mean", "p50", "p95", "p99") \
+                if s.get("type") == "histogram" else ("value",)
+            for key in numeric:
+                if not finite(s.get(key)):
+                    fail(f"{where}: '{key}' must be finite, got {s.get(key)!r}")
+
+    ledger = doc.get("ledger")
+    if not isinstance(ledger, dict):
+        fail(f"{path}: missing 'ledger' object")
+    else:
+        for axis in ("by_tier", "by_cohort", "by_executor"):
+            rows = ledger.get(axis)
+            if not isinstance(rows, list):
+                fail(f"{path}: ledger.{axis} must be an array")
+                continue
+            for i, r in enumerate(rows):
+                _check_rollup(f"{path}: ledger.{axis}[{i}]", r)
+        _check_rollup(f"{path}: ledger.totals", ledger.get("totals"))
+        stragglers = ledger.get("stragglers")
+        if not isinstance(stragglers, list):
+            fail(f"{path}: ledger.stragglers must be an array")
+        else:
+            for i, c in enumerate(stragglers):
+                if not isinstance(c, dict) or not isinstance(c.get("client_id"), int) \
+                        or not finite(c.get("wasted_compute_s")):
+                    fail(f"{path}: ledger.stragglers[{i}] needs client_id and finite "
+                         "wasted_compute_s")
+
+        # Reconciliation: the ledger is fed from the same task-completion
+        # choke point as SimMetrics, so totals must agree (exactly for
+        # counts; compute accumulates in a different order, so tolerance).
+        totals = ledger.get("totals")
+        if isinstance(system, dict) and isinstance(totals, dict):
+            for key in ("tasks_succeeded", "tasks_interrupted", "tasks_stale", "tasks_failed"):
+                if isinstance(totals.get(key), int) and isinstance(system.get(key), int) \
+                        and totals[key] != system[key]:
+                    fail(f"{path}: ledger.totals.{key} {totals[key]} != system.{key} "
+                         f"{system[key]}")
+            lc, sc = totals.get("compute_s"), system.get("client_compute_s")
+            if finite(lc) and finite(sc):
+                # An empty ledger (attribution disabled) legitimately reads 0.
+                if lc != 0 and abs(lc - sc) > 1e-6 * max(1.0, abs(sc)):
+                    fail(f"{path}: ledger compute_s {lc} != system client_compute_s {sc}")
+
+    timeline = doc.get("timeline")
+    if not isinstance(timeline, list):
+        fail(f"{path}: missing 'timeline' array")
+    else:
+        for i, e in enumerate(timeline):
+            if not isinstance(e, dict) or not finite(e.get("t_s")) \
+                    or e.get("kind") not in TIMELINE_KINDS:
+                fail(f"{path}: timeline[{i}] needs finite t_s and kind in "
+                     f"{sorted(TIMELINE_KINDS)}")
+
+    scalars = doc.get("scalars")
+    if not isinstance(scalars, dict):
+        fail(f"{path}: missing 'scalars' object")
+    else:
+        for key, v in scalars.items():
+            if not finite(v):
+                fail(f"{path}: scalars[{key!r}] must be finite, got {v!r}")
+
+    if not ERRORS:
+        n_scalars = len(scalars) if isinstance(scalars, dict) else 0
+        print(f"{path}: run artifact v{doc['schema_version']} "
+              f"({n_scalars} scalars, {len(timeline or [])} timeline events): OK")
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--trace", help="Chrome trace-event JSON file")
@@ -143,12 +313,16 @@ def main() -> int:
                     help="minimum number of distinct metric series")
     ap.add_argument("--require", action="append", default=[],
                     help="series name that must be present (repeatable)")
+    ap.add_argument("--artifact", action="append", default=[],
+                    help="run-artifact JSON file (repeatable)")
     args = ap.parse_args()
-    if not args.trace and not args.metrics:
-        ap.error("nothing to validate: pass --trace and/or --metrics")
+    if not args.trace and not args.metrics and not args.artifact:
+        ap.error("nothing to validate: pass --trace, --metrics, and/or --artifact")
 
     if args.trace:
         validate_trace(args.trace)
+    for artifact in args.artifact:
+        validate_artifact(artifact)
     if args.metrics:
         series = validate_metrics(args.metrics)
         if len(series) < args.min_series:
