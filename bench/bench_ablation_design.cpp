@@ -17,6 +17,7 @@ using namespace flint;
 
 // Set by main; the ablations feed their headline numbers into it.
 bench::BenchArtifact* g_artifact = nullptr;
+std::size_t g_threads = 1;  // --threads; wall-time only, never in config_text
 
 void ablate_overcommit() {
   std::cout << util::banner("Ablation (a): FedAvg over-commitment factor");
@@ -38,6 +39,7 @@ void ablate_overcommit() {
   for (double factor : {1.0, 1.15, 1.3, 1.5, 2.0}) {
     device::AvailabilityTrace trace(windows);
     fl::SyncConfig cfg;
+    cfg.inputs.threads = g_threads;
     cfg.inputs.model_free = true;
     cfg.inputs.client_example_counts = &counts;
     cfg.inputs.trace = &trace;
@@ -90,6 +92,7 @@ void ablate_staleness_weighting() {
       auto model = task.make_model(mrng);
       device::AvailabilityTrace trace(windows);
       fl::AsyncConfig cfg;
+      cfg.inputs.threads = g_threads;
       cfg.inputs.dataset = &task.train;
       cfg.inputs.dense_dim = task.batch_dense_dim();
       cfg.inputs.model_template = model.get();
@@ -221,6 +224,7 @@ void ablate_server_momentum() {
       auto model = task.make_model(mrng);
       device::AvailabilityTrace trace(windows);
       fl::AsyncConfig cfg;
+      cfg.inputs.threads = g_threads;
       cfg.inputs.dataset = &task.train;
       cfg.inputs.dense_dim = task.batch_dense_dim();
       cfg.inputs.model_template = model.get();
@@ -252,6 +256,7 @@ int main(int argc, char** argv) {
   bench::BenchArtifact artifact(argc, argv, "ablation_design");
   artifact.set_config_text("ablations: overcommit/staleness/partitioning/hashing/momentum");
   g_artifact = &artifact;
+  g_threads = bench::parse_threads(argc, argv);
   bench::print_header("Design ablations", "DESIGN.md §5 — the design choices worth measuring");
   ablate_overcommit();
   ablate_staleness_weighting();

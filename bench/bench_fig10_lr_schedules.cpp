@@ -11,6 +11,7 @@
 int main(int argc, char** argv) {
   using namespace flint;
   bench::BenchArtifact artifact(argc, argv, "fig10_lr_schedules");
+  std::size_t threads = bench::parse_threads(argc, argv);
   bench::print_header("Figure 10: AUPR under two exponential-decay LR schedules (N=5)",
                       "Real SGD on the ads-like proxy; per-round AUPR mean +- stdev "
                       "across trials");
@@ -58,6 +59,7 @@ int main(int argc, char** argv) {
       auto model = task.make_model(model_rng);
       device::AvailabilityTrace trace(windows);
       fl::AsyncConfig cfg;
+      cfg.inputs.threads = threads;
       cfg.inputs.dataset = &task.train;
       cfg.inputs.dense_dim = task.batch_dense_dim();
       cfg.inputs.model_template = model.get();

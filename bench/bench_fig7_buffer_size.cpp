@@ -8,6 +8,7 @@
 int main(int argc, char** argv) {
   using namespace flint;
   bench::BenchArtifact artifact(argc, argv, "fig7_buffer_size");
+  std::size_t threads = bench::parse_threads(argc, argv);
   bench::print_header("Figure 7: Buffer size vs buffer-fill duration (max concurrency = 180)",
                       "Model-free FedBuff; ads-like workload; mean seconds per "
                       "aggregation across the run");
@@ -32,6 +33,7 @@ int main(int argc, char** argv) {
   for (std::size_t buffer : {10u, 20u, 40u, 60u, 90u, 120u, 150u, 180u}) {
     device::AvailabilityTrace trace(windows);  // fresh copy per run
     fl::AsyncConfig cfg;
+    cfg.inputs.threads = threads;
     cfg.inputs.model_free = true;
     cfg.inputs.client_example_counts = &counts;
     cfg.inputs.trace = &trace;

@@ -8,6 +8,7 @@
 int main(int argc, char** argv) {
   using namespace flint;
   bench::BenchArtifact artifact(argc, argv, "fig8_staleness");
+  std::size_t threads = bench::parse_threads(argc, argv);
   bench::print_header("Figure 8: Task outcomes vs concurrency and max staleness",
                       "FedBuff over realistic (short-window) availability; fixed "
                       "aggregation budget per cell");
@@ -49,6 +50,7 @@ int main(int argc, char** argv) {
     for (std::uint64_t staleness : {5u, 20u, 100u}) {
       device::AvailabilityTrace trace(base_windows);
       fl::AsyncConfig cfg;
+      cfg.inputs.threads = threads;
       cfg.inputs.model_free = true;
       cfg.inputs.client_example_counts = &counts;
       cfg.inputs.trace = &trace;

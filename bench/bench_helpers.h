@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <optional>
@@ -120,6 +121,20 @@ class BenchArtifact {
   std::string path_;
   std::chrono::steady_clock::time_point start_;
 };
+
+/// Parse `--threads N`: worker threads for client training and evaluation
+/// (fl::RunInputs::threads). Defaults to 1 (serial). Results are
+/// bit-identical at any value — the knob trades wall time only — which is
+/// why it never belongs in an artifact's config_text.
+inline std::size_t parse_threads(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      long v = std::strtol(argv[i + 1], nullptr, 10);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+  }
+  return 1;
+}
 
 /// The paper's strict participation criteria (§4.1): foreground app,
 /// battery > 80%, WiFi, and a modern OS.

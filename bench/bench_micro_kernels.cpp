@@ -7,6 +7,7 @@
 #include "flint/data/proxy_generator.h"
 #include "flint/feature/feature_cache.h"
 #include "flint/feature/feature_hashing.h"
+#include "flint/fl/aggregator.h"
 #include "flint/fl/trainer.h"
 #include "flint/ml/loss.h"
 #include "flint/ml/model.h"
@@ -124,6 +125,30 @@ void BM_EventQueueChurn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EventQueueChurn);
+
+void BM_WeightedAccumulate(benchmark::State& state) {
+  // The aggregation hot loop: every client update funnels through
+  // UpdateAccumulator::add and each server step through weighted_mean +
+  // apply_server_update. Dim matches real model parameter counts.
+  auto dim = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(7);
+  std::vector<std::vector<float>> deltas(16, std::vector<float>(dim));
+  for (auto& d : deltas)
+    for (float& v : d) v = static_cast<float>(rng.normal());
+  std::vector<float> params(dim, 0.0f);
+  fl::UpdateAccumulator acc(dim);
+  for (auto _ : state) {
+    acc.reset();
+    for (std::size_t k = 0; k < deltas.size(); ++k)
+      acc.add(deltas[k], 1.0 + static_cast<double>(k));
+    std::vector<float> mean = acc.weighted_mean();
+    fl::apply_server_update(params, mean, 0.1);
+    benchmark::DoNotOptimize(params.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(deltas.size() * dim));
+}
+BENCHMARK(BM_WeightedAccumulate)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
 
 void BM_QuantityProfile(benchmark::State& state) {
   util::Rng rng(6);

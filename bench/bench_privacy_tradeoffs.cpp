@@ -18,6 +18,7 @@ struct Workbench {
   device::DeviceCatalog catalog = device::DeviceCatalog::standard();
   net::PufferLikeBandwidthModel bandwidth;
   std::vector<device::AvailabilityWindow> windows;
+  std::size_t threads = 1;  // --threads; wall-time only
 
   explicit Workbench(util::Rng& rng)
       : task([&] {
@@ -37,6 +38,7 @@ struct Workbench {
 
   fl::AsyncConfig base_config(ml::Model& model, const device::AvailabilityTrace& trace) {
     fl::AsyncConfig cfg;
+    cfg.inputs.threads = threads;
     cfg.inputs.dataset = &task.train;
     cfg.inputs.dense_dim = task.batch_dense_dim();
     cfg.inputs.model_template = &model;
@@ -67,6 +69,7 @@ int main(int argc, char** argv) {
 
   util::Rng rng(1013);
   Workbench wb(rng);
+  wb.threads = bench::parse_threads(argc, argv);
   auto model = wb.task.make_model(rng);
 
   // --- Sweep 1: FL-DP. -----------------------------------------------------

@@ -40,6 +40,7 @@ struct CaseSpec {
 
 int main(int argc, char** argv) {
   bench::BenchArtifact artifact(argc, argv, "table4_case_studies");
+  std::size_t threads = bench::parse_threads(argc, argv);
   bench::print_header("Table 4: Projected FL training time and performance vs centralized",
                       "Real SGD on synthetic non-IID proxies under a 2-week synthetic "
                       "availability trace; N=5 trials (paper: N=15)");
@@ -148,6 +149,7 @@ int main(int argc, char** argv) {
     auto model = task.make_model(task_rng);
 
     fl::AsyncConfig cfg;
+    cfg.inputs.threads = threads;
     cfg.inputs.dataset = &task.train;
     cfg.inputs.dense_dim = task.batch_dense_dim();
     cfg.inputs.model_template = model.get();

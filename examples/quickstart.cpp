@@ -13,6 +13,7 @@
 // (open in Perfetto / chrome://tracing; wall and virtual clocks are separate
 // process tracks) plus a metrics JSONL dump (--metrics-out overrides its
 // default path, quickstart_metrics.jsonl).
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <optional>
@@ -32,6 +33,7 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::string metrics_out;
   std::string artifact_out = "quickstart_report/run_artifact.json";
+  std::size_t threads = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
@@ -39,9 +41,12 @@ int main(int argc, char** argv) {
       metrics_out = argv[++i];
     } else if (std::strcmp(argv[i], "--artifact-out") == 0 && i + 1 < argc) {
       artifact_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      if (threads == 0) threads = 1;
     } else {
       std::cerr << "usage: quickstart [--trace-out trace.json] [--metrics-out metrics.jsonl]"
-                   " [--artifact-out artifact.json]\n";
+                   " [--artifact-out artifact.json] [--threads N]\n";
       return 2;
     }
   }
@@ -109,6 +114,9 @@ int main(int argc, char** argv) {
 
   net::PufferLikeBandwidthModel bandwidth;
   fl::AsyncConfig fl_cfg;
+  // Parallel client training: results are bit-identical at any --threads
+  // value, only the wall time changes (DESIGN.md §11).
+  fl_cfg.inputs.threads = threads;
   fl_cfg.inputs.dataset = &task.train;
   fl_cfg.inputs.dense_dim = task.batch_dense_dim();
   fl_cfg.inputs.model_template = model.get();

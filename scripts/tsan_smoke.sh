@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Fast ThreadSanitizer smoke: compiles tools/tsan_smoke.cpp plus the
-# checkpoint TU directly (no cmake tree) and runs it. Seconds, not minutes —
-# suitable as a ctest entry. For the full threaded test set under TSan use
-# scripts/run_sanitizers.sh thread [--fast].
+# checkpoint, obs, and thread-pool TUs directly (no cmake tree) and runs it.
+# Seconds, not minutes — suitable as a ctest entry. For the full threaded
+# test set under TSan use scripts/run_sanitizers.sh thread [--fast].
 #
 # Usage: scripts/tsan_smoke.sh [output-binary-path]
 # Exit: 0 clean (or TSan unsupported by the compiler — reported, skipped),
@@ -24,6 +24,7 @@ fi
 "$CXX" -std=c++20 -O1 -g -fsanitize=thread -fno-omit-frame-pointer -pthread \
   -I src tools/tsan_smoke.cpp src/flint/store/checkpoint.cpp \
   src/flint/obs/metrics.cpp src/flint/obs/trace.cpp src/flint/obs/telemetry.cpp \
+  src/flint/util/thread_pool.cpp \
   -o "$OUT"
 
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" "$OUT"

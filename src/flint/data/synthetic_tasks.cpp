@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <future>
 #include <map>
 
 #include "flint/data/proxy_generator.h"
 #include "flint/ml/loss.h"
 #include "flint/ml/metrics.h"
 #include "flint/util/check.h"
+#include "flint/util/thread_pool.h"
 
 namespace flint::data {
 
@@ -224,41 +227,97 @@ double FederatedTask::evaluate(ml::Model& model) const {
   return evaluate_examples(model, test, config.domain, batch_dense_dim());
 }
 
+namespace {
+
+// Run `shard(i)` for i in [0, shards): inline when `pool` is null, fanned
+// across the pool otherwise. Shard boundaries are the caller's; they must not
+// depend on the pool size or the evaluation stops being thread-invariant.
+void run_shards(util::ThreadPool* pool, std::size_t shards,
+                const std::function<void(std::size_t)>& shard) {
+  if (pool == nullptr) {
+    for (std::size_t i = 0; i < shards; ++i) shard(i);
+    return;
+  }
+  std::vector<std::future<void>> pending;
+  pending.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i)
+    pending.push_back(pool->submit([&shard, i] { shard(i); }));
+  for (auto& f : pending) f.get();
+}
+
+}  // namespace
+
 double evaluate_examples(ml::Model& model, const std::vector<ml::Example>& examples,
-                         Domain domain, std::size_t dense_dim) {
+                         Domain domain, std::size_t dense_dim, util::ThreadPool* pool) {
   FLINT_CHECK(!examples.empty());
+  // Each in-flight shard needs its own replica: forward() caches activation
+  // state. Clones are made up front on the calling thread; the serial path
+  // scores every shard on `model` itself.
+  auto replica = [&]() -> std::unique_ptr<ml::Model> {
+    return pool == nullptr ? nullptr : model.clone();
+  };
   if (domain == Domain::kSearch) {
     // Group examples by ranking group id, score each group, mean NDCG@10.
+    // Shards are fixed runs of whole groups (in ascending-gid order) with
+    // per-shard partial sums combined in shard order, so the floating-point
+    // reduction tree is identical at any thread count.
     std::map<std::int32_t, std::vector<ml::Example>> groups;
     for (const auto& e : examples) groups[e.group].push_back(e);
-    double total = 0.0;
-    for (auto& [gid, members] : groups) {
-      ml::Batch batch = ml::Batch::from_examples(members, dense_dim);
-      ml::Tensor logits = model.forward(batch);
+    std::vector<const std::vector<ml::Example>*> ordered;
+    ordered.reserve(groups.size());
+    for (auto& [gid, members] : groups) ordered.push_back(&members);
+    constexpr std::size_t kGroupsPerShard = 64;
+    std::size_t shards = (ordered.size() + kGroupsPerShard - 1) / kGroupsPerShard;
+    std::vector<double> partial(shards, 0.0);
+    run_shards(pool, shards, [&](std::size_t i) {
+      std::unique_ptr<ml::Model> owned = replica();
+      ml::Model& m = owned != nullptr ? *owned : model;
+      std::size_t begin = i * kGroupsPerShard;
+      std::size_t end = std::min(ordered.size(), begin + kGroupsPerShard);
+      double sum = 0.0;
       std::vector<float> scores, labels;
-      for (std::size_t i = 0; i < members.size(); ++i) {
-        scores.push_back(logits.at(i, 0));
-        labels.push_back(members[i].label);
+      for (std::size_t g = begin; g < end; ++g) {
+        const auto& members = *ordered[g];
+        ml::Batch batch = ml::Batch::from_examples(members, dense_dim);
+        ml::Tensor logits = m.forward(batch);
+        scores.clear();
+        labels.clear();
+        for (std::size_t j = 0; j < members.size(); ++j) {
+          scores.push_back(logits.at(j, 0));
+          labels.push_back(members[j].label);
+        }
+        sum += ml::ndcg_at_k(scores, labels, 10);
       }
-      total += ml::ndcg_at_k(scores, labels, 10);
-    }
+      partial[i] = sum;
+    });
+    double total = 0.0;
+    for (double p : partial) total += p;
     return total / static_cast<double>(groups.size());
   }
-  // Classification: score in batches, AUPR over the full set.
-  std::vector<float> scores, labels;
-  scores.reserve(examples.size());
-  labels.reserve(examples.size());
+  // Classification: score in batches, AUPR over the full set. Shards are
+  // fixed batch-aligned example ranges writing disjoint slices of the score
+  // vector, so the assembled vector (and the AUPR over it) never depends on
+  // the thread count.
   constexpr std::size_t kBatch = 512;
-  for (std::size_t start = 0; start < examples.size(); start += kBatch) {
-    std::size_t end = std::min(examples.size(), start + kBatch);
-    std::span<const ml::Example> slice(&examples[start], end - start);
-    ml::Batch batch = ml::Batch::from_examples(slice, dense_dim);
-    ml::Tensor logits = model.forward(batch);
-    for (std::size_t i = 0; i < slice.size(); ++i) {
-      scores.push_back(ml::stable_sigmoid(logits.at(i, 0)));
-      labels.push_back(slice[i].label);
+  constexpr std::size_t kBatchesPerShard = 8;
+  std::vector<float> scores(examples.size()), labels(examples.size());
+  constexpr std::size_t kShardSpan = kBatch * kBatchesPerShard;
+  std::size_t shards = (examples.size() + kShardSpan - 1) / kShardSpan;
+  run_shards(pool, shards, [&](std::size_t i) {
+    std::unique_ptr<ml::Model> owned = replica();
+    ml::Model& m = owned != nullptr ? *owned : model;
+    std::size_t shard_end = std::min(examples.size(), (i + 1) * kShardSpan);
+    for (std::size_t start = i * kShardSpan; start < shard_end; start += kBatch) {
+      std::size_t end = std::min(shard_end, start + kBatch);
+      std::span<const ml::Example> slice(&examples[start], end - start);
+      ml::Batch batch = ml::Batch::from_examples(slice, dense_dim);
+      ml::Tensor logits = m.forward(batch);
+      for (std::size_t j = 0; j < slice.size(); ++j) {
+        scores[start + j] = ml::stable_sigmoid(logits.at(j, 0));
+        labels[start + j] = slice[j].label;
+      }
     }
-  }
+  });
   return ml::average_precision(scores, labels);
 }
 

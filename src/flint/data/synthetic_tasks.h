@@ -16,6 +16,10 @@
 #include "flint/ml/model.h"
 #include "flint/util/rng.h"
 
+namespace flint::util {
+class ThreadPool;
+}
+
 namespace flint::data {
 
 /// Case-study domain.
@@ -71,8 +75,12 @@ struct FederatedTask {
 /// Generate a task; deterministic given rng state.
 FederatedTask make_synthetic_task(const SyntheticTaskConfig& config, util::Rng& rng);
 
-/// Evaluate an arbitrary example set with the task's domain metric.
+/// Evaluate an arbitrary example set with the task's domain metric. With a
+/// pool, shards fan across its workers (each scoring a cloned model); shard
+/// boundaries and the reduction order are fixed regardless of thread count,
+/// so the result is bit-identical whether `pool` is null, small, or large.
 double evaluate_examples(ml::Model& model, const std::vector<ml::Example>& examples,
-                         Domain domain, std::size_t dense_dim);
+                         Domain domain, std::size_t dense_dim,
+                         util::ThreadPool* pool = nullptr);
 
 }  // namespace flint::data

@@ -1,10 +1,12 @@
 #include "flint/fl/fedavg.h"
 
 #include <algorithm>
+#include <future>
 #include <unordered_map>
 
 #include "flint/fl/aggregator.h"
 #include "flint/fl/client_selection.h"
+#include "flint/fl/trainer_pool.h"
 #include "flint/obs/telemetry.h"
 #include "flint/util/check.h"
 #include "flint/util/logging.h"
@@ -32,19 +34,17 @@ RunResult run_fedavg(const SyncConfig& config) {
   FLINT_CHECK_GT(config.round_deadline_s, 0.0);
   RunTelemetryScope telemetry_scope(in);
 
-  util::Rng rng(in.seed);
   sim::Leader leader(in.leader, *in.trace);
   for (const auto& o : in.outages) leader.executors().add_outage(o);
   RunAttributionScope attribution_scope(in, leader);
   TaskDurationModel durations(in.duration, *in.catalog, *in.bandwidth);
+  TrainerPool trainers(in);
 
   std::vector<float> params;
   std::unique_ptr<ml::Model> eval_model;
-  std::unique_ptr<LocalTrainer> trainer;
   if (!in.model_free) {
     params = in.model_template->get_flat_parameters();
     eval_model = in.model_template->clone();
-    trainer = std::make_unique<LocalTrainer>(in.model_template->clone(), in.dense_dim);
   }
 
   RunResult result;
@@ -57,7 +57,8 @@ RunResult run_fedavg(const SyncConfig& config) {
   auto evaluate = [&](sim::VirtualTime when) {
     if (in.model_free || in.test == nullptr) return;
     eval_model->set_flat_parameters(params);
-    double metric = data::evaluate_examples(*eval_model, *in.test, in.domain, in.dense_dim);
+    double metric = data::evaluate_examples(*eval_model, *in.test, in.domain, in.dense_dim,
+                                            trainers.pool());
     result.eval_curve.push_back({when, round, metric, 0.0});
   };
 
@@ -85,7 +86,11 @@ RunResult run_fedavg(const SyncConfig& config) {
       std::size_t examples = client_example_count(in, arr.client_id);
       if (examples == 0) continue;
       sim::VirtualTime dispatch_t = std::max<sim::VirtualTime>(arr.time, round_start);
-      auto dur = durations.sample(arr.device_index, examples, rng);
+      // Duration randomness comes from the task's own derived stream, keyed
+      // by the id this task is about to take — a shared Rng here would make
+      // the draw order (and thus every duration) depend on thread timing.
+      util::Rng dur_rng = util::derive_stream(in.seed, task_ids, kRngStreamDuration);
+      auto dur = durations.sample(arr.device_index, examples, dur_rng);
       CohortTask task;
       task.client_id = arr.client_id;
       task.spec = {task_ids++, arr.client_id, arr.device_index, round, dispatch_t,
@@ -160,18 +165,34 @@ RunResult run_fedavg(const SyncConfig& config) {
       UpdateAccumulator acc(params.size());
       LocalTrainConfig local = in.local;
       local.lr = in.client_lr.at(round - 1);
-      for (const CohortTask* task : successes) {
-        const auto& client_data = in.dataset->client(task->client_id).examples;
-        LocalTrainResult lr_result = trainer->train(client_data, params, local);
-        if (in.dp.has_value()) {
-          privacy::apply_dp(lr_result.delta, *in.dp, successes.size(), rng);
-          if (in.compression.enabled())
-            compress::apply_compression(lr_result.delta, in.compression);
-          acc.add(lr_result.delta, 1.0);  // DP requires uniform weights
-        } else {
-          if (in.compression.enabled())
-            compress::apply_compression(lr_result.delta, in.compression);
-          acc.add(lr_result.delta, static_cast<double>(lr_result.examples));
+      std::size_t participants = successes.size();
+      if (util::ThreadPool* pool = trainers.pool()) {
+        // Fan the cohort across the pool, then reduce in the fixed
+        // `successes` order — the join imposes the serial reduction order,
+        // so the accumulator sees the same sequence at any thread count.
+        // `params` is only mutated after every future is joined.
+        std::vector<std::future<ClientUpdate>> pending;
+        pending.reserve(successes.size());
+        for (const CohortTask* task : successes) {
+          const auto* client_data = &in.dataset->client(task->client_id).examples;
+          std::uint64_t task_id = task->spec.task_id;
+          pending.push_back(pool->submit([&trainers, &in, client_data, &params, local,
+                                          task_id, participants] {
+            return compute_client_update(trainers.trainer(), in, *client_data, params,
+                                         local, task_id, participants);
+          }));
+        }
+        for (auto& f : pending) {
+          ClientUpdate update = f.get();
+          acc.add(update.train.delta, update.weight);
+        }
+      } else {
+        for (const CohortTask* task : successes) {
+          const auto& client_data = in.dataset->client(task->client_id).examples;
+          ClientUpdate update =
+              compute_client_update(trainers.trainer(), in, client_data, params, local,
+                                    task->spec.task_id, participants);
+          acc.add(update.train.delta, update.weight);
         }
       }
       auto mean = acc.weighted_mean();
@@ -190,7 +211,8 @@ RunResult run_fedavg(const SyncConfig& config) {
   result.rounds = round;
   if (!in.model_free && in.test != nullptr) {
     eval_model->set_flat_parameters(params);
-    result.final_metric = data::evaluate_examples(*eval_model, *in.test, in.domain, in.dense_dim);
+    result.final_metric = data::evaluate_examples(*eval_model, *in.test, in.domain,
+                                                  in.dense_dim, trainers.pool());
     if (result.eval_curve.empty() || result.eval_curve.back().round != round)
       result.eval_curve.push_back({t, round, result.final_metric, 0.0});
   }

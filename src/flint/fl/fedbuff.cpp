@@ -1,11 +1,13 @@
 #include "flint/fl/fedbuff.h"
 
 #include <algorithm>
+#include <future>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "flint/fl/aggregator.h"
+#include "flint/fl/trainer_pool.h"
 #include "flint/obs/telemetry.h"
 #include "flint/util/check.h"
 #include "flint/util/logging.h"
@@ -17,15 +19,21 @@ namespace {
 /// Whole-run mutable state, shared by the event callbacks.
 struct FedBuffState {
   const AsyncConfig* config = nullptr;
-  util::Rng rng{1};
   std::unique_ptr<sim::Leader> leader;
   std::unique_ptr<TaskDurationModel> durations;
-  std::unique_ptr<LocalTrainer> trainer;
+  std::unique_ptr<TrainerPool> trainers;
   std::unique_ptr<ml::Model> eval_model;
   std::unique_ptr<UpdateAccumulator> accumulator;
   std::unique_ptr<ServerOptimizer> server_opt;
 
   std::vector<float> params;
+  /// Immutable copy of `params` for in-flight training jobs. Workers train
+  /// against the snapshot their task captured at dispatch, so aggregate()
+  /// can mutate `params` while clients are still training — exactly the
+  /// async-staleness semantics the serial path simulates. Refreshed (copy,
+  /// not mutation) after every server step; only maintained when a pool
+  /// exists.
+  std::shared_ptr<const std::vector<float>> params_snapshot;
   std::uint64_t version = 0;  ///< server model version (aggregations so far)
   std::size_t running = 0;
   std::unordered_set<std::uint64_t> busy;
@@ -46,12 +54,16 @@ struct FedBuffState {
   obs::CachedGauge buffer_gauge;
 };
 
-/// One in-flight task: its spec plus the (eagerly computed) local update.
+/// One in-flight task: its spec plus the local update — computed eagerly at
+/// dispatch on the serial path (`update`), or in flight on a pool worker
+/// (`pending`; joined by the completion handler, which runs in virtual-time
+/// event order and therefore reduces deterministically).
 struct InFlight {
   sim::TaskSpec spec;
   double spent_compute_s = 0.0;
   sim::VirtualTime window_end = 0.0;
-  LocalTrainResult train;
+  ClientUpdate update;
+  std::future<ClientUpdate> pending;
 };
 
 void pump(FedBuffState& s);
@@ -61,7 +73,8 @@ void evaluate(FedBuffState& s, sim::VirtualTime when) {
   if (in.model_free || in.test == nullptr) return;
   FLINT_TRACE_SPAN("fedbuff.evaluate", "fl");
   s.eval_model->set_flat_parameters(s.params);
-  double metric = data::evaluate_examples(*s.eval_model, *in.test, in.domain, in.dense_dim);
+  double metric = data::evaluate_examples(*s.eval_model, *in.test, in.domain, in.dense_dim,
+                                          s.trainers->pool());
   s.result.eval_curve.push_back({when, s.version, metric, 0.0});
 }
 
@@ -79,6 +92,8 @@ void aggregate(FedBuffState& s) {
   if (!in.model_free) {
     auto mean = s.accumulator->weighted_mean();
     s.server_opt->step(s.params, mean);
+    if (s.trainers->pool() != nullptr)
+      s.params_snapshot = std::make_shared<const std::vector<float>>(s.params);
   }
   s.accumulator->reset();
   s.staleness_sum = 0.0;
@@ -96,7 +111,7 @@ void aggregate(FedBuffState& s) {
   if (s.version >= in.max_rounds || now >= in.max_virtual_s) s.done = true;
 }
 
-void on_task_end(FedBuffState& s, const InFlight& task, bool interrupted) {
+void on_task_end(FedBuffState& s, InFlight& task, bool interrupted) {
   --s.running;
   s.busy.erase(task.spec.client_id);
 
@@ -107,6 +122,11 @@ void on_task_end(FedBuffState& s, const InFlight& task, bool interrupted) {
   if (interrupted) {
     tr.outcome = sim::TaskOutcome::kInterrupted;
   } else {
+    // Join the worker if the update is still in flight — also for updates
+    // about to be discarded as stale, so no task outlives its completion
+    // event. Completions run in virtual-time order, independent of thread
+    // count, so the accumulator sees the same sequence as the serial path.
+    if (task.pending.valid()) task.update = task.pending.get();
     // Staleness bound: a task can never have trained on a model version the
     // server hasn't produced yet (unsigned subtraction would wrap).
     FLINT_CHECK_GE(s.version, task.spec.model_version);
@@ -123,7 +143,7 @@ void on_task_end(FedBuffState& s, const InFlight& task, bool interrupted) {
         h->record(static_cast<double>(staleness));
       if (!s.config->inputs.model_free) {
         double w = s.config->staleness_weighting ? staleness_weight(staleness) : 1.0;
-        s.accumulator->add(task.train.delta, w);
+        s.accumulator->add(task.update.train.delta, w);
       } else {
         // Model-free mode still tracks buffer occupancy with unit weights.
         static thread_local std::vector<float> kZero{0.0f};
@@ -153,7 +173,10 @@ void dispatch(FedBuffState& s, const sim::Arrival& arrival) {
   if (auto* c = s.dispatched_counter.resolve("fl.tasks_dispatched")) c->add(1);
   std::size_t examples = client_example_count(in, arrival.client_id);
   FLINT_DCHECK(examples > 0);
-  auto dur = s.durations->sample(arrival.device_index, examples, s.rng);
+  // Per-task derived duration stream (keyed by the id this task takes below),
+  // so durations never depend on draw order across concurrent tasks.
+  util::Rng dur_rng = util::derive_stream(in.seed, s.task_ids, kRngStreamDuration);
+  auto dur = s.durations->sample(arrival.device_index, examples, dur_rng);
 
   auto task = std::make_shared<InFlight>();
   task->spec = {s.task_ids++, arrival.client_id, arrival.device_index,
@@ -176,16 +199,23 @@ void dispatch(FedBuffState& s, const sim::Arrival& arrival) {
   task->spent_compute_s = dur.compute_s;
   if (!in.model_free) {
     // The client trains against the global parameters as of dispatch time;
-    // computing the update now is semantically identical to computing it at
-    // completion with a snapshot.
+    // computing the update from a dispatch-time snapshot is semantically
+    // identical to computing it at completion.
     LocalTrainConfig local = in.local;
     local.lr = in.client_lr.at(s.version);
-    task->train =
-        s.trainer->train(in.dataset->client(arrival.client_id).examples, s.params, local);
-    if (in.dp.has_value())
-      privacy::apply_dp(task->train.delta, *in.dp, s.config->buffer_size, s.rng);
-    if (in.compression.enabled())
-      compress::apply_compression(task->train.delta, in.compression);
+    std::uint64_t task_id = task->spec.task_id;
+    if (util::ThreadPool* pool = s.trainers->pool()) {
+      const auto* client_data = &in.dataset->client(arrival.client_id).examples;
+      std::shared_ptr<const std::vector<float>> snapshot = s.params_snapshot;
+      task->pending = pool->submit([&s, &in, client_data, snapshot, local, task_id] {
+        return compute_client_update(s.trainers->trainer(), in, *client_data, *snapshot,
+                                     local, task_id, s.config->buffer_size);
+      });
+    } else {
+      task->update = compute_client_update(
+          s.trainers->trainer(), in, in.dataset->client(arrival.client_id).examples,
+          s.params, local, task_id, s.config->buffer_size);
+    }
   }
   s.leader->queue().schedule(now + dur.total_s(),
                              [&s, task] { on_task_end(s, *task, /*interrupted=*/false); });
@@ -257,17 +287,18 @@ RunResult run_fedbuff(const AsyncConfig& config) {
 
   FedBuffState s;
   s.config = &config;
-  s.rng = util::Rng(in.seed);
   s.leader = std::make_unique<sim::Leader>(in.leader, *in.trace);
   for (const auto& o : in.outages) s.leader->executors().add_outage(o);
   RunAttributionScope attribution_scope(in, *s.leader);
   s.durations = std::make_unique<TaskDurationModel>(in.duration, *in.catalog, *in.bandwidth);
   s.server_opt = std::make_unique<ServerOptimizer>(in.server_lr, in.server_momentum);
+  s.trainers = std::make_unique<TrainerPool>(in);
   if (!in.model_free) {
     s.params = in.model_template->get_flat_parameters();
     s.eval_model = in.model_template->clone();
-    s.trainer = std::make_unique<LocalTrainer>(in.model_template->clone(), in.dense_dim);
     s.accumulator = std::make_unique<UpdateAccumulator>(s.params.size());
+    if (s.trainers->pool() != nullptr)
+      s.params_snapshot = std::make_shared<const std::vector<float>>(s.params);
   } else {
     s.accumulator = std::make_unique<UpdateAccumulator>(1);
   }

@@ -36,6 +36,7 @@ void validate_common_inputs(const RunInputs& inputs) {
   FLINT_CHECK_GT(inputs.max_virtual_s, 0.0);
   FLINT_CHECK_FINITE(inputs.reparticipation_gap_s);
   FLINT_CHECK_GE(inputs.reparticipation_gap_s, 0.0);
+  FLINT_CHECK_GT(inputs.threads, std::size_t{0});
 }
 
 RunTelemetryScope::RunTelemetryScope(const RunInputs& inputs) : telemetry_(inputs.telemetry) {

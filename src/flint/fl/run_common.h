@@ -71,6 +71,12 @@ struct RunInputs {
   /// A client participates at most once per this many virtual seconds.
   double reparticipation_gap_s = 4.0 * 3600.0;
 
+  /// Worker threads for client training and evaluation (1 = serial). Results
+  /// are bit-identical at any value — reductions happen in fixed task order
+  /// and per-task RNG streams are derived from the seed (DESIGN.md §11) —
+  /// so this knob trades wall time only and never enters the run fingerprint.
+  std::size_t threads = 1;
+
   // --- Observability. Non-owning, like the other infrastructure pointers;
   // when set, the runner installs it as the ambient obs context for the run
   // (unless it already is), publishes the virtual clock into it, and copies

@@ -1,7 +1,6 @@
 #include "flint/fl/trainer.h"
 
 #include <algorithm>
-#include <map>
 
 #include "flint/ml/loss.h"
 #include "flint/obs/telemetry.h"
@@ -41,14 +40,37 @@ double LocalTrainer::train_classification(std::span<const ml::Example> data,
 
 double LocalTrainer::train_ranking(std::span<const ml::Example> data,
                                    const LocalTrainConfig& config, ml::SgdOptimizer& opt) {
-  // Group candidates by ranking group; each group is one SGD step.
-  std::map<std::int32_t, std::vector<ml::Example>> groups;
-  for (const auto& e : data) groups[e.group].push_back(e);
+  // Group candidates by ranking group; each group is one SGD step. One
+  // stable sort of indices + one flat gather into a reused scratch buffer
+  // replaces the old per-call std::map<group, vector<Example>> (a node
+  // allocation per group and an extra copy per example); the spans walked
+  // below are identical in content and order (ascending group, original
+  // order within a group), so training is bit-for-bit unchanged.
+  ranking_order_.resize(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) ranking_order_[i] = i;
+  std::stable_sort(ranking_order_.begin(), ranking_order_.end(),
+                   [&data](std::size_t a, std::size_t b) { return data[a].group < data[b].group; });
+  ranking_grouped_.clear();
+  ranking_grouped_.reserve(data.size());
+  for (std::size_t i : ranking_order_) ranking_grouped_.push_back(data[i]);
+  struct GroupSpan {
+    std::size_t begin, size;
+  };
+  std::vector<GroupSpan> groups;
+  for (std::size_t i = 0; i < ranking_grouped_.size();) {
+    std::size_t j = i + 1;
+    while (j < ranking_grouped_.size() && ranking_grouped_[j].group == ranking_grouped_[i].group)
+      ++j;
+    groups.push_back({i, j - i});
+    i = j;
+  }
+  std::span<const ml::Example> grouped(ranking_grouped_);
   double total_loss = 0.0;
   std::size_t steps = 0;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
-    for (const auto& [gid, members] : groups) {
-      if (members.size() < 2) continue;
+    for (const GroupSpan& g : groups) {
+      if (g.size < 2) continue;
+      std::span<const ml::Example> members = grouped.subspan(g.begin, g.size);
       ml::Batch batch = ml::Batch::from_examples(members, dense_dim_);
       ml::Tensor logits = model_->forward(batch);
       ml::LossResult loss = ml::pairwise_ranking_loss(logits, batch.labels);

@@ -59,6 +59,10 @@ class LocalTrainer {
   std::unique_ptr<ml::Model> model_;
   std::size_t dense_dim_;
   std::vector<float> prox_anchor_;  ///< global params for the current call
+  // Ranking scratch, reused across train() calls so repeat clients don't
+  // re-pay the allocations (capacity persists; contents are per-call).
+  std::vector<std::size_t> ranking_order_;
+  std::vector<ml::Example> ranking_grouped_;
 };
 
 /// Centralized baseline: epochs of shuffled mini-batch SGD over the merged

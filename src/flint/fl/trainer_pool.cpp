@@ -1,0 +1,67 @@
+#include "flint/fl/trainer_pool.h"
+
+#include <utility>
+
+#include "flint/obs/telemetry.h"
+#include "flint/util/check.h"
+
+namespace flint::fl {
+
+TrainerPool::TrainerPool(const RunInputs& inputs) {
+  FLINT_CHECK_GT(inputs.threads, std::size_t{0});
+  std::size_t workers = inputs.threads > 1 ? inputs.threads : 0;
+  if (!inputs.model_free) {
+    FLINT_CHECK_MSG(inputs.model_template != nullptr, "model-full run without a model");
+    replicas_.reserve(workers + 1);
+    for (std::size_t i = 0; i < workers + 1; ++i)
+      replicas_.push_back(std::make_unique<LocalTrainer>(inputs.model_template->clone(),
+                                                         inputs.dense_dim));
+  }
+  if (workers == 0) return;
+  busy_gauge_names_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    busy_gauge_names_.push_back("util.pool.thread." + std::to_string(i) + ".busy_s");
+  util::ThreadPoolObserver observer;
+  observer.on_task_submitted = [] { obs::add_counter("util.pool.tasks_submitted"); };
+  observer.on_queue_depth = [](std::size_t depth) {
+    obs::set_gauge("util.pool.queue_depth", static_cast<double>(depth));
+  };
+  observer.on_busy_workers = [](std::size_t busy) {
+    obs::set_gauge("util.pool.busy_workers", static_cast<double>(busy));
+  };
+  observer.on_worker_busy = [this](std::size_t worker, double busy_s) {
+    obs::set_gauge(busy_gauge_names_[worker].c_str(), busy_s);
+  };
+  pool_ = std::make_unique<util::ThreadPool>(workers, std::move(observer));
+}
+
+LocalTrainer& TrainerPool::trainer() {
+  FLINT_CHECK_MSG(!replicas_.empty(), "TrainerPool::trainer() on a model-free run");
+  std::size_t worker = util::ThreadPool::worker_index();
+  if (worker == util::ThreadPool::npos) return *replicas_[0];
+  FLINT_CHECK_LT(worker + 1, replicas_.size());
+  return *replicas_[worker + 1];
+}
+
+ClientUpdate compute_client_update(LocalTrainer& trainer, const RunInputs& inputs,
+                                   std::span<const ml::Example> data,
+                                   std::span<const float> params,
+                                   const LocalTrainConfig& local, std::uint64_t task_id,
+                                   std::size_t dp_participants) {
+  if (util::ThreadPool::worker_index() != util::ThreadPool::npos)
+    obs::add_counter("fl.parallel_train_batches");
+  ClientUpdate update;
+  update.train = trainer.train(data, params, local);
+  if (inputs.dp.has_value()) {
+    util::Rng dp_rng = util::derive_stream(inputs.seed, task_id, kRngStreamDp);
+    privacy::apply_dp(update.train.delta, *inputs.dp, dp_participants, dp_rng);
+    update.weight = 1.0;  // DP requires uniform weights
+  } else {
+    update.weight = static_cast<double>(update.train.examples);
+  }
+  if (inputs.compression.enabled())
+    compress::apply_compression(update.train.delta, inputs.compression);
+  return update;
+}
+
+}  // namespace flint::fl

@@ -1,0 +1,72 @@
+// The parallel client-training runtime shared by the fedavg and fedbuff
+// runners.
+//
+// TrainerPool pairs a util::ThreadPool with one LocalTrainer replica per
+// worker (plus one for the submitting thread), and wires the pool's observer
+// hooks to flint::obs gauges (util.pool.queue_depth, util.pool.busy_workers,
+// util.pool.thread.<i>.busy_s) and the util.pool.tasks_submitted counter.
+//
+// Determinism contract: every simulated task draws its randomness from
+// counter-based streams derived from (inputs.seed, task id) — never from a
+// shared Rng — and the runners join futures / reduce updates in fixed task
+// order. Together those make the run a pure function of the inputs: at any
+// `threads` value the results are bit-identical, only wall time changes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "flint/fl/run_common.h"
+#include "flint/util/thread_pool.h"
+
+namespace flint::fl {
+
+// Substream tags for util::derive_stream(seed, task_id, substream). Each
+// per-task consumer owns a tag so adding one never perturbs the others.
+inline constexpr std::uint64_t kRngStreamDuration = 1;  ///< TaskDurationModel::sample
+inline constexpr std::uint64_t kRngStreamDp = 2;        ///< privacy::apply_dp noise
+
+class TrainerPool {
+ public:
+  /// Builds the runtime for one run: a thread pool when inputs.threads > 1
+  /// (serial execution otherwise, pool() == nullptr) and trainer replicas
+  /// when the run is model-full. The pool's gauges report to whatever
+  /// telemetry is ambient when the callbacks fire, so construct after
+  /// RunTelemetryScope.
+  explicit TrainerPool(const RunInputs& inputs);
+
+  /// The pool to fan work across, or nullptr for the serial path.
+  util::ThreadPool* pool() { return pool_.get(); }
+
+  /// The LocalTrainer replica owned by the calling thread: pool workers get
+  /// their own slot, every off-pool thread shares slot 0 (the runners only
+  /// ever train from the simulation thread or pool workers). Requires a
+  /// model-full run.
+  LocalTrainer& trainer();
+
+ private:
+  std::vector<std::unique_ptr<LocalTrainer>> replicas_;  ///< [0]=off-pool, [i+1]=worker i
+  std::vector<std::string> busy_gauge_names_;  ///< precomputed "util.pool.thread.<i>.busy_s"
+  std::unique_ptr<util::ThreadPool> pool_;     ///< last member: workers must die first
+};
+
+/// One client's full update pipeline — local SGD against `params`, then the
+/// DP mechanism (noise from the task's kRngStreamDp stream) and lossy
+/// compression per `inputs`. A pure function of its arguments, safe to run
+/// on any thread; DP forces the aggregation weight to 1.0, so the result
+/// carries the weight the accumulator should use. Counts
+/// fl.parallel_train_batches when executed on a pool worker.
+struct ClientUpdate {
+  LocalTrainResult train;
+  double weight = 0.0;
+};
+ClientUpdate compute_client_update(LocalTrainer& trainer, const RunInputs& inputs,
+                                   std::span<const ml::Example> data,
+                                   std::span<const float> params,
+                                   const LocalTrainConfig& local, std::uint64_t task_id,
+                                   std::size_t dp_participants);
+
+}  // namespace flint::fl

@@ -124,6 +124,11 @@ void add_counter(const char* name, std::uint64_t n) {
   if (t != nullptr && t->config().metrics_enabled) t->metrics().counter(name).add(n);
 }
 
+void set_gauge(const char* name, double value) {
+  Telemetry* t = current();
+  if (t != nullptr && t->config().metrics_enabled) t->metrics().gauge(name).set(value);
+}
+
 void record_histogram(const char* name, double value, double lo, double hi,
                       std::size_t buckets) {
   Telemetry* t = current();

@@ -144,6 +144,9 @@ class CachedHistogram {
 /// Increment a counter under the ambient telemetry (no-op when absent).
 void add_counter(const char* name, std::uint64_t n = 1);
 
+/// Set a gauge under the ambient telemetry (no-op when absent).
+void set_gauge(const char* name, double value);
+
 /// Record into a histogram under the ambient telemetry (no-op when absent).
 void record_histogram(const char* name, double value, double lo, double hi,
                       std::size_t buckets);

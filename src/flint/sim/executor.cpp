@@ -9,6 +9,9 @@ namespace flint::sim {
 ExecutorPool::ExecutorPool(std::size_t count)
     : count_(count), tasks_run_(count, 0), task_counters_(count) {
   FLINT_CHECK(count > 0);
+  task_counter_names_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    task_counter_names_.push_back("sim.executor." + std::to_string(i) + ".tasks");
 }
 
 void ExecutorPool::set_partitioning(const data::ExecutorPartitioning& partitioning) {
@@ -68,10 +71,8 @@ VirtualTime ExecutorPool::next_all_healthy(VirtualTime t) const {
 void ExecutorPool::record_task(std::size_t executor) {
   FLINT_CHECK(executor < count_);
   ++tasks_run_[executor];
-  if (obs::current() != nullptr) {
-    std::string name = "sim.executor." + std::to_string(executor) + ".tasks";
-    if (auto* c = task_counters_[executor].resolve(name.c_str())) c->add(1);
-  }
+  if (auto* c = task_counters_[executor].resolve(task_counter_names_[executor].c_str()))
+    c->add(1);
 }
 
 std::uint64_t ExecutorPool::tasks_run(std::size_t executor) const {

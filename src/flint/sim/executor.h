@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "flint/data/client_dataset.h"
@@ -54,7 +55,10 @@ class ExecutorPool {
   std::vector<std::uint64_t> tasks_run_;
   // Per-executor task counters exported as sim.executor.<i>.tasks so a trace
   // viewer can spot partition skew (one hot executor stalling the leader).
+  // Names are built once here — record_task runs per dispatched task, and a
+  // per-call std::string materialization was measurable in capacity runs.
   std::vector<obs::CachedCounter> task_counters_;
+  std::vector<std::string> task_counter_names_;
   // Sparse map from client to executor; empty = hash assignment.
   std::vector<std::uint32_t> client_executor_;
   bool has_partitioning_ = false;

@@ -169,4 +169,13 @@ std::uint64_t splitmix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
+Rng derive_stream(std::uint64_t seed, std::uint64_t stream, std::uint64_t substream) {
+  // Chained splitmix64 over the key components; each link fully mixes, so
+  // adjacent (stream, substream) pairs land on decorrelated seeds.
+  std::uint64_t s = splitmix64(seed);
+  s = splitmix64(s ^ stream);
+  s = splitmix64(s ^ substream);
+  return Rng(s);
+}
+
 }  // namespace flint::util

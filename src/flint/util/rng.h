@@ -93,4 +93,11 @@ class Rng {
 /// SplitMix64 hash step; useful for deriving per-entity seeds from ids.
 std::uint64_t splitmix64(std::uint64_t x);
 
+/// Counter-based stream derivation: a fresh Rng keyed by (seed, stream,
+/// substream), independent of any engine state. The parallel runners use it
+/// to give every simulated task its own decorrelated streams — the result
+/// depends only on the key, never on which thread draws or in what order,
+/// which is what makes `--threads N` change wall time and nothing else.
+Rng derive_stream(std::uint64_t seed, std::uint64_t stream, std::uint64_t substream = 0);
+
 }  // namespace flint::util

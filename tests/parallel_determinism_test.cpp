@@ -1,0 +1,156 @@
+// The parallel training runtime's core contract (DESIGN.md §11): every
+// simulated quantity — final parameters, eval curve, system metrics — is
+// bit-identical at any --threads value. Reductions join futures in fixed
+// task order and per-task RNG streams are derived from (seed, task id), so
+// the thread count can only change wall time.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "flint/fl/fedavg.h"
+#include "flint/fl/fedbuff.h"
+#include "test_helpers.h"
+
+namespace flint::fl {
+namespace {
+
+struct Variant {
+  const char* name;
+  bool dp;
+  bool compression;
+};
+
+constexpr Variant kVariants[] = {
+    {"plain", false, false},
+    {"dp", true, false},
+    {"compression", false, true},
+    {"dp+compression", true, true},
+};
+
+void apply_variant(RunInputs& inputs, const Variant& v) {
+  if (v.dp) {
+    privacy::DpConfig dp;
+    dp.clip_norm = 1.0;
+    dp.noise_multiplier = 0.4;
+    inputs.dp = dp;
+  }
+  if (v.compression) {
+    compress::CompressionConfig c;
+    c.kind = compress::CompressionKind::kTopK;
+    c.top_k_fraction = 0.25;
+    inputs.compression = c;
+  }
+}
+
+// Exact equality everywhere: the contract is bit-identical, not "close".
+void expect_identical(const RunResult& a, const RunResult& b, const char* label) {
+  SCOPED_TRACE(label);
+  ASSERT_EQ(a.final_parameters.size(), b.final_parameters.size());
+  for (std::size_t i = 0; i < a.final_parameters.size(); ++i)
+    ASSERT_EQ(a.final_parameters[i], b.final_parameters[i]) << "parameter " << i;
+  EXPECT_EQ(a.final_metric, b.final_metric);
+  EXPECT_EQ(a.virtual_duration_s, b.virtual_duration_s);
+  EXPECT_EQ(a.rounds, b.rounds);
+
+  ASSERT_EQ(a.eval_curve.size(), b.eval_curve.size());
+  for (std::size_t i = 0; i < a.eval_curve.size(); ++i) {
+    EXPECT_EQ(a.eval_curve[i].time, b.eval_curve[i].time);
+    EXPECT_EQ(a.eval_curve[i].round, b.eval_curve[i].round);
+    EXPECT_EQ(a.eval_curve[i].metric, b.eval_curve[i].metric);
+    EXPECT_EQ(a.eval_curve[i].train_loss, b.eval_curve[i].train_loss);
+  }
+
+  EXPECT_EQ(a.metrics.tasks_started(), b.metrics.tasks_started());
+  EXPECT_EQ(a.metrics.tasks_succeeded(), b.metrics.tasks_succeeded());
+  EXPECT_EQ(a.metrics.tasks_interrupted(), b.metrics.tasks_interrupted());
+  EXPECT_EQ(a.metrics.tasks_stale(), b.metrics.tasks_stale());
+  EXPECT_EQ(a.metrics.tasks_failed(), b.metrics.tasks_failed());
+  EXPECT_EQ(a.metrics.client_compute_s(), b.metrics.client_compute_s());
+  ASSERT_EQ(a.metrics.rounds().size(), b.metrics.rounds().size());
+  for (std::size_t i = 0; i < a.metrics.rounds().size(); ++i) {
+    EXPECT_EQ(a.metrics.rounds()[i].start, b.metrics.rounds()[i].start);
+    EXPECT_EQ(a.metrics.rounds()[i].end, b.metrics.rounds()[i].end);
+    EXPECT_EQ(a.metrics.rounds()[i].updates_aggregated, b.metrics.rounds()[i].updates_aggregated);
+    EXPECT_EQ(a.metrics.rounds()[i].mean_staleness, b.metrics.rounds()[i].mean_staleness);
+  }
+}
+
+// Each run rebuilds model and trace from the same seeds so the only varying
+// input is the thread count.
+class Harness {
+ public:
+  Harness() {
+    util::Rng rng(77);
+    task_ = test::small_task(rng, /*clients=*/40);
+  }
+
+  RunResult run_avg(std::size_t threads, const Variant& v) {
+    util::Rng model_rng(5);
+    auto model = task_.make_model(model_rng);
+    auto trace = test::always_available(40, 1e7);
+    auto catalog = device::DeviceCatalog::standard();
+    net::FixedBandwidthModel bw(10.0);
+    SyncConfig cfg;
+    test::wire_inputs(cfg.inputs, task_, *model, trace, catalog, bw);
+    cfg.inputs.threads = threads;
+    cfg.inputs.max_rounds = 4;
+    cfg.inputs.eval_every_rounds = 2;
+    cfg.inputs.seed = 9;
+    cfg.cohort_size = 8;
+    apply_variant(cfg.inputs, v);
+    return run_fedavg(cfg);
+  }
+
+  RunResult run_buff(std::size_t threads, const Variant& v) {
+    util::Rng model_rng(5);
+    auto model = task_.make_model(model_rng);
+    auto trace = test::always_available(40, 1e7);
+    auto catalog = device::DeviceCatalog::standard();
+    net::FixedBandwidthModel bw(10.0);
+    AsyncConfig cfg;
+    test::wire_inputs(cfg.inputs, task_, *model, trace, catalog, bw);
+    cfg.inputs.threads = threads;
+    cfg.inputs.max_rounds = 5;
+    cfg.inputs.eval_every_rounds = 2;
+    cfg.inputs.seed = 9;
+    cfg.buffer_size = 4;
+    cfg.max_concurrency = 12;
+    cfg.max_staleness = 50;
+    apply_variant(cfg.inputs, v);
+    return run_fedbuff(cfg);
+  }
+
+ private:
+  data::FederatedTask task_;
+};
+
+TEST(ParallelDeterminism, FedAvgBitIdenticalAcrossThreadCounts) {
+  Harness h;
+  for (const Variant& v : kVariants) {
+    RunResult serial = h.run_avg(1, v);
+    EXPECT_FALSE(serial.final_parameters.empty());
+    for (std::size_t threads : {2u, 8u})
+      expect_identical(serial, h.run_avg(threads, v), v.name);
+  }
+}
+
+TEST(ParallelDeterminism, FedBuffBitIdenticalAcrossThreadCounts) {
+  Harness h;
+  for (const Variant& v : kVariants) {
+    RunResult serial = h.run_buff(1, v);
+    EXPECT_FALSE(serial.final_parameters.empty());
+    EXPECT_GT(serial.rounds, 0u);
+    for (std::size_t threads : {2u, 8u})
+      expect_identical(serial, h.run_buff(threads, v), v.name);
+  }
+}
+
+TEST(ParallelDeterminism, SerialRunsAreRepeatable) {
+  // Baseline sanity: the harness itself is deterministic at a fixed thread
+  // count; without this, the cross-thread assertions prove nothing.
+  Harness h;
+  expect_identical(h.run_buff(1, kVariants[0]), h.run_buff(1, kVariants[0]), "repeat");
+}
+
+}  // namespace
+}  // namespace flint::fl

@@ -38,6 +38,10 @@ import sys
 
 # Leaves that measure the host machine rather than the simulated system.
 IGNORED_LEAVES = {"wall_time_s"}
+# Telemetry series that describe the execution host, not the simulation:
+# thread-pool occupancy and parallel-batch counters vary with --threads and
+# scheduling even though every simulated quantity is bit-identical.
+IGNORED_SERIES_PREFIXES = ("util.pool.", "fl.parallel_train_batches")
 # Telemetry histogram fields derived from wall-clock samples.
 WALL_CLOCK_HISTOGRAM_FIELDS = {"mean", "p50", "p95", "p99"}
 COMPARED_SECTIONS = ("model", "system", "forecast", "scalars")
@@ -139,6 +143,8 @@ def comparable_leaves(doc: dict) -> dict:
         if not isinstance(sample, dict):
             continue
         name = sample.get("series", "?")
+        if name.startswith(IGNORED_SERIES_PREFIXES):
+            continue
         if sample.get("type") == "histogram":
             if is_number(sample.get("count")):
                 leaves[f"telemetry[{name}].count"] = float(sample["count"])

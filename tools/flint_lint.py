@@ -30,6 +30,10 @@ in the file):
                   custom main that calls core::write_run_artifact) so each
                   bench binary emits a BENCH_<name>.json the regression
                   pipeline (tools/flint_compare.py + CI smoke-bench) can diff.
+  raw-thread      no raw std::thread/std::jthread outside util/thread_pool —
+                  parallelism flows through util::ThreadPool so the runners'
+                  deterministic-reduction contract (fixed-order future joins)
+                  and the pool's instrumentation are never bypassed.
 
 Usage: tools/flint_lint.py [paths...]   (default: src/ bench/)
 Exit: 0 clean, 1 findings, 2 usage error.
@@ -57,6 +61,7 @@ TRIVIAL_ASSERT_RE = re.compile(r"static_assert\s*\(\s*std::is_trivially_copyable
 CONFIG_PARAM_RE = re.compile(r"\b(const\s+)?\w*Config\s*[&*]\s*\w+|\bconst\s+\w*Config\s+\w+\s*[,)]")
 FLINT_CHECK_RE = re.compile(r"\bFLINT_D?CHECK")
 SPAN_CALL_RE = re.compile(r"\b(begin_span|end_span)\s*\(")
+RAW_THREAD_RE = re.compile(r"\bstd::j?thread\b")
 COMMENT_RE = re.compile(r"^\s*(//|\*|/\*)")
 
 
@@ -91,6 +96,7 @@ def lint_file(path: Path) -> list[Finding]:
     lines = text.splitlines()
     findings: list[Finding] = []
     in_util_rng = path.name.startswith("rng.") and path.parent.name == "util"
+    in_thread_pool = path.name.startswith("thread_pool.") and path.parent.name == "util"
     in_obs = "obs" in path.parts
     is_header = path.suffix in (".h", ".hpp")
 
@@ -118,6 +124,14 @@ def lint_file(path: Path) -> list[Finding]:
                     Finding(path, lineno, "throw",
                             "library code must throw flint::util::CheckError "
                             "(use FLINT_CHECK / FLINT_CHECK_MSG)"))
+
+        # raw-thread
+        if not in_thread_pool and RAW_THREAD_RE.search(line) \
+                and not suppressed("raw-thread", lines, idx):
+            findings.append(
+                Finding(path, lineno, "raw-thread",
+                        "raw std::thread bypasses util::ThreadPool (fixed-order "
+                        "joins + instrumentation); submit work to a pool instead"))
 
         # obs-spans
         if not in_obs and SPAN_CALL_RE.search(line) and not suppressed("obs-spans", lines, idx):

@@ -1,17 +1,19 @@
-// Standalone ThreadSanitizer smoke: hammers CheckpointStore and the obs
-// MetricRegistry from several threads without pulling in gtest or the full
-// library. scripts/tsan_smoke.sh compiles this TU plus the checkpoint and obs
-// TUs directly with -fsanitize=thread, so the race check runs in seconds
-// instead of requiring a full sanitizer tree. Registered as the `tsan_smoke`
-// ctest entry.
+// Standalone ThreadSanitizer smoke: hammers CheckpointStore, the obs
+// MetricRegistry, and util::ThreadPool from several threads without pulling
+// in gtest or the full library. scripts/tsan_smoke.sh compiles this TU plus
+// the checkpoint, obs, and thread-pool TUs directly with -fsanitize=thread,
+// so the race check runs in seconds instead of requiring a full sanitizer
+// tree. Registered as the `tsan_smoke` ctest entry.
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
+#include <future>
 #include <thread>
 #include <vector>
 
 #include "flint/obs/telemetry.h"
 #include "flint/store/checkpoint.h"
+#include "flint/util/thread_pool.h"
 
 namespace {
 
@@ -53,6 +55,67 @@ int hammer_registry() {
   return failures;
 }
 
+// Pool hammer: concurrent submitters racing the workers, observer callbacks
+// mutating shared counters, queue-depth/busy-seconds reads racing task
+// execution, and a draining destructor with tasks still queued. Any missing
+// lock in enqueue/worker_loop or non-atomic busy accounting trips TSan here.
+int hammer_thread_pool() {
+  constexpr int kSubmitters = 4;
+  constexpr int kTasksPerSubmitter = 500;
+  int failures = 0;
+
+  std::atomic<std::uint64_t> observed_submissions{0};
+  flint::util::ThreadPoolObserver observer;
+  observer.on_task_submitted = [&observed_submissions] { observed_submissions.fetch_add(1); };
+  observer.on_queue_depth = [](std::size_t) {};
+  observer.on_busy_workers = [](std::size_t) {};
+  observer.on_worker_busy = [](std::size_t, double) {};
+
+  std::atomic<std::uint64_t> sum{0};
+  {
+    flint::util::ThreadPool pool(3, std::move(observer));
+    std::vector<std::thread> submitters;
+    submitters.reserve(kSubmitters);
+    for (int t = 0; t < kSubmitters; ++t) {
+      submitters.emplace_back([&pool, &sum, t] {
+        std::vector<std::future<int>> futures;
+        futures.reserve(kTasksPerSubmitter);
+        for (int i = 0; i < kTasksPerSubmitter; ++i) {
+          futures.push_back(pool.submit([t, i] {
+            (void)flint::util::ThreadPool::worker_index();
+            return t + i;
+          }));
+          if (i % 64 == 0) {
+            (void)pool.queue_depth();
+            (void)pool.busy_seconds(static_cast<std::size_t>(i) % 3);
+          }
+        }
+        for (auto& f : futures) sum.fetch_add(static_cast<std::uint64_t>(f.get()));
+      });
+    }
+    for (auto& s : submitters) s.join();
+    // Leave a tail of unjoined tasks for the draining destructor.
+    for (int i = 0; i < 100; ++i) pool.submit([&sum] { sum.fetch_add(1); });
+  }
+
+  std::uint64_t expected = 100;
+  for (int t = 0; t < kSubmitters; ++t)
+    for (int i = 0; i < kTasksPerSubmitter; ++i)
+      expected += static_cast<std::uint64_t>(t + i);
+  if (sum.load() != expected) {
+    std::fprintf(stderr, "tsan_smoke: pool sum %llu != expected %llu\n",
+                 static_cast<unsigned long long>(sum.load()),
+                 static_cast<unsigned long long>(expected));
+    ++failures;
+  }
+  if (observed_submissions.load() !=
+      static_cast<std::uint64_t>(kSubmitters) * kTasksPerSubmitter + 100) {
+    std::fprintf(stderr, "tsan_smoke: observer missed submissions\n");
+    ++failures;
+  }
+  return failures;
+}
+
 }  // namespace
 
 int main() {
@@ -64,6 +127,7 @@ int main() {
   constexpr int kWritesPerThread = 16;
   std::atomic<int> failures{0};
   failures.fetch_add(hammer_registry());
+  failures.fetch_add(hammer_thread_pool());
 
   // Ambient telemetry so the checkpoint writers below also exercise the obs
   // cold recording path (checkpoint write latency/bytes) concurrently.
