@@ -50,6 +50,11 @@ int main(int argc, char** argv) {
     cfg.buffer_size = buffer;
     cfg.max_concurrency = 180;
     cfg.max_staleness = 100;
+    // Crash-safety plumbing for the representative (largest-buffer) run only:
+    // one checkpoint lineage per store, and the sweep varies the config.
+    auto checkpoints = buffer == 180u
+                           ? bench::wire_checkpoint_args(argc, argv, cfg.inputs)
+                           : nullptr;
     fl::RunResult r = fl::run_fedbuff(cfg);
     double fill = r.metrics.mean_round_duration_s();
     series.push_back({buffer, fill});

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -19,6 +20,7 @@
 #include "flint/fl/fedavg.h"
 #include "flint/fl/fedbuff.h"
 #include "flint/obs/telemetry.h"
+#include "flint/store/checkpoint.h"
 #include "flint/util/table.h"
 
 namespace flint::bench {
@@ -134,6 +136,32 @@ inline std::size_t parse_threads(int argc, char** argv) {
     }
   }
   return 1;
+}
+
+/// Parse `--checkpoint-dir dir [--checkpoint-every N] [--resume]` and wire
+/// them into the run's inputs: the returned store (kept alive by the caller)
+/// receives periodic checkpoints, and with --resume the run restarts from its
+/// newest valid one, finishing bit-identically to an uninterrupted run
+/// (DESIGN.md §12). Returns null — and leaves the inputs untouched — when
+/// --checkpoint-dir is absent, so default bench timings are unaffected.
+inline std::unique_ptr<store::CheckpointStore> wire_checkpoint_args(int argc, char** argv,
+                                                                    fl::RunInputs& inputs) {
+  std::string dir;
+  std::uint64_t every = 10;
+  bool resume = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--checkpoint-dir") == 0 && i + 1 < argc) dir = argv[i + 1];
+    if (std::strcmp(argv[i], "--checkpoint-every") == 0 && i + 1 < argc)
+      every = std::strtoull(argv[i + 1], nullptr, 10);
+    if (std::strcmp(argv[i], "--resume") == 0) resume = true;
+  }
+  if (dir.empty()) return nullptr;
+  // Heap-allocated because CheckpointStore owns a mutex and is immovable.
+  auto checkpoints = std::make_unique<store::CheckpointStore>(dir);
+  inputs.leader.checkpoint_every_rounds = every;
+  inputs.leader.checkpoint_store = checkpoints.get();
+  if (resume) inputs.resume_from = checkpoints.get();
+  return checkpoints;
 }
 
 /// The paper's strict participation criteria (§4.1): foreground app,

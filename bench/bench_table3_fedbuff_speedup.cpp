@@ -201,6 +201,10 @@ int main(int argc, char** argv) {
     cfg.inputs.seed = 7;
     cfg.buffer_size = 10;
     cfg.max_concurrency = 32;
+    // Opt-in crash-safety plumbing for the representative model-full run:
+    // --checkpoint-dir enables periodic checkpoints, --resume restarts from
+    // the newest one (bit-identical to an uninterrupted run, DESIGN.md §12).
+    auto checkpoints = bench::wire_checkpoint_args(argc, argv, cfg.inputs);
 
     auto wall_start = std::chrono::steady_clock::now();
     fl::RunResult r = fl::run_fedbuff(cfg);

@@ -33,6 +33,10 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::string metrics_out;
   std::string artifact_out = "quickstart_report/run_artifact.json";
+  std::string checkpoint_dir = "quickstart_report/checkpoints";
+  std::uint64_t checkpoint_every = 10;
+  bool explicit_checkpoint_dir = false;
+  bool resume = false;
   std::size_t threads = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
@@ -41,15 +45,27 @@ int main(int argc, char** argv) {
       metrics_out = argv[++i];
     } else if (std::strcmp(argv[i], "--artifact-out") == 0 && i + 1 < argc) {
       artifact_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--checkpoint-dir") == 0 && i + 1 < argc) {
+      checkpoint_dir = argv[++i];
+      explicit_checkpoint_dir = true;
+    } else if (std::strcmp(argv[i], "--checkpoint-every") == 0 && i + 1 < argc) {
+      checkpoint_every = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
       if (threads == 0) threads = 1;
     } else {
       std::cerr << "usage: quickstart [--trace-out trace.json] [--metrics-out metrics.jsonl]"
-                   " [--artifact-out artifact.json] [--threads N]\n";
+                   " [--artifact-out artifact.json] [--checkpoint-dir dir]"
+                   " [--checkpoint-every N] [--resume] [--threads N]\n";
       return 2;
     }
   }
+  // A checkpoint lineage belongs to one (seed, config) run, and the multi-
+  // trial sweep varies the seed per trial — so an explicit store, or a
+  // resume from one, pins the study to a single trial (DESIGN.md §12).
+  const int trials = (resume || explicit_checkpoint_dir) ? 1 : 3;
   const bool telemetry_on = !trace_out.empty() || !metrics_out.empty();
   if (telemetry_on && metrics_out.empty()) metrics_out = "quickstart_metrics.jsonl";
 
@@ -132,19 +148,29 @@ int main(int argc, char** argv) {
   fl_cfg.max_concurrency = 30;
 
   // Periodic leader checkpoints (§3.4 fault tolerance) — also what gives the
-  // profiling run its checkpoint-latency series.
-  store::CheckpointStore checkpoints("quickstart_report/checkpoints");
-  fl_cfg.inputs.leader.checkpoint_every_rounds = 10;
+  // profiling run its checkpoint-latency series. With --resume the run
+  // restarts from the newest valid checkpoint in the store and finishes
+  // bit-identically to an uninterrupted run (DESIGN.md §12).
+  store::CheckpointStore checkpoints(checkpoint_dir);
+  fl_cfg.inputs.leader.checkpoint_every_rounds = checkpoint_every;
   fl_cfg.inputs.leader.checkpoint_store = &checkpoints;
+  if (resume) fl_cfg.inputs.resume_from = &checkpoints;
 
   // --- 4. FL vs centralized, with a resource forecast. --------------------
   core::ForecastConfig forecast;
   forecast.update_bytes = model->update_bytes();
-  auto result = platform.evaluate_case_study(task, fl_cfg, /*trials=*/3,
+  auto result = platform.evaluate_case_study(task, fl_cfg, trials,
                                              /*centralized_epochs=*/5, forecast);
 
+  if (resume && !result.fl_trials.trials.empty() &&
+      result.fl_trials.trials[0].resume_count > 0) {
+    std::cout << "\nResumed from checkpoint round "
+              << result.fl_trials.trials[0].resumed_from_round << " (resume #"
+              << result.fl_trials.trials[0].resume_count << ")\n";
+  }
   std::cout << "\nCentralized AUPR: " << result.centralized_metric
-            << "\nFL AUPR (median of 3 trials): " << result.fl_metric << " (stdev "
+            << "\nFL AUPR (median of " << trials << (trials == 1 ? " trial): " : " trials): ")
+            << result.fl_metric << " (stdev "
             << result.fl_metric_stdev << ")"
             << "\nPerformance difference: " << result.performance_diff_pct << "%"
             << "\nProjected training time: " << result.projected_training_h << " h"

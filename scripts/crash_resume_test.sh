@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Kill-and-resume e2e (DESIGN.md §12). For each algo in {fedavg, fedbuff} and
+# each thread count in {1, 8}:
+#
+#   1. reference: run crash_resume_driver uninterrupted (checkpoints on,
+#      deterministic executor faults injected) and keep its artifact
+#   2. crash: run the same config with --abort-after-round (a non-cadence
+#      round, so the newest checkpoint is strictly older than the crash) and
+#      require exit code 137 — _Exit, no destructors, like a SIGKILL
+#   3. resume: relaunch with --resume; must exit 0, report the expected
+#      resumed_from_round / resume_count, and produce an artifact that
+#      matches the reference at ZERO tolerance (including the 64-bit
+#      final-parameter fingerprint carried in the scalars section)
+#
+# Usage: crash_resume_test.sh <driver-binary> <source-dir> [python]
+set -euo pipefail
+
+driver=${1:?usage: crash_resume_test.sh <driver-binary> <source-dir> [python]}
+src=${2:?missing source dir}
+py=${3:-python3}
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+ROUNDS=8
+CKPT_EVERY=2
+ABORT=5   # not a cadence multiple: resume must restart from round 4
+
+for algo in fedavg fedbuff; do
+  for threads in 1 8; do
+    case="$algo-t$threads"
+    echo "== $case: uninterrupted reference =="
+    "$driver" --algo "$algo" --rounds "$ROUNDS" --threads "$threads" --faults \
+      --checkpoint-dir "$work/$case-ref-ckpt" --checkpoint-every "$CKPT_EVERY" \
+      --artifact-out "$work/$case-ref.json"
+
+    echo "== $case: crash after round $ABORT =="
+    rc=0
+    "$driver" --algo "$algo" --rounds "$ROUNDS" --threads "$threads" --faults \
+      --checkpoint-dir "$work/$case-ckpt" --checkpoint-every "$CKPT_EVERY" \
+      --abort-after-round "$ABORT" || rc=$?
+    if [ "$rc" -ne 137 ]; then
+      echo "FAIL: $case crash run exited $rc, expected 137" >&2
+      exit 1
+    fi
+
+    echo "== $case: resume and finish =="
+    "$driver" --algo "$algo" --rounds "$ROUNDS" --threads "$threads" --faults \
+      --checkpoint-dir "$work/$case-ckpt" --checkpoint-every "$CKPT_EVERY" \
+      --resume --artifact-out "$work/$case-resumed.json" \
+      | tee "$work/$case-resumed.log"
+    grep -q "resumed_from_round=4 resume_count=1" "$work/$case-resumed.log" || {
+      echo "FAIL: $case resume did not restart from round 4" >&2
+      exit 1
+    }
+
+    echo "== $case: schema-validate both artifacts =="
+    "$py" "$src/tools/validate_trace.py" --artifact "$work/$case-ref.json" \
+                                         --artifact "$work/$case-resumed.json"
+
+    echo "== $case: resumed run must match the reference bit-for-bit =="
+    "$py" "$src/tools/flint_compare.py" --default-rel 0 \
+      "$work/$case-ref.json" "$work/$case-resumed.json"
+  done
+done
+
+echo "crash_resume_test: OK"

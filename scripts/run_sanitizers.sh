@@ -47,8 +47,8 @@ for profile in "${PROFILES[@]}"; do
   if [ "$FAST" -eq 1 ] && [ "$profile" = "thread" ]; then
     # Threaded smoke only: skip the serial bulk of the suite under TSan.
     cmake --build "$dir" -j "$JOBS" --target concurrency_smoke_test fl_fedbuff_test store_test obs_test \
-      util_thread_pool_test parallel_determinism_test
-    ctest_args+=(-R 'Concurrency|FedBuff|Checkpoint|Obs|ThreadPool|ParallelDeterminism')
+      util_thread_pool_test parallel_determinism_test fl_resume_test
+    ctest_args+=(-R 'Concurrency|FedBuff|Checkpoint|Obs|ThreadPool|ParallelDeterminism|CrashResume')
   else
     cmake --build "$dir" -j "$JOBS"
   fi

@@ -58,6 +58,11 @@ std::string render_report_markdown(const ReportInputs& inputs) {
   os << "Client compute: " << m.client_compute_s() / 3600.0
      << " h; mean round: " << m.mean_round_duration_s() << " s; updates/s: "
      << run.updates_per_second() << "\n\n";
+  if (run.resume_count > 0) {
+    os << "Recovery: resumed from checkpoint round " << run.resumed_from_round << " ("
+       << run.resume_count << (run.resume_count == 1 ? " resume" : " resumes")
+       << " in this lineage); results are bit-identical to an uninterrupted run.\n\n";
+  }
 
   if (!run.telemetry.empty()) {
     os << "## Telemetry\n\n";

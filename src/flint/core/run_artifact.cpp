@@ -141,6 +141,8 @@ std::string render_run_artifact_json(const RunArtifactInputs& inputs) {
   json_number(os, run.updates_per_second());
   os << ", \"virtual_duration_s\": ";
   json_number(os, run.virtual_duration_s);
+  os << ", \"resumed_from_round\": " << run.resumed_from_round
+     << ", \"resume_count\": " << run.resume_count;
   os << "}";
 
   // --- Resource forecast (optional). ---

@@ -71,6 +71,21 @@ class UpdateAccumulator {
     count_ = 0;
   }
 
+  /// Raw state for checkpointing; pairs with restore().
+  const std::vector<double>& sum() const { return sum_; }
+  double weight_sum() const { return weight_sum_; }
+
+  /// Restore checkpointed state (resume path). The sum must match this
+  /// accumulator's dimension.
+  void restore(std::vector<double> sum, double weight_sum, std::size_t count) {
+    FLINT_CHECK_EQ(sum.size(), sum_.size());
+    FLINT_CHECK_FINITE(weight_sum);
+    FLINT_CHECK_GE(weight_sum, 0.0);
+    sum_ = std::move(sum);
+    weight_sum_ = weight_sum;
+    count_ = count;
+  }
+
  private:
   std::vector<double> sum_;
   double weight_sum_ = 0.0;
@@ -121,6 +136,13 @@ class ServerOptimizer {
       p[i] += lr * v[i];
     }
   }
+
+  /// Momentum state for checkpointing (empty until the first momentum step,
+  /// or always when momentum == 0).
+  const std::vector<float>& velocity() const { return velocity_; }
+
+  /// Restore checkpointed momentum state (resume path).
+  void restore_velocity(std::vector<float> velocity) { velocity_ = std::move(velocity); }
 
  private:
   double server_lr_;

@@ -53,6 +53,50 @@ RunResult run_fedavg(const SyncConfig& config) {
   std::uint64_t task_ids = 0;
   sim::VirtualTime t = 0.0;
   std::uint64_t round = 0;
+  // Server-side RNG stream, checkpointed with the run. The sync runner draws
+  // nothing from it today; restoring it keeps resume bit-identical the moment
+  // any server-side stochastic decision lands (DESIGN.md §12).
+  util::Rng server_rng = util::derive_stream(in.seed, kServerRngStreamId);
+  std::uint64_t resume_count = 0;
+
+  if (auto resume = load_resume_state(in, store::kCheckpointAlgoFedAvg)) {
+    const store::SimCheckpoint& c = *resume;
+    if (!in.model_free) {
+      FLINT_CHECK_EQ(c.model_parameters.size(), params.size());
+      params = c.model_parameters;
+    }
+    server_opt.restore_velocity(c.server_velocity);
+    if (!c.server_rng_state.empty()) server_rng.deserialize_state(c.server_rng_state);
+    task_ids = c.next_task_id;
+    round = c.round;
+    t = c.virtual_time_s;
+    for (const auto& [client, when] : c.last_participation) last_participation[client] = when;
+    leader.arrivals().restore(static_cast<std::size_t>(c.arrival_cursor),
+                              restore_requeued(c.requeued));
+    leader.restore(c);
+    attribution_scope.restore(c.client_accounts);
+    result.eval_curve = restore_eval_curve(c.eval_curve);
+    result.resumed_from_round = c.round;
+    resume_count = c.resume_count + 1;
+    result.resume_count = resume_count;
+  }
+
+  // Everything the resume path needs beyond the base fields Leader fills;
+  // runs only when the cadence actually writes a checkpoint.
+  auto fill_checkpoint = [&](store::SimCheckpoint& ckpt) {
+    ckpt.run_seed = in.seed;
+    ckpt.algo = store::kCheckpointAlgoFedAvg;
+    ckpt.resume_count = resume_count;
+    ckpt.server_velocity = server_opt.velocity();
+    ckpt.server_rng_state = server_rng.serialize_state();
+    ckpt.next_task_id = task_ids;
+    ckpt.arrival_cursor = leader.arrivals().cursor();
+    ckpt.requeued = checkpoint_requeued(leader.arrivals().requeued_snapshot());
+    ckpt.last_participation = checkpoint_participation(last_participation);
+    ckpt.metrics = leader.metrics().snapshot();
+    ckpt.eval_curve = checkpoint_eval_curve(result.eval_curve);
+    ckpt.client_accounts = attribution_scope.accounts();
+  };
 
   auto evaluate = [&](sim::VirtualTime when) {
     if (in.model_free || in.test == nullptr) return;
@@ -201,8 +245,11 @@ RunResult run_fedavg(const SyncConfig& config) {
 
     leader.metrics().on_round({round, round_start, round_end,
                                successes.size(), /*mean_staleness=*/0.0});
-    leader.on_aggregation(round, params, leader.metrics().tasks_succeeded());
     if (in.eval_every_rounds > 0 && round % in.eval_every_rounds == 0) evaluate(round_end);
+    // Checkpoint after the round's eval so the snapshot carries the complete
+    // state through this round; a resume then replays only future rounds.
+    leader.on_aggregation(round, params, leader.metrics().tasks_succeeded(), fill_checkpoint);
+    if (in.round_hook) in.round_hook(round);
     t = round_end;
     obs::advance_virtual_time(round_end);  // closes the round span at round_end
   }

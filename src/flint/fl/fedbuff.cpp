@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <future>
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -15,6 +16,8 @@
 namespace flint::fl {
 
 namespace {
+
+struct InFlight;
 
 /// Whole-run mutable state, shared by the event callbacks.
 struct FedBuffState {
@@ -42,8 +45,24 @@ struct FedBuffState {
   double staleness_sum = 0.0;  ///< over the current buffer
   sim::VirtualTime round_start = 0.0;
   bool pump_scheduled = false;
+  sim::VirtualTime pump_time = 0.0;  ///< when the scheduled pump retry fires
+  std::uint64_t pump_stamp = 0;      ///< its scheduling stamp
   bool done = false;
   sim::VirtualTime last_aggregation_time = 0.0;
+  /// Scheduling stamp counter: every EventQueue::schedule() this runner makes
+  /// takes the next stamp, mirroring the queue's FIFO tie-break for same-time
+  /// events. Checkpointed per pending event so a resumed run can re-schedule
+  /// them in the original relative order (DESIGN.md §12).
+  std::uint64_t next_stamp = 0;
+  /// Pending completion events by task id; the checkpoint serializes these so
+  /// resume can rebuild the event queue.
+  std::map<std::uint64_t, std::shared_ptr<InFlight>> in_flight;
+  /// Server-side RNG stream, checkpointed with the run. The async runner
+  /// draws nothing from it today; restoring it keeps resume bit-identical the
+  /// moment any server-side stochastic decision lands (DESIGN.md §12).
+  util::Rng server_rng{1};
+  std::uint64_t resume_count = 0;
+  RunAttributionScope* attribution = nullptr;
   RunResult result;
 
   // Telemetry handles for the per-task hot path (single-threaded pump).
@@ -62,6 +81,9 @@ struct InFlight {
   sim::TaskSpec spec;
   double spent_compute_s = 0.0;
   sim::VirtualTime window_end = 0.0;
+  sim::VirtualTime finish_time = 0.0;  ///< when the completion event fires
+  bool interrupted = false;            ///< completion outcome decided at dispatch
+  std::uint64_t stamp = 0;             ///< FedBuffState::next_stamp at schedule time
   ClientUpdate update;
   std::future<ClientUpdate> pending;
 };
@@ -76,6 +98,61 @@ void evaluate(FedBuffState& s, sim::VirtualTime when) {
   double metric = data::evaluate_examples(*s.eval_model, *in.test, in.domain, in.dense_dim,
                                           s.trainers->pool());
   s.result.eval_curve.push_back({when, s.version, metric, 0.0});
+}
+
+/// Everything the resume path needs beyond the base fields Leader fills; runs
+/// only when the cadence actually writes a checkpoint.
+void fill_checkpoint(FedBuffState& s, store::SimCheckpoint& ckpt) {
+  const RunInputs& in = s.config->inputs;
+  ckpt.run_seed = in.seed;
+  ckpt.algo = store::kCheckpointAlgoFedBuff;
+  ckpt.resume_count = s.resume_count;
+  ckpt.server_velocity = s.server_opt->velocity();
+  ckpt.server_rng_state = s.server_rng.serialize_state();
+  ckpt.next_task_id = s.task_ids;
+  ckpt.arrival_cursor = s.leader->arrivals().cursor();
+  ckpt.requeued = checkpoint_requeued(s.leader->arrivals().requeued_snapshot());
+  ckpt.last_participation = checkpoint_participation(s.last_participation);
+  ckpt.metrics = s.leader->metrics().snapshot();
+  ckpt.eval_curve = checkpoint_eval_curve(s.result.eval_curve);
+  if (s.attribution != nullptr) ckpt.client_accounts = s.attribution->accounts();
+  ckpt.has_fedbuff = true;
+  store::CheckpointFedBuff& fb = ckpt.fedbuff;
+  fb.accumulator_sum = s.accumulator->sum();
+  fb.accumulator_weight_sum = s.accumulator->weight_sum();
+  fb.accumulator_count = s.accumulator->count();
+  fb.staleness_sum = s.staleness_sum;
+  fb.round_start = s.round_start;
+  fb.last_aggregation_time = s.last_aggregation_time;
+  fb.pump_scheduled = s.pump_scheduled;
+  fb.pump_time = s.pump_time;
+  fb.pump_stamp = s.pump_stamp;
+  fb.next_stamp = s.next_stamp;
+  fb.in_flight.reserve(s.in_flight.size());
+  for (const auto& [id, task] : s.in_flight) {
+    // Join a still-running worker now: the update is a pure function of the
+    // dispatch-time snapshot, so materializing it early cannot change it —
+    // the completion handler will simply find it already joined.
+    if (task->pending.valid()) task->update = task->pending.get();
+    store::CheckpointInFlightTask rec;
+    rec.task_id = task->spec.task_id;
+    rec.client_id = task->spec.client_id;
+    rec.device_index = static_cast<std::uint64_t>(task->spec.device_index);
+    rec.model_version = task->spec.model_version;
+    rec.dispatch_time = task->spec.dispatch_time;
+    rec.compute_s = task->spec.compute_s;
+    rec.comm_s = task->spec.comm_s;
+    rec.examples = static_cast<std::uint64_t>(task->spec.examples);
+    rec.update_bytes = task->spec.update_bytes;
+    rec.spent_compute_s = task->spent_compute_s;
+    rec.window_end = task->window_end;
+    rec.finish_time = task->finish_time;
+    rec.interrupted = task->interrupted;
+    rec.stamp = task->stamp;
+    rec.update_weight = task->update.weight;
+    rec.update_delta = task->update.train.delta;
+    fb.in_flight.push_back(std::move(rec));
+  }
 }
 
 void aggregate(FedBuffState& s) {
@@ -99,7 +176,6 @@ void aggregate(FedBuffState& s) {
   s.staleness_sum = 0.0;
   ++s.version;
   s.leader->metrics().on_round({s.version, s.round_start, now, aggregated, mean_staleness});
-  s.leader->on_aggregation(s.version, s.params, s.leader->metrics().tasks_succeeded());
   if (auto* c = s.aggregations_counter.resolve("fl.aggregations")) c->add(1);
   if (auto* h = s.round_duration_hist.resolve("fl.round_duration_s", 0.0, 7200.0, 48))
     h->record(now - s.round_start);
@@ -109,9 +185,15 @@ void aggregate(FedBuffState& s) {
                   << " running=" << s.running;
   if (in.eval_every_rounds > 0 && s.version % in.eval_every_rounds == 0) evaluate(s, now);
   if (s.version >= in.max_rounds || now >= in.max_virtual_s) s.done = true;
+  // Checkpoint last, after this round's eval point is recorded, so the
+  // snapshot carries the complete round and a resume replays only the future.
+  s.leader->on_aggregation(s.version, s.params, s.leader->metrics().tasks_succeeded(),
+                           [&s](store::SimCheckpoint& ckpt) { fill_checkpoint(s, ckpt); });
+  if (in.round_hook) in.round_hook(s.version);
 }
 
 void on_task_end(FedBuffState& s, InFlight& task, bool interrupted) {
+  s.in_flight.erase(task.spec.task_id);
   --s.running;
   s.busy.erase(task.spec.client_id);
 
@@ -119,6 +201,7 @@ void on_task_end(FedBuffState& s, InFlight& task, bool interrupted) {
   tr.spec = task.spec;
   tr.finish_time = s.leader->queue().now();
   tr.spent_compute_s = task.spent_compute_s;
+  bool buffer_full = false;
   if (interrupted) {
     tr.outcome = sim::TaskOutcome::kInterrupted;
   } else {
@@ -152,7 +235,7 @@ void on_task_end(FedBuffState& s, InFlight& task, bool interrupted) {
       s.staleness_sum += static_cast<double>(staleness);
       if (auto* g = s.buffer_gauge.resolve("fl.buffer_occupancy"))
         g->set(static_cast<double>(s.accumulator->count()));
-      if (s.accumulator->count() >= s.config->buffer_size) aggregate(s);
+      buffer_full = s.accumulator->count() >= s.config->buffer_size;
     }
   }
   s.leader->metrics().on_task_finished(tr);
@@ -163,6 +246,10 @@ void on_task_end(FedBuffState& s, InFlight& task, bool interrupted) {
                         task.window_end};
     s.leader->arrivals().requeue(rejoin, tr.finish_time);
   }
+  // Aggregate only after this completion is fully recorded (metrics + rejoin
+  // requeue): the checkpoint written inside aggregate() must snapshot a state
+  // with no half-processed task, or a resume would lose the rejoin.
+  if (buffer_full) aggregate(s);
   pump(s);
 }
 
@@ -192,11 +279,18 @@ void dispatch(FedBuffState& s, const sim::Arrival& arrival) {
   bool will_interrupt = now + dur.total_s() > arrival.window_end;
   if (will_interrupt) {
     task->spent_compute_s = std::min(dur.compute_s, std::max(0.0, arrival.window_end - now));
+    task->finish_time = arrival.window_end;
+    task->interrupted = true;
+    task->stamp = s.next_stamp++;
+    s.in_flight[task->spec.task_id] = task;
     s.leader->queue().schedule(arrival.window_end,
                                [&s, task] { on_task_end(s, *task, /*interrupted=*/true); });
     return;
   }
   task->spent_compute_s = dur.compute_s;
+  task->finish_time = now + dur.total_s();
+  task->stamp = s.next_stamp++;
+  s.in_flight[task->spec.task_id] = task;
   if (!in.model_free) {
     // The client trains against the global parameters as of dispatch time;
     // computing the update from a dispatch-time snapshot is semantically
@@ -217,7 +311,7 @@ void dispatch(FedBuffState& s, const sim::Arrival& arrival) {
           s.params, local, task_id, s.config->buffer_size);
     }
   }
-  s.leader->queue().schedule(now + dur.total_s(),
+  s.leader->queue().schedule(task->finish_time,
                              [&s, task] { on_task_end(s, *task, /*interrupted=*/false); });
 }
 
@@ -231,6 +325,8 @@ void pump(FedBuffState& s) {
   if (gate > now) {
     if (!s.pump_scheduled) {
       s.pump_scheduled = true;
+      s.pump_time = gate;
+      s.pump_stamp = s.next_stamp++;
       s.leader->queue().schedule(gate, [&s] {
         s.pump_scheduled = false;
         pump(s);
@@ -245,6 +341,8 @@ void pump(FedBuffState& s) {
     if (*next_time > now) {
       if (!s.pump_scheduled) {
         s.pump_scheduled = true;
+        s.pump_time = *next_time;
+        s.pump_stamp = s.next_stamp++;
         s.leader->queue().schedule(*next_time, [&s] {
           s.pump_scheduled = false;
           pump(s);
@@ -301,6 +399,94 @@ RunResult run_fedbuff(const AsyncConfig& config) {
       s.params_snapshot = std::make_shared<const std::vector<float>>(s.params);
   } else {
     s.accumulator = std::make_unique<UpdateAccumulator>(1);
+  }
+  s.server_rng = util::derive_stream(in.seed, kServerRngStreamId);
+  s.attribution = &attribution_scope;
+
+  if (auto resume = load_resume_state(in, store::kCheckpointAlgoFedBuff)) {
+    const store::SimCheckpoint& c = *resume;
+    FLINT_CHECK_MSG(c.has_fedbuff, "fedbuff checkpoint lacks the async-runner section");
+    if (!in.model_free) {
+      FLINT_CHECK_EQ(c.model_parameters.size(), s.params.size());
+      s.params = c.model_parameters;
+      if (s.trainers->pool() != nullptr)
+        s.params_snapshot = std::make_shared<const std::vector<float>>(s.params);
+    }
+    s.server_opt->restore_velocity(c.server_velocity);
+    if (!c.server_rng_state.empty()) s.server_rng.deserialize_state(c.server_rng_state);
+    s.version = c.round;
+    s.task_ids = c.next_task_id;
+    for (const auto& [client, when] : c.last_participation)
+      s.last_participation[client] = when;
+    s.leader->arrivals().restore(static_cast<std::size_t>(c.arrival_cursor),
+                                 restore_requeued(c.requeued));
+    s.leader->restore(c);
+    attribution_scope.restore(c.client_accounts);
+    s.result.eval_curve = restore_eval_curve(c.eval_curve);
+    const store::CheckpointFedBuff& fb = c.fedbuff;
+    s.accumulator->restore(fb.accumulator_sum, fb.accumulator_weight_sum,
+                           static_cast<std::size_t>(fb.accumulator_count));
+    s.staleness_sum = fb.staleness_sum;
+    s.round_start = fb.round_start;
+    s.last_aggregation_time = fb.last_aggregation_time;
+    s.next_stamp = fb.next_stamp;
+    // The done flag is never serialized: it is re-derived from this run's
+    // limits, so a resume with a larger max_rounds continues the lineage.
+    s.done = s.version >= in.max_rounds || c.virtual_time_s >= in.max_virtual_s;
+    s.result.resumed_from_round = c.round;
+    s.resume_count = c.resume_count + 1;
+    s.result.resume_count = s.resume_count;
+
+    // Fast-forward the clock, then rebuild the pending event set in its
+    // original scheduling (stamp) order so the queue's same-time tie-break
+    // matches the uninterrupted run.
+    s.leader->queue().advance_to(c.virtual_time_s);
+    struct RestoredEvent {
+      std::uint64_t stamp = 0;
+      sim::VirtualTime when = 0.0;
+      std::function<void()> fire;
+    };
+    std::vector<RestoredEvent> events;
+    events.reserve(fb.in_flight.size() + 1);
+    for (const auto& rec : fb.in_flight) {
+      auto task = std::make_shared<InFlight>();
+      task->spec.task_id = rec.task_id;
+      task->spec.client_id = rec.client_id;
+      task->spec.device_index = static_cast<std::size_t>(rec.device_index);
+      task->spec.model_version = rec.model_version;
+      task->spec.dispatch_time = rec.dispatch_time;
+      task->spec.compute_s = rec.compute_s;
+      task->spec.comm_s = rec.comm_s;
+      task->spec.examples = static_cast<std::size_t>(rec.examples);
+      task->spec.update_bytes = rec.update_bytes;
+      task->spent_compute_s = rec.spent_compute_s;
+      task->window_end = rec.window_end;
+      task->finish_time = rec.finish_time;
+      task->interrupted = rec.interrupted;
+      task->stamp = rec.stamp;
+      // The checkpoint carries the materialized update (fill_checkpoint joins
+      // in-flight workers before serializing), so no re-training is needed.
+      task->update.weight = rec.update_weight;
+      task->update.train.delta = rec.update_delta;
+      s.in_flight[rec.task_id] = task;
+      s.busy.insert(rec.client_id);
+      ++s.running;
+      bool was_interrupted = rec.interrupted;
+      events.push_back({rec.stamp, rec.finish_time,
+                        [&s, task, was_interrupted] { on_task_end(s, *task, was_interrupted); }});
+    }
+    if (fb.pump_scheduled) {
+      s.pump_scheduled = true;
+      s.pump_time = fb.pump_time;
+      s.pump_stamp = fb.pump_stamp;
+      events.push_back({fb.pump_stamp, fb.pump_time, [&s] {
+                          s.pump_scheduled = false;
+                          pump(s);
+                        }});
+    }
+    std::sort(events.begin(), events.end(),
+              [](const RestoredEvent& a, const RestoredEvent& b) { return a.stamp < b.stamp; });
+    for (auto& e : events) s.leader->queue().schedule(e.when, std::move(e.fire));
   }
 
   pump(s);

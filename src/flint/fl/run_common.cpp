@@ -1,8 +1,10 @@
 #include "flint/fl/run_common.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "flint/util/check.h"
+#include "flint/util/logging.h"
 
 namespace flint::fl {
 
@@ -88,6 +90,104 @@ void RunAttributionScope::finish(RunResult& result) {
   // The metrics copy in the result must not carry a pointer to this scope's
   // (stack-lifetime) ledger.
   result.metrics.attach_ledger(nullptr);
+}
+
+std::vector<store::CheckpointClientAccount> RunAttributionScope::accounts() const {
+  std::vector<store::CheckpointClientAccount> out;
+  if (!enabled_) return out;
+  out.reserve(ledger_.entries().size());
+  for (const auto& [client, e] : ledger_.entries()) {
+    // Skip clients with no activity yet: they exist only as registrations,
+    // which the resumed run re-derives from the trace.
+    if (e.tasks_finished() == 0 && e.compute_s == 0.0 && e.bytes_down == 0) continue;
+    out.push_back({client, e.tasks_succeeded, e.tasks_interrupted, e.tasks_stale,
+                   e.tasks_failed, e.compute_s, e.wasted_compute_s, e.bytes_down, e.bytes_up});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.client_id < b.client_id; });
+  return out;
+}
+
+void RunAttributionScope::restore(const std::vector<store::CheckpointClientAccount>& accounts) {
+  if (!enabled_) return;
+  for (const auto& a : accounts) {
+    obs::ClientLedgerEntry e;
+    e.client_id = a.client_id;
+    e.tasks_succeeded = a.tasks_succeeded;
+    e.tasks_interrupted = a.tasks_interrupted;
+    e.tasks_stale = a.tasks_stale;
+    e.tasks_failed = a.tasks_failed;
+    e.compute_s = a.compute_s;
+    e.wasted_compute_s = a.wasted_compute_s;
+    e.bytes_down = a.bytes_down;
+    e.bytes_up = a.bytes_up;
+    ledger_.restore_account(e);
+  }
+}
+
+std::optional<store::SimCheckpoint> load_resume_state(const RunInputs& inputs,
+                                                      std::uint8_t algo) {
+  if (inputs.resume_from == nullptr) return std::nullopt;
+  std::optional<store::SimCheckpoint> ckpt = inputs.resume_from->latest();
+  if (!ckpt.has_value()) {
+    FLINT_LOG_INFO << "resume requested but no usable checkpoint in "
+                   << inputs.resume_from->dir() << "; starting fresh";
+    return std::nullopt;
+  }
+  FLINT_CHECK_MSG(ckpt->algo == algo, "checkpoint algorithm "
+                                          << static_cast<int>(ckpt->algo)
+                                          << " does not match this runner ("
+                                          << static_cast<int>(algo) << ")");
+  FLINT_CHECK_MSG(ckpt->run_seed == inputs.seed,
+                  "checkpoint seed " << ckpt->run_seed << " does not match run seed "
+                                     << inputs.seed << "; refusing to splice lineages");
+  FLINT_LOG_INFO << "resuming from checkpoint round " << ckpt->round << " at t="
+                 << ckpt->virtual_time_s << "s (resume #" << ckpt->resume_count + 1 << ")";
+  return ckpt;
+}
+
+std::vector<store::CheckpointEvalPoint> checkpoint_eval_curve(
+    const std::vector<sim::EvalPoint>& curve) {
+  std::vector<store::CheckpointEvalPoint> out;
+  out.reserve(curve.size());
+  for (const auto& e : curve) out.push_back({e.time, e.round, e.metric, e.train_loss});
+  return out;
+}
+
+std::vector<sim::EvalPoint> restore_eval_curve(
+    const std::vector<store::CheckpointEvalPoint>& curve) {
+  std::vector<sim::EvalPoint> out;
+  out.reserve(curve.size());
+  for (const auto& e : curve) out.push_back({e.time, e.round, e.metric, e.train_loss});
+  return out;
+}
+
+std::vector<store::CheckpointRequeuedArrival> checkpoint_requeued(
+    const std::vector<sim::Arrival>& requeued) {
+  std::vector<store::CheckpointRequeuedArrival> out;
+  out.reserve(requeued.size());
+  for (const auto& a : requeued)
+    out.push_back({a.time, a.client_id, static_cast<std::uint64_t>(a.device_index),
+                   a.window_end});
+  return out;
+}
+
+std::vector<sim::Arrival> restore_requeued(
+    const std::vector<store::CheckpointRequeuedArrival>& requeued) {
+  std::vector<sim::Arrival> out;
+  out.reserve(requeued.size());
+  for (const auto& a : requeued)
+    out.push_back({a.time, a.client_id, static_cast<std::size_t>(a.device_index),
+                   a.window_end});
+  return out;
+}
+
+std::vector<std::pair<std::uint64_t, double>> checkpoint_participation(
+    const std::unordered_map<std::uint64_t, double>& last_participation) {
+  std::vector<std::pair<std::uint64_t, double>> out(last_participation.begin(),
+                                                    last_participation.end());
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 }  // namespace flint::fl

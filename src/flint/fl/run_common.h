@@ -1,7 +1,10 @@
 // Shared configuration and result types for the FL runners.
 #pragma once
 
+#include <functional>
 #include <optional>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "flint/compress/quantize.h"
@@ -89,6 +92,19 @@ struct RunInputs {
   /// even that matters.
   bool collect_ledger = true;
 
+  // --- Crash recovery (DESIGN.md §12). ---
+  /// When set, the runner restores full run state from this store's newest
+  /// valid checkpoint (CheckpointStore::latest()) before the first round and
+  /// continues from there, finishing bit-identically to an uninterrupted
+  /// run. Null, or a store with no usable checkpoint, means a fresh run.
+  /// Resume refuses a checkpoint whose seed or algorithm does not match.
+  store::CheckpointStore* resume_from = nullptr;
+
+  /// Called after each completed aggregation round, after any checkpoint
+  /// write for that round. Test/ops hook: the kill-and-resume e2e aborts the
+  /// process from here to simulate a crash at a known round.
+  std::function<void(std::uint64_t round)> round_hook;
+
   std::uint64_t seed = 1;
 };
 
@@ -106,6 +122,11 @@ struct RunResult {
   /// Per-client attribution rollups (empty unless RunInputs::collect_ledger);
   /// totals reconcile with `metrics` by construction.
   obs::ClientLedgerSummary ledger;
+
+  /// Recovery lineage: the checkpoint round this run resumed from (0 for a
+  /// fresh start) and how many resumes the run's checkpoint lineage has seen.
+  std::uint64_t resumed_from_round = 0;
+  std::uint64_t resume_count = 0;
 
   /// Aggregated-update throughput, for TEE sizing (§3.5).
   double updates_per_second() const {
@@ -156,10 +177,47 @@ class RunAttributionScope {
   RunAttributionScope(const RunAttributionScope&) = delete;
   RunAttributionScope& operator=(const RunAttributionScope&) = delete;
 
+  /// Per-client accounts for checkpointing, sorted by client id (empty when
+  /// attribution is disabled).
+  std::vector<store::CheckpointClientAccount> accounts() const;
+
+  /// Restore checkpointed accounts into the ledger (resume path; no-op when
+  /// attribution is disabled). Classifications registered at construction
+  /// are kept — only the counters are overwritten.
+  void restore(const std::vector<store::CheckpointClientAccount>& accounts);
+
  private:
   bool enabled_;
   sim::Leader* leader_;
   obs::ClientLedger ledger_;
 };
+
+// --- Checkpoint/resume plumbing shared by both runners (DESIGN.md §12) ---
+
+/// util::derive_stream() stream id reserved for the server-side Rng; task
+/// ids use their own id space, so this keeps the server stream disjoint from
+/// every per-task stream.
+inline constexpr std::uint64_t kServerRngStreamId = 0x5EB0E15EED5ull;
+
+/// Resolve RunInputs::resume_from into the checkpoint to restore, or nullopt
+/// for a fresh run (no store, or no usable checkpoint — logged). Throws
+/// CheckError when the newest valid checkpoint belongs to a different run
+/// (seed mismatch) or a different runner (`algo` mismatch): silently
+/// restarting a different run would corrupt the lineage.
+std::optional<store::SimCheckpoint> load_resume_state(const RunInputs& inputs,
+                                                      std::uint8_t algo);
+
+/// sim <-> store conversions for the checkpoint record.
+std::vector<store::CheckpointEvalPoint> checkpoint_eval_curve(
+    const std::vector<sim::EvalPoint>& curve);
+std::vector<sim::EvalPoint> restore_eval_curve(
+    const std::vector<store::CheckpointEvalPoint>& curve);
+std::vector<store::CheckpointRequeuedArrival> checkpoint_requeued(
+    const std::vector<sim::Arrival>& requeued);
+std::vector<sim::Arrival> restore_requeued(
+    const std::vector<store::CheckpointRequeuedArrival>& requeued);
+/// Sorted by client id so the serialized form is order-independent.
+std::vector<std::pair<std::uint64_t, double>> checkpoint_participation(
+    const std::unordered_map<std::uint64_t, double>& last_participation);
 
 }  // namespace flint::fl

@@ -121,7 +121,11 @@ std::unique_ptr<Model> deserialize_model(const std::vector<char>& bytes) {
   FLINT_CHECK_MSG(count == model->parameter_count(),
                   "blob has " << count << " params, architecture needs "
                               << model->parameter_count());
-  FLINT_CHECK_MSG(offset + count * sizeof(float) <= bytes.size(), "truncated weights");
+  // Division form: `offset + count * sizeof(float)` wraps for a corrupt huge
+  // count, bypassing the bound.
+  FLINT_CHECK_MSG(offset <= bytes.size() &&
+                      count <= (bytes.size() - offset) / sizeof(float),
+                  "truncated weights");
   std::vector<float> params(count);
   util::read_pod_array(bytes, offset, params.data(), params.size());
   model->set_flat_parameters(params);

@@ -44,6 +44,22 @@ void ClientLedger::register_client(std::uint64_t client_id, std::uint32_t tier,
   e.executor = executor;
 }
 
+void ClientLedger::restore_account(const ClientLedgerEntry& account) {
+  FLINT_CHECK_FINITE(account.compute_s);
+  FLINT_CHECK_GE(account.compute_s, 0.0);
+  FLINT_CHECK_FINITE(account.wasted_compute_s);
+  FLINT_CHECK_GE(account.wasted_compute_s, 0.0);
+  ClientLedgerEntry& e = entry(account.client_id);
+  e.tasks_succeeded = account.tasks_succeeded;
+  e.tasks_interrupted = account.tasks_interrupted;
+  e.tasks_stale = account.tasks_stale;
+  e.tasks_failed = account.tasks_failed;
+  e.compute_s = account.compute_s;
+  e.wasted_compute_s = account.wasted_compute_s;
+  e.bytes_down = account.bytes_down;
+  e.bytes_up = account.bytes_up;
+}
+
 void ClientLedger::on_task_finished(std::uint64_t client_id, LedgerOutcome outcome,
                                     double compute_s, std::uint64_t update_bytes) {
   FLINT_CHECK_FINITE(compute_s);

@@ -119,6 +119,16 @@ class ClientLedger {
 
   std::size_t client_count() const { return entries_.size(); }
 
+  /// Raw per-client accounts (unordered); checkpointing sorts by client id.
+  const std::unordered_map<std::uint64_t, ClientLedgerEntry>& entries() const {
+    return entries_;
+  }
+
+  /// Overwrite one client's accumulated counters from a checkpoint (resume
+  /// path), keeping whatever tier/cohort/executor classification this run's
+  /// feeder registered.
+  void restore_account(const ClientLedgerEntry& account);
+
   /// Aggregate the account: per-tier / per-cohort / per-executor rollups,
   /// totals, and the top_k clients by wasted compute.
   ClientLedgerSummary summary(std::size_t top_k = 10) const;

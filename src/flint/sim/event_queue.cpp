@@ -51,4 +51,11 @@ void EventQueue::run_until(VirtualTime t) {
   now_ = t;
 }
 
+void EventQueue::advance_to(VirtualTime t) {
+  FLINT_CHECK_FINITE(t);
+  FLINT_CHECK_GE(t, now_);
+  if (!heap_.empty()) FLINT_CHECK_GE(heap_.top().time, t);
+  now_ = t;
+}
+
 }  // namespace flint::sim

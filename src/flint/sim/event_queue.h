@@ -37,6 +37,11 @@ class EventQueue {
   /// Run events with time <= t, then set the clock to exactly t.
   void run_until(VirtualTime t);
 
+  /// Set the clock to exactly t without executing anything. Every pending
+  /// event must be at or after t. Checkpoint resume uses this to fast-forward
+  /// to the snapshot's virtual time before re-scheduling restored events.
+  void advance_to(VirtualTime t);
+
   VirtualTime now() const { return now_; }
   std::size_t pending() const { return heap_.size(); }
   std::uint64_t executed() const { return executed_; }

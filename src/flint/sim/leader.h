@@ -3,6 +3,7 @@
 // health gating, metrics, and periodic checkpointing (§3.4).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -39,10 +40,19 @@ class Leader {
   VirtualTime dispatch_gate(VirtualTime t) const { return executors_.next_all_healthy(t); }
 
   /// Record an aggregation; writes a checkpoint when the cadence triggers.
+  /// `fill_state`, when provided, is called on the partially-built checkpoint
+  /// (base fields set) so the runner can add its full resume state — server
+  /// optimizer/RNG, scheduler cursors, metrics, the FedBuff buffer. It runs
+  /// only when a checkpoint is actually written.
   void on_aggregation(std::uint64_t round, const std::vector<float>& model_parameters,
-                      std::uint64_t tasks_completed);
+                      std::uint64_t tasks_completed,
+                      const std::function<void(store::SimCheckpoint&)>& fill_state = nullptr);
 
-  /// Checkpoints written so far.
+  /// Restore aggregation progress from a checkpoint (resume path): the last
+  /// aggregation round, the checkpoints-written count, and the metrics state.
+  void restore(const store::SimCheckpoint& checkpoint);
+
+  /// Checkpoints written so far (including those before a resume).
   std::uint64_t checkpoints_written() const { return checkpoints_written_; }
 
  private:

@@ -26,12 +26,12 @@ std::optional<Arrival> ArrivalScheduler::next(VirtualTime t) {
   obs::LatencyTimer timer(pick_latency_, "sim.pick_latency_us", 0.0, 50.0, 50);
   if (auto* c = picks_counter_.resolve("sim.scheduler_picks")) c->add(1);
   // Drop requeued arrivals whose window has closed.
-  while (!requeued_.empty() && requeued_.top().window_end <= t) requeued_.pop();
+  while (!requeued_.empty() && requeued_.top().arrival.window_end <= t) requeued_.pop();
 
   std::optional<Arrival> picked;
   std::optional<Arrival> from_trace = trace_candidate(t);
   if (!requeued_.empty()) {
-    Arrival r = requeued_.top();
+    Arrival r = requeued_.top().arrival;
     r.time = std::max(r.time, t);
     if (!from_trace.has_value() || r.time <= from_trace->time) {
       requeued_.pop();
@@ -52,12 +52,12 @@ std::optional<Arrival> ArrivalScheduler::next(VirtualTime t) {
 }
 
 std::optional<VirtualTime> ArrivalScheduler::peek_time(VirtualTime t) {
-  while (!requeued_.empty() && requeued_.top().window_end <= t) requeued_.pop();
+  while (!requeued_.empty() && requeued_.top().arrival.window_end <= t) requeued_.pop();
   std::optional<Arrival> from_trace = trace_candidate(t);
   std::optional<VirtualTime> best;
   if (from_trace.has_value()) best = from_trace->time;
   if (!requeued_.empty()) {
-    VirtualTime rt = std::max(requeued_.top().time, t);
+    VirtualTime rt = std::max(requeued_.top().arrival.time, t);
     if (!best.has_value() || rt < *best) best = rt;
   }
   return best;
@@ -68,11 +68,33 @@ void ArrivalScheduler::requeue(Arrival arrival, VirtualTime retry_time) {
   FLINT_CHECK_GE(retry_time, arrival.time);
   if (retry_time >= arrival.window_end) return;  // nothing left of the window
   arrival.time = retry_time;
-  requeued_.push(arrival);
+  requeued_.push({arrival, next_requeue_seq_++});
 }
 
 std::size_t ArrivalScheduler::remaining_windows() const {
   return trace_->windows().size() - cursor_;
+}
+
+std::vector<Arrival> ArrivalScheduler::requeued_snapshot() const {
+  auto copy = requeued_;
+  std::vector<Arrival> out;
+  out.reserve(copy.size());
+  while (!copy.empty()) {
+    out.push_back(copy.top().arrival);
+    copy.pop();
+  }
+  return out;
+}
+
+void ArrivalScheduler::restore(std::size_t cursor, const std::vector<Arrival>& requeued) {
+  FLINT_CHECK_LE(cursor, trace_->windows().size());
+  cursor_ = cursor;
+  requeued_ = {};
+  next_requeue_seq_ = 0;
+  // Re-inserting in snapshot (pop) order with fresh sequence numbers keeps
+  // the pop order identical, and any retry requeued after the resume gets a
+  // larger seq — exactly as it would have in the uninterrupted run.
+  for (const Arrival& a : requeued) requeued_.push({a, next_requeue_seq_++});
 }
 
 }  // namespace flint::sim

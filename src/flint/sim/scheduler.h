@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <optional>
 #include <queue>
+#include <vector>
 
 #include "flint/device/availability.h"
 #include "flint/obs/telemetry.h"
@@ -47,16 +48,39 @@ class ArrivalScheduler {
   /// Windows not yet consumed from the trace (requeued arrivals excluded).
   std::size_t remaining_windows() const;
 
+  /// Trace windows already consumed — the checkpoint cursor.
+  std::size_t cursor() const { return cursor_; }
+
+  /// Requeued arrivals in deterministic pop order (time, then requeue order),
+  /// without consuming them. Pairs with restore() for checkpointing.
+  std::vector<Arrival> requeued_snapshot() const;
+
+  /// Restore checkpointed state: the trace cursor plus requeued arrivals in
+  /// the order requeued_snapshot() returned them. The trace passed to the
+  /// constructor must be the same one the checkpointed run used.
+  void restore(std::size_t cursor, const std::vector<Arrival>& requeued);
+
  private:
+  // The requeue heap orders by retry time with insertion order breaking ties,
+  // so equal-time retries pop in the order they were requeued — a stable
+  // order a resumed run can reproduce exactly.
+  struct QueuedArrival {
+    Arrival arrival;
+    std::uint64_t seq = 0;
+  };
   struct LaterArrival {
-    bool operator()(const Arrival& a, const Arrival& b) const { return a.time > b.time; }
+    bool operator()(const QueuedArrival& a, const QueuedArrival& b) const {
+      if (a.arrival.time != b.arrival.time) return a.arrival.time > b.arrival.time;
+      return a.seq > b.seq;
+    }
   };
 
   std::optional<Arrival> trace_candidate(VirtualTime t);
 
   const device::AvailabilityTrace* trace_;
   std::size_t cursor_ = 0;
-  std::priority_queue<Arrival, std::vector<Arrival>, LaterArrival> requeued_;
+  std::priority_queue<QueuedArrival, std::vector<QueuedArrival>, LaterArrival> requeued_;
+  std::uint64_t next_requeue_seq_ = 0;
   obs::CachedHistogram pick_latency_;  ///< wall cost of next(), microseconds
   obs::CachedCounter picks_counter_;
 };

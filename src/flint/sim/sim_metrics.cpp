@@ -77,6 +77,47 @@ double SimMetrics::waste_fraction() const {
   return static_cast<double>(wasted) / static_cast<double>(tasks_started_);
 }
 
+store::CheckpointMetrics SimMetrics::snapshot() const {
+  store::CheckpointMetrics m;
+  m.tasks_started = tasks_started_;
+  m.tasks_succeeded = tasks_succeeded_;
+  m.tasks_interrupted = tasks_interrupted_;
+  m.tasks_stale = tasks_stale_;
+  m.tasks_failed = tasks_failed_;
+  m.updates_aggregated = updates_aggregated_;
+  m.client_compute_s = client_compute_s_;
+  m.rounds.reserve(rounds_.size());
+  for (const auto& r : rounds_)
+    m.rounds.push_back({r.round, r.start, r.end,
+                        static_cast<std::uint64_t>(r.updates_aggregated), r.mean_staleness});
+  m.checkpoints.reserve(checkpoints_.size());
+  for (const auto& c : checkpoints_) m.checkpoints.push_back({c.round, c.time});
+  return m;
+}
+
+void SimMetrics::restore(const store::CheckpointMetrics& snapshot) {
+  std::uint64_t finished = snapshot.tasks_succeeded + snapshot.tasks_interrupted +
+                           snapshot.tasks_stale + snapshot.tasks_failed;
+  FLINT_CHECK_LE(finished, snapshot.tasks_started);
+  FLINT_CHECK_FINITE(snapshot.client_compute_s);
+  FLINT_CHECK_GE(snapshot.client_compute_s, 0.0);
+  tasks_started_ = snapshot.tasks_started;
+  tasks_succeeded_ = snapshot.tasks_succeeded;
+  tasks_interrupted_ = snapshot.tasks_interrupted;
+  tasks_stale_ = snapshot.tasks_stale;
+  tasks_failed_ = snapshot.tasks_failed;
+  updates_aggregated_ = snapshot.updates_aggregated;
+  client_compute_s_ = snapshot.client_compute_s;
+  rounds_.clear();
+  rounds_.reserve(snapshot.rounds.size());
+  for (const auto& r : snapshot.rounds)
+    rounds_.push_back({r.round, r.start, r.end, static_cast<std::size_t>(r.updates_aggregated),
+                       r.mean_staleness});
+  checkpoints_.clear();
+  checkpoints_.reserve(snapshot.checkpoints.size());
+  for (const auto& c : snapshot.checkpoints) checkpoints_.push_back({c.round, c.time});
+}
+
 std::string SimMetrics::summary() const {
   std::ostringstream os;
   os << "tasks: started=" << tasks_started_ << " succeeded=" << tasks_succeeded_

@@ -9,6 +9,7 @@
 
 #include "flint/obs/client_ledger.h"
 #include "flint/sim/task.h"
+#include "flint/store/checkpoint.h"
 
 namespace flint::sim {
 
@@ -60,6 +61,7 @@ class SimMetrics {
   /// computation is the projected sum of processing time on all devices").
   double client_compute_s() const { return client_compute_s_; }
 
+  std::uint64_t updates_aggregated() const { return updates_aggregated_; }
   std::uint64_t aggregations() const { return rounds_.size(); }
   const std::vector<RoundRecord>& rounds() const { return rounds_; }
   const std::vector<CheckpointRecord>& checkpoints() const { return checkpoints_; }
@@ -75,6 +77,15 @@ class SimMetrics {
   double waste_fraction() const;
 
   std::string summary() const;
+
+  /// Checkpointable copy of the accumulated state (counters, round records,
+  /// checkpoint-write records). The attached ledger is snapshotted separately
+  /// by the attribution layer that owns it.
+  store::CheckpointMetrics snapshot() const;
+
+  /// Restore state captured by snapshot() (checkpoint resume). Leaves the
+  /// attached ledger untouched.
+  void restore(const store::CheckpointMetrics& snapshot);
 
  private:
   std::uint64_t tasks_started_ = 0;

@@ -29,7 +29,8 @@ void append_pod(std::vector<char>& out, const T& v) {
 template <typename T>
 T read_pod(const std::vector<char>& in, std::size_t& offset) {
   static_assert(std::is_trivially_copyable_v<T>);
-  FLINT_CHECK_LE(offset + sizeof(T), in.size());
+  FLINT_CHECK_LE(offset, in.size());
+  FLINT_CHECK_LE(sizeof(T), in.size() - offset);
   T v;
   std::memcpy(&v, in.data() + offset, sizeof(T));
   offset += sizeof(T);
@@ -53,7 +54,10 @@ void read_pod_array(const std::vector<char>& in, std::size_t& offset, T* dst,
                     std::size_t count) {
   static_assert(std::is_trivially_copyable_v<T>);
   if (count == 0) return;
-  FLINT_CHECK_LE(offset + count * sizeof(T), in.size());
+  // Division form: `offset + count * sizeof(T)` wraps size_t for a corrupt
+  // huge count, silently bypassing the bound.
+  FLINT_CHECK_LE(offset, in.size());
+  FLINT_CHECK_LE(count, (in.size() - offset) / sizeof(T));
   std::memcpy(dst, in.data() + offset, count * sizeof(T));
   offset += count * sizeof(T);
 }

@@ -1,0 +1,16 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for integrity
+// checking of FLINT's binary blobs. Checkpoints pair it with a length
+// header so a torn or bit-flipped file is detected before any field is
+// trusted — corruption must fail loudly, never deserialize into garbage.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace flint::util {
+
+/// CRC-32 of `size` bytes at `data`. `seed` chains incremental computation:
+/// crc32(b, n) == crc32(b + k, n - k, crc32(b, k)).
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed = 0);
+
+}  // namespace flint::util

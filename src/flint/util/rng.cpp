@@ -1,6 +1,7 @@
 #include "flint/util/rng.h"
 
 #include <cmath>
+#include <sstream>
 
 namespace flint::util {
 
@@ -161,6 +162,20 @@ std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::siz
 }
 
 Rng Rng::fork() { return Rng(splitmix64(engine_())); }
+
+std::string Rng::serialize_state() const {
+  std::ostringstream os;
+  os << engine_;
+  return os.str();
+}
+
+void Rng::deserialize_state(const std::string& state) {
+  std::istringstream is(state);
+  std::mt19937_64 restored;
+  is >> restored;
+  FLINT_CHECK_MSG(!is.fail(), "invalid mt19937_64 state string (" << state.size() << " bytes)");
+  engine_ = restored;
+}
 
 std::uint64_t splitmix64(std::uint64_t x) {
   x += 0x9e3779b97f4a7c15ULL;

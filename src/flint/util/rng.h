@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "flint/util/check.h"
@@ -82,6 +83,16 @@ class Rng {
 
   /// Raw 64-bit draw (for hashing / seeding).
   std::uint64_t next_u64() { return engine_(); }
+
+  /// Portable snapshot of the engine state (mt19937_64 textual form) for
+  /// checkpoint/resume; restore with deserialize_state(). The seed is not
+  /// part of the snapshot — callers re-derive the stream and then overlay
+  /// the state, so seed() stays meaningful after a resume.
+  std::string serialize_state() const;
+
+  /// Restore engine state captured by serialize_state(). Throws CheckError
+  /// if the string is not a valid mt19937_64 state.
+  void deserialize_state(const std::string& state);
 
   std::mt19937_64& engine() { return engine_; }
 

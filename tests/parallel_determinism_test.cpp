@@ -9,6 +9,7 @@
 
 #include "flint/fl/fedavg.h"
 #include "flint/fl/fedbuff.h"
+#include "run_identical.h"
 #include "test_helpers.h"
 
 namespace flint::fl {
@@ -42,38 +43,9 @@ void apply_variant(RunInputs& inputs, const Variant& v) {
   }
 }
 
-// Exact equality everywhere: the contract is bit-identical, not "close".
-void expect_identical(const RunResult& a, const RunResult& b, const char* label) {
-  SCOPED_TRACE(label);
-  ASSERT_EQ(a.final_parameters.size(), b.final_parameters.size());
-  for (std::size_t i = 0; i < a.final_parameters.size(); ++i)
-    ASSERT_EQ(a.final_parameters[i], b.final_parameters[i]) << "parameter " << i;
-  EXPECT_EQ(a.final_metric, b.final_metric);
-  EXPECT_EQ(a.virtual_duration_s, b.virtual_duration_s);
-  EXPECT_EQ(a.rounds, b.rounds);
-
-  ASSERT_EQ(a.eval_curve.size(), b.eval_curve.size());
-  for (std::size_t i = 0; i < a.eval_curve.size(); ++i) {
-    EXPECT_EQ(a.eval_curve[i].time, b.eval_curve[i].time);
-    EXPECT_EQ(a.eval_curve[i].round, b.eval_curve[i].round);
-    EXPECT_EQ(a.eval_curve[i].metric, b.eval_curve[i].metric);
-    EXPECT_EQ(a.eval_curve[i].train_loss, b.eval_curve[i].train_loss);
-  }
-
-  EXPECT_EQ(a.metrics.tasks_started(), b.metrics.tasks_started());
-  EXPECT_EQ(a.metrics.tasks_succeeded(), b.metrics.tasks_succeeded());
-  EXPECT_EQ(a.metrics.tasks_interrupted(), b.metrics.tasks_interrupted());
-  EXPECT_EQ(a.metrics.tasks_stale(), b.metrics.tasks_stale());
-  EXPECT_EQ(a.metrics.tasks_failed(), b.metrics.tasks_failed());
-  EXPECT_EQ(a.metrics.client_compute_s(), b.metrics.client_compute_s());
-  ASSERT_EQ(a.metrics.rounds().size(), b.metrics.rounds().size());
-  for (std::size_t i = 0; i < a.metrics.rounds().size(); ++i) {
-    EXPECT_EQ(a.metrics.rounds()[i].start, b.metrics.rounds()[i].start);
-    EXPECT_EQ(a.metrics.rounds()[i].end, b.metrics.rounds()[i].end);
-    EXPECT_EQ(a.metrics.rounds()[i].updates_aggregated, b.metrics.rounds()[i].updates_aggregated);
-    EXPECT_EQ(a.metrics.rounds()[i].mean_staleness, b.metrics.rounds()[i].mean_staleness);
-  }
-}
+// Exact equality everywhere (shared with the crash-resume tests): the
+// contract is bit-identical, not "close".
+using test::expect_identical_runs;
 
 // Each run rebuilds model and trace from the same seeds so the only varying
 // input is the thread count.
@@ -130,7 +102,7 @@ TEST(ParallelDeterminism, FedAvgBitIdenticalAcrossThreadCounts) {
     RunResult serial = h.run_avg(1, v);
     EXPECT_FALSE(serial.final_parameters.empty());
     for (std::size_t threads : {2u, 8u})
-      expect_identical(serial, h.run_avg(threads, v), v.name);
+      expect_identical_runs(serial, h.run_avg(threads, v), v.name);
   }
 }
 
@@ -141,7 +113,7 @@ TEST(ParallelDeterminism, FedBuffBitIdenticalAcrossThreadCounts) {
     EXPECT_FALSE(serial.final_parameters.empty());
     EXPECT_GT(serial.rounds, 0u);
     for (std::size_t threads : {2u, 8u})
-      expect_identical(serial, h.run_buff(threads, v), v.name);
+      expect_identical_runs(serial, h.run_buff(threads, v), v.name);
   }
 }
 
@@ -149,7 +121,7 @@ TEST(ParallelDeterminism, SerialRunsAreRepeatable) {
   // Baseline sanity: the harness itself is deterministic at a fixed thread
   // count; without this, the cross-thread assertions prove nothing.
   Harness h;
-  expect_identical(h.run_buff(1, kVariants[0]), h.run_buff(1, kVariants[0]), "repeat");
+  expect_identical_runs(h.run_buff(1, kVariants[0]), h.run_buff(1, kVariants[0]), "repeat");
 }
 
 }  // namespace

@@ -219,6 +219,21 @@ TEST(Rng, ForkDecorrelates) {
   EXPECT_LT(same, 2);
 }
 
+TEST(Rng, SerializeStateRoundTrip) {
+  Rng a(991);
+  for (int i = 0; i < 37; ++i) a.next_u64();  // advance into the stream
+  std::string state = a.serialize_state();
+  Rng b(12345);  // different seed: the snapshot overlays engine state only
+  b.deserialize_state(state);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DeserializeGarbageStateThrows) {
+  Rng r(1);
+  EXPECT_THROW(r.deserialize_state("not a valid engine state"), CheckError);
+  EXPECT_THROW(r.deserialize_state(""), CheckError);
+}
+
 TEST(Splitmix, AvalanchesOnAdjacentInputs) {
   auto a = splitmix64(1), b = splitmix64(2);
   EXPECT_NE(a, b);

@@ -1,0 +1,211 @@
+// Kill-and-resume e2e driver (DESIGN.md §12): runs a small synthetic FL
+// study (fedavg or fedbuff) with periodic checkpoints, optionally aborting
+// the process mid-run at a known round to simulate a crash, and optionally
+// resuming from the newest checkpoint. scripts/crash_resume_test.sh drives
+// three invocations — uninterrupted reference, crashed run, resumed run —
+// and asserts the resumed artifact matches the reference bit-for-bit
+// (tools/flint_compare.py at 0% tolerance, plus a parameter fingerprint).
+//
+// Flags:
+//   --algo fedavg|fedbuff   runner under test (default fedbuff)
+//   --rounds N              aggregation rounds (default 8)
+//   --threads N             training threads; results are --threads-invariant
+//   --seed N                run seed (default 7)
+//   --checkpoint-dir DIR    enable checkpoints into DIR
+//   --checkpoint-every N    checkpoint cadence in rounds (default 2)
+//   --resume                restore from the newest checkpoint in DIR
+//   --abort-after-round N   _Exit(137) after round N completes (0 = never)
+//   --faults                inject a deterministic executor-outage plan
+//   --artifact-out PATH     write the run artifact JSON here
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flint/core/run_artifact.h"
+#include "flint/data/synthetic_tasks.h"
+#include "flint/device/availability.h"
+#include "flint/device/device_catalog.h"
+#include "flint/device/session_generator.h"
+#include "flint/fl/fedavg.h"
+#include "flint/fl/fedbuff.h"
+#include "flint/net/bandwidth_model.h"
+#include "flint/sim/fault_injector.h"
+#include "flint/store/checkpoint.h"
+#include "flint/util/rng.h"
+
+namespace {
+
+// Exact 64-bit fingerprint of the final parameters, split into two 32-bit
+// halves so the artifact's double-valued scalars carry it losslessly.
+std::uint64_t param_fingerprint(const std::vector<float>& params) {
+  std::string bytes(reinterpret_cast<const char*>(params.data()),
+                    params.size() * sizeof(float));
+  return flint::core::fingerprint64(bytes);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace flint;
+
+  std::string algo = "fedbuff";
+  std::uint64_t rounds = 8;
+  std::size_t threads = 1;
+  std::uint64_t seed = 7;
+  std::string checkpoint_dir;
+  std::uint64_t checkpoint_every = 2;
+  bool resume = false;
+  std::uint64_t abort_after_round = 0;
+  bool faults = false;
+  std::string artifact_out;
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&](const char* flag) -> const char* {
+      if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) return argv[++i];
+      return nullptr;
+    };
+    if (const char* v = value("--algo")) {
+      algo = v;
+    } else if (const char* v = value("--rounds")) {
+      rounds = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--threads")) {
+      threads = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value("--seed")) {
+      seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--checkpoint-dir")) {
+      checkpoint_dir = v;
+    } else if (const char* v = value("--checkpoint-every")) {
+      checkpoint_every = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
+    } else if (const char* v = value("--abort-after-round")) {
+      abort_after_round = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      faults = true;
+    } else if (const char* v = value("--artifact-out")) {
+      artifact_out = v;
+    } else {
+      std::cerr << "crash_resume_driver: unknown or incomplete flag " << argv[i] << "\n";
+      return 2;
+    }
+  }
+  if ((algo != "fedavg" && algo != "fedbuff") || threads == 0 || rounds == 0) {
+    std::cerr << "crash_resume_driver: bad --algo/--threads/--rounds\n";
+    return 2;
+  }
+
+  // Deterministic synthetic study: everything below derives from --seed, so
+  // reference / crashed / resumed invocations see the same world.
+  util::Rng rng(seed);
+  auto catalog = device::DeviceCatalog::standard();
+  device::SessionGeneratorConfig sessions;
+  sessions.clients = 120;
+  sessions.days = 2;
+  sessions.mean_session_s = 1800.0;
+  auto log = device::generate_sessions(sessions, catalog, rng);
+  device::AvailabilityCriteria criteria;
+  criteria.require_wifi = true;
+  auto trace = device::build_availability(log, criteria, catalog);
+
+  data::SyntheticTaskConfig task_cfg;
+  task_cfg.domain = data::Domain::kAds;
+  task_cfg.clients = 120;
+  task_cfg.mean_records = 40.0;
+  task_cfg.max_records = 400;
+  task_cfg.dense_dim = 12;
+  task_cfg.test_examples = 1000;
+  auto task = data::make_synthetic_task(task_cfg, rng);
+  auto model = task.make_model(rng);
+
+  net::PufferLikeBandwidthModel bandwidth;
+  fl::RunInputs inputs;
+  inputs.threads = threads;
+  inputs.dataset = &task.train;
+  inputs.dense_dim = task.batch_dense_dim();
+  inputs.model_template = model.get();
+  inputs.trace = &trace;
+  inputs.catalog = &catalog;
+  inputs.bandwidth = &bandwidth;
+  inputs.test = &task.test;
+  inputs.domain = task.config.domain;
+  inputs.local.loss = task.loss_kind();
+  inputs.duration = fl::TaskDurationModel::from_spec(ml::model_spec('A'), 1);
+  inputs.max_rounds = rounds;
+  inputs.eval_every_rounds = 2;
+  inputs.reparticipation_gap_s = 600.0;
+  inputs.seed = seed;
+  if (faults) {
+    // Same seed => same outage plan; the crash interacts with real executor
+    // downtime exactly as an uninterrupted run would.
+    sim::FaultPlanConfig fault_cfg;
+    fault_cfg.mean_time_between_failures_s = 6.0 * 3600.0;
+    fault_cfg.mean_outage_s = 900.0;
+    fault_cfg.horizon_s = 24.0 * 3600.0;
+    util::Rng fault_rng = util::derive_stream(seed, 0xFA17ull);
+    inputs.outages = sim::plan_faults(inputs.leader.executor_count, fault_cfg, fault_rng);
+  }
+
+  std::unique_ptr<store::CheckpointStore> checkpoints;
+  if (!checkpoint_dir.empty()) {
+    checkpoints = std::make_unique<store::CheckpointStore>(checkpoint_dir);
+    inputs.leader.checkpoint_every_rounds = checkpoint_every;
+    inputs.leader.checkpoint_store = checkpoints.get();
+    if (resume) inputs.resume_from = checkpoints.get();
+  }
+  if (abort_after_round > 0) {
+    inputs.round_hook = [abort_after_round](std::uint64_t round) {
+      if (round >= abort_after_round) {
+        // Simulated crash: no destructors, no flushes beyond this point —
+        // exactly what a SIGKILL mid-run leaves behind. 137 = 128 + SIGKILL.
+        std::cout << "crash_resume_driver: aborting after round " << round << "\n"
+                  << std::flush;
+        std::_Exit(137);
+      }
+    };
+  }
+
+  fl::RunResult result;
+  if (algo == "fedavg") {
+    fl::SyncConfig cfg;
+    cfg.inputs = inputs;
+    cfg.cohort_size = 8;
+    cfg.overcommit = 1.3;
+    cfg.round_deadline_s = 2.0 * 3600.0;
+    result = fl::run_fedavg(cfg);
+  } else {
+    fl::AsyncConfig cfg;
+    cfg.inputs = inputs;
+    cfg.buffer_size = 6;
+    cfg.max_concurrency = 16;
+    cfg.max_staleness = 20;
+    result = fl::run_fedbuff(cfg);
+  }
+
+  std::uint64_t fp = param_fingerprint(result.final_parameters);
+  std::cout << "algo=" << algo << " rounds=" << result.rounds
+            << " final_metric=" << result.final_metric
+            << " resumed_from_round=" << result.resumed_from_round
+            << " resume_count=" << result.resume_count << " param_fp=" << std::hex << fp
+            << std::dec << "\n";
+
+  if (!artifact_out.empty()) {
+    core::RunArtifactInputs artifact;
+    artifact.run = &result;
+    artifact.name = "crash_resume_driver";
+    artifact.metric_name = task.metric_name();
+    // --threads and the crash/resume lineage must not change the config
+    // fingerprint: the compare step diffs a resumed run against a fresh one.
+    artifact.config_text = "crash_resume_driver: algo=" + algo +
+                           " rounds=" + std::to_string(rounds) +
+                           " seed=" + std::to_string(seed) +
+                           (faults ? " faults=on" : " faults=off");
+    artifact.scalars = {
+        {"param_fingerprint_lo", static_cast<double>(fp & 0xFFFFFFFFull)},
+        {"param_fingerprint_hi", static_cast<double>(fp >> 32)},
+    };
+    core::write_run_artifact(artifact_out, artifact);
+  }
+  return 0;
+}

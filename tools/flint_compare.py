@@ -37,7 +37,11 @@ import math
 import sys
 
 # Leaves that measure the host machine rather than the simulated system.
-IGNORED_LEAVES = {"wall_time_s"}
+# wall_time_s varies run-to-run by construction; the recovery-lineage fields
+# record *how* a result was produced (fresh vs resumed), not *what* it is —
+# the crash-resume e2e compares a resumed run against an uninterrupted
+# reference at 0% tolerance, so they must not participate in the diff.
+IGNORED_LEAVES = {"wall_time_s", "resumed_from_round", "resume_count"}
 # Telemetry series that describe the execution host, not the simulation:
 # thread-pool occupancy and parallel-batch counters vary with --threads and
 # scheduling even though every simulated quantity is bit-identical.

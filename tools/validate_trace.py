@@ -225,6 +225,13 @@ def validate_artifact(path: str) -> None:
         for key in SYSTEM_FLOAT_KEYS:
             if not finite(system.get(key)):
                 fail(f"{path}: system.{key} must be finite, got {system.get(key)!r}")
+        for key in ("resumed_from_round", "resume_count"):
+            v = system.get(key)
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                fail(f"{path}: system.{key} must be a non-negative integer, got {v!r}")
+        rc, rfr = system.get("resume_count"), system.get("resumed_from_round")
+        if rc == 0 and isinstance(rfr, int) and rfr != 0:
+            fail(f"{path}: resumed_from_round {rfr} set on a fresh run (resume_count 0)")
 
     telemetry = doc.get("telemetry")
     if not isinstance(telemetry, list):
