@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# One-shot static-analysis driver (DESIGN.md §13): runs the full stack in
+# dependency order — lint rules and their self-test, the determinism
+# analyzer's corpus self-test and its zero-findings gate over src/, then the
+# Clang thread-safety build where a clang++ exists.
+#
+# Usage:
+#   scripts/run_analysis.sh              # everything
+#   scripts/run_analysis.sh --no-build   # skip the thread-safety build
+#
+# Exit codes: 0 all gates clean (a skipped thread-safety build still counts
+# as clean — it is reported), 1 any gate failed.
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+PYTHON="${PYTHON:-python3}"
+RUN_BUILD=1
+if [ "${1:-}" = "--no-build" ]; then
+  RUN_BUILD=0
+fi
+
+failures=0
+run_gate() {
+  local name="$1"
+  shift
+  echo "== $name =="
+  if "$@"; then
+    echo "== $name: ok =="
+  else
+    echo "== $name: FAILED =="
+    failures=$((failures + 1))
+  fi
+  echo
+}
+
+run_gate "flint_lint (src bench examples)" \
+  "$PYTHON" tools/flint_lint.py src bench examples
+run_gate "flint_lint self-test (lint_corpus)" \
+  "$PYTHON" tools/flint_lint_test.py
+run_gate "flint_analyze self-test (analyze_corpus)" \
+  "$PYTHON" tools/flint_analyze.py --self-test
+run_gate "flint_analyze (src)" \
+  "$PYTHON" tools/flint_analyze.py src
+
+if [ "$RUN_BUILD" -eq 1 ]; then
+  echo "== thread-safety build =="
+  scripts/run_thread_safety.sh
+  rc=$?
+  if [ "$rc" -eq 0 ]; then
+    echo "== thread-safety build: ok =="
+  elif [ "$rc" -eq 77 ]; then
+    echo "== thread-safety build: skipped (no clang++) =="
+  else
+    echo "== thread-safety build: FAILED =="
+    failures=$((failures + 1))
+  fi
+  echo
+fi
+
+if [ "$failures" -ne 0 ]; then
+  echo "run_analysis.sh: $failures gate(s) FAILED"
+  exit 1
+fi
+echo "run_analysis.sh: all gates clean"

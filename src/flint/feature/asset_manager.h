@@ -4,6 +4,12 @@
 // vocabulary being pulled from the cloud and cached. AssetManager models
 // that lifecycle: versioned assets published in the cloud, pulled on demand,
 // cached on device under a storage budget, refreshed when stale.
+//
+// Concurrency contract: single-threaded by design. Asset pulls happen inside
+// a simulated client task, and each simulated device owns its manager; no
+// state here is shared across worker threads, so these classes carry no
+// capabilities on purpose. Anything promoted to cross-thread use must gain a
+// util::Mutex plus FLINT_GUARDED_BY annotations (util/thread_annotations.h).
 #pragma once
 
 #include <cstdint>

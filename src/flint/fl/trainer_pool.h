@@ -11,6 +11,12 @@
 // shared Rng — and the runners join futures / reduce updates in fixed task
 // order. Together those make the run a pure function of the inputs: at any
 // `threads` value the results are bit-identical, only wall time changes.
+//
+// Concurrency contract: TrainerPool itself holds no mutex. Each trainer
+// replica is owned by exactly one worker thread (trainer_for indexes by
+// ThreadPool::worker_index()), so replicas are never shared; the only
+// cross-thread state lives inside util::ThreadPool, whose members carry
+// thread-safety capabilities (see util/thread_annotations.h).
 #pragma once
 
 #include <cstdint>

@@ -121,15 +121,31 @@ ClientLedgerSummary ClientLedger::summary(std::size_t top_k) const {
   for (std::size_t i = 0; i < out.by_executor.size(); ++i)
     out.by_executor[i].key = "executor-" + std::to_string(i);
 
-  std::vector<const ClientLedgerEntry*> ranked;
-  ranked.reserve(entries_.size());
+  // Fold in ascending client-id order, never unordered_map iteration order.
+  // The rollups accumulate doubles, and float addition does not commute at
+  // the bit level: folding in hash order would make the summary depend on
+  // insertion history — a fresh run (task-completion order) and a resumed
+  // run (restore_account in client-id order) would produce artifacts that
+  // differ in the last ulp, breaking the bit-identical resume contract.
+  std::vector<const ClientLedgerEntry*> ordered;
+  ordered.reserve(entries_.size());
   for (const auto& [id, e] : entries_) {
     if (e.tasks_finished() == 0) continue;  // registered but never ran
-    fold(out.totals, e);
-    fold(out.by_tier[std::min<std::size_t>(e.tier, out.by_tier.size() - 1)], e);
-    fold(out.by_cohort[std::min<std::size_t>(e.cohort, out.by_cohort.size() - 1)], e);
-    fold(out.by_executor[e.executor], e);
-    ranked.push_back(&e);
+    ordered.push_back(&e);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const ClientLedgerEntry* a, const ClientLedgerEntry* b) {
+              return a->client_id < b->client_id;
+            });
+
+  std::vector<const ClientLedgerEntry*> ranked;
+  ranked.reserve(ordered.size());
+  for (const ClientLedgerEntry* e : ordered) {
+    fold(out.totals, *e);
+    fold(out.by_tier[std::min<std::size_t>(e->tier, out.by_tier.size() - 1)], *e);
+    fold(out.by_cohort[std::min<std::size_t>(e->cohort, out.by_cohort.size() - 1)], *e);
+    fold(out.by_executor[e->executor], *e);
+    ranked.push_back(e);
   }
   // Drop trailing executors with no work so sparse assignments stay compact.
   while (!out.by_executor.empty() && out.by_executor.back().clients == 0)

@@ -162,14 +162,14 @@ std::string MetricSample::to_jsonl(double virtual_time_s) const {
 }
 
 Counter& MetricRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return *slot;
@@ -177,19 +177,19 @@ Gauge& MetricRegistry::gauge(const std::string& name) {
 
 HistogramMetric& MetricRegistry::histogram(const std::string& name, double lo, double hi,
                                            std::size_t buckets) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<HistogramMetric>(lo, hi, buckets);
   return *slot;
 }
 
 std::size_t MetricRegistry::series_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return counters_.size() + gauges_.size() + histograms_.size();
 }
 
 std::vector<MetricSample> MetricRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<MetricSample> out;
   out.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& [name, c] : counters_) {

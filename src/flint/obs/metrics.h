@@ -13,9 +13,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "flint/util/thread_annotations.h"
 
 namespace flint::obs {
 
@@ -103,22 +104,24 @@ double histogram_quantile(double q, double lo, double hi,
 /// sites can re-resolve after a telemetry swap without duplicating series.
 class MetricRegistry {
  public:
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
+  Counter& counter(const std::string& name) FLINT_EXCLUDES(mu_);
+  Gauge& gauge(const std::string& name) FLINT_EXCLUDES(mu_);
   /// Requesting an existing histogram ignores the shape arguments.
   HistogramMetric& histogram(const std::string& name, double lo, double hi,
-                             std::size_t buckets);
+                             std::size_t buckets) FLINT_EXCLUDES(mu_);
 
-  std::size_t series_count() const;
+  std::size_t series_count() const FLINT_EXCLUDES(mu_);
 
   /// Point-in-time copy of every series, sorted by name.
-  std::vector<MetricSample> snapshot() const;
+  std::vector<MetricSample> snapshot() const FLINT_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;  ///< guards the maps; recording never takes it
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+  // mu_ guards handle creation and snapshots only; recording goes through the
+  // returned handles' atomics and never takes it.
+  mutable util::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ FLINT_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ FLINT_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_ FLINT_GUARDED_BY(mu_);
 };
 
 }  // namespace flint::obs

@@ -36,12 +36,12 @@ void Telemetry::snapshot_now() {
   if (!config_.metrics_enabled) return;
   double now = virtual_now();
   auto samples = metrics_.snapshot();
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  util::MutexLock lock(snapshot_mu_);
   for (const auto& s : samples) snapshot_rows_.push_back(s.to_jsonl(now));
 }
 
 std::size_t Telemetry::snapshot_row_count() const {
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  util::MutexLock lock(snapshot_mu_);
   return snapshot_rows_.size();
 }
 
@@ -50,7 +50,7 @@ bool Telemetry::write_metrics_jsonl(const std::string& path) {
   snapshot_now();  // final state always lands in the file
   std::ofstream out(path);
   FLINT_CHECK_MSG(out.good(), "cannot write " << path);
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  util::MutexLock lock(snapshot_mu_);
   for (const auto& row : snapshot_rows_) out << row << "\n";
   return true;
 }

@@ -58,13 +58,13 @@ class Telemetry {
   void maybe_snapshot();
 
   /// Unconditionally append a snapshot at the current virtual time.
-  void snapshot_now();
+  void snapshot_now() FLINT_EXCLUDES(snapshot_mu_);
 
-  std::size_t snapshot_row_count() const;
+  std::size_t snapshot_row_count() const FLINT_EXCLUDES(snapshot_mu_);
 
   /// Write accumulated snapshot rows plus one final snapshot as JSONL.
   /// Returns false (and writes nothing) when metrics are disabled.
-  bool write_metrics_jsonl(const std::string& path);
+  bool write_metrics_jsonl(const std::string& path) FLINT_EXCLUDES(snapshot_mu_);
 
   /// Write the Chrome trace-event JSON. Returns false (and writes nothing)
   /// when tracing is disabled.
@@ -78,9 +78,11 @@ class Telemetry {
   MetricRegistry metrics_;
   Tracer tracer_;
   std::atomic<double> virtual_now_{0.0};
+  // Touched only by the single-threaded event pump (maybe_snapshot), so it
+  // needs no capability; the rows themselves are appended under the mutex.
   double next_snapshot_vt_ = 0.0;
-  mutable std::mutex snapshot_mu_;  ///< guards snapshot_rows_
-  std::vector<std::string> snapshot_rows_;
+  mutable util::Mutex snapshot_mu_;
+  std::vector<std::string> snapshot_rows_ FLINT_GUARDED_BY(snapshot_mu_);
 };
 
 /// The ambient telemetry, or nullptr when none is installed.

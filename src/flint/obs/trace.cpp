@@ -73,7 +73,7 @@ void Tracer::end_span(const SpanToken& token, double virtual_now_s, const char* 
   // The virtual clock is monotone but a span can close in the same instant it
   // opened (callbacks are instantaneous in virtual time).
   e.virtual_dur_s = std::max(0.0, virtual_now_s - token.virtual_start_s);
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (events_.size() >= max_events_) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -82,12 +82,12 @@ void Tracer::end_span(const SpanToken& token, double virtual_now_s, const char* 
 }
 
 std::size_t Tracer::event_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return events_.size();
 }
 
 void Tracer::write_chrome_trace(std::ostream& os) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   os.precision(12);
   os << "{\"traceEvents\":[\n";
   write_process_name(os, 1, "wall clock");

@@ -17,10 +17,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "flint/util/thread_annotations.h"
 
 namespace flint::obs {
 
@@ -58,22 +59,22 @@ class Tracer {
   // outside obs/). begin_span returns an inactive token when tracing is off.
   SpanToken begin_span(double virtual_now_s);
   void end_span(const SpanToken& token, double virtual_now_s, const char* name,
-                const char* category);
+                const char* category) FLINT_EXCLUDES(mu_);
 
-  std::size_t event_count() const;
+  std::size_t event_count() const FLINT_EXCLUDES(mu_);
   /// Spans discarded after the buffer filled.
   std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
 
   /// Chrome trace-event JSON ({"traceEvents":[...]}), loadable in Perfetto.
-  void write_chrome_trace(std::ostream& os) const;
+  void write_chrome_trace(std::ostream& os) const FLINT_EXCLUDES(mu_);
 
  private:
   std::size_t max_events_;
   std::atomic<bool> enabled_{true};
   std::atomic<std::uint64_t> dropped_{0};
   std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mu_;  ///< guards events_
-  std::vector<TraceEvent> events_;
+  mutable util::Mutex mu_;
+  std::vector<TraceEvent> events_ FLINT_GUARDED_BY(mu_);
 };
 
 }  // namespace flint::obs

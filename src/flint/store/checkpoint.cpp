@@ -354,10 +354,12 @@ CheckpointStore::CheckpointStore(std::string dir) : dir_(std::move(dir)) {
 std::int64_t CheckpointStore::write(const SimCheckpoint& checkpoint) {
   // Cold, potentially multi-threaded path: use the per-call free functions
   // rather than cached handles (which are single-threaded by design).
+  // flint-analyze: allow(nondet-source): wall-clock write latency feeds an
+  // observability histogram only, never the simulated state.
   auto wall_start = std::chrono::steady_clock::now();
   std::int64_t seq;
   {
-    std::lock_guard<std::mutex> lock(seq_mutex_);
+    util::MutexLock lock(seq_mutex_);
     seq = next_seq_++;
   }
   auto blob = serialize_checkpoint(checkpoint);
@@ -380,6 +382,7 @@ std::int64_t CheckpointStore::write(const SimCheckpoint& checkpoint) {
     FLINT_CHECK_MSG(false, "checkpoint write failed (disk full?): " << tmp_path.string());
   }
   fs::rename(tmp_path, final_path);  // atomic publish
+  // flint-analyze: allow(nondet-source): same observability-only latency stamp.
   double wall_us = std::chrono::duration<double, std::micro>(
                        std::chrono::steady_clock::now() - wall_start)
                        .count();

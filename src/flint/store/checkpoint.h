@@ -23,11 +23,12 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "flint/util/thread_annotations.h"
 
 namespace flint::store {
 
@@ -188,7 +189,7 @@ class CheckpointStore {
   /// CheckError (and removes the partial file) if the write cannot be
   /// completed, e.g. on a full disk — a truncated checkpoint must never be
   /// published.
-  std::int64_t write(const SimCheckpoint& checkpoint);
+  std::int64_t write(const SimCheckpoint& checkpoint) FLINT_EXCLUDES(seq_mutex_);
 
   /// Newest checkpoint that passes integrity verification, or nullopt when
   /// none does. Unreadable or corrupt files are skipped with a warning.
@@ -204,8 +205,8 @@ class CheckpointStore {
 
  private:
   std::string dir_;
-  std::mutex seq_mutex_;  ///< guards next_seq_ across writer threads
-  std::int64_t next_seq_ = 1;
+  util::Mutex seq_mutex_;  ///< guards next_seq_ across writer threads
+  std::int64_t next_seq_ FLINT_GUARDED_BY(seq_mutex_) = 1;
 };
 
 std::vector<char> serialize_checkpoint(const SimCheckpoint& c);

@@ -12,6 +12,8 @@ namespace {
 // "[2026-08-05T12:34:56.789]" — UTC wall clock, millisecond precision.
 std::string timestamp_utc() {
   using namespace std::chrono;
+  // flint-analyze: allow(nondet-source): log-line timestamps are diagnostic
+  // wall-clock output and never feed simulated results or artifacts.
   const auto now = system_clock::now();
   const std::time_t secs = system_clock::to_time_t(now);
   const auto ms = duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000;
@@ -36,14 +38,14 @@ Logger& Logger::instance() {
 }
 
 void Logger::set_sink(std::ostream* sink) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   sink_ = sink;
 }
 
 void Logger::log(LogLevel level, const std::string& msg) {
   static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
   if (!enabled(level)) return;  // callers may bypass the macros
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Unbuffered stderr by default for every level: diagnostic output must
   // survive a killed process (debug logs are for exactly those situations).
   std::ostream& out = sink_ != nullptr ? *sink_ : std::cerr;

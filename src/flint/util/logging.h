@@ -9,9 +9,10 @@
 
 #include <atomic>
 #include <iosfwd>
-#include <mutex>
 #include <sstream>
 #include <string>
+
+#include "flint/util/thread_annotations.h"
 
 namespace flint::util {
 
@@ -33,17 +34,17 @@ class Logger {
 
   /// Redirect output (tests capture into an ostringstream). nullptr restores
   /// the default sink, unbuffered stderr. The sink must outlive its use.
-  void set_sink(std::ostream* sink);
+  void set_sink(std::ostream* sink) FLINT_EXCLUDES(mu_);
 
   /// Emit a line if `level` passes the configured threshold. Serialized:
   /// concurrent calls never interleave within a line.
-  void log(LogLevel level, const std::string& msg);
+  void log(LogLevel level, const std::string& msg) FLINT_EXCLUDES(mu_);
 
  private:
   Logger() = default;
   std::atomic<LogLevel> level_{LogLevel::kWarn};
-  mutable std::mutex mu_;           ///< guards emission and sink_
-  std::ostream* sink_ = nullptr;    ///< nullptr = stderr
+  mutable Mutex mu_;  ///< serializes emission
+  std::ostream* sink_ FLINT_GUARDED_BY(mu_) = nullptr;  ///< nullptr = stderr
 };
 
 namespace detail {

@@ -1,0 +1,118 @@
+// Clang thread-safety annotations plus a capability-annotated mutex wrapper.
+//
+// FLINT's determinism contract (DESIGN.md §6, §11) leans on a small number of
+// mutex-protected structures: the thread-pool queue, the metric registry, the
+// tracer buffer, telemetry snapshot rows, the checkpoint sequence counter, and
+// the logging sink. Each of those now declares *in the type system* which
+// capability guards which field (FLINT_GUARDED_BY), and the dedicated
+// `threadsafety` build profile (cmake --preset threadsafety, clang-only) turns
+// clang's `-Wthread-safety` analysis into a build-time gate: an unguarded
+// access to a guarded field, a missing unlock, or a lock-order violation is a
+// compile error before any simulator run.
+//
+// Under non-clang compilers (the default gcc build) every macro expands to
+// nothing and util::Mutex behaves exactly like std::mutex — zero overhead,
+// zero behavior change. See https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+// for the attribute semantics.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define FLINT_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define FLINT_THREAD_ANNOTATION_(x)
+#endif
+
+/// Marks a type as a capability (lockable); the string names it in diagnostics.
+#define FLINT_CAPABILITY(x) FLINT_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define FLINT_SCOPED_CAPABILITY FLINT_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field may only be read/written while holding the given capability.
+#define FLINT_GUARDED_BY(x) FLINT_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer field: the *pointee* is guarded by the given capability.
+#define FLINT_PT_GUARDED_BY(x) FLINT_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the capability to be held on entry (and keeps it held).
+#define FLINT_REQUIRES(...) FLINT_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on exit.
+#define FLINT_ACQUIRE(...) FLINT_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry, released on exit).
+#define FLINT_RELEASE(...) FLINT_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function attempts the acquire; first arg is the success return value.
+#define FLINT_TRY_ACQUIRE(...) FLINT_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock prevention for self-locking
+/// public methods).
+#define FLINT_EXCLUDES(...) FLINT_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define FLINT_RETURN_CAPABILITY(x) FLINT_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: the function body is exempt from analysis (its contract is
+/// still enforced at call sites). Use only with a justifying comment.
+#define FLINT_NO_THREAD_SAFETY_ANALYSIS FLINT_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace flint::util {
+
+/// std::mutex with a thread-safety capability attached, so fields can be
+/// declared FLINT_GUARDED_BY(mu_) and clang can prove every access is locked.
+class FLINT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FLINT_ACQUIRE() { mu_.lock(); }
+  void unlock() FLINT_RELEASE() { mu_.unlock(); }
+  bool try_lock() FLINT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex (the std::lock_guard shape, visible to the analysis).
+class FLINT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) FLINT_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() FLINT_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable that waits on a util::Mutex. wait() atomically releases
+/// and reacquires the mutex; to the analysis the capability is held across the
+/// call (true at every sequence point the caller can observe), so guarded
+/// fields remain accessible in the caller's wait loop:
+///
+///   MutexLock lock(mu_);
+///   while (!ready_) cv_.wait(mu_);   // ready_ is FLINT_GUARDED_BY(mu_)
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // The release/reacquire inside std::condition_variable_any is invisible to
+  // the caller; analysis of this body is disabled so the temporary unlock is
+  // not reported as releasing a capability the function must hold on exit.
+  void wait(Mutex& mu) FLINT_REQUIRES(mu) FLINT_NO_THREAD_SAFETY_ANALYSIS { cv_.wait(mu); }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace flint::util

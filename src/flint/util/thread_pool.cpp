@@ -27,7 +27,7 @@ ThreadPool::ThreadPool(std::size_t threads, ThreadPoolObserver observer)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -39,7 +39,7 @@ std::size_t ThreadPool::worker_index() { return tls_worker_index; }
 const ThreadPool* ThreadPool::current_pool() { return tls_pool; }
 
 std::size_t ThreadPool::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 
@@ -51,7 +51,7 @@ double ThreadPool::busy_seconds(std::size_t i) const {
 void ThreadPool::enqueue(std::function<void()> fn) {
   std::size_t depth;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     FLINT_CHECK_MSG(!stop_, "submit on a stopping ThreadPool");
     queue_.push_back(std::move(fn));
     depth = queue_.size();
@@ -69,8 +69,8 @@ void ThreadPool::worker_loop(std::size_t index) {
     std::size_t depth;
     std::size_t busy;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.wait(mu_);
       if (queue_.empty()) return;  // stop_ set and queue drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -79,8 +79,11 @@ void ThreadPool::worker_loop(std::size_t index) {
     }
     if (observer_.on_queue_depth) observer_.on_queue_depth(depth);
     if (observer_.on_busy_workers) observer_.on_busy_workers(busy);
+    // flint-analyze: allow(nondet-source): wall-clock observability boundary —
+    // per-worker busy seconds feed util.pool.* gauges, never simulated results.
     auto start = std::chrono::steady_clock::now();
     task();
+    // flint-analyze: allow(nondet-source): same wall-clock gauge as above.
     double spent =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
@@ -88,7 +91,7 @@ void ThreadPool::worker_loop(std::size_t index) {
     busy_s_[index]->store(total, std::memory_order_relaxed);
     if (observer_.on_worker_busy) observer_.on_worker_busy(index, total);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       busy = --busy_;
     }
     if (observer_.on_busy_workers) observer_.on_busy_workers(busy);

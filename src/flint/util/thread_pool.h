@@ -15,18 +15,17 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
 #include "flint/util/check.h"
+#include "flint/util/thread_annotations.h"
 
 namespace flint::util {
 
@@ -76,21 +75,21 @@ class ThreadPool {
   static const ThreadPool* current_pool();
 
   /// Tasks queued but not yet started.
-  std::size_t queue_depth() const;
+  std::size_t queue_depth() const FLINT_EXCLUDES(mu_);
 
   /// Cumulative wall seconds worker `i` has spent inside task bodies.
   double busy_seconds(std::size_t i) const;
 
  private:
-  void enqueue(std::function<void()> fn);
-  void worker_loop(std::size_t index);
+  void enqueue(std::function<void()> fn) FLINT_EXCLUDES(mu_);
+  void worker_loop(std::size_t index) FLINT_EXCLUDES(mu_);
 
   ThreadPoolObserver observer_;
-  mutable std::mutex mu_;  ///< guards queue_, stop_, busy_
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
-  std::size_t busy_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ FLINT_GUARDED_BY(mu_);
+  bool stop_ FLINT_GUARDED_BY(mu_) = false;
+  std::size_t busy_ FLINT_GUARDED_BY(mu_) = 0;
   // Slot i is written only by worker i and read by anyone, so plain atomic
   // store/load suffices (unique_ptr because atomics are not movable).
   std::vector<std::unique_ptr<std::atomic<double>>> busy_s_;

@@ -284,6 +284,63 @@ TEST(ObsLedger, UnregisteredClientsStillReconcileInTotals) {
   EXPECT_EQ(tier_failed, 1u);
 }
 
+TEST(ObsLedger, SummaryIsInsertionOrderInvariant) {
+  // Rollup doubles must fold in client-id order, not hash-map insertion
+  // order: a fresh run populates the ledger in task-completion order while a
+  // resumed run restores accounts in client-id order, and float addition is
+  // not bitwise-commutative. Feed identical accounts in two different orders
+  // and require bit-identical summaries.
+  // Values chosen to be non-representable sums so reordering actually
+  // perturbs the low bits if folding order leaks through.
+  std::vector<std::uint64_t> ids;
+  for (std::uint64_t c = 0; c < 64; ++c) ids.push_back(c);
+
+  auto build = [&](const std::vector<std::uint64_t>& order) {
+    ClientLedger ledger;
+    for (std::uint64_t c : order) {
+      ledger.register_client(c, static_cast<std::uint32_t>(c % 3),
+                             static_cast<std::uint32_t>(c % 3),
+                             static_cast<std::uint32_t>(c % 4));
+      ledger.on_task_finished(c, LedgerOutcome::kSucceeded, 0.1 + 0.007 * c, 100 + c);
+      ledger.on_task_finished(c, LedgerOutcome::kStale, 1.0 / (1.0 + c), 50);
+    }
+    return ledger.summary(/*top_k=*/8);
+  };
+
+  std::vector<std::uint64_t> reversed(ids.rbegin(), ids.rend());
+  std::vector<std::uint64_t> shuffled = ids;
+  // Deterministic shuffle (no std::random_device): multiplicative stride.
+  for (std::size_t i = 0; i < shuffled.size(); ++i)
+    std::swap(shuffled[i], shuffled[(i * 37 + 11) % shuffled.size()]);
+
+  auto a = build(ids);
+  auto b = build(reversed);
+  auto c = build(shuffled);
+
+  auto expect_bits_equal = [](const LedgerRollup& x, const LedgerRollup& y) {
+    EXPECT_EQ(x.key, y.key);
+    EXPECT_EQ(x.clients, y.clients);
+    // Bit-identical, not approximately equal: memcmp via exact comparison.
+    EXPECT_EQ(x.compute_s, y.compute_s);
+    EXPECT_EQ(x.wasted_compute_s, y.wasted_compute_s);
+    EXPECT_EQ(x.bytes_down, y.bytes_down);
+    EXPECT_EQ(x.bytes_up, y.bytes_up);
+  };
+  expect_bits_equal(a.totals, b.totals);
+  expect_bits_equal(a.totals, c.totals);
+  ASSERT_EQ(a.by_tier.size(), b.by_tier.size());
+  for (std::size_t i = 0; i < a.by_tier.size(); ++i) {
+    expect_bits_equal(a.by_tier[i], b.by_tier[i]);
+    expect_bits_equal(a.by_tier[i], c.by_tier[i]);
+  }
+  ASSERT_EQ(a.by_executor.size(), b.by_executor.size());
+  for (std::size_t i = 0; i < a.by_executor.size(); ++i)
+    expect_bits_equal(a.by_executor[i], b.by_executor[i]);
+  ASSERT_EQ(a.stragglers.size(), b.stragglers.size());
+  for (std::size_t i = 0; i < a.stragglers.size(); ++i)
+    EXPECT_EQ(a.stragglers[i].client_id, b.stragglers[i].client_id);
+}
+
 TEST(ObsLedger, StragglersRankedByWastedCompute) {
   ClientLedger ledger;
   for (std::uint64_t c = 0; c < 20; ++c)

@@ -1,0 +1,13 @@
+// Corpus: float-accum must fire. A direct hash-order double fold: the sum's
+// low bits depend on iteration order, which depends on insertion history —
+// a fresh run and a resumed run diverge in the last ulp.
+#include <cstdint>
+#include <unordered_map>
+
+double total_bad(const std::unordered_map<std::uint64_t, double>& um) {
+  double sum = 0.0;
+  for (const auto& [id, v] : um) {
+    sum += v;
+  }
+  return sum;
+}

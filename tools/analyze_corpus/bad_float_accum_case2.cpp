@@ -1,0 +1,23 @@
+// Corpus: float-accum must fire one call deep. The accumulation hides inside
+// a same-file helper (the ClientLedger fold() shape); the loop still folds
+// doubles in hash order.
+#include <cstdint>
+#include <unordered_map>
+
+struct Roll {
+  double compute_s = 0.0;
+  std::uint64_t n = 0;
+};
+
+void fold(Roll& roll, double v) {
+  roll.compute_s += v;
+  ++roll.n;
+}
+
+Roll total_bad2(const std::unordered_map<std::uint64_t, double>& um) {
+  Roll roll;
+  for (const auto& [id, v] : um) {
+    fold(roll, v);
+  }
+  return roll;
+}

@@ -1,0 +1,11 @@
+// Corpus: nondet-source must fire. Wall-clock and hardware-entropy reads in
+// sim-side code make results a function of the machine, not the seed.
+#include <chrono>
+#include <random>
+
+double sample_duration_bad() {
+  auto t0 = std::chrono::steady_clock::now();
+  std::random_device rd;
+  return static_cast<double>(rd()) +
+         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}

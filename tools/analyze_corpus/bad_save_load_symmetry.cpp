@@ -1,0 +1,33 @@
+// Corpus: save-load-symmetry must fire. The on-disk format has no per-field
+// tags, so the writer's and reader's field walks ARE the format; here fields
+// b and c silently swap positions on disk.
+#include <cstdint>
+
+struct Rec {
+  std::uint64_t a = 0;
+  double b = 0.0;
+  std::uint64_t c = 0;
+};
+
+struct Writer {
+  void u64(std::uint64_t) {}
+  void f64(double) {}
+};
+struct Reader {
+  std::uint64_t u64() { return 0; }
+  double f64() { return 0.0; }
+};
+
+void serialize_rec(Writer& w, const Rec& r) {
+  w.u64(r.a);
+  w.f64(r.b);
+  w.u64(r.c);
+}
+
+Rec deserialize_rec(Reader& rd) {
+  Rec r;
+  r.a = rd.u64();
+  r.c = rd.u64();  // reads c where the writer put b
+  r.b = rd.f64();
+  return r;
+}

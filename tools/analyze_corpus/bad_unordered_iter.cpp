@@ -1,0 +1,22 @@
+// Corpus: unordered-iter must fire. Hash-order iteration feeding ordered
+// sinks — the appended vector and the streamed text both inherit
+// unordered_map iteration order, which depends on libstdc++ version, load
+// factor, and insertion history.
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::vector<std::string> names_bad(const std::unordered_map<int, std::string>& um) {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : um) {
+    out.push_back(v);  // never sorted afterwards: hash order becomes the order
+  }
+  return out;
+}
+
+void dump_bad(std::ostringstream& os, const std::unordered_map<int, std::string>& um) {
+  for (const auto& [k, v] : um) {
+    os << k << "=" << v << "\n";  // emitted order is hash-dependent
+  }
+}

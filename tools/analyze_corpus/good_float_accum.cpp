@@ -1,0 +1,30 @@
+// Corpus: float-accum must stay silent. Sorted-key folding and integer
+// accumulation (which commutes bitwise) are both fine.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+// Collect keys, sort, accumulate in key order: the sanctioned fold.
+double total_good(const std::unordered_map<std::uint64_t, double>& um) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(um.size());
+  for (const auto& [id, v] : um) {
+    keys.push_back(id);
+  }
+  std::sort(keys.begin(), keys.end());
+  double sum = 0.0;
+  for (std::uint64_t k : keys) {
+    sum += um.at(k);
+  }
+  return sum;
+}
+
+// Integer accumulation: addition order cannot change the bits.
+std::uint64_t count_good(const std::unordered_map<std::uint64_t, double>& um) {
+  std::uint64_t n = 0;
+  for (const auto& [id, v] : um) {
+    n += id;
+  }
+  return n;
+}

@@ -1,0 +1,12 @@
+// Corpus: nondet-source must stay silent when the read is justified inline.
+// The allow() form requires a reason — the justification is part of the
+// allowlist entry, not a separate document.
+#include <chrono>
+
+double wall_probe_good() {
+  // flint-analyze: allow(nondet-source): measures harness wall time for a
+  // diagnostic gauge; never reaches simulated results.
+  auto t0 = std::chrono::steady_clock::now();
+  // flint-analyze: allow(nondet-source): end of the same measurement.
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}

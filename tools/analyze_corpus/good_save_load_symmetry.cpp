@@ -1,0 +1,47 @@
+// Corpus: save-load-symmetry must stay silent. Symmetric walk including a
+// nested sub-record loop (the CheckpointInFlightTask pattern) and
+// length-prefix plumbing that is not a field.
+#include <cstdint>
+#include <vector>
+
+struct Item {
+  std::uint64_t id = 0;
+  double w = 0.0;
+};
+
+struct Pack {
+  std::uint64_t n = 0;
+  std::vector<Item> items;
+  double tail = 0.0;
+};
+
+struct Writer {
+  void u64(std::uint64_t) {}
+  void f64(double) {}
+};
+struct Reader {
+  std::uint64_t u64() { return 0; }
+  double f64() { return 0.0; }
+};
+
+void serialize_pack(Writer& wtr, const Pack& p) {
+  wtr.u64(p.n);
+  wtr.u64(p.items.size());
+  for (const auto& it : p.items) {
+    wtr.u64(it.id);
+    wtr.f64(it.w);
+  }
+  wtr.f64(p.tail);
+}
+
+Pack deserialize_pack(Reader& rd) {
+  Pack p;
+  p.n = rd.u64();
+  p.items.resize(rd.u64());
+  for (auto& it : p.items) {
+    it.id = rd.u64();
+    it.w = rd.f64();
+  }
+  p.tail = rd.f64();
+  return p;
+}

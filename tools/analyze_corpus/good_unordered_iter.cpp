@@ -1,0 +1,35 @@
+// Corpus: unordered-iter must stay silent. Collect-then-sort, order-
+// insensitive reductions, and ordered containers are all sanctioned.
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+// Collect-then-sort: the canonical deterministic hash-map walk.
+std::vector<std::string> names_good(const std::unordered_map<int, std::string>& um) {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : um) {
+    out.push_back(v);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Order-insensitive reduction: max commutes, order cannot leak.
+int max_good(const std::unordered_map<int, int>& um) {
+  int best = 0;
+  for (const auto& [k, v] : um) {
+    best = std::max(best, v);
+  }
+  return best;
+}
+
+// std::map iterates in key order by definition; streaming it is fine.
+std::vector<int> keys_good(const std::map<int, int>& om) {
+  std::vector<int> out;
+  for (const auto& [k, v] : om) {
+    out.push_back(k);
+  }
+  return out;
+}

@@ -45,6 +45,11 @@ import re
 import sys
 from pathlib import Path
 
+# Shares the comment/string stripper with the determinism analyzer: rules
+# must not fire on `throw` in a doc comment or a string literal, and a
+# commented-out `// #pragma once` must not satisfy the header-guard rule.
+from flint_analyze import strip_comments_and_strings
+
 SUPPRESS_RE = re.compile(r"//\s*flint-lint:\s*allow\(([a-z-]+)\)")
 
 # rng rule: forbidden outside util/rng.
@@ -62,7 +67,6 @@ CONFIG_PARAM_RE = re.compile(r"\b(const\s+)?\w*Config\s*[&*]\s*\w+|\bconst\s+\w*
 FLINT_CHECK_RE = re.compile(r"\bFLINT_D?CHECK")
 SPAN_CALL_RE = re.compile(r"\b(begin_span|end_span)\s*\(")
 RAW_THREAD_RE = re.compile(r"\bstd::j?thread\b")
-COMMENT_RE = re.compile(r"^\s*(//|\*|/\*)")
 
 
 class Finding:
@@ -87,27 +91,28 @@ def file_suppressed(rule: str, text: str) -> bool:
     return any(m.group(1) == rule for m in SUPPRESS_RE.finditer(text))
 
 
-def is_code_line(line: str) -> bool:
-    return not COMMENT_RE.match(line)
-
-
 def lint_file(path: Path) -> list[Finding]:
     text = path.read_text(encoding="utf-8", errors="replace")
     lines = text.splitlines()
+    # Rules match against comment- and string-stripped lines (same indices);
+    # suppression comments are read from the raw lines.
+    code_text = strip_comments_and_strings(text)
+    code_lines = code_text.splitlines()
     findings: list[Finding] = []
     in_util_rng = path.name.startswith("rng.") and path.parent.name == "util"
     in_thread_pool = path.name.startswith("thread_pool.") and path.parent.name == "util"
     in_obs = "obs" in path.parts
     is_header = path.suffix in (".h", ".hpp")
 
-    # pragma-once
-    if is_header and "#pragma once" not in text:
+    # pragma-once — against stripped text, so a commented-out
+    # `// #pragma once` does not satisfy the rule.
+    if is_header and "#pragma once" not in code_text:
         if not file_suppressed("pragma-once", text):
             findings.append(Finding(path, 1, "pragma-once", "header missing '#pragma once'"))
 
-    for idx, line in enumerate(lines):
+    for idx, line in enumerate(code_lines):
         lineno = idx + 1
-        if not is_code_line(line):
+        if not line.strip():
             continue
 
         # rng
@@ -143,7 +148,7 @@ def lint_file(path: Path) -> list[Finding]:
 
         # byte-punning
         if REINTERPRET_RE.search(line) and not suppressed("byte-punning", lines, idx):
-            window = lines[max(0, idx - 15):idx + 3]
+            window = code_lines[max(0, idx - 15):idx + 3]
             if not any(TRIVIAL_ASSERT_RE.search(w) for w in window):
                 findings.append(
                     Finding(path, lineno, "byte-punning",
@@ -154,7 +159,6 @@ def lint_file(path: Path) -> list[Finding]:
     # config-checks (library .cpp only; headers hold declarations, and bench/
     # example drivers configure the library rather than validating for it)
     if path.suffix == ".cpp" and "src" in path.parts:
-        code_lines = [l for l in lines if is_code_line(l)]
         has_config_param = any(CONFIG_PARAM_RE.search(l) for l in code_lines)
         uses_check = any(FLINT_CHECK_RE.search(l) for l in code_lines)
         if has_config_param and not uses_check and not file_suppressed("config-checks", text):
@@ -165,7 +169,7 @@ def lint_file(path: Path) -> list[Finding]:
 
     # bench-artifact: every bench binary joins the regression pipeline.
     if path.name.startswith("bench_") and path.suffix == ".cpp":
-        if "BenchArtifact" not in text and "write_run_artifact" not in text \
+        if "BenchArtifact" not in code_text and "write_run_artifact" not in code_text \
                 and not file_suppressed("bench-artifact", text):
             findings.append(
                 Finding(path, 1, "bench-artifact",

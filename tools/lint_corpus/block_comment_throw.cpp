@@ -1,0 +1,12 @@
+// Fixture: rule text inside a block comment must not fire. The middle lines
+// below do not start with a comment marker, which is exactly the case a
+// line-start heuristic misses.
+/*
+  Historical note: this module used to
+  throw std::runtime_error on bad input, and drew ids from
+  std::random_device before the util::Rng migration.
+*/
+
+namespace fixture {
+int parse(int x) { return x * 2; }
+}  // namespace fixture

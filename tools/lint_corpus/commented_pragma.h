@@ -1,0 +1,6 @@
+// Fixture: a commented-out guard must NOT satisfy the pragma-once rule.
+// #pragma once
+
+namespace fixture {
+inline int value() { return 1; }
+}  // namespace fixture

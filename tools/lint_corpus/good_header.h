@@ -1,0 +1,6 @@
+// Fixture: a real guard satisfies the pragma-once rule.
+#pragma once
+
+namespace fixture {
+inline int value() { return 2; }
+}  // namespace fixture

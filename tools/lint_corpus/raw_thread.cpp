@@ -1,0 +1,12 @@
+// Fixture: positive control — raw std::thread outside util/thread_pool must
+// be flagged, and the rng rule must fire on a real std::random_device.
+#include <random>
+#include <thread>
+
+namespace fixture {
+void spawn() {
+  std::random_device rd;
+  std::thread t([&] { (void)rd; });
+  t.join();
+}
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Fixture: positive control — an actual foreign throw must be flagged.
+#include <stdexcept>
+
+namespace fixture {
+int checked(int x) {
+  if (x < 0) throw std::runtime_error("negative");
+  return x;
+}
+}  // namespace fixture

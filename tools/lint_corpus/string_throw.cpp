@@ -1,0 +1,8 @@
+// Fixture: rule keywords inside string literals must not fire.
+#include <string>
+
+namespace fixture {
+std::string help_text() {
+  return "on failure we throw a descriptive error; do not use std::rand here";
+}
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: an inline allow() suppresses the rule on that line.
+#include <stdexcept>
+
+namespace fixture {
+int checked(int x) {
+  // flint-lint: allow(throw): fixture exercising the suppression path
+  if (x < 0) throw std::runtime_error("negative");
+  return x;
+}
+}  // namespace fixture
