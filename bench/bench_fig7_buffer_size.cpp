@@ -55,6 +55,7 @@ int main(int argc, char** argv) {
     auto checkpoints = buffer == 180u
                            ? bench::wire_checkpoint_args(argc, argv, cfg.inputs)
                            : nullptr;
+    auto rpc = buffer == 180u ? bench::wire_rpc_args(argc, argv, cfg.inputs) : nullptr;
     fl::RunResult r = fl::run_fedbuff(cfg);
     double fill = r.metrics.mean_round_duration_s();
     series.push_back({buffer, fill});

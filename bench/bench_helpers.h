@@ -19,6 +19,7 @@
 #include "flint/device/session_generator.h"
 #include "flint/fl/fedavg.h"
 #include "flint/fl/fedbuff.h"
+#include "flint/fl/rpc_runtime.h"
 #include "flint/obs/telemetry.h"
 #include "flint/store/checkpoint.h"
 #include "flint/util/table.h"
@@ -162,6 +163,32 @@ inline std::unique_ptr<store::CheckpointStore> wire_checkpoint_args(int argc, ch
   inputs.leader.checkpoint_store = checkpoints.get();
   if (resume) inputs.resume_from = checkpoints.get();
   return checkpoints;
+}
+
+/// Parse `--transport mode [--rpc-executors N] [--executor-bin path]
+/// [--rpc-dir dir]` and stand up the rpc leader/executor runtime for the
+/// run (DESIGN.md §14). Call after `inputs` is fully populated (the model
+/// blob ships in the RegisterAck); the returned runtime must outlive the
+/// run. Returns null — and leaves the inputs untouched — without
+/// --transport (or with --transport inprocess), so default bench timings
+/// are unaffected. Like --threads, the knob changes wall time only: results
+/// stay bit-identical, so it never belongs in an artifact's config_text.
+inline std::unique_ptr<fl::RpcRuntime> wire_rpc_args(int argc, char** argv,
+                                                     fl::RunInputs& inputs) {
+  fl::RpcRuntimeConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--transport") == 0 && i + 1 < argc)
+      cfg.kind = fl::parse_transport(argv[i + 1]);
+    if (std::strcmp(argv[i], "--rpc-executors") == 0 && i + 1 < argc)
+      cfg.executors = static_cast<std::size_t>(std::strtoul(argv[i + 1], nullptr, 10));
+    if (std::strcmp(argv[i], "--executor-bin") == 0 && i + 1 < argc)
+      cfg.executor_bin = argv[i + 1];
+    if (std::strcmp(argv[i], "--rpc-dir") == 0 && i + 1 < argc) cfg.socket_dir = argv[i + 1];
+  }
+  if (cfg.kind == fl::TransportKind::kInProcess) return nullptr;
+  auto runtime = std::make_unique<fl::RpcRuntime>(cfg, inputs);
+  inputs.rpc_leader = runtime->leader();
+  return runtime;
 }
 
 /// The paper's strict participation criteria (§4.1): foreground app,

@@ -205,6 +205,9 @@ int main(int argc, char** argv) {
     // --checkpoint-dir enables periodic checkpoints, --resume restarts from
     // the newest one (bit-identical to an uninterrupted run, DESIGN.md §12).
     auto checkpoints = bench::wire_checkpoint_args(argc, argv, cfg.inputs);
+    // --transport moves the local SGD onto rpc executors; the simulated
+    // quantities (and the artifact) stay bit-identical, like --threads.
+    auto rpc = bench::wire_rpc_args(argc, argv, cfg.inputs);
 
     auto wall_start = std::chrono::steady_clock::now();
     fl::RunResult r = fl::run_fedbuff(cfg);

@@ -23,6 +23,7 @@
 #include "flint/core/report.h"
 #include "flint/core/run_artifact.h"
 #include "flint/data/synthetic_tasks.h"
+#include "flint/fl/rpc_runtime.h"
 #include "flint/net/bandwidth_model.h"
 #include "flint/obs/telemetry.h"
 #include "flint/store/checkpoint.h"
@@ -38,6 +39,10 @@ int main(int argc, char** argv) {
   bool explicit_checkpoint_dir = false;
   bool resume = false;
   std::size_t threads = 1;
+  std::string transport = "inprocess";
+  std::size_t rpc_executors = 2;
+  std::string executor_bin;
+  std::string rpc_dir = ".";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
@@ -55,10 +60,22 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
       if (threads == 0) threads = 1;
+    } else if (std::strcmp(argv[i], "--transport") == 0 && i + 1 < argc) {
+      transport = argv[++i];
+    } else if (std::strncmp(argv[i], "--transport=", 12) == 0) {
+      transport = argv[i] + 12;
+    } else if (std::strcmp(argv[i], "--rpc-executors") == 0 && i + 1 < argc) {
+      rpc_executors = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--executor-bin") == 0 && i + 1 < argc) {
+      executor_bin = argv[++i];
+    } else if (std::strcmp(argv[i], "--rpc-dir") == 0 && i + 1 < argc) {
+      rpc_dir = argv[++i];
     } else {
       std::cerr << "usage: quickstart [--trace-out trace.json] [--metrics-out metrics.jsonl]"
                    " [--artifact-out artifact.json] [--checkpoint-dir dir]"
-                   " [--checkpoint-every N] [--resume] [--threads N]\n";
+                   " [--checkpoint-every N] [--resume] [--threads N]"
+                   " [--transport inprocess|loopback|unix|tcp] [--rpc-executors N]"
+                   " [--executor-bin path] [--rpc-dir dir]\n";
       return 2;
     }
   }
@@ -155,6 +172,18 @@ int main(int argc, char** argv) {
   fl_cfg.inputs.leader.checkpoint_every_rounds = checkpoint_every;
   fl_cfg.inputs.leader.checkpoint_store = &checkpoints;
   if (resume) fl_cfg.inputs.resume_from = &checkpoints;
+
+  // Multi-process (or loopback) execution: training leases go to registered
+  // executors instead of in-process threads. Like --threads, this changes
+  // wall time only — the artifact stays bit-identical to inprocess, so the
+  // config fingerprint above is untouched (DESIGN.md §14).
+  fl::RpcRuntimeConfig rpc_cfg;
+  rpc_cfg.kind = fl::parse_transport(transport);
+  rpc_cfg.executors = rpc_executors;
+  rpc_cfg.executor_bin = executor_bin;
+  rpc_cfg.socket_dir = rpc_dir;
+  fl::RpcRuntime rpc_runtime(rpc_cfg, fl_cfg.inputs);
+  fl_cfg.inputs.rpc_leader = rpc_runtime.leader();
 
   // --- 4. FL vs centralized, with a resource forecast. --------------------
   core::ForecastConfig forecast;

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Executor-fault e2e (DESIGN.md §14). For each algo in {fedavg, fedbuff}:
+#
+#   1. reference: run crash_resume_driver on the in-process loopback
+#      transport (2 executors on pool threads, full wire encode/decode) and
+#      keep its artifact
+#   2. fault: run the same config over --transport=unix with 2 spawned
+#      flint_executor processes, SIGKILLing executor child 0 after round 2
+#      mid-run; the leader must see EOF, re-dispatch the dead executor's
+#      outstanding leases to the survivor in stamp order, and finish
+#   3. compare: the faulted multi-process artifact must match the loopback
+#      reference at ZERO tolerance (including the 64-bit final-parameter
+#      fingerprint carried in the scalars section) — a lease is a pure
+#      function of its payload, so recovery is invisible in the results
+#
+# Usage: rpc_fault_test.sh <driver-binary> <executor-binary> <source-dir> [python]
+set -euo pipefail
+
+driver=${1:?usage: rpc_fault_test.sh <driver-binary> <executor-binary> <source-dir> [python]}
+executor=${2:?missing executor binary}
+src=${3:?missing source dir}
+py=${4:-python3}
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+ROUNDS=6
+KILL_AFTER=2
+
+for algo in fedavg fedbuff; do
+  echo "== $algo: loopback reference (2 in-process executors) =="
+  "$driver" --algo "$algo" --rounds "$ROUNDS" \
+    --transport loopback --rpc-executors 2 \
+    --artifact-out "$work/$algo-ref.json"
+
+  echo "== $algo: unix transport, SIGKILL executor 0 after round $KILL_AFTER =="
+  "$driver" --algo "$algo" --rounds "$ROUNDS" \
+    --transport unix --rpc-executors 2 \
+    --executor-bin "$executor" --rpc-dir "$work" \
+    --kill-executor-after-round "$KILL_AFTER" \
+    --artifact-out "$work/$algo-fault.json" \
+    | tee "$work/$algo-fault.log"
+  grep -q "SIGKILLing executor 0" "$work/$algo-fault.log" || {
+    echo "FAIL: $algo fault run never killed its executor" >&2
+    exit 1
+  }
+
+  echo "== $algo: schema-validate both artifacts =="
+  "$py" "$src/tools/validate_trace.py" --artifact "$work/$algo-ref.json" \
+                                       --artifact "$work/$algo-fault.json"
+
+  echo "== $algo: faulted run must match the reference bit-for-bit =="
+  "$py" "$src/tools/flint_compare.py" --default-rel 0 \
+    "$work/$algo-ref.json" "$work/$algo-fault.json"
+done
+
+echo "rpc_fault_test: OK"

@@ -46,9 +46,12 @@ for profile in "${PROFILES[@]}"; do
   ctest_args=(--output-on-failure -j "$JOBS")
   if [ "$FAST" -eq 1 ] && [ "$profile" = "thread" ]; then
     # Threaded smoke only: skip the serial bulk of the suite under TSan.
+    # rpc_test rides along in every lane: the frame-corruption matrix wants
+    # ASan/UBSan eyes on the decoder, and the leader/executor loopback tests
+    # are genuinely multi-threaded (TSan).
     cmake --build "$dir" -j "$JOBS" --target concurrency_smoke_test fl_fedbuff_test store_test obs_test \
-      util_thread_pool_test parallel_determinism_test fl_resume_test
-    ctest_args+=(-R 'Concurrency|FedBuff|Checkpoint|Obs|ThreadPool|ParallelDeterminism|CrashResume')
+      util_thread_pool_test parallel_determinism_test fl_resume_test rpc_test
+    ctest_args+=(-R 'Concurrency|FedBuff|Checkpoint|Obs|ThreadPool|ParallelDeterminism|CrashResume|Frame|Messages|Loopback|UnixSocket|Tcp|LeaderExecutor')
   else
     cmake --build "$dir" -j "$JOBS"
   fi

@@ -1,7 +1,6 @@
 #include "flint/fl/fedavg.h"
 
 #include <algorithm>
-#include <future>
 #include <unordered_map>
 
 #include "flint/fl/aggregator.h"
@@ -210,34 +209,21 @@ RunResult run_fedavg(const SyncConfig& config) {
       LocalTrainConfig local = in.local;
       local.lr = in.client_lr.at(round - 1);
       std::size_t participants = successes.size();
-      if (util::ThreadPool* pool = trainers.pool()) {
-        // Fan the cohort across the pool, then reduce in the fixed
-        // `successes` order — the join imposes the serial reduction order,
-        // so the accumulator sees the same sequence at any thread count.
-        // `params` is only mutated after every future is joined.
-        std::vector<std::future<ClientUpdate>> pending;
-        pending.reserve(successes.size());
-        for (const CohortTask* task : successes) {
-          const auto* client_data = &in.dataset->client(task->client_id).examples;
-          std::uint64_t task_id = task->spec.task_id;
-          pending.push_back(pool->submit([&trainers, &in, client_data, &params, local,
-                                          task_id, participants] {
-            return compute_client_update(trainers.trainer(), in, *client_data, params,
-                                         local, task_id, participants);
-          }));
-        }
-        for (auto& f : pending) {
-          ClientUpdate update = f.get();
-          acc.add(update.train.delta, update.weight);
-        }
-      } else {
-        for (const CohortTask* task : successes) {
-          const auto& client_data = in.dataset->client(task->client_id).examples;
-          ClientUpdate update =
-              compute_client_update(trainers.trainer(), in, client_data, params, local,
-                                    task->spec.task_id, participants);
-          acc.add(update.train.delta, update.weight);
-        }
+      // Fan the cohort across whatever execution mode the run uses (serial /
+      // thread pool / rpc executors), then reduce in the fixed `successes`
+      // order — consuming in submission order imposes the serial reduction
+      // sequence, so the accumulator sees identical updates on every mode.
+      // `params` is only mutated after every pending update is consumed.
+      std::vector<PendingUpdate> pending;
+      pending.reserve(successes.size());
+      for (const CohortTask* task : successes) {
+        pending.push_back(trainers.submit_update(
+            in, in.dataset->client(task->client_id).examples, params, local,
+            task->spec.task_id, task->client_id, round, participants));
+      }
+      for (auto& p : pending) {
+        ClientUpdate update = p.get();
+        acc.add(update.train.delta, update.weight);
       }
       auto mean = acc.weighted_mean();
       server_opt.step(params, mean);

@@ -74,9 +74,10 @@ struct FedBuffState {
 };
 
 /// One in-flight task: its spec plus the local update — computed eagerly at
-/// dispatch on the serial path (`update`), or in flight on a pool worker
-/// (`pending`; joined by the completion handler, which runs in virtual-time
-/// event order and therefore reduces deterministically).
+/// dispatch on the serial path, in flight on a pool worker, or leased to an
+/// rpc executor (`pending` abstracts all three; the completion handler
+/// consumes it in virtual-time event order and therefore reduces
+/// deterministically).
 struct InFlight {
   sim::TaskSpec spec;
   double spent_compute_s = 0.0;
@@ -85,7 +86,7 @@ struct InFlight {
   bool interrupted = false;            ///< completion outcome decided at dispatch
   std::uint64_t stamp = 0;             ///< FedBuffState::next_stamp at schedule time
   ClientUpdate update;
-  std::future<ClientUpdate> pending;
+  PendingUpdate pending;
 };
 
 void pump(FedBuffState& s);
@@ -294,22 +295,19 @@ void dispatch(FedBuffState& s, const sim::Arrival& arrival) {
   if (!in.model_free) {
     // The client trains against the global parameters as of dispatch time;
     // computing the update from a dispatch-time snapshot is semantically
-    // identical to computing it at completion.
+    // identical to computing it at completion. On the pool path the snapshot
+    // shared_ptr rides along as the keepalive; the serial and rpc paths read
+    // the live params immediately.
     LocalTrainConfig local = in.local;
     local.lr = in.client_lr.at(s.version);
-    std::uint64_t task_id = task->spec.task_id;
-    if (util::ThreadPool* pool = s.trainers->pool()) {
-      const auto* client_data = &in.dataset->client(arrival.client_id).examples;
-      std::shared_ptr<const std::vector<float>> snapshot = s.params_snapshot;
-      task->pending = pool->submit([&s, &in, client_data, snapshot, local, task_id] {
-        return compute_client_update(s.trainers->trainer(), in, *client_data, *snapshot,
-                                     local, task_id, s.config->buffer_size);
-      });
-    } else {
-      task->update = compute_client_update(
-          s.trainers->trainer(), in, in.dataset->client(arrival.client_id).examples,
-          s.params, local, task_id, s.config->buffer_size);
-    }
+    const auto& client_data = in.dataset->client(arrival.client_id).examples;
+    std::shared_ptr<const std::vector<float>> snapshot = s.params_snapshot;
+    std::span<const float> param_view =
+        snapshot != nullptr ? std::span<const float>(*snapshot)
+                            : std::span<const float>(s.params);
+    task->pending = s.trainers->submit_update(in, client_data, param_view, local,
+                                              task->spec.task_id, arrival.client_id,
+                                              s.version, s.config->buffer_size, snapshot);
   }
   s.leader->queue().schedule(task->finish_time,
                              [&s, task] { on_task_end(s, *task, /*interrupted=*/false); });

@@ -1,0 +1,55 @@
+#include "flint/fl/remote_executor.h"
+
+#include <optional>
+#include <utility>
+
+#include "flint/fl/trainer_pool.h"
+#include "flint/ml/serialize.h"
+#include "flint/util/check.h"
+
+namespace flint::fl {
+
+void LeaseTrainService::configure(const rpc::RegisterAckMsg& ack) {
+  if (ack.model_blob.empty()) {
+    trainer_.reset();  // model-free run: leases should never arrive
+    return;
+  }
+  trainer_ = std::make_unique<LocalTrainer>(ml::deserialize_model(ack.model_blob),
+                                            static_cast<std::size_t>(ack.dense_dim));
+}
+
+rpc::TaskResultMsg LeaseTrainService::run_lease(const rpc::TaskLeaseMsg& lease) {
+  rpc::TaskResultMsg result;
+  try {
+    FLINT_CHECK_MSG(trainer_ != nullptr,
+                    "TaskLease received but no model was configured (model-free run?)");
+    LocalTrainConfig local;
+    local.lr = lease.lr;
+    local.epochs = lease.epochs;
+    local.batch_size = static_cast<std::size_t>(lease.batch_size);
+    local.loss = static_cast<data::LossKind>(lease.loss_kind);
+    local.clip_norm = lease.clip_norm;
+    local.momentum = lease.momentum;
+    local.prox_mu = lease.prox_mu;
+    std::optional<privacy::DpConfig> dp;
+    if (lease.has_dp)
+      dp = privacy::DpConfig{lease.dp_clip_norm, lease.dp_noise_multiplier, lease.dp_delta};
+    compress::CompressionConfig compression;
+    compression.kind = static_cast<compress::CompressionKind>(lease.compression_kind);
+    compression.top_k_fraction = lease.top_k_fraction;
+    ClientUpdate update = compute_client_update_raw(
+        *trainer_, lease.examples, lease.params, local, lease.seed, lease.task_id, dp,
+        static_cast<std::size_t>(lease.dp_participants), compression);
+    result.ok = true;
+    result.delta = std::move(update.train.delta);
+    result.weight = update.weight;
+    result.mean_loss = update.train.mean_loss;
+    result.examples = update.train.examples;
+  } catch (const util::CheckError& e) {
+    result.ok = false;
+    result.error = e.what();
+  }
+  return result;
+}
+
+}  // namespace flint::fl

@@ -1,0 +1,27 @@
+// fl::LeaseTrainService — the concrete rpc::TrainService: reconstructs the
+// model replica from the RegisterAck blob and evaluates each TaskLease with
+// compute_client_update_raw, the same body the in-process paths run. Lives in
+// fl/ (not rpc/) so the rpc subsystem stays below fl in the dependency order.
+#pragma once
+
+#include <memory>
+
+#include "flint/fl/trainer.h"
+#include "flint/rpc/executor_worker.h"
+
+namespace flint::fl {
+
+class LeaseTrainService final : public rpc::TrainService {
+ public:
+  void configure(const rpc::RegisterAckMsg& ack) override;
+
+  /// Runs compute_client_update_raw on the lease. Never throws: a CheckError
+  /// (bad lease data, dimension mismatch) is reported via ok=false so the
+  /// leader can surface it with context.
+  rpc::TaskResultMsg run_lease(const rpc::TaskLeaseMsg& lease) override;
+
+ private:
+  std::unique_ptr<LocalTrainer> trainer_;
+};
+
+}  // namespace flint::fl

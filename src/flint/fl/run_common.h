@@ -19,6 +19,10 @@
 #include "flint/privacy/dp.h"
 #include "flint/sim/leader.h"
 
+namespace flint::rpc {
+class Leader;
+}
+
 namespace flint::fl {
 
 /// Inputs common to sync and async runs. Raw pointers are non-owning views
@@ -79,6 +83,14 @@ struct RunInputs {
   /// and per-task RNG streams are derived from the seed (DESIGN.md §11) —
   /// so this knob trades wall time only and never enters the run fingerprint.
   std::size_t threads = 1;
+
+  /// Multi-process execution (DESIGN.md §14): when set, client updates are
+  /// dispatched as rpc TaskLeases to registered executors instead of being
+  /// computed in-process. A lease is a pure function of its payload and
+  /// results are consumed in submission order, so results stay bit-identical
+  /// to the in-process paths — like `threads`, this knob never enters the
+  /// run fingerprint. Non-owning; must outlive the run.
+  rpc::Leader* rpc_leader = nullptr;
 
   // --- Observability. Non-owning, like the other infrastructure pointers;
   // when set, the runner installs it as the ambient obs context for the run

@@ -20,7 +20,9 @@
 #pragma once
 
 #include <cstdint>
+#include <future>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -28,12 +30,77 @@
 #include "flint/fl/run_common.h"
 #include "flint/util/thread_pool.h"
 
+namespace flint::rpc {
+class Leader;
+}
+
 namespace flint::fl {
 
 // Substream tags for util::derive_stream(seed, task_id, substream). Each
 // per-task consumer owns a tag so adding one never perturbs the others.
 inline constexpr std::uint64_t kRngStreamDuration = 1;  ///< TaskDurationModel::sample
 inline constexpr std::uint64_t kRngStreamDp = 2;        ///< privacy::apply_dp noise
+
+/// One client's full update pipeline — local SGD against `params`, then the
+/// DP mechanism (noise from the task's kRngStreamDp stream) and lossy
+/// compression. A pure function of its arguments, safe to run on any thread
+/// or in any process; DP forces the aggregation weight to 1.0, so the result
+/// carries the weight the accumulator should use. Counts
+/// fl.parallel_train_batches when executed on a pool worker.
+struct ClientUpdate {
+  LocalTrainResult train;
+  double weight = 0.0;
+};
+
+/// The primitive-argument form: everything it reads is in the signature, so
+/// the rpc executor (which has a TaskLease, not a RunInputs) calls the same
+/// code path the in-process runners do — that shared body is what makes
+/// remote results bit-identical.
+ClientUpdate compute_client_update_raw(LocalTrainer& trainer,
+                                       std::span<const ml::Example> data,
+                                       std::span<const float> params,
+                                       const LocalTrainConfig& local, std::uint64_t seed,
+                                       std::uint64_t task_id,
+                                       const std::optional<privacy::DpConfig>& dp,
+                                       std::size_t dp_participants,
+                                       const compress::CompressionConfig& compression);
+
+/// RunInputs convenience wrapper over compute_client_update_raw.
+ClientUpdate compute_client_update(LocalTrainer& trainer, const RunInputs& inputs,
+                                   std::span<const ml::Example> data,
+                                   std::span<const float> params,
+                                   const LocalTrainConfig& local, std::uint64_t task_id,
+                                   std::size_t dp_participants);
+
+/// A client update that may be ready now (serial path), in flight on a pool
+/// worker, or leased to a remote executor. One-shot: get() consumes it
+/// (valid() turns false), and the runners call get() in fixed submission
+/// order, which is what imposes the deterministic reduction order on every
+/// execution mode.
+class PendingUpdate {
+ public:
+  PendingUpdate() = default;
+
+  static PendingUpdate ready(ClientUpdate update);
+  static PendingUpdate in_flight(std::future<ClientUpdate> future);
+  static PendingUpdate remote(rpc::Leader* leader, std::uint64_t lease_id);
+
+  /// True until get() consumes the update.
+  bool valid() const { return kind_ != Kind::kInvalid; }
+
+  /// Block until the update is available and return it (joins the future /
+  /// waits on the rpc lease). Requires valid().
+  ClientUpdate get();
+
+ private:
+  enum class Kind { kInvalid, kReady, kFuture, kRemote };
+
+  Kind kind_ = Kind::kInvalid;
+  ClientUpdate ready_;
+  std::future<ClientUpdate> future_;
+  rpc::Leader* leader_ = nullptr;
+  std::uint64_t lease_id_ = 0;
+};
 
 class TrainerPool {
  public:
@@ -53,26 +120,25 @@ class TrainerPool {
   /// model-full run.
   LocalTrainer& trainer();
 
+  /// Submit one client-update computation on whichever execution mode the
+  /// run uses, in precedence order: rpc lease (inputs.rpc_leader set), pool
+  /// task, or computed-right-now serial. The returned PendingUpdate is
+  /// consumed by the runner in submission order.
+  ///
+  /// `params` must stay valid until get() on the pool path (the runners
+  /// guarantee this: fedavg joins before mutating, fedbuff passes
+  /// `params_keepalive` to pin its dispatch-time snapshot). The serial and
+  /// remote paths read `params` before returning.
+  PendingUpdate submit_update(const RunInputs& inputs, std::span<const ml::Example> data,
+                              std::span<const float> params, const LocalTrainConfig& local,
+                              std::uint64_t task_id, std::uint64_t client_id,
+                              std::uint64_t round, std::size_t dp_participants,
+                              std::shared_ptr<const std::vector<float>> params_keepalive = {});
+
  private:
   std::vector<std::unique_ptr<LocalTrainer>> replicas_;  ///< [0]=off-pool, [i+1]=worker i
   std::vector<std::string> busy_gauge_names_;  ///< precomputed "util.pool.thread.<i>.busy_s"
   std::unique_ptr<util::ThreadPool> pool_;     ///< last member: workers must die first
 };
-
-/// One client's full update pipeline — local SGD against `params`, then the
-/// DP mechanism (noise from the task's kRngStreamDp stream) and lossy
-/// compression per `inputs`. A pure function of its arguments, safe to run
-/// on any thread; DP forces the aggregation weight to 1.0, so the result
-/// carries the weight the accumulator should use. Counts
-/// fl.parallel_train_batches when executed on a pool worker.
-struct ClientUpdate {
-  LocalTrainResult train;
-  double weight = 0.0;
-};
-ClientUpdate compute_client_update(LocalTrainer& trainer, const RunInputs& inputs,
-                                   std::span<const ml::Example> data,
-                                   std::span<const float> params,
-                                   const LocalTrainConfig& local, std::uint64_t task_id,
-                                   std::size_t dp_participants);
 
 }  // namespace flint::fl

@@ -1,0 +1,89 @@
+#include "flint/rpc/executor_worker.h"
+
+#include <chrono>
+#include <utility>
+
+#include "flint/obs/telemetry.h"
+#include "flint/util/check.h"
+
+namespace flint::rpc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double now_s() {
+  return std::chrono::duration<double>(Clock::now().time_since_epoch()).count();
+}
+
+constexpr double kRegisterAckTimeoutS = 30.0;
+
+}  // namespace
+
+ExecutorWorker::ExecutorWorker(Transport& transport, TrainService& service, std::string name)
+    : transport_(transport), service_(service), name_(std::move(name)) {}
+
+void ExecutorWorker::send_heartbeat() {
+  HeartbeatMsg beat;
+  beat.executor_id = executor_id_;
+  beat.seq = ++heartbeat_seq_;
+  beat.busy_leases = 0;  // the worker is synchronous: idle whenever it beats
+  transport_.send(Frame{MessageType::kHeartbeat, beat.serialize()});
+}
+
+void ExecutorWorker::run() {
+  RegisterExecutorMsg reg;
+  reg.name = name_;
+  reg.slots = 1;
+  bool sent = transport_.send(Frame{MessageType::kRegisterExecutor, reg.serialize()});
+  FLINT_CHECK_MSG(sent, "leader hung up before registration");
+
+  Frame frame;
+  RecvStatus status = transport_.recv(frame, kRegisterAckTimeoutS);
+  FLINT_CHECK_MSG(status == RecvStatus::kFrame, "no RegisterAck from leader");
+  FLINT_CHECK_MSG(frame.type == MessageType::kRegisterAck,
+                  "expected RegisterAck, got " << message_type_name(frame.type));
+  RegisterAckMsg ack = RegisterAckMsg::deserialize(frame.payload);
+  executor_id_ = ack.executor_id;
+  heartbeat_interval_s_ = ack.heartbeat_interval_s;
+  FLINT_CHECK_GT(heartbeat_interval_s_, 0.0);
+  service_.configure(ack);
+
+  double last_beat_s = 0.0;  // force an immediate first beat
+  for (;;) {
+    double now = now_s();
+    if (now - last_beat_s >= heartbeat_interval_s_) {
+      send_heartbeat();
+      last_beat_s = now;
+    }
+    double wait = heartbeat_interval_s_ - (now_s() - last_beat_s);
+    if (wait < 0.0) wait = 0.0;
+    status = transport_.recv(frame, wait);
+    if (status == RecvStatus::kTimeout) continue;  // loop top sends the beat
+    if (status == RecvStatus::kClosed) return;     // leader gone: exit quietly
+    switch (frame.type) {
+      case MessageType::kTaskLease: {
+        TaskLeaseMsg lease = TaskLeaseMsg::deserialize(frame.payload);
+        TaskResultMsg result = service_.run_lease(lease);
+        result.lease_id = lease.lease_id;
+        result.task_id = lease.task_id;
+        result.executor_id = executor_id_;
+        if (!transport_.send(Frame{MessageType::kTaskResult, result.serialize()})) return;
+        ++leases_served_;
+        obs::add_counter("rpc.leases_served");
+        // Executing a long lease may have eaten the heartbeat budget; beat
+        // immediately rather than risking the deadline.
+        send_heartbeat();
+        last_beat_s = now_s();
+        break;
+      }
+      case MessageType::kShutdown:
+        return;
+      default:
+        FLINT_CHECK_MSG(false, "executor received unexpected "
+                                   << message_type_name(frame.type));
+    }
+  }
+}
+
+}  // namespace flint::rpc

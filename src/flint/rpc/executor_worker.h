@@ -1,0 +1,59 @@
+// rpc::ExecutorWorker — the executor side of the leader/executor runtime.
+//
+// The worker is transport- and model-agnostic: it speaks the wire protocol
+// (register, heartbeat, serve leases, obey shutdown) and delegates the actual
+// training to a TrainService. The concrete service (fl::LeaseTrainService)
+// lives in the fl layer, which keeps rpc below fl in the dependency order —
+// rpc knows about frames and leases, never about simulators.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "flint/rpc/messages.h"
+#include "flint/rpc/transport.h"
+
+namespace flint::rpc {
+
+/// What an executor process actually computes. configure() is called once
+/// with the RegisterAck (model blob, dense_dim); run_lease() once per lease.
+class TrainService {
+ public:
+  virtual ~TrainService() = default;
+
+  virtual void configure(const RegisterAckMsg& ack) = 0;
+
+  /// Compute the update for one lease. Fills the payload fields of the
+  /// result (delta, weight, mean_loss, examples, ok/error); the worker
+  /// stamps lease_id/task_id/executor_id. Must not throw — report failures
+  /// via ok=false.
+  virtual TaskResultMsg run_lease(const TaskLeaseMsg& lease) = 0;
+};
+
+/// Serve loop bound to one transport. run() performs the registration
+/// handshake, then alternates between heartbeats and lease execution until
+/// the leader sends Shutdown or the connection drops.
+class ExecutorWorker {
+ public:
+  ExecutorWorker(Transport& transport, TrainService& service, std::string name);
+
+  /// Blocks until shutdown/disconnect. Safe to call from a thread-pool
+  /// worker (loopback mode) or a process main() (unix/tcp mode).
+  void run();
+
+  std::uint64_t executor_id() const { return executor_id_; }
+  std::uint64_t leases_served() const { return leases_served_; }
+
+ private:
+  void send_heartbeat();
+
+  Transport& transport_;
+  TrainService& service_;
+  std::string name_;
+  std::uint64_t executor_id_ = 0;
+  std::uint64_t heartbeat_seq_ = 0;
+  std::uint64_t leases_served_ = 0;
+  double heartbeat_interval_s_ = 0.5;
+};
+
+}  // namespace flint::rpc

@@ -1,0 +1,128 @@
+// The five leader/executor message schemas (DESIGN.md §14), each serialized
+// with util/bytes pod helpers into a frame payload. Every schema leads with
+// its own u16 version — independent of the frame protocol version — so a
+// single message can evolve without bumping the whole wire.
+//
+// A TaskLease carries the *complete* input set of
+// fl::compute_client_update: global params, the client's examples, the local
+// train config, the run seed, and the DP/compression settings. That makes
+// remote execution a pure function of the lease — any executor, any process,
+// any arrival order produces the same bytes — which is what keeps multi-
+// process runs bit-identical to the loopback path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flint/ml/batch.h"
+
+namespace flint::rpc {
+
+/// executor -> leader: first message on a fresh connection.
+struct RegisterExecutorMsg {
+  static constexpr std::uint16_t kSchemaVersion = 1;
+
+  std::string name;         ///< diagnostic label, e.g. "pid:4242"
+  std::uint32_t slots = 1;  ///< concurrent leases the executor will accept
+
+  std::vector<char> serialize() const;
+  static RegisterExecutorMsg deserialize(const std::vector<char>& bytes);
+};
+
+/// leader -> executor: admission + the run-static context. The model blob
+/// (ml::serialize_model) and dense_dim configure the executor's LocalTrainer
+/// replica once; everything per-run-per-trial (seed, hyper-parameters)
+/// travels in each TaskLease so one registration serves many trials.
+struct RegisterAckMsg {
+  static constexpr std::uint16_t kSchemaVersion = 1;
+
+  std::uint64_t executor_id = 0;
+  double heartbeat_interval_s = 0.5;  ///< cadence the executor must beat at
+  double heartbeat_timeout_s = 10.0;  ///< leader declares death after this
+  std::uint64_t dense_dim = 0;
+  std::vector<char> model_blob;  ///< empty for model-free runs
+
+  std::vector<char> serialize() const;
+  static RegisterAckMsg deserialize(const std::vector<char>& bytes);
+};
+
+/// executor -> leader: liveness beacon.
+struct HeartbeatMsg {
+  static constexpr std::uint16_t kSchemaVersion = 1;
+
+  std::uint64_t executor_id = 0;
+  std::uint64_t seq = 0;          ///< monotonic per executor
+  std::uint32_t busy_leases = 0;  ///< leases held but not yet resulted
+
+  std::vector<char> serialize() const;
+  static HeartbeatMsg deserialize(const std::vector<char>& bytes);
+};
+
+/// leader -> executor: one client-training task, self-contained.
+struct TaskLeaseMsg {
+  static constexpr std::uint16_t kSchemaVersion = 1;
+
+  std::uint64_t lease_id = 0;  ///< leader-assigned, unique per dispatch attempt
+  std::uint64_t task_id = 0;   ///< simulation task id (RNG stream key)
+  std::uint64_t client_id = 0;
+  std::uint64_t round = 0;
+  std::uint64_t seed = 0;              ///< run seed (kRngStreamDp derivation)
+  std::uint64_t dp_participants = 0;   ///< cohort size for DP noise splitting
+
+  // fl::LocalTrainConfig, field for field.
+  double lr = 0.05;
+  std::int32_t epochs = 1;
+  std::uint64_t batch_size = 16;
+  std::uint32_t loss_kind = 0;  ///< data::LossKind as its underlying value
+  double clip_norm = 0.0;
+  double momentum = 0.0;
+  double prox_mu = 0.0;
+
+  // privacy::DpConfig, present iff has_dp.
+  bool has_dp = false;
+  double dp_clip_norm = 1.0;
+  double dp_noise_multiplier = 1.0;
+  double dp_delta = 1e-6;
+
+  // compress::CompressionConfig.
+  std::uint32_t compression_kind = 0;  ///< compress::CompressionKind value
+  double top_k_fraction = 0.1;
+
+  std::vector<float> params;          ///< global model parameters
+  std::vector<ml::Example> examples;  ///< the client's local shard
+
+  std::vector<char> serialize() const;
+  static TaskLeaseMsg deserialize(const std::vector<char>& bytes);
+};
+
+/// executor -> leader: the computed update for one lease.
+struct TaskResultMsg {
+  static constexpr std::uint16_t kSchemaVersion = 1;
+
+  std::uint64_t lease_id = 0;
+  std::uint64_t task_id = 0;
+  std::uint64_t executor_id = 0;
+  bool ok = false;
+  std::string error;  ///< CheckError text when !ok
+
+  std::vector<float> delta;  ///< post-DP, post-compression parameter delta
+  double weight = 0.0;       ///< aggregation weight (1.0 under DP)
+  double mean_loss = 0.0;
+  std::uint64_t examples = 0;
+
+  std::vector<char> serialize() const;
+  static TaskResultMsg deserialize(const std::vector<char>& bytes);
+};
+
+/// leader -> executor: drain outstanding work and exit cleanly.
+struct ShutdownMsg {
+  static constexpr std::uint16_t kSchemaVersion = 1;
+
+  std::string reason;
+
+  std::vector<char> serialize() const;
+  static ShutdownMsg deserialize(const std::vector<char>& bytes);
+};
+
+}  // namespace flint::rpc

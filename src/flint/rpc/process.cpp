@@ -1,0 +1,58 @@
+#include "flint/rpc/process.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "flint/util/check.h"
+
+namespace flint::rpc {
+
+SpawnedProcess::SpawnedProcess(const std::vector<std::string>& argv) {
+  FLINT_CHECK_GT(argv.size(), std::size_t{0});
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& arg : argv) cargv.push_back(const_cast<char*>(arg.c_str()));
+  cargv.push_back(nullptr);
+  pid_t pid = ::fork();
+  FLINT_CHECK_MSG(pid >= 0, "fork() failed: " << std::strerror(errno));
+  if (pid == 0) {
+    ::execv(cargv[0], cargv.data());
+    // Exec failed; nothing of the parent's state is safe to touch.
+    ::_exit(127);
+  }
+  pid_ = pid;
+}
+
+SpawnedProcess::SpawnedProcess(SpawnedProcess&& other) noexcept
+    : pid_(other.pid_), reaped_(other.reaped_) {
+  other.pid_ = -1;
+  other.reaped_ = true;
+}
+
+SpawnedProcess::~SpawnedProcess() {
+  if (!running()) return;
+  kill();
+  wait();
+}
+
+void SpawnedProcess::kill() {
+  if (!running()) return;
+  ::kill(pid_, SIGKILL);
+}
+
+int SpawnedProcess::wait() {
+  if (!running()) return 0;
+  int status = 0;
+  pid_t rc;
+  do {
+    rc = ::waitpid(pid_, &status, 0);
+  } while (rc < 0 && errno == EINTR);
+  reaped_ = true;
+  return rc == pid_ ? status : 0;
+}
+
+}  // namespace flint::rpc

@@ -1,0 +1,44 @@
+// Child-process management for multi-process runs: the leader fork/execs one
+// `flint_executor` per requested worker and reaps them at shutdown. Kept
+// inside rpc/ so process plumbing (like raw sockets) never leaks into the
+// simulation layers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace flint::rpc {
+
+/// One spawned executor child.
+class SpawnedProcess {
+ public:
+  /// fork/exec `argv[0]` with the given argument list. Throws CheckError if
+  /// the fork fails; exec failure surfaces as the child exiting 127.
+  explicit SpawnedProcess(const std::vector<std::string>& argv);
+
+  SpawnedProcess(SpawnedProcess&& other) noexcept;
+  SpawnedProcess& operator=(SpawnedProcess&&) = delete;
+  SpawnedProcess(const SpawnedProcess&) = delete;
+  SpawnedProcess& operator=(const SpawnedProcess&) = delete;
+
+  /// Reaps with SIGKILL if the child is still running.
+  ~SpawnedProcess();
+
+  pid_t pid() const { return pid_; }
+  bool running() const { return pid_ > 0 && !reaped_; }
+
+  /// SIGKILL the child (no-op if already reaped). The fault tests use this
+  /// to simulate executor death mid-round.
+  void kill();
+
+  /// Blocking waitpid; returns the raw wait status (0 if already reaped).
+  int wait();
+
+ private:
+  pid_t pid_ = -1;
+  bool reaped_ = false;
+};
+
+}  // namespace flint::rpc

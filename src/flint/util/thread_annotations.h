@@ -16,6 +16,7 @@
 // for the attribute semantics.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -107,6 +108,14 @@ class CondVar {
   // the caller; analysis of this body is disabled so the temporary unlock is
   // not reported as releasing a capability the function must hold on exit.
   void wait(Mutex& mu) FLINT_REQUIRES(mu) FLINT_NO_THREAD_SAFETY_ANALYSIS { cv_.wait(mu); }
+
+  /// Timed wait: returns false if `timeout_s` elapsed without a notify (the
+  /// caller still re-checks its predicate either way, as with any condvar).
+  bool wait_for(Mutex& mu, double timeout_s) FLINT_REQUIRES(mu)
+      FLINT_NO_THREAD_SAFETY_ANALYSIS {
+    return cv_.wait_for(mu, std::chrono::duration<double>(timeout_s)) ==
+           std::cv_status::no_timeout;
+  }
 
   void notify_one() { cv_.notify_one(); }
   void notify_all() { cv_.notify_all(); }

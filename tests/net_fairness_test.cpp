@@ -1,7 +1,13 @@
 // Tests for the network bandwidth models and the fairness analysis tool.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "flint/core/fairness.h"
+#include "flint/data/synthetic_tasks.h"
+#include "flint/device/session_generator.h"
+#include "flint/fl/fedbuff.h"
+#include "flint/fl/rpc_runtime.h"
 #include "flint/net/bandwidth_model.h"
 #include "flint/util/stats.h"
 #include "test_helpers.h"
@@ -137,6 +143,79 @@ TEST(Fairness, RejectsBadHoldout) {
                util::CheckError);
   EXPECT_THROW(core::evaluate_fairness(*model, task, client_device, catalog, 1.5),
                util::CheckError);
+}
+
+// ------------------------------------------- bandwidth x rpc interplay
+
+// The bandwidth model shapes simulated comm delays on the leader side of the
+// simulation; the rpc transport only decides *where* client SGD runs. The two
+// must compose without interfering: a run on the loopback rpc transport must
+// reproduce the in-process run's bandwidth-driven timing (virtual durations,
+// task counts) and its trained parameters bit-for-bit (DESIGN.md §14).
+TEST(BandwidthRpcInterplay, LoopbackTransportLeavesBandwidthDelaysIdentical) {
+  auto run = [](bool use_rpc) {
+    util::Rng rng(9);
+    auto catalog = device::DeviceCatalog::standard();
+    device::SessionGeneratorConfig sessions;
+    sessions.clients = 60;
+    sessions.days = 1;
+    sessions.mean_session_s = 1800.0;
+    auto log = device::generate_sessions(sessions, catalog, rng);
+    device::AvailabilityCriteria criteria;
+    criteria.require_wifi = true;
+    auto trace = device::build_availability(log, criteria, catalog);
+
+    data::SyntheticTaskConfig task_cfg;
+    task_cfg.domain = data::Domain::kAds;
+    task_cfg.clients = 60;
+    task_cfg.mean_records = 30.0;
+    task_cfg.max_records = 200;
+    task_cfg.dense_dim = 8;
+    task_cfg.test_examples = 200;
+    auto task = data::make_synthetic_task(task_cfg, rng);
+    auto model = task.make_model(rng);
+
+    net::PufferLikeBandwidthModel bandwidth;
+    fl::AsyncConfig cfg;
+    cfg.inputs.dataset = &task.train;
+    cfg.inputs.dense_dim = task.batch_dense_dim();
+    cfg.inputs.model_template = model.get();
+    cfg.inputs.trace = &trace;
+    cfg.inputs.catalog = &catalog;
+    cfg.inputs.bandwidth = &bandwidth;
+    cfg.inputs.test = &task.test;
+    cfg.inputs.domain = task.config.domain;
+    cfg.inputs.local.loss = task.loss_kind();
+    // Large updates make comm the dominant duration term, so any rpc-side
+    // perturbation of the bandwidth-model draws would be visible here.
+    cfg.inputs.duration.update_bytes = 2'000'000;
+    cfg.inputs.max_rounds = 3;
+    cfg.inputs.reparticipation_gap_s = 600.0;
+    cfg.inputs.seed = 9;
+    cfg.buffer_size = 4;
+    cfg.max_concurrency = 8;
+
+    std::unique_ptr<fl::RpcRuntime> rpc;
+    if (use_rpc) {
+      fl::RpcRuntimeConfig rpc_cfg;
+      rpc_cfg.kind = fl::TransportKind::kLoopback;
+      rpc_cfg.executors = 2;
+      rpc = std::make_unique<fl::RpcRuntime>(rpc_cfg, cfg.inputs);
+      cfg.inputs.rpc_leader = rpc->leader();
+    }
+    return fl::run_fedbuff(cfg);
+  };
+
+  fl::RunResult in_process = run(/*use_rpc=*/false);
+  fl::RunResult loopback = run(/*use_rpc=*/true);
+  EXPECT_EQ(in_process.final_parameters, loopback.final_parameters);
+  EXPECT_DOUBLE_EQ(in_process.virtual_duration_s, loopback.virtual_duration_s);
+  EXPECT_DOUBLE_EQ(in_process.final_metric, loopback.final_metric);
+  EXPECT_EQ(in_process.rounds, loopback.rounds);
+  EXPECT_EQ(in_process.metrics.tasks_started(), loopback.metrics.tasks_started());
+  EXPECT_DOUBLE_EQ(in_process.metrics.mean_round_duration_s(),
+                   loopback.metrics.mean_round_duration_s());
+  EXPECT_DOUBLE_EQ(in_process.metrics.client_compute_s(), loopback.metrics.client_compute_s());
 }
 
 }  // namespace

@@ -1,0 +1,439 @@
+// Tests for the flint::rpc subsystem (DESIGN.md §14): framing and the
+// frame-corruption matrix, message schema round-trips, all three transports,
+// and the leader/executor runtime including executor-loss re-dispatch.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flint/rpc/executor_worker.h"
+#include "flint/rpc/frame.h"
+#include "flint/rpc/leader.h"
+#include "flint/rpc/messages.h"
+#include "flint/rpc/transport.h"
+#include "flint/util/check.h"
+#include "flint/util/thread_pool.h"
+
+namespace flint {
+namespace {
+
+rpc::Frame heartbeat_frame() {
+  rpc::HeartbeatMsg beat;
+  beat.executor_id = 7;
+  beat.seq = 42;
+  beat.busy_leases = 3;
+  return rpc::Frame{rpc::MessageType::kHeartbeat, beat.serialize()};
+}
+
+// ------------------------------------------------------------- framing
+
+TEST(Frame, EncodeDecodeRoundtrip) {
+  rpc::Frame frame = heartbeat_frame();
+  std::vector<char> wire = rpc::encode_frame(frame);
+  EXPECT_EQ(wire.size(),
+            rpc::kFrameHeaderBytes + frame.payload.size() + rpc::kFrameTrailerBytes);
+  rpc::Frame decoded = rpc::decode_frame(wire);
+  EXPECT_EQ(decoded.type, rpc::MessageType::kHeartbeat);
+  EXPECT_EQ(decoded.payload, frame.payload);
+}
+
+TEST(Frame, EmptyPayloadRoundtrip) {
+  rpc::Frame frame{rpc::MessageType::kShutdown, {}};
+  rpc::Frame decoded = rpc::decode_frame(rpc::encode_frame(frame));
+  EXPECT_EQ(decoded.type, rpc::MessageType::kShutdown);
+  EXPECT_TRUE(decoded.payload.empty());
+}
+
+TEST(FrameDecoder, ReassemblesFromSingleByteFeeds) {
+  rpc::Frame frame = heartbeat_frame();
+  std::vector<char> wire = rpc::encode_frame(frame);
+  rpc::FrameDecoder decoder;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    EXPECT_FALSE(decoder.next().has_value());
+    decoder.feed(&wire[i], 1);
+  }
+  auto decoded = decoder.next();
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->payload, frame.payload);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(FrameDecoder, YieldsBackToBackFrames) {
+  std::vector<char> wire = rpc::encode_frame(heartbeat_frame());
+  std::vector<char> twice = wire;
+  twice.insert(twice.end(), wire.begin(), wire.end());
+  rpc::FrameDecoder decoder;
+  decoder.feed(twice.data(), twice.size());
+  EXPECT_TRUE(decoder.next().has_value());
+  EXPECT_TRUE(decoder.next().has_value());
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+// The corruption matrix: every way a frame can be malformed must throw
+// CheckError before any payload byte is trusted (never garbage decode).
+
+TEST(FrameCorruption, TruncatedFrameRejected) {
+  std::vector<char> wire = rpc::encode_frame(heartbeat_frame());
+  wire.pop_back();  // torn mid-CRC
+  EXPECT_THROW(rpc::decode_frame(wire), util::CheckError);
+}
+
+TEST(FrameCorruption, PayloadBitFlipFailsCrc) {
+  std::vector<char> wire = rpc::encode_frame(heartbeat_frame());
+  wire[rpc::kFrameHeaderBytes] ^= 0x01;
+  EXPECT_THROW(rpc::decode_frame(wire), util::CheckError);
+}
+
+TEST(FrameCorruption, BadMagicRejected) {
+  std::vector<char> wire = rpc::encode_frame(heartbeat_frame());
+  wire[0] ^= 0x01;
+  EXPECT_THROW(rpc::decode_frame(wire), util::CheckError);
+}
+
+TEST(FrameCorruption, WrongProtocolVersionRejected) {
+  std::vector<char> wire = rpc::encode_frame(heartbeat_frame());
+  wire[4] ^= 0x01;  // protocol u16 follows the magic
+  EXPECT_THROW(rpc::decode_frame(wire), util::CheckError);
+}
+
+TEST(FrameCorruption, UnknownMessageTypeRejected) {
+  std::vector<char> wire = rpc::encode_frame(heartbeat_frame());
+  wire[6] = 99;  // type u16 follows protocol
+  EXPECT_THROW(rpc::decode_frame(wire), util::CheckError);
+}
+
+TEST(FrameCorruption, OversizedLengthPrefixRejectedBeforeAllocation) {
+  // A corrupt length prefix must be rejected the moment the header is
+  // complete — no buffering of (or allocation for) a 4GB "payload".
+  std::vector<char> wire = rpc::encode_frame(heartbeat_frame());
+  std::uint32_t huge = rpc::kMaxFramePayload + 1;
+  std::memcpy(wire.data() + 8, &huge, sizeof(huge));  // payload_len field
+  rpc::FrameDecoder decoder;
+  EXPECT_THROW(decoder.feed(wire.data(), rpc::kFrameHeaderBytes); decoder.next(),
+               util::CheckError);
+}
+
+TEST(FrameCorruption, TrailingGarbageRejectedByStrictDecode) {
+  std::vector<char> wire = rpc::encode_frame(heartbeat_frame());
+  wire.push_back('x');
+  EXPECT_THROW(rpc::decode_frame(wire), util::CheckError);
+}
+
+TEST(FrameCorruption, WrongSchemaVersionRejected) {
+  rpc::HeartbeatMsg beat;
+  std::vector<char> payload = beat.serialize();
+  payload[0] = 0x7F;  // schema version u16 leads every message
+  EXPECT_THROW(rpc::HeartbeatMsg::deserialize(payload), util::CheckError);
+}
+
+TEST(FrameCorruption, TrailingMessageBytesRejected) {
+  rpc::HeartbeatMsg beat;
+  std::vector<char> payload = beat.serialize();
+  payload.push_back('\0');
+  EXPECT_THROW(rpc::HeartbeatMsg::deserialize(payload), util::CheckError);
+}
+
+// ------------------------------------------------------------- messages
+
+TEST(Messages, RegisterRoundtrip) {
+  rpc::RegisterExecutorMsg reg;
+  reg.name = "pid:4242";
+  reg.slots = 4;
+  auto out = rpc::RegisterExecutorMsg::deserialize(reg.serialize());
+  EXPECT_EQ(out.name, "pid:4242");
+  EXPECT_EQ(out.slots, 4u);
+
+  rpc::RegisterAckMsg ack;
+  ack.executor_id = 3;
+  ack.heartbeat_interval_s = 0.25;
+  ack.heartbeat_timeout_s = 5.0;
+  ack.dense_dim = 16;
+  ack.model_blob = {'m', 'o', 'd', 'e', 'l'};
+  auto ack_out = rpc::RegisterAckMsg::deserialize(ack.serialize());
+  EXPECT_EQ(ack_out.executor_id, 3u);
+  EXPECT_DOUBLE_EQ(ack_out.heartbeat_interval_s, 0.25);
+  EXPECT_EQ(ack_out.dense_dim, 16u);
+  EXPECT_EQ(ack_out.model_blob, ack.model_blob);
+}
+
+TEST(Messages, TaskLeaseRoundtripCarriesCompleteInputs) {
+  rpc::TaskLeaseMsg lease;
+  lease.lease_id = 11;
+  lease.task_id = 12;
+  lease.client_id = 13;
+  lease.round = 14;
+  lease.seed = 15;
+  lease.dp_participants = 8;
+  lease.lr = 0.01;
+  lease.epochs = 3;
+  lease.batch_size = 32;
+  lease.loss_kind = 1;
+  lease.clip_norm = 2.5;
+  lease.momentum = 0.9;
+  lease.prox_mu = 0.1;
+  lease.has_dp = true;
+  lease.dp_clip_norm = 1.5;
+  lease.dp_noise_multiplier = 0.7;
+  lease.dp_delta = 1e-5;
+  lease.compression_kind = 2;
+  lease.top_k_fraction = 0.25;
+  lease.params = {1.0f, -2.0f, 3.5f};
+  ml::Example ex;
+  ex.dense = {0.5f, 0.25f};
+  ex.tokens = {7, 9};
+  ex.label = 1.0f;
+  ex.label2 = 0.5f;
+  ex.group = 3;
+  lease.examples = {ex};
+
+  auto out = rpc::TaskLeaseMsg::deserialize(lease.serialize());
+  EXPECT_EQ(out.lease_id, 11u);
+  EXPECT_EQ(out.task_id, 12u);
+  EXPECT_EQ(out.seed, 15u);
+  EXPECT_EQ(out.epochs, 3);
+  EXPECT_EQ(out.batch_size, 32u);
+  EXPECT_TRUE(out.has_dp);
+  EXPECT_DOUBLE_EQ(out.dp_noise_multiplier, 0.7);
+  EXPECT_EQ(out.compression_kind, 2u);
+  EXPECT_EQ(out.params, lease.params);
+  ASSERT_EQ(out.examples.size(), 1u);
+  EXPECT_EQ(out.examples[0].dense, ex.dense);
+  EXPECT_EQ(out.examples[0].tokens, ex.tokens);
+  EXPECT_FLOAT_EQ(out.examples[0].label, 1.0f);
+  EXPECT_EQ(out.examples[0].group, 3u);
+}
+
+TEST(Messages, TaskResultAndShutdownRoundtrip) {
+  rpc::TaskResultMsg result;
+  result.lease_id = 5;
+  result.task_id = 6;
+  result.executor_id = 2;
+  result.ok = false;
+  result.error = "dimension mismatch";
+  result.delta = {0.5f};
+  result.weight = 3.0;
+  result.mean_loss = 0.25;
+  result.examples = 40;
+  auto out = rpc::TaskResultMsg::deserialize(result.serialize());
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.error, "dimension mismatch");
+  EXPECT_EQ(out.delta, result.delta);
+  EXPECT_EQ(out.examples, 40u);
+
+  rpc::ShutdownMsg bye;
+  bye.reason = "run complete";
+  EXPECT_EQ(rpc::ShutdownMsg::deserialize(bye.serialize()).reason, "run complete");
+}
+
+// ------------------------------------------------------------- transports
+
+TEST(LoopbackTransport, DeliversFramesBothWays) {
+  auto [a, b] = rpc::LoopbackTransport::make_pair();
+  ASSERT_TRUE(a->send(heartbeat_frame()));
+  rpc::Frame got;
+  ASSERT_EQ(b->recv(got, 1.0), rpc::RecvStatus::kFrame);
+  EXPECT_EQ(got.type, rpc::MessageType::kHeartbeat);
+  ASSERT_TRUE(b->send(rpc::Frame{rpc::MessageType::kShutdown, {}}));
+  ASSERT_EQ(a->recv(got, 1.0), rpc::RecvStatus::kFrame);
+  EXPECT_EQ(got.type, rpc::MessageType::kShutdown);
+}
+
+TEST(LoopbackTransport, TimesOutThenSeesClose) {
+  auto [a, b] = rpc::LoopbackTransport::make_pair();
+  rpc::Frame got;
+  EXPECT_EQ(a->recv(got, 0.0), rpc::RecvStatus::kTimeout);
+  b->close();
+  EXPECT_EQ(a->recv(got, 1.0), rpc::RecvStatus::kClosed);
+  EXPECT_FALSE(a->send(heartbeat_frame()));
+}
+
+TEST(UnixSocketTransport, ConnectSendRecvClose) {
+  std::string path = testing::TempDir() + "rpc_test_unix.sock";
+  rpc::Listener listener = rpc::Listener::listen_unix(path);
+  // The backlog holds the connection until accept(), so no second thread is
+  // needed for a same-process handshake.
+  auto client = rpc::connect_unix(path);
+  auto server = listener.accept(2.0);
+  ASSERT_NE(server, nullptr);
+
+  ASSERT_TRUE(client->send(heartbeat_frame()));
+  rpc::Frame got;
+  ASSERT_EQ(server->recv(got, 2.0), rpc::RecvStatus::kFrame);
+  EXPECT_EQ(got.payload, heartbeat_frame().payload);
+  ASSERT_TRUE(server->send(rpc::Frame{rpc::MessageType::kShutdown, {}}));
+  ASSERT_EQ(client->recv(got, 2.0), rpc::RecvStatus::kFrame);
+
+  client->close();
+  EXPECT_EQ(server->recv(got, 2.0), rpc::RecvStatus::kClosed);
+}
+
+TEST(UnixSocketTransport, ConnectToMissingPathThrows) {
+  EXPECT_THROW(rpc::connect_unix(testing::TempDir() + "no_such_rpc.sock"),
+               util::CheckError);
+}
+
+TEST(TcpTransport, ConnectSendRecvOnEphemeralPort) {
+  rpc::Listener listener = rpc::Listener::listen_tcp(0);
+  ASSERT_NE(listener.port(), 0);
+  auto client = rpc::connect_tcp("127.0.0.1", listener.port());
+  auto server = listener.accept(2.0);
+  ASSERT_NE(server, nullptr);
+  ASSERT_TRUE(client->send(heartbeat_frame()));
+  rpc::Frame got;
+  ASSERT_EQ(server->recv(got, 2.0), rpc::RecvStatus::kFrame);
+  EXPECT_EQ(got.type, rpc::MessageType::kHeartbeat);
+}
+
+TEST(TcpTransport, AcceptTimesOutWithoutConnection) {
+  rpc::Listener listener = rpc::Listener::listen_tcp(0);
+  EXPECT_EQ(listener.accept(0.05), nullptr);
+}
+
+// ------------------------------------------------------- leader/executor
+
+/// Deterministic stub: delta = 2 * params, weight = client_id.
+class StubService final : public rpc::TrainService {
+ public:
+  void configure(const rpc::RegisterAckMsg& ack) override { dense_dim_ = ack.dense_dim; }
+  rpc::TaskResultMsg run_lease(const rpc::TaskLeaseMsg& lease) override {
+    rpc::TaskResultMsg result;
+    result.ok = true;
+    result.delta = lease.params;
+    for (float& v : result.delta) v *= 2.0f;
+    result.weight = static_cast<double>(lease.client_id);
+    result.mean_loss = 0.5;
+    result.examples = lease.examples.size();
+    return result;
+  }
+
+ private:
+  std::uint64_t dense_dim_ = 0;
+};
+
+rpc::TaskLeaseMsg stub_lease(std::uint64_t task_id, std::uint64_t client_id) {
+  rpc::TaskLeaseMsg lease;
+  lease.task_id = task_id;
+  lease.client_id = client_id;
+  lease.params = {1.0f, 2.0f, 3.0f};
+  return lease;
+}
+
+/// Queue a worker serving StubService over the peer end of a loopback pair.
+std::future<void> spawn_stub_worker(util::ThreadPool& pool,
+                                    std::shared_ptr<rpc::Transport> endpoint,
+                                    const std::string& name) {
+  return pool.submit([endpoint, name] {
+    StubService service;
+    rpc::ExecutorWorker worker(*endpoint, service, name);
+    worker.run();
+  });
+}
+
+TEST(LeaderExecutor, ServesLeasesOverLoopback) {
+  rpc::LeaderConfig config;
+  config.dense_dim = 3;
+  rpc::Leader leader(config);
+  util::ThreadPool pool(2);
+  std::vector<std::future<void>> workers;
+  for (int i = 0; i < 2; ++i) {
+    auto [leader_end, worker_end] = rpc::LoopbackTransport::make_pair();
+    workers.push_back(spawn_stub_worker(pool, std::move(worker_end),
+                                        "stub-" + std::to_string(i)));
+    leader.add_transport(std::move(leader_end));
+  }
+  EXPECT_EQ(leader.alive_executors(), 2u);
+
+  std::vector<std::uint64_t> lease_ids;
+  for (std::uint64_t i = 0; i < 6; ++i)
+    lease_ids.push_back(leader.submit(stub_lease(/*task_id=*/100 + i, /*client_id=*/i)));
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    rpc::TaskResultMsg result = leader.wait(lease_ids[i]);
+    EXPECT_EQ(result.task_id, 100 + i);
+    ASSERT_EQ(result.delta.size(), 3u);
+    EXPECT_FLOAT_EQ(result.delta[0], 2.0f);
+    EXPECT_DOUBLE_EQ(result.weight, static_cast<double>(i));
+  }
+
+  leader.shutdown("test done");
+  for (auto& worker : workers) worker.get();  // propagates any worker throw
+}
+
+TEST(LeaderExecutor, FailedLeaseSurfacesExecutorError) {
+  // A service reporting ok=false must turn into a CheckError at wait(), with
+  // the executor's message attached.
+  class FailingService final : public rpc::TrainService {
+   public:
+    void configure(const rpc::RegisterAckMsg&) override {}
+    rpc::TaskResultMsg run_lease(const rpc::TaskLeaseMsg&) override {
+      rpc::TaskResultMsg result;
+      result.ok = false;
+      result.error = "synthetic failure";
+      return result;
+    }
+  };
+  rpc::Leader leader(rpc::LeaderConfig{});
+  util::ThreadPool pool(1);
+  auto [leader_end, worker_end] = rpc::LoopbackTransport::make_pair();
+  std::shared_ptr<rpc::Transport> endpoint = std::move(worker_end);
+  auto worker = pool.submit([endpoint] {
+    FailingService service;
+    rpc::ExecutorWorker w(*endpoint, service, "failing");
+    w.run();
+  });
+  leader.add_transport(std::move(leader_end));
+  std::uint64_t lease_id = leader.submit(stub_lease(1, 1));
+  EXPECT_THROW(leader.wait(lease_id), util::CheckError);
+  leader.shutdown("test done");
+  worker.get();
+}
+
+TEST(LeaderExecutor, RedispatchesWhenExecutorDies) {
+  rpc::LeaderConfig config;
+  rpc::Leader leader(config);
+  util::ThreadPool pool(1);
+
+  // Executor 1: a live stub worker. Executor 2: hand-driven from this test —
+  // it registers, accepts a lease, and then dies without answering.
+  auto [leader_end, worker_end] = rpc::LoopbackTransport::make_pair();
+  auto worker = spawn_stub_worker(pool, std::move(worker_end), "survivor");
+  leader.add_transport(std::move(leader_end));
+
+  auto [fake_leader_end, fake] = rpc::LoopbackTransport::make_pair();
+  rpc::RegisterExecutorMsg reg;
+  reg.name = "doomed";
+  ASSERT_TRUE(fake->send(rpc::Frame{rpc::MessageType::kRegisterExecutor, reg.serialize()}));
+  leader.add_transport(std::move(fake_leader_end));  // reads the queued Register
+  ASSERT_EQ(leader.alive_executors(), 2u);
+
+  // Round-robin: lease 1 -> executor 1 (survivor), lease 2 -> executor 2.
+  std::uint64_t first = leader.submit(stub_lease(201, 1));
+  std::uint64_t second = leader.submit(stub_lease(202, 2));
+  fake->close();  // SIGKILL stand-in: the leader sees EOF and must re-dispatch
+
+  rpc::TaskResultMsg r1 = leader.wait(first);
+  rpc::TaskResultMsg r2 = leader.wait(second);
+  EXPECT_EQ(r1.task_id, 201u);
+  EXPECT_EQ(r2.task_id, 202u);  // completed by the survivor after re-dispatch
+  EXPECT_EQ(leader.alive_executors(), 1u);
+
+  leader.shutdown("test done");
+  worker.get();
+}
+
+TEST(LeaderExecutor, AllExecutorsDeadThrows) {
+  rpc::Leader leader(rpc::LeaderConfig{});
+  auto [fake_leader_end, fake] = rpc::LoopbackTransport::make_pair();
+  rpc::RegisterExecutorMsg reg;
+  reg.name = "only";
+  ASSERT_TRUE(fake->send(rpc::Frame{rpc::MessageType::kRegisterExecutor, reg.serialize()}));
+  leader.add_transport(std::move(fake_leader_end));
+  std::uint64_t lease_id = leader.submit(stub_lease(301, 1));
+  fake->close();
+  EXPECT_THROW(leader.wait(lease_id), util::CheckError);
+}
+
+}  // namespace
+}  // namespace flint

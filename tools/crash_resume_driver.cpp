@@ -17,6 +17,13 @@
 //   --abort-after-round N   _Exit(137) after round N completes (0 = never)
 //   --faults                inject a deterministic executor-outage plan
 //   --artifact-out PATH     write the run artifact JSON here
+//   --transport MODE        inprocess|loopback|unix|tcp rpc execution (§14)
+//   --rpc-executors N       executor count for rpc transports (default 2)
+//   --executor-bin PATH     flint_executor binary (unix/tcp)
+//   --rpc-dir DIR           directory for the Unix socket (default ".")
+//   --kill-executor-after-round N   SIGKILL executor child 0 after round N
+//                           (unix/tcp; the run must still finish
+//                           bit-identical — scripts/rpc_fault_test.sh)
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -31,6 +38,7 @@
 #include "flint/device/session_generator.h"
 #include "flint/fl/fedavg.h"
 #include "flint/fl/fedbuff.h"
+#include "flint/fl/rpc_runtime.h"
 #include "flint/net/bandwidth_model.h"
 #include "flint/sim/fault_injector.h"
 #include "flint/store/checkpoint.h"
@@ -61,6 +69,11 @@ int main(int argc, char** argv) {
   std::uint64_t abort_after_round = 0;
   bool faults = false;
   std::string artifact_out;
+  std::string transport = "inprocess";
+  std::size_t rpc_executors = 2;
+  std::string executor_bin;
+  std::string rpc_dir = ".";
+  std::uint64_t kill_executor_after_round = 0;
   for (int i = 1; i < argc; ++i) {
     auto value = [&](const char* flag) -> const char* {
       if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) return argv[++i];
@@ -86,6 +99,16 @@ int main(int argc, char** argv) {
       faults = true;
     } else if (const char* v = value("--artifact-out")) {
       artifact_out = v;
+    } else if (const char* v = value("--transport")) {
+      transport = v;
+    } else if (const char* v = value("--rpc-executors")) {
+      rpc_executors = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value("--executor-bin")) {
+      executor_bin = v;
+    } else if (const char* v = value("--rpc-dir")) {
+      rpc_dir = v;
+    } else if (const char* v = value("--kill-executor-after-round")) {
+      kill_executor_after_round = std::strtoull(v, nullptr, 10);
     } else {
       std::cerr << "crash_resume_driver: unknown or incomplete flag " << argv[i] << "\n";
       return 2;
@@ -154,6 +177,17 @@ int main(int argc, char** argv) {
     inputs.leader.checkpoint_store = checkpoints.get();
     if (resume) inputs.resume_from = checkpoints.get();
   }
+  // Rpc execution mode (DESIGN.md §14): leases to loopback workers or
+  // spawned executor children instead of in-process training. Constructed
+  // before the hooks below so the kill hook can reach the child processes.
+  fl::RpcRuntimeConfig rpc_cfg;
+  rpc_cfg.kind = fl::parse_transport(transport);
+  rpc_cfg.executors = rpc_executors;
+  rpc_cfg.executor_bin = executor_bin;
+  rpc_cfg.socket_dir = rpc_dir;
+  fl::RpcRuntime rpc_runtime(rpc_cfg, inputs);
+  inputs.rpc_leader = rpc_runtime.leader();
+
   if (abort_after_round > 0) {
     inputs.round_hook = [abort_after_round](std::uint64_t round) {
       if (round >= abort_after_round) {
@@ -163,6 +197,20 @@ int main(int argc, char** argv) {
                   << std::flush;
         std::_Exit(137);
       }
+    };
+  } else if (kill_executor_after_round > 0 && rpc_runtime.process_count() > 0) {
+    // Executor-fault injection: SIGKILL child 0 at a known round. The leader
+    // must detect the loss (EOF) and re-dispatch its outstanding leases to
+    // the survivors; the final artifact must stay bit-identical.
+    bool killed = false;
+    inputs.round_hook = [&rpc_runtime, &killed,
+                         kill_executor_after_round](std::uint64_t round) {
+      if (killed || round < kill_executor_after_round) return;
+      killed = true;
+      std::cout << "crash_resume_driver: SIGKILLing executor 0 after round " << round
+                << "\n"
+                << std::flush;
+      rpc_runtime.process(0).kill();
     };
   }
 

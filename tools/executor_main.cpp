@@ -1,0 +1,87 @@
+// flint_executor — the executor side of the multi-process runtime
+// (DESIGN.md §14). Connects to a leader, registers, and serves TaskLeases
+// with the same compute_client_update the in-process paths run, until the
+// leader sends Shutdown or the connection drops.
+//
+// Flags:
+//   --connect-unix PATH     connect to a Unix-domain socket leader
+//   --connect-tcp HOST      connect over TCP (requires --port)
+//   --port N                TCP port
+//   --name NAME             executor name reported at registration
+//
+// The connect retries for a few seconds: the leader spawns executors right
+// after binding, but a TCP listener in another process may not be accepting
+// the instant the child starts.
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "flint/fl/remote_executor.h"
+#include "flint/rpc/executor_worker.h"
+#include "flint/rpc/transport.h"
+#include "flint/util/check.h"
+
+namespace {
+
+std::unique_ptr<flint::rpc::Transport> connect_with_retry(const std::string& unix_path,
+                                                          const std::string& tcp_host,
+                                                          std::uint16_t tcp_port) {
+  constexpr int kAttempts = 100;  // 100 * 100ms = 10s
+  for (int attempt = 0;; ++attempt) {
+    try {
+      if (!unix_path.empty()) return flint::rpc::connect_unix(unix_path);
+      return flint::rpc::connect_tcp(tcp_host, tcp_port);
+    } catch (const flint::util::CheckError&) {
+      if (attempt + 1 >= kAttempts) throw;
+      ::usleep(100 * 1000);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string unix_path;
+  std::string tcp_host;
+  std::uint16_t tcp_port = 0;
+  std::string name = "executor";
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&](const char* flag) -> const char* {
+      if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) return argv[++i];
+      return nullptr;
+    };
+    if (const char* v = value("--connect-unix")) {
+      unix_path = v;
+    } else if (const char* v = value("--connect-tcp")) {
+      tcp_host = v;
+    } else if (const char* v = value("--port")) {
+      tcp_port = static_cast<std::uint16_t>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value("--name")) {
+      name = v;
+    } else {
+      std::cerr << "flint_executor: unknown or incomplete flag " << argv[i] << "\n";
+      return 2;
+    }
+  }
+  if (unix_path.empty() && (tcp_host.empty() || tcp_port == 0)) {
+    std::cerr << "flint_executor: need --connect-unix PATH or --connect-tcp HOST --port N\n";
+    return 2;
+  }
+
+  try {
+    auto transport = connect_with_retry(unix_path, tcp_host, tcp_port);
+    flint::fl::LeaseTrainService service;
+    flint::rpc::ExecutorWorker worker(*transport, service, name);
+    worker.run();
+    std::cerr << "flint_executor " << name << ": served " << worker.leases_served()
+              << " lease(s), exiting\n";
+  } catch (const flint::util::CheckError& e) {
+    std::cerr << "flint_executor " << name << ": " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -74,8 +74,11 @@ CHECKS = ("unordered-iter", "nondet-source", "save-load-symmetry", "float-accum"
 SUPPRESS_RE = re.compile(r"//\s*flint-analyze:\s*allow\(([a-z-]+)\)\s*:\s*(.*)")
 
 # Paths (relative, substring match on posix form) where wall-clock reads are
-# the point: the observability subsystem measures real time by design.
-NONDET_PATH_ALLOWLIST = ("src/flint/obs/",)
+# the point: the observability subsystem measures real time by design, and
+# the rpc runtime's heartbeat/lease deadlines are real-time by nature (its
+# results stay deterministic because leases are pure functions of their
+# payloads, not of when they run — DESIGN.md §14).
+NONDET_PATH_ALLOWLIST = ("src/flint/obs/", "src/flint/rpc/")
 
 UNORDERED_TYPES = r"std::unordered_(?:map|set|multimap|multiset)"
 ORDERED_TYPES = r"std::(?:map|set|multimap|multiset|vector|deque|list|array)"

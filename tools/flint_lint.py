@@ -34,6 +34,11 @@ in the file):
                   parallelism flows through util::ThreadPool so the runners'
                   deterministic-reduction contract (fixed-order future joins)
                   and the pool's instrumentation are never bypassed.
+  rpc             raw socket plumbing (::socket/::connect/::send/::recv and
+                  the <sys/socket.h> header family) is confined to
+                  src/flint/rpc/ — every other layer speaks rpc::Transport
+                  frames, so wire handling (CRC validation, length limits,
+                  EOF semantics) lives in exactly one audited place.
 
 Usage: tools/flint_lint.py [paths...]   (default: src/ bench/)
 Exit: 0 clean, 1 findings, 2 usage error.
@@ -67,6 +72,11 @@ CONFIG_PARAM_RE = re.compile(r"\b(const\s+)?\w*Config\s*[&*]\s*\w+|\bconst\s+\w*
 FLINT_CHECK_RE = re.compile(r"\bFLINT_D?CHECK")
 SPAN_CALL_RE = re.compile(r"\b(begin_span|end_span)\s*\(")
 RAW_THREAD_RE = re.compile(r"\bstd::j?thread\b")
+RAW_SOCKET_CALL_RE = re.compile(
+    r"::\s*(socket|connect|bind|listen|accept|send|recv|sendto|recvfrom"
+    r"|setsockopt|getsockname|getpeername|poll)\s*\(")
+SOCKET_HEADER_RE = re.compile(
+    r"#\s*include\s*<(sys/socket\.h|sys/un\.h|netinet/[\w/]+\.h|arpa/inet\.h)>")
 
 
 class Finding:
@@ -102,6 +112,7 @@ def lint_file(path: Path) -> list[Finding]:
     in_util_rng = path.name.startswith("rng.") and path.parent.name == "util"
     in_thread_pool = path.name.startswith("thread_pool.") and path.parent.name == "util"
     in_obs = "obs" in path.parts
+    in_rpc = "rpc" in path.parts
     is_header = path.suffix in (".h", ".hpp")
 
     # pragma-once — against stripped text, so a commented-out
@@ -137,6 +148,14 @@ def lint_file(path: Path) -> list[Finding]:
                 Finding(path, lineno, "raw-thread",
                         "raw std::thread bypasses util::ThreadPool (fixed-order "
                         "joins + instrumentation); submit work to a pool instead"))
+
+        # rpc
+        if not in_rpc and (RAW_SOCKET_CALL_RE.search(line) or SOCKET_HEADER_RE.search(line)) \
+                and not suppressed("rpc", lines, idx):
+            findings.append(
+                Finding(path, lineno, "rpc",
+                        "raw socket plumbing is confined to src/flint/rpc/; "
+                        "speak rpc::Transport frames instead"))
 
         # obs-spans
         if not in_obs and SPAN_CALL_RE.search(line) and not suppressed("obs-spans", lines, idx):

@@ -29,6 +29,7 @@ EXPECTATIONS: dict[str, list[str]] = {
     "real_throw.cpp": ["throw"],
     "raw_thread.cpp": ["raw-thread", "rng"],
     "suppressed_throw.cpp": [],
+    "raw_socket.cpp": ["rpc", "rpc"],
 }
 
 

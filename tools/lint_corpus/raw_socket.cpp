@@ -1,0 +1,15 @@
+// Fixture: raw socket plumbing outside src/flint/rpc/ must trip the `rpc`
+// rule — once for the header include, once for the global-scope call. A
+// method named send() on a project class (the Transport interface itself)
+// must NOT fire: only ::-qualified calls are raw.
+#include <sys/socket.h>
+
+struct NotATransport {
+  bool send(int frame) { return frame > 0; }  // fine: member call, not ::send
+};
+
+int leak_raw_socket() {
+  NotATransport t;
+  t.send(1);
+  return ::socket(2, 1, 0);
+}
