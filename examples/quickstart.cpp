@@ -12,9 +12,14 @@
 // Profiling: pass --trace-out trace.json to record a Chrome trace-event file
 // (open in Perfetto / chrome://tracing; wall and virtual clocks are separate
 // process tracks) plus a metrics JSONL dump (--metrics-out overrides its
-// default path, quickstart_metrics.jsonl).
+// default path, quickstart_metrics.jsonl). With a multi-process transport
+// (--transport unix|tcp), --trace-out names a *directory*: the leader and
+// each spawned executor write their own trace into it, ready for
+// tools/flint_trace_merge.py (DESIGN.md §15). --status-out streams live
+// fleet status JSONL for tools/flint_top.py.
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -33,6 +38,7 @@ int main(int argc, char** argv) {
 
   std::string trace_out;
   std::string metrics_out;
+  std::string status_out;
   std::string artifact_out = "quickstart_report/run_artifact.json";
   std::string checkpoint_dir = "quickstart_report/checkpoints";
   std::uint64_t checkpoint_every = 10;
@@ -48,6 +54,8 @@ int main(int argc, char** argv) {
       trace_out = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--status-out") == 0 && i + 1 < argc) {
+      status_out = argv[++i];
     } else if (std::strcmp(argv[i], "--artifact-out") == 0 && i + 1 < argc) {
       artifact_out = argv[++i];
     } else if (std::strcmp(argv[i], "--checkpoint-dir") == 0 && i + 1 < argc) {
@@ -72,6 +80,7 @@ int main(int argc, char** argv) {
       rpc_dir = argv[++i];
     } else {
       std::cerr << "usage: quickstart [--trace-out trace.json] [--metrics-out metrics.jsonl]"
+                   " [--status-out status.jsonl]"
                    " [--artifact-out artifact.json] [--checkpoint-dir dir]"
                    " [--checkpoint-every N] [--resume] [--threads N]"
                    " [--transport inprocess|loopback|unix|tcp] [--rpc-executors N]"
@@ -83,14 +92,30 @@ int main(int argc, char** argv) {
   // trial sweep varies the seed per trial — so an explicit store, or a
   // resume from one, pins the study to a single trial (DESIGN.md §12).
   const int trials = (resume || explicit_checkpoint_dir) ? 1 : 3;
-  const bool telemetry_on = !trace_out.empty() || !metrics_out.empty();
+  const fl::TransportKind transport_kind = fl::parse_transport(transport);
+  const bool multiproc = transport_kind == fl::TransportKind::kUnix ||
+                         transport_kind == fl::TransportKind::kTcp;
+  const bool telemetry_on =
+      !trace_out.empty() || !metrics_out.empty() || !status_out.empty();
   if (telemetry_on && metrics_out.empty()) metrics_out = "quickstart_metrics.jsonl";
+
+  // Multi-process tracing fans out per process: --trace-out names a run
+  // directory; the leader writes leader.trace.json and each executor child
+  // writes executor-<i>.trace.json beside it (DESIGN.md §15).
+  std::string trace_dir;
+  std::string leader_trace_out = trace_out;
+  if (multiproc && !trace_out.empty()) {
+    trace_dir = trace_out;
+    std::filesystem::create_directories(trace_dir);
+    leader_trace_out = trace_dir + "/leader.trace.json";
+  }
 
   obs::TelemetryConfig telemetry_cfg;
   telemetry_cfg.metrics_enabled = telemetry_on;
   telemetry_cfg.tracing_enabled = !trace_out.empty();
-  telemetry_cfg.trace_out = trace_out;
+  telemetry_cfg.trace_out = leader_trace_out;
   telemetry_cfg.metrics_out = metrics_out;
+  telemetry_cfg.status_out = status_out;
   obs::Telemetry telemetry(telemetry_cfg);
   // Ambient for the whole example so the pre-training sections (feature
   // cache replay below) record too, not just the FL trials.
@@ -178,10 +203,11 @@ int main(int argc, char** argv) {
   // wall time only — the artifact stays bit-identical to inprocess, so the
   // config fingerprint above is untouched (DESIGN.md §14).
   fl::RpcRuntimeConfig rpc_cfg;
-  rpc_cfg.kind = fl::parse_transport(transport);
+  rpc_cfg.kind = transport_kind;
   rpc_cfg.executors = rpc_executors;
   rpc_cfg.executor_bin = executor_bin;
   rpc_cfg.socket_dir = rpc_dir;
+  rpc_cfg.trace_dir = trace_dir;
   fl::RpcRuntime rpc_runtime(rpc_cfg, fl_cfg.inputs);
   fl_cfg.inputs.rpc_leader = rpc_runtime.leader();
 
@@ -245,6 +271,7 @@ int main(int argc, char** argv) {
     if (!metrics_out.empty()) std::cout << " -> " << metrics_out;
     if (!trace_out.empty())
       std::cout << "; " << telemetry.tracer().event_count() << " trace spans -> " << trace_out;
+    if (!status_out.empty()) std::cout << "; live status -> " << status_out;
     std::cout << "\n";
   }
   return 0;

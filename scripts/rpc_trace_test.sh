@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Distributed-telemetry e2e (DESIGN.md §15). Runs the quickstart on the unix
+# transport with two spawned executors and every telemetry surface on, then
+# checks the whole observability pipeline:
+#
+#   1. one Chrome trace per process (leader + both executors) lands in the
+#      --trace-out directory
+#   2. tools/flint_trace_merge.py folds them into a single cross-process
+#      trace that passes validate_trace.py --merged (unique process tracks,
+#      leader + executor roles, every rpc.lease_execute span parented to an
+#      rpc.dispatch span, clock-aligned monotone timestamps)
+#   3. the live status stream is valid JSONL and flint_top.py can render it,
+#      showing both executors alive
+#   4. the leader's run artifact carries merged `{executor=N}`-labeled series
+#      shipped over heartbeats
+#   5. telemetry is invisible in the results: the artifact matches a
+#      telemetry-off in-process reference at ZERO tolerance with the same
+#      config fingerprint
+#
+# Usage: rpc_trace_test.sh <quickstart-binary> <executor-binary> <source-dir> [python]
+set -euo pipefail
+
+quickstart=$(readlink -f "${1:?usage: rpc_trace_test.sh <quickstart-binary> <executor-binary> <source-dir> [python]}")
+executor=$(readlink -f "${2:?missing executor binary}")
+src=$(readlink -f "${3:?missing source dir}")
+py=${4:-python3}
+
+work=$(mktemp -d "${TMPDIR:-/tmp}/flint_rpc_trace.XXXXXX")
+trap 'rm -rf "$work"' EXIT
+mkdir -p "$work/rpc" "$work/trace"
+cd "$work"
+
+echo "== unix transport, 2 executors, full telemetry =="
+"$quickstart" --transport unix --rpc-executors 2 \
+  --executor-bin "$executor" --rpc-dir "$work/rpc" \
+  --trace-out "$work/trace" --status-out "$work/status.jsonl" \
+  --metrics-out "$work/metrics.jsonl" \
+  --artifact-out "$work/artifact_unix.json" > quickstart_unix.out
+
+echo "== per-process traces present =="
+for f in leader executor-0 executor-1; do
+  test -s "$work/trace/$f.trace.json" || {
+    echo "FAIL: missing per-process trace $f.trace.json" >&2
+    exit 1
+  }
+done
+
+echo "== merge and validate the cross-process trace =="
+"$py" "$src/tools/flint_trace_merge.py" --dir "$work/trace"
+"$py" "$src/tools/validate_trace.py" --trace "$work/trace/merged.trace.json" --merged
+grep -q '"leader wall clock"' "$work/trace/merged.trace.json" || {
+  echo "FAIL: merged trace lost the leader track" >&2
+  exit 1
+}
+
+echo "== live status stream renders =="
+"$py" "$src/tools/flint_top.py" --status "$work/status.jsonl" --once \
+  | tee "$work/top.out"
+grep -q "2 alive" "$work/top.out" || {
+  echo "FAIL: flint_top does not show both executors alive" >&2
+  exit 1
+}
+
+echo "== artifact carries merged executor-labeled series =="
+grep -q "executor=" "$work/artifact_unix.json" || {
+  echo "FAIL: artifact telemetry has no {executor=N} series" >&2
+  exit 1
+}
+"$py" "$src/tools/validate_trace.py" --artifact "$work/artifact_unix.json"
+
+echo "== telemetry-off in-process reference matches bit-for-bit =="
+"$quickstart" --artifact-out "$work/artifact_ref.json" > quickstart_ref.out
+"$py" "$src/tools/flint_compare.py" --require-same-config --ignore-telemetry \
+  --default-rel 0 "$work/artifact_ref.json" "$work/artifact_unix.json"
+
+echo "rpc_trace_test: OK"

@@ -24,6 +24,7 @@ fi
 "$CXX" -std=c++20 -O1 -g -fsanitize=thread -fno-omit-frame-pointer -pthread \
   -I src tools/tsan_smoke.cpp src/flint/store/checkpoint.cpp \
   src/flint/obs/metrics.cpp src/flint/obs/trace.cpp src/flint/obs/telemetry.cpp \
+  src/flint/obs/status.cpp \
   src/flint/util/thread_pool.cpp src/flint/util/crc32.cpp src/flint/util/logging.cpp \
   -o "$OUT"
 

@@ -203,6 +203,7 @@ RunResult run_fedavg(const SyncConfig& config) {
     obs::advance_virtual_time(round_start);
     FLINT_TRACE_SPAN("fedavg.round", "fl");
     obs::add_counter("fl.rounds");
+    obs::set_gauge("fl.round", static_cast<double>(round));
     obs::record_histogram("fl.round_duration_s", round_end - round_start, 0.0, 7200.0, 48);
     if (!in.model_free) {
       UpdateAccumulator acc(params.size());

@@ -71,6 +71,8 @@ struct FedBuffState {
   obs::CachedHistogram staleness_hist;
   obs::CachedHistogram round_duration_hist;
   obs::CachedGauge buffer_gauge;
+  obs::CachedGauge round_gauge;
+  obs::CachedGauge in_flight_gauge;
 };
 
 /// One in-flight task: its spec plus the local update — computed eagerly at
@@ -177,6 +179,7 @@ void aggregate(FedBuffState& s) {
   s.staleness_sum = 0.0;
   ++s.version;
   s.leader->metrics().on_round({s.version, s.round_start, now, aggregated, mean_staleness});
+  if (auto* g = s.round_gauge.resolve("fl.round")) g->set(static_cast<double>(s.version));
   if (auto* c = s.aggregations_counter.resolve("fl.aggregations")) c->add(1);
   if (auto* h = s.round_duration_hist.resolve("fl.round_duration_s", 0.0, 7200.0, 48))
     h->record(now - s.round_start);
@@ -195,6 +198,8 @@ void aggregate(FedBuffState& s) {
 
 void on_task_end(FedBuffState& s, InFlight& task, bool interrupted) {
   s.in_flight.erase(task.spec.task_id);
+  if (auto* g = s.in_flight_gauge.resolve("fl.tasks_in_flight"))
+    g->set(static_cast<double>(s.in_flight.size()));
   --s.running;
   s.busy.erase(task.spec.client_id);
 
@@ -284,6 +289,8 @@ void dispatch(FedBuffState& s, const sim::Arrival& arrival) {
     task->interrupted = true;
     task->stamp = s.next_stamp++;
     s.in_flight[task->spec.task_id] = task;
+    if (auto* g = s.in_flight_gauge.resolve("fl.tasks_in_flight"))
+      g->set(static_cast<double>(s.in_flight.size()));
     s.leader->queue().schedule(arrival.window_end,
                                [&s, task] { on_task_end(s, *task, /*interrupted=*/true); });
     return;
@@ -292,6 +299,8 @@ void dispatch(FedBuffState& s, const sim::Arrival& arrival) {
   task->finish_time = now + dur.total_s();
   task->stamp = s.next_stamp++;
   s.in_flight[task->spec.task_id] = task;
+  if (auto* g = s.in_flight_gauge.resolve("fl.tasks_in_flight"))
+    g->set(static_cast<double>(s.in_flight.size()));
   if (!in.model_free) {
     // The client trains against the global parameters as of dispatch time;
     // computing the update from a dispatch-time snapshot is semantically

@@ -6,6 +6,7 @@
 
 #include "flint/fl/remote_executor.h"
 #include "flint/ml/serialize.h"
+#include "flint/obs/telemetry.h"
 #include "flint/rpc/executor_worker.h"
 #include "flint/rpc/transport.h"
 #include "flint/util/check.h"
@@ -73,6 +74,11 @@ RpcRuntime::RpcRuntime(const RpcRuntimeConfig& config, const RunInputs& inputs)
   // endpoint, then block until every one has registered.
   FLINT_CHECK_MSG(!config_.executor_bin.empty(),
                   "multi-process transport needs --executor-bin");
+  // This process is the leader of a fleet: tag its log lines and (when
+  // tracing) its trace tracks so merged output stays attributable.
+  util::Logger::instance().set_role("leader");
+  if (obs::Telemetry* t = obs::current(); t != nullptr && t->tracer().enabled())
+    t->tracer().set_process_info("leader", 0);
   std::string connect_arg;
   if (config_.kind == TransportKind::kUnix) {
     std::string sock = config_.socket_dir + "/flint-rpc-" +
@@ -96,6 +102,11 @@ RpcRuntime::RpcRuntime(const RpcRuntimeConfig& config, const RunInputs& inputs)
     }
     argv.push_back("--name");
     argv.push_back(std::string(transport_name(config_.kind)) + "-" + std::to_string(i));
+    if (!config_.trace_dir.empty()) {
+      argv.push_back("--trace-out");
+      argv.push_back(config_.trace_dir + "/executor-" + std::to_string(i) +
+                     ".trace.json");
+    }
     processes_.push_back(std::make_unique<rpc::SpawnedProcess>(argv));
   }
   leader_->wait_for_executors(config_.executors);
@@ -108,6 +119,9 @@ std::uint16_t RpcRuntime::leader_listen_port() const {
 }
 
 RpcRuntime::~RpcRuntime() {
+  // Undo the multi-process role tag: a test binary may run many runtimes.
+  if (config_.kind == TransportKind::kUnix || config_.kind == TransportKind::kTcp)
+    util::Logger::instance().set_role("");
   if (leader_ != nullptr) leader_->shutdown("run complete");
   for (auto& worker : loopback_workers_) {
     if (worker.valid()) worker.get();

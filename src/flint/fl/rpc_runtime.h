@@ -45,6 +45,11 @@ struct RpcRuntimeConfig {
   double heartbeat_timeout_s = 10.0;
   double lease_timeout_s = 120.0;
   double register_timeout_s = 30.0;
+  /// Multi-process trace fan-out (DESIGN.md §15): when non-empty, each
+  /// spawned executor writes its own Chrome trace to
+  /// `<trace_dir>/executor-<i>.trace.json` and the leader labels its tracer
+  /// for the merged view. Empty = executors run without tracing.
+  std::string trace_dir;
 };
 
 class RpcRuntime {

@@ -37,6 +37,19 @@ void HistogramMetric::record(double x) {
   }
 }
 
+void HistogramMetric::merge_delta(std::uint64_t count_delta, double sum_delta,
+                                  const std::vector<std::uint64_t>& bucket_deltas) {
+  FLINT_CHECK_EQ(bucket_deltas.size(), buckets_.size());
+  for (std::size_t i = 0; i < bucket_deltas.size(); ++i) {
+    if (bucket_deltas[i] != 0)
+      buckets_[i].fetch_add(bucket_deltas[i], std::memory_order_relaxed);
+  }
+  count_.fetch_add(count_delta, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + sum_delta, std::memory_order_relaxed)) {
+  }
+}
+
 double HistogramMetric::mean() const {
   std::uint64_t n = count();
   return n == 0 ? 0.0 : sum() / static_cast<double>(n);

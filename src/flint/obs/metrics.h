@@ -49,6 +49,13 @@ class HistogramMetric {
 
   void record(double x);
 
+  /// Fold a remote delta window into this histogram (the telemetry-shipping
+  /// merge path, telemetry_snapshot.h): bucket-wise counts plus count/sum
+  /// increments. `bucket_deltas.size()` must equal bucket_count(). Safe from
+  /// any thread, like record().
+  void merge_delta(std::uint64_t count_delta, double sum_delta,
+                   const std::vector<std::uint64_t>& bucket_deltas);
+
   double lo() const { return lo_; }
   double hi() const { return hi_; }
   std::size_t bucket_count() const { return buckets_.size(); }

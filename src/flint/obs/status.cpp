@@ -1,0 +1,157 @@
+#include "flint/obs/status.h"
+
+#include <cctype>
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "flint/obs/metrics.h"
+#include "flint/obs/telemetry.h"
+#include "flint/util/check.h"
+
+namespace flint::obs {
+
+namespace {
+
+// Snapshot lookups: the sample vector is sorted by name and small (dozens of
+// series), so a linear scan per field is fine at a 1 Hz cadence.
+const MetricSample* find_sample(const std::vector<MetricSample>& samples,
+                                const std::string& name) {
+  for (const MetricSample& s : samples) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+double value_or(const std::vector<MetricSample>& samples, const std::string& name,
+                double fallback) {
+  const MetricSample* s = find_sample(samples, name);
+  return s == nullptr ? fallback : s->value;
+}
+
+/// Parse "rpc.executor.<id>.<field>" series names into per-executor rows.
+struct ExecutorRow {
+  std::uint64_t id = 0;
+  double alive = 0.0;
+  double outstanding = 0.0;
+};
+
+std::vector<ExecutorRow> executor_rows(const std::vector<MetricSample>& samples) {
+  constexpr const char* kPrefix = "rpc.executor.";
+  std::vector<ExecutorRow> rows;
+  for (const MetricSample& s : samples) {
+    if (s.name.rfind(kPrefix, 0) != 0) continue;
+    std::size_t pos = std::char_traits<char>::length(kPrefix);
+    std::uint64_t id = 0;
+    bool any_digit = false;
+    while (pos < s.name.size() && std::isdigit(static_cast<unsigned char>(s.name[pos]))) {
+      id = id * 10 + static_cast<std::uint64_t>(s.name[pos] - '0');
+      ++pos;
+      any_digit = true;
+    }
+    if (!any_digit || pos >= s.name.size() || s.name[pos] != '.') continue;
+    std::string field = s.name.substr(pos + 1);
+    ExecutorRow* row = nullptr;
+    for (ExecutorRow& r : rows) {
+      if (r.id == id) row = &r;
+    }
+    if (row == nullptr) {
+      rows.push_back(ExecutorRow{id, 0.0, 0.0});
+      row = &rows.back();
+    }
+    if (field == "alive") row->alive = s.value;
+    if (field == "outstanding") row->outstanding = s.value;
+  }
+  return rows;  // samples are name-sorted, so rows come out id-sorted
+}
+
+}  // namespace
+
+std::uint64_t resident_bytes() {
+  // flint-analyze: allow(nondet-source): resident memory is diagnostic status
+  // output only and never feeds simulated results or run artifacts.
+  std::ifstream statm("/proc/self/statm");
+  if (!statm.good()) return 0;
+  std::uint64_t total_pages = 0;
+  std::uint64_t resident_pages = 0;
+  statm >> total_pages >> resident_pages;
+  if (!statm.good()) return 0;
+  return resident_pages * 4096;  // page size on every platform FLINT targets
+}
+
+StatusReporter::StatusReporter(StatusReporterConfig config) : config_(std::move(config)) {
+  FLINT_CHECK_MSG(!config_.path.empty(), "StatusReporter needs an output path");
+  FLINT_CHECK_FINITE(config_.every_wall_s);
+  FLINT_CHECK_GE(config_.every_wall_s, 0.0);
+  util::MutexLock lock(mu_);
+  out_.open(config_.path);
+  FLINT_CHECK_MSG(out_.good(), "cannot write " << config_.path);
+}
+
+bool StatusReporter::maybe_report(Telemetry& telemetry, bool force) {
+  util::MutexLock lock(mu_);
+  const double wall_s = telemetry.tracer().wall_now_us() / 1e6;
+  if (!force && wall_s < next_due_wall_s_) return false;
+  next_due_wall_s_ = wall_s + config_.every_wall_s;
+
+  auto samples = telemetry.metrics().snapshot();
+  // Update throughput: leases served across the fleet when the rpc runtime is
+  // active — the bare counter for loopback workers (shared registry) plus the
+  // merged `rpc.leases_served{executor=N}` series shipped by executor
+  // processes — and local SGD calls otherwise (single-process runs).
+  double updates_total = 0.0;
+  bool any_leases = false;
+  for (const MetricSample& s : samples) {
+    if (s.name == "rpc.leases_served" ||
+        s.name.rfind("rpc.leases_served{executor=", 0) == 0) {
+      updates_total += s.value;
+      any_leases = true;
+    }
+  }
+  if (!any_leases) updates_total = value_or(samples, "fl.local_sgd_calls", 0.0);
+  const double dt = wall_s - last_wall_s_;
+  const double updates_per_s =
+      (lines_ == 0 || dt <= 0.0) ? 0.0 : (updates_total - last_updates_total_) / dt;
+  last_wall_s_ = wall_s;
+  last_updates_total_ = updates_total;
+
+  // Fleet aggregates fall out of the per-executor gauge rows; there is no
+  // separate aggregate gauge to drift out of sync with them.
+  const std::vector<ExecutorRow> rows = executor_rows(samples);
+  std::size_t alive = 0;
+  for (const ExecutorRow& row : rows) {
+    if (row.alive != 0.0) ++alive;
+  }
+
+  std::ostringstream line;
+  line.precision(12);
+  line << "{\"t_wall_s\":" << wall_s << ",\"t_virtual_s\":" << telemetry.virtual_now()
+       << ",\"round\":" << value_or(samples, "fl.round", 0.0)
+       << ",\"tasks_in_flight\":" << value_or(samples, "fl.tasks_in_flight", 0.0)
+       << ",\"queue_depth\":" << value_or(samples, "sim.queue_depth", 0.0)
+       << ",\"executors_alive\":" << alive
+       << ",\"executors_lost\":" << (rows.size() - alive)
+       << ",\"leases_in_flight\":" << value_or(samples, "rpc.leases_in_flight", 0.0)
+       << ",\"updates_total\":" << updates_total << ",\"updates_per_s\":" << updates_per_s
+       << ",\"rss_bytes\":" << resident_bytes() << ",\"executors\":[";
+  bool first = true;
+  for (const ExecutorRow& row : rows) {
+    if (!first) line << ",";
+    first = false;
+    line << "{\"id\":" << row.id << ",\"alive\":" << (row.alive != 0.0 ? "true" : "false")
+         << ",\"outstanding\":" << row.outstanding << "}";
+  }
+  line << "]}";
+
+  out_ << line.str() << "\n";
+  out_.flush();  // followers read the file while the run is live
+  ++lines_;
+  return true;
+}
+
+std::uint64_t StatusReporter::lines_written() const {
+  util::MutexLock lock(mu_);
+  return lines_;
+}
+
+}  // namespace flint::obs

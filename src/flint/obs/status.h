@@ -1,0 +1,55 @@
+// Live fleet status stream (DESIGN.md §15).
+//
+// A long multi-process run is opaque between artifact writes: metrics land in
+// files at exit and traces are post-mortem. StatusReporter closes that gap on
+// the leader: every `every_wall_s` wall seconds it distills the ambient
+// registry — round, tasks in flight, queue depth, per-executor liveness,
+// update throughput, resident memory — into one JSONL line appended to a
+// `--status-out` file that `tools/flint_top.py` follows like `top`. The
+// stream is derived read-only from the registry and never feeds artifacts, so
+// enabling it cannot perturb a run's config fingerprint.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "flint/util/thread_annotations.h"
+
+namespace flint::obs {
+
+class Telemetry;
+
+struct StatusReporterConfig {
+  std::string path;           ///< JSONL destination (truncated at start)
+  double every_wall_s = 1.0;  ///< min wall seconds between lines
+};
+
+/// Periodic JSONL status emitter. maybe_report() is cheap when not due (one
+/// clock read under the mutex) and is called from the leader's pump loop and
+/// from advance_virtual_time; the first call and force=true always emit.
+class StatusReporter {
+ public:
+  explicit StatusReporter(StatusReporterConfig config);
+
+  /// Emit a status line if the cadence has elapsed (or `force`). Returns true
+  /// when a line was written.
+  bool maybe_report(Telemetry& telemetry, bool force = false) FLINT_EXCLUDES(mu_);
+
+  std::uint64_t lines_written() const FLINT_EXCLUDES(mu_);
+
+ private:
+  StatusReporterConfig config_;
+  mutable util::Mutex mu_;
+  std::ofstream out_ FLINT_GUARDED_BY(mu_);
+  double next_due_wall_s_ FLINT_GUARDED_BY(mu_) = 0.0;  ///< 0 = emit immediately
+  double last_wall_s_ FLINT_GUARDED_BY(mu_) = 0.0;
+  double last_updates_total_ FLINT_GUARDED_BY(mu_) = 0.0;
+  std::uint64_t lines_ FLINT_GUARDED_BY(mu_) = 0;
+};
+
+/// Resident set size of this process in bytes (VmRSS), or 0 where /proc is
+/// unavailable. Diagnostic only.
+std::uint64_t resident_bytes();
+
+}  // namespace flint::obs

@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "flint/obs/status.h"
 #include "flint/util/check.h"
 
 namespace flint::obs {
@@ -21,6 +22,18 @@ Telemetry::Telemetry(TelemetryConfig config)
   FLINT_CHECK_GT(config_.max_trace_events, std::size_t{0});
   tracer_.set_enabled(config_.tracing_enabled);
   next_snapshot_vt_ = config_.snapshot_every_virtual_s;
+  if (!config_.status_out.empty() && config_.metrics_enabled) {
+    StatusReporterConfig status_config;
+    status_config.path = config_.status_out;
+    status_config.every_wall_s = config_.status_every_wall_s;
+    status_ = std::make_unique<StatusReporter>(std::move(status_config));
+  }
+}
+
+Telemetry::~Telemetry() = default;
+
+void Telemetry::maybe_status_line(bool force) {
+  if (status_ != nullptr) status_->maybe_report(*this, force);
 }
 
 void Telemetry::maybe_snapshot() {
@@ -64,6 +77,7 @@ bool Telemetry::write_trace(const std::string& path) const {
 }
 
 void Telemetry::export_all() {
+  maybe_status_line(/*force=*/true);
   if (!config_.metrics_out.empty()) write_metrics_jsonl(config_.metrics_out);
   if (!config_.trace_out.empty()) write_trace(config_.trace_out);
 }
@@ -141,6 +155,30 @@ void advance_virtual_time(double t) {
   if (telemetry == nullptr) return;
   telemetry->set_virtual_now(t);
   telemetry->maybe_snapshot();
+  telemetry->maybe_status_line();
+}
+
+void tick_status() {
+  Telemetry* telemetry = current();
+  if (telemetry != nullptr) telemetry->maybe_status_line();
+}
+
+RpcSpanGuard::RpcSpanGuard(const char* name, const char* category, SpanContext parent,
+                           std::uint64_t trace_id)
+    : name_(name), category_(category) {
+  Telemetry* t = obs::current();
+  if (t == nullptr || !t->tracer().enabled()) return;
+  telemetry_ = t;
+  context_.trace_id = trace_id != 0 ? trace_id : parent.trace_id;
+  context_.span_id = t->tracer().mint_span_id();
+  parent_span_id_ = parent.span_id;
+  token_ = t->tracer().begin_span(t->virtual_now());
+}
+
+RpcSpanGuard::~RpcSpanGuard() {
+  if (telemetry_ == nullptr) return;
+  telemetry_->tracer().end_span(token_, telemetry_->virtual_now(), name_, category_,
+                                context_.trace_id, context_.span_id, parent_span_id_);
 }
 
 }  // namespace flint::obs

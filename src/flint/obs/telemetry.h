@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,8 @@
 
 namespace flint::obs {
 
+class StatusReporter;
+
 /// What to observe and where to put it.
 struct TelemetryConfig {
   bool metrics_enabled = true;
@@ -31,6 +34,10 @@ struct TelemetryConfig {
   /// Output paths for export_all(); empty skips that file.
   std::string trace_out;
   std::string metrics_out;
+  /// Live status stream (status.h): JSONL destination, empty = off. Written
+  /// incrementally during the run, unlike the exit-time exports above.
+  std::string status_out;
+  double status_every_wall_s = 1.0;
   /// Virtual seconds between metric snapshots (0 = final snapshot only).
   double snapshot_every_virtual_s = 600.0;
   std::size_t max_trace_events = 1'000'000;
@@ -42,6 +49,7 @@ struct TelemetryConfig {
 class Telemetry {
  public:
   explicit Telemetry(TelemetryConfig config);
+  ~Telemetry();  // out-of-line: StatusReporter is incomplete here
 
   const TelemetryConfig& config() const { return config_; }
   MetricRegistry& metrics() { return metrics_; }
@@ -71,12 +79,21 @@ class Telemetry {
   bool write_trace(const std::string& path) const;
 
   /// Export to the configured paths; no-op for empty/disabled outputs.
+  /// Also forces a final status line so the stream ends with the end state.
   void export_all();
+
+  /// The live status reporter, or nullptr when `status_out` is empty or
+  /// metrics are disabled.
+  StatusReporter* status() { return status_.get(); }
+
+  /// Emit a status line if one is due; called from pump/advance paths.
+  void maybe_status_line(bool force = false);
 
  private:
   TelemetryConfig config_;
   MetricRegistry metrics_;
   Tracer tracer_;
+  std::unique_ptr<StatusReporter> status_;
   std::atomic<double> virtual_now_{0.0};
   // Touched only by the single-threaded event pump (maybe_snapshot), so it
   // needs no capability; the rows themselves are appended under the mutex.
@@ -153,9 +170,15 @@ void set_gauge(const char* name, double value);
 void record_histogram(const char* name, double value, double lo, double hi,
                       std::size_t buckets);
 
-/// Publish the simulator's virtual clock and fire any due snapshot. Runners
-/// that do not drive an EventQueue (the sync FedAvg loop) call this directly.
+/// Publish the simulator's virtual clock and fire any due snapshot (and, when
+/// configured, any due status line). Runners that do not drive an EventQueue
+/// (the sync FedAvg loop) call this directly.
 void advance_virtual_time(double t);
+
+/// Emit a live status line if one is due under the ambient telemetry (no-op
+/// when absent or unconfigured). Called from wall-clock-driven loops — the
+/// rpc leader's pump — that may spin without advancing virtual time.
+void tick_status();
 
 // --- RAII span guard (use via FLINT_TRACE_SPAN). ---------------------------
 
@@ -178,6 +201,36 @@ class SpanGuard {
  private:
   const char* name_;
   const char* category_;
+  Telemetry* telemetry_ = nullptr;
+  Tracer::SpanToken token_;
+};
+
+/// RAII span for rpc code that crosses process boundaries (DESIGN.md §15).
+/// Unlike FLINT_TRACE_SPAN, the span has an identity: a trace id (the lease id
+/// groups one task's spans fleet-wide), a freshly minted span id, and the
+/// parent span id received over the wire. context() exposes the identity to
+/// stamp onto the outgoing message. tools/flint_lint.py requires rpc code to
+/// use this guard instead of the raw begin/end span API.
+class RpcSpanGuard {
+ public:
+  /// `parent` is the wire-received context ({0,0} at a trace root);
+  /// `trace_id` overrides the parent's trace id when non-zero (the leader
+  /// passes the lease id when minting a root span).
+  RpcSpanGuard(const char* name, const char* category, SpanContext parent,
+               std::uint64_t trace_id = 0);
+  ~RpcSpanGuard();
+  RpcSpanGuard(const RpcSpanGuard&) = delete;
+  RpcSpanGuard& operator=(const RpcSpanGuard&) = delete;
+
+  /// This span's identity ({0,0} when tracing is off): stamp it onto the
+  /// message whose handling it wraps.
+  const SpanContext& context() const { return context_; }
+
+ private:
+  const char* name_;
+  const char* category_;
+  SpanContext context_;
+  std::uint64_t parent_span_id_ = 0;
   Telemetry* telemetry_ = nullptr;
   Tracer::SpanToken token_;
 };

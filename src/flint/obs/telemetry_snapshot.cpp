@@ -1,0 +1,192 @@
+#include "flint/obs/telemetry_snapshot.h"
+
+#include "flint/util/bytes.h"
+#include "flint/util/check.h"
+
+namespace flint::obs {
+
+namespace {
+
+// Sanity ceilings applied before any sized allocation during deserialize
+// (the rpc/messages.cpp convention): a corrupt count that slipped past the
+// frame CRC must not drive an OOM.
+constexpr std::uint64_t kMaxSeries = 4096;
+constexpr std::uint64_t kMaxNameBytes = 256;
+constexpr std::uint64_t kMaxBuckets = 4096;
+
+void append_name(std::vector<char>& out, const std::string& s) {
+  FLINT_CHECK_LE(s.size(), static_cast<std::size_t>(kMaxNameBytes));
+  util::append_pod(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+std::string read_name(const std::vector<char>& in, std::size_t& offset) {
+  auto size = util::read_pod<std::uint32_t>(in, offset);
+  FLINT_CHECK_LE(static_cast<std::uint64_t>(size), kMaxNameBytes);
+  FLINT_CHECK_LE(offset, in.size());
+  FLINT_CHECK_LE(static_cast<std::size_t>(size), in.size() - offset);
+  std::string s(in.data() + offset, size);
+  offset += size;
+  return s;
+}
+
+std::uint32_t read_section_count(const char* what, const std::vector<char>& in,
+                                 std::size_t& offset) {
+  auto count = util::read_pod<std::uint32_t>(in, offset);
+  FLINT_CHECK_MSG(count <= kMaxSeries,
+                  "TelemetrySnapshot " << what << " count " << count << " exceeds ceiling "
+                                       << kMaxSeries);
+  return count;
+}
+
+}  // namespace
+
+std::vector<char> TelemetrySnapshot::serialize() const {
+  std::vector<char> out;
+  util::append_pod(out, kSchemaVersion);
+  util::append_pod(out, seq);
+  FLINT_CHECK_LE(counters.size(), static_cast<std::size_t>(kMaxSeries));
+  util::append_pod(out, static_cast<std::uint32_t>(counters.size()));
+  for (const CounterDelta& c : counters) {
+    append_name(out, c.name);
+    util::append_pod(out, c.delta);
+  }
+  FLINT_CHECK_LE(gauges.size(), static_cast<std::size_t>(kMaxSeries));
+  util::append_pod(out, static_cast<std::uint32_t>(gauges.size()));
+  for (const GaugeValue& g : gauges) {
+    append_name(out, g.name);
+    util::append_pod(out, g.value);
+  }
+  FLINT_CHECK_LE(histograms.size(), static_cast<std::size_t>(kMaxSeries));
+  util::append_pod(out, static_cast<std::uint32_t>(histograms.size()));
+  for (const HistogramDelta& h : histograms) {
+    append_name(out, h.name);
+    util::append_pod(out, h.lo);
+    util::append_pod(out, h.hi);
+    util::append_pod(out, h.count_delta);
+    util::append_pod(out, h.sum_delta);
+    FLINT_CHECK_LE(h.bucket_deltas.size(), static_cast<std::size_t>(kMaxBuckets));
+    util::append_pod(out, static_cast<std::uint32_t>(h.bucket_deltas.size()));
+    util::append_pod_array(out, h.bucket_deltas.data(), h.bucket_deltas.size());
+  }
+  return out;
+}
+
+TelemetrySnapshot TelemetrySnapshot::deserialize(const std::vector<char>& bytes) {
+  std::size_t offset = 0;
+  auto version = util::read_pod<std::uint16_t>(bytes, offset);
+  FLINT_CHECK_MSG(version == kSchemaVersion,
+                  "TelemetrySnapshot schema version " << version
+                                                      << " does not match this build's "
+                                                      << kSchemaVersion);
+  TelemetrySnapshot snap;
+  snap.seq = util::read_pod<std::uint64_t>(bytes, offset);
+  std::uint32_t n_counters = read_section_count("counter", bytes, offset);
+  snap.counters.reserve(n_counters);
+  for (std::uint32_t i = 0; i < n_counters; ++i) {
+    CounterDelta c;
+    c.name = read_name(bytes, offset);
+    c.delta = util::read_pod<std::uint64_t>(bytes, offset);
+    snap.counters.push_back(std::move(c));
+  }
+  std::uint32_t n_gauges = read_section_count("gauge", bytes, offset);
+  snap.gauges.reserve(n_gauges);
+  for (std::uint32_t i = 0; i < n_gauges; ++i) {
+    GaugeValue g;
+    g.name = read_name(bytes, offset);
+    g.value = util::read_pod<double>(bytes, offset);
+    snap.gauges.push_back(std::move(g));
+  }
+  std::uint32_t n_histograms = read_section_count("histogram", bytes, offset);
+  snap.histograms.reserve(n_histograms);
+  for (std::uint32_t i = 0; i < n_histograms; ++i) {
+    HistogramDelta h;
+    h.name = read_name(bytes, offset);
+    h.lo = util::read_pod<double>(bytes, offset);
+    h.hi = util::read_pod<double>(bytes, offset);
+    h.count_delta = util::read_pod<std::uint64_t>(bytes, offset);
+    h.sum_delta = util::read_pod<double>(bytes, offset);
+    auto n_buckets = util::read_pod<std::uint32_t>(bytes, offset);
+    FLINT_CHECK_MSG(n_buckets <= kMaxBuckets,
+                    "TelemetrySnapshot histogram bucket count "
+                        << n_buckets << " exceeds ceiling " << kMaxBuckets);
+    h.bucket_deltas.resize(n_buckets);
+    util::read_pod_array(bytes, offset, h.bucket_deltas.data(), h.bucket_deltas.size());
+    snap.histograms.push_back(std::move(h));
+  }
+  FLINT_CHECK_MSG(offset == bytes.size(), "TelemetrySnapshot payload has "
+                                              << bytes.size() - offset
+                                              << " trailing byte(s)");
+  return snap;
+}
+
+TelemetrySnapshot TelemetrySnapshotEncoder::encode(const MetricRegistry& registry) {
+  TelemetrySnapshot snap;
+  snap.seq = ++seq_;
+  for (const MetricSample& sample : registry.snapshot()) {
+    switch (sample.kind) {
+      case MetricSample::Kind::kCounter: {
+        // Counter values are exact in a double far beyond any realistic count.
+        auto value = static_cast<std::uint64_t>(sample.value);
+        std::uint64_t& baseline = counter_baseline_[sample.name];
+        if (value > baseline) {
+          snap.counters.push_back({sample.name, value - baseline});
+          baseline = value;
+        }
+        break;
+      }
+      case MetricSample::Kind::kGauge:
+        // Gauges ship absolute: last-write-wins semantics survive loss.
+        snap.gauges.push_back({sample.name, sample.value});
+        break;
+      case MetricSample::Kind::kHistogram: {
+        std::uint64_t& count_baseline = histogram_count_baseline_[sample.name];
+        if (sample.count == count_baseline) break;
+        double& sum_baseline = histogram_sum_baseline_[sample.name];
+        std::vector<std::uint64_t>& bucket_baseline =
+            histogram_bucket_baseline_[sample.name];
+        bucket_baseline.resize(sample.buckets.size(), 0);
+        TelemetrySnapshot::HistogramDelta delta;
+        delta.name = sample.name;
+        delta.lo = sample.lo;
+        delta.hi = sample.hi;
+        delta.count_delta = sample.count - count_baseline;
+        delta.sum_delta = sample.sum - sum_baseline;
+        delta.bucket_deltas.reserve(sample.buckets.size());
+        for (std::size_t i = 0; i < sample.buckets.size(); ++i)
+          delta.bucket_deltas.push_back(sample.buckets[i] - bucket_baseline[i]);
+        count_baseline = sample.count;
+        sum_baseline = sample.sum;
+        bucket_baseline = sample.buckets;
+        snap.histograms.push_back(std::move(delta));
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+std::string executor_series_label(const std::string& name, std::uint64_t executor_id) {
+  return name + "{executor=" + std::to_string(executor_id) + "}";
+}
+
+bool TelemetrySnapshotMerger::apply(std::uint64_t executor_id,
+                                    const TelemetrySnapshot& snapshot,
+                                    MetricRegistry& registry) {
+  std::uint64_t& last_seq = last_applied_seq_[executor_id];
+  if (snapshot.seq <= last_seq) return false;  // duplicated or reordered heartbeat
+  last_seq = snapshot.seq;
+  for (const TelemetrySnapshot::CounterDelta& c : snapshot.counters)
+    registry.counter(executor_series_label(c.name, executor_id)).add(c.delta);
+  for (const TelemetrySnapshot::GaugeValue& g : snapshot.gauges)
+    registry.gauge(executor_series_label(g.name, executor_id)).set(g.value);
+  for (const TelemetrySnapshot::HistogramDelta& h : snapshot.histograms) {
+    FLINT_CHECK_GT(h.bucket_deltas.size(), std::size_t{0});
+    registry.histogram(executor_series_label(h.name, executor_id), h.lo, h.hi,
+                       h.bucket_deltas.size())
+        .merge_delta(h.count_delta, h.sum_delta, h.bucket_deltas);
+  }
+  return true;
+}
+
+}  // namespace flint::obs

@@ -1,0 +1,98 @@
+// Delta-encoded metric shipping for the distributed runtime (DESIGN.md §15).
+//
+// An executor process records into its own MetricRegistry; a TelemetrySnapshot
+// is the schema-versioned wire form of "what changed since my last snapshot":
+// counter increments and histogram bucket/count/sum increments (deltas, so a
+// lost heartbeat costs only the window it carried, never double-counts), plus
+// absolute gauge values (last-write-wins by nature). The executor-side
+// TelemetrySnapshotEncoder produces them against its remembered baseline; the
+// leader-side TelemetrySnapshotMerger folds them into the leader's ambient
+// registry under `name{executor=N}` labels, and drops duplicated or reordered
+// snapshots by sequence number so a replayed heartbeat is a no-op.
+//
+// The payload piggybacks on HeartbeatMsg (src/flint/rpc/messages.h) but is
+// versioned independently: metric shipping can evolve without touching the
+// liveness protocol.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "flint/obs/metrics.h"
+
+namespace flint::obs {
+
+/// One delta window of an executor's registry, wire-serializable.
+struct TelemetrySnapshot {
+  static constexpr std::uint16_t kSchemaVersion = 1;
+
+  std::uint64_t seq = 0;  ///< monotone per producer; the merger's dedup key
+
+  struct CounterDelta {
+    std::string name;
+    std::uint64_t delta = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramDelta {
+    std::string name;
+    double lo = 0.0;
+    double hi = 0.0;
+    std::uint64_t count_delta = 0;
+    double sum_delta = 0.0;
+    std::vector<std::uint64_t> bucket_deltas;
+  };
+
+  std::vector<CounterDelta> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramDelta> histograms;
+
+  bool empty() const { return counters.empty() && gauges.empty() && histograms.empty(); }
+
+  std::vector<char> serialize() const;
+  /// Throws CheckError on truncation, trailing bytes, a schema-version
+  /// mismatch, or any count above the sanity ceilings — same contract as the
+  /// rpc message deserializers.
+  static TelemetrySnapshot deserialize(const std::vector<char>& bytes);
+};
+
+/// Executor-side: remembers the last-shipped value of every series and emits
+/// the delta since. Single-threaded by design (the worker's serve loop owns
+/// it); the registry it reads from stays fully concurrent.
+class TelemetrySnapshotEncoder {
+ public:
+  /// Snapshot `registry`, advance the baseline, and bump the sequence number.
+  /// Counters/histograms with no change since the last call are omitted.
+  TelemetrySnapshot encode(const MetricRegistry& registry);
+
+ private:
+  std::uint64_t seq_ = 0;
+  // std::map for deterministic iteration (flint_analyze unordered-iter rule).
+  std::map<std::string, std::uint64_t> counter_baseline_;
+  std::map<std::string, std::uint64_t> histogram_count_baseline_;
+  std::map<std::string, double> histogram_sum_baseline_;
+  std::map<std::string, std::vector<std::uint64_t>> histogram_bucket_baseline_;
+};
+
+/// Leader-side: applies executor snapshots to a registry under
+/// `name{executor=N}` labels. Duplicate or stale sequence numbers (a
+/// re-delivered heartbeat) are dropped, which makes apply() idempotent.
+class TelemetrySnapshotMerger {
+ public:
+  /// Returns true when the snapshot was applied, false when it was a
+  /// duplicate/stale sequence number for this executor.
+  bool apply(std::uint64_t executor_id, const TelemetrySnapshot& snapshot,
+             MetricRegistry& registry);
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> last_applied_seq_;
+};
+
+/// The `name{executor=N}` label convention the merger writes under.
+std::string executor_series_label(const std::string& name, std::uint64_t executor_id);
+
+}  // namespace flint::obs

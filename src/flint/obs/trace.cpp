@@ -1,5 +1,7 @@
 #include "flint/obs/trace.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 
 #include "flint/util/check.h"
@@ -23,7 +25,7 @@ void write_escaped(std::ostream& os, const char* s) {
   }
 }
 
-void write_event(std::ostream& os, const TraceEvent& e, int pid, double ts_us,
+void write_event(std::ostream& os, const TraceEvent& e, long long pid, double ts_us,
                  double dur_us) {
   os << "{\"name\":\"";
   write_escaped(os, e.name);
@@ -31,13 +33,25 @@ void write_event(std::ostream& os, const TraceEvent& e, int pid, double ts_us,
   write_escaped(os, e.category);
   os << "\",\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":1,\"ts\":" << ts_us
      << ",\"dur\":" << dur_us << ",\"args\":{\"virtual_start_s\":" << e.virtual_start_s
-     << ",\"virtual_dur_s\":" << e.virtual_dur_s << ",\"wall_dur_us\":" << e.wall_dur_us
-     << "}}";
+     << ",\"virtual_dur_s\":" << e.virtual_dur_s << ",\"wall_dur_us\":" << e.wall_dur_us;
+  // Propagation ids only when present, so plain local spans stay compact.
+  if (e.span_id != 0) {
+    os << ",\"trace_id\":" << e.trace_id << ",\"span_id\":" << e.span_id
+       << ",\"parent_span_id\":" << e.parent_span_id;
+  }
+  os << "}}";
 }
 
-void write_process_name(std::ostream& os, int pid, const char* name) {
+void write_process_name(std::ostream& os, long long pid, const std::string& name) {
   os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
-     << ",\"tid\":1,\"args\":{\"name\":\"" << name << "\"}}";
+     << ",\"tid\":1,\"args\":{\"name\":\"";
+  write_escaped(os, name.c_str());
+  os << "\"}}";
+}
+
+void write_process_sort_index(std::ostream& os, long long pid, long long sort_index) {
+  os << "{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":" << pid
+     << ",\"tid\":1,\"args\":{\"sort_index\":" << sort_index << "}}";
 }
 
 }  // namespace
@@ -63,6 +77,13 @@ Tracer::SpanToken Tracer::begin_span(double virtual_now_s) {
 
 void Tracer::end_span(const SpanToken& token, double virtual_now_s, const char* name,
                       const char* category) {
+  end_span(token, virtual_now_s, name, category, /*trace_id=*/0, /*span_id=*/0,
+           /*parent_span_id=*/0);
+}
+
+void Tracer::end_span(const SpanToken& token, double virtual_now_s, const char* name,
+                      const char* category, std::uint64_t trace_id, std::uint64_t span_id,
+                      std::uint64_t parent_span_id) {
   if (!token.active || !enabled()) return;
   TraceEvent e;
   e.name = name;
@@ -73,6 +94,9 @@ void Tracer::end_span(const SpanToken& token, double virtual_now_s, const char* 
   // The virtual clock is monotone but a span can close in the same instant it
   // opened (callbacks are instantaneous in virtual time).
   e.virtual_dur_s = std::max(0.0, virtual_now_s - token.virtual_start_s);
+  e.trace_id = trace_id;
+  e.span_id = span_id;
+  e.parent_span_id = parent_span_id;
   util::MutexLock lock(mu_);
   if (events_.size() >= max_events_) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
@@ -81,27 +105,62 @@ void Tracer::end_span(const SpanToken& token, double virtual_now_s, const char* 
   events_.push_back(e);
 }
 
+void Tracer::set_process_info(const std::string& label, int sort_index) {
+  util::MutexLock lock(mu_);
+  process_label_ = label;
+  process_sort_index_ = sort_index;
+}
+
 std::size_t Tracer::event_count() const {
   util::MutexLock lock(mu_);
   return events_.size();
 }
 
+std::vector<TraceEvent> Tracer::events_snapshot() const {
+  util::MutexLock lock(mu_);
+  return events_;
+}
+
 void Tracer::write_chrome_trace(std::ostream& os) const {
   util::MutexLock lock(mu_);
+  // Single-process recordings keep the historical {1, 2} track pids; labeled
+  // multi-process recordings derive theirs from the OS pid so a merged trace
+  // never collides (pid-uniqueness is checked by validate_trace.py --merged).
+  // flint-analyze: allow(nondet-source): track ids and role labels are
+  // diagnostic trace metadata and never feed simulated results or artifacts.
+  const long long os_pid = static_cast<long long>(::getpid());
+  const bool labeled = !process_label_.empty();
+  const long long wall_pid = labeled ? 2 * os_pid : 1;
+  const long long virtual_pid = labeled ? 2 * os_pid + 1 : 2;
+  const std::string wall_name =
+      labeled ? process_label_ + " wall clock" : std::string("wall clock");
+  const std::string virtual_name =
+      labeled ? process_label_ + " virtual clock" : std::string("virtual clock");
+  const long long sort_base = labeled ? 2LL * process_sort_index_ : 0;
+
   os.precision(12);
   os << "{\"traceEvents\":[\n";
-  write_process_name(os, 1, "wall clock");
+  write_process_name(os, wall_pid, wall_name);
   os << ",\n";
-  write_process_name(os, 2, "virtual clock");
+  write_process_name(os, virtual_pid, virtual_name);
+  os << ",\n";
+  write_process_sort_index(os, wall_pid, sort_base);
+  os << ",\n";
+  write_process_sort_index(os, virtual_pid, sort_base + 1);
   for (const auto& e : events_) {
     os << ",\n";
-    write_event(os, e, /*pid=*/1, e.wall_start_us, e.wall_dur_us);
+    write_event(os, e, wall_pid, e.wall_start_us, e.wall_dur_us);
     os << ",\n";
     // Virtual seconds rendered as trace microseconds: 1 virtual second shows
     // as 1 "microsecond" tick, keeping both tracks readable in one UI.
-    write_event(os, e, /*pid=*/2, e.virtual_start_s * 1e6, e.virtual_dur_s * 1e6);
+    write_event(os, e, virtual_pid, e.virtual_start_s * 1e6, e.virtual_dur_s * 1e6);
   }
-  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  os << "\n],\"displayTimeUnit\":\"ms\",\"flint\":{\"role\":\"";
+  write_escaped(os, process_label_.c_str());
+  os << "\",\"os_pid\":" << os_pid << ",\"wall_pid\":" << wall_pid
+     << ",\"virtual_pid\":" << virtual_pid << ",\"sort_index\":" << process_sort_index_
+     << ",\"clock_offset_us\":" << clock_offset_us_.load(std::memory_order_relaxed)
+     << "}}\n";
 }
 
 }  // namespace flint::obs

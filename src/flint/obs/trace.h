@@ -5,13 +5,19 @@
 // questions: where does *virtual* time go (round pacing, staleness windows)
 // and where does *wall* time go (the actual cost of running the simulation).
 // Every span therefore carries both clocks, and the exporter emits each span
-// on two Perfetto/chrome://tracing tracks — pid 1 plots wall microseconds,
-// pid 2 plots virtual seconds scaled to microseconds — from one recording.
+// on two Perfetto/chrome://tracing tracks — one plots wall microseconds, one
+// plots virtual seconds scaled to microseconds — from one recording. A
+// single-process run keeps the historical track pids {1, 2}; a process that
+// calls set_process_info() derives its track pids from the OS pid so that the
+// per-process traces of a multi-process run can be merged without collisions
+// (tools/flint_trace_merge.py, DESIGN.md §15).
 //
 // Spans are opened and closed only through the RAII FLINT_TRACE_SPAN macro in
 // telemetry.h (tools/flint_lint.py enforces this outside obs/): manual
 // begin/end pairs in simulator code inevitably leak across the event-driven
-// control flow.
+// control flow. Cross-process spans additionally carry trace/span ids minted
+// through mint_span_id() so an executor's lease span can name the leader's
+// dispatch span as its parent across the wire (obs::RpcSpanGuard).
 #pragma once
 
 #include <atomic>
@@ -25,7 +31,8 @@
 
 namespace flint::obs {
 
-/// One completed span on both clocks.
+/// One completed span on both clocks. The id triple is zero for plain local
+/// spans; rpc propagation spans carry leader-minted ids (DESIGN.md §15).
 struct TraceEvent {
   const char* name = "";  ///< span sites pass string literals
   const char* category = "";
@@ -33,6 +40,17 @@ struct TraceEvent {
   double wall_dur_us = 0.0;
   double virtual_start_s = 0.0;
   double virtual_dur_s = 0.0;
+  std::uint64_t trace_id = 0;        ///< groups one lease's spans across processes
+  std::uint64_t span_id = 0;         ///< unique within a run (see set_span_id_base)
+  std::uint64_t parent_span_id = 0;  ///< 0 = root span of its trace
+};
+
+/// A span's identity as it travels across the wire (TaskLease/TaskResult
+/// stamps). Zero-valued when tracing is off — receivers must treat a zero id
+/// as "no context" rather than a real parent.
+struct SpanContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
 };
 
 /// Bounded in-memory span buffer with Chrome trace-event JSON export.
@@ -60,21 +78,63 @@ class Tracer {
   SpanToken begin_span(double virtual_now_s);
   void end_span(const SpanToken& token, double virtual_now_s, const char* name,
                 const char* category) FLINT_EXCLUDES(mu_);
+  /// Identified variant used by rpc propagation spans: also records the
+  /// trace/span/parent ids so the merged cross-process trace can reconstruct
+  /// the dispatch -> execute parentage.
+  void end_span(const SpanToken& token, double virtual_now_s, const char* name,
+                const char* category, std::uint64_t trace_id, std::uint64_t span_id,
+                std::uint64_t parent_span_id) FLINT_EXCLUDES(mu_);
+
+  /// Next process-unique span id: `base | counter`. The leader keeps the
+  /// default base 0; executor processes set base = executor_id << 32 after
+  /// registration so ids never collide across the fleet.
+  std::uint64_t mint_span_id() {
+    return span_id_base_.load(std::memory_order_relaxed) +
+           next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void set_span_id_base(std::uint64_t base) {
+    span_id_base_.store(base, std::memory_order_relaxed);
+  }
+
+  /// Label this recording as one role of a multi-process run ("leader",
+  /// "executor-3"). Switches the exported track pids from the historical
+  /// {1, 2} to OS-pid-derived values (wall 2*pid, virtual 2*pid+1) so merged
+  /// traces stay collision-free, and orders Perfetto's process list by
+  /// `sort_index` (leader 0, executor N at N).
+  void set_process_info(const std::string& label, int sort_index) FLINT_EXCLUDES(mu_);
+
+  /// Leader-clock alignment (DESIGN.md §15): `leader_wall_us - local_wall_us`
+  /// sampled at the RegisterAck handshake. Stored verbatim into the exported
+  /// file's `flint.clock_offset_us`; the merge tool shifts this process's
+  /// wall timestamps by it. 0 for the leader itself.
+  void set_clock_offset_us(double offset_us) {
+    clock_offset_us_.store(offset_us, std::memory_order_relaxed);
+  }
+  double clock_offset_us() const { return clock_offset_us_.load(std::memory_order_relaxed); }
 
   std::size_t event_count() const FLINT_EXCLUDES(mu_);
+  /// Point-in-time copy of the recorded spans (tests and tools).
+  std::vector<TraceEvent> events_snapshot() const FLINT_EXCLUDES(mu_);
   /// Spans discarded after the buffer filled.
   std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
 
   /// Chrome trace-event JSON ({"traceEvents":[...]}), loadable in Perfetto.
+  /// Also carries a top-level "flint" object (role, os pid, clock offset)
+  /// consumed by tools/flint_trace_merge.py.
   void write_chrome_trace(std::ostream& os) const FLINT_EXCLUDES(mu_);
 
  private:
   std::size_t max_events_;
   std::atomic<bool> enabled_{true};
   std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> next_span_id_{1};
+  std::atomic<std::uint64_t> span_id_base_{0};
+  std::atomic<double> clock_offset_us_{0.0};
   std::chrono::steady_clock::time_point epoch_;
   mutable util::Mutex mu_;
   std::vector<TraceEvent> events_ FLINT_GUARDED_BY(mu_);
+  std::string process_label_ FLINT_GUARDED_BY(mu_);  ///< empty = single-process
+  int process_sort_index_ FLINT_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace flint::obs

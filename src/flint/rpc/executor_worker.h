@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 
+#include "flint/obs/telemetry_snapshot.h"
 #include "flint/rpc/messages.h"
 #include "flint/rpc/transport.h"
 
@@ -35,7 +36,14 @@ class TrainService {
 /// the leader sends Shutdown or the connection drops.
 class ExecutorWorker {
  public:
-  ExecutorWorker(Transport& transport, TrainService& service, std::string name);
+  /// `ship_telemetry` marks a worker that owns its process's ambient
+  /// telemetry (executor_main): it delta-ships its MetricRegistry on each
+  /// heartbeat and claims the tracer for this executor's identity (span-id
+  /// base, process label, leader clock offset, log role). Loopback workers
+  /// must leave it false — they share the leader's registry, and shipping it
+  /// back would re-count leader metrics under an executor label.
+  ExecutorWorker(Transport& transport, TrainService& service, std::string name,
+                 bool ship_telemetry = false);
 
   /// Blocks until shutdown/disconnect. Safe to call from a thread-pool
   /// worker (loopback mode) or a process main() (unix/tcp mode).
@@ -46,14 +54,17 @@ class ExecutorWorker {
 
  private:
   void send_heartbeat();
+  void adopt_executor_identity(const RegisterAckMsg& ack);
 
   Transport& transport_;
   TrainService& service_;
   std::string name_;
+  bool ship_telemetry_ = false;
   std::uint64_t executor_id_ = 0;
   std::uint64_t heartbeat_seq_ = 0;
   std::uint64_t leases_served_ = 0;
   double heartbeat_interval_s_ = 0.5;
+  obs::TelemetrySnapshotEncoder snapshot_encoder_;
 };
 
 }  // namespace flint::rpc

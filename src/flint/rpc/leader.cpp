@@ -21,6 +21,15 @@ double now_s() {
 // spin, short enough that deadline checks stay responsive.
 constexpr double kPumpSliceS = 0.05;
 
+// Per-executor fleet gauge (rpc.executor.<id>.<field>), read back by
+// obs::StatusReporter. The name string materializes only when metrics are on.
+void set_executor_gauge(std::uint64_t executor_id, const char* field, double value) {
+  obs::Telemetry* t = obs::current();
+  if (t == nullptr || !t->config().metrics_enabled) return;
+  std::string name = "rpc.executor." + std::to_string(executor_id) + "." + field;
+  t->metrics().gauge(name).set(value);
+}
+
 }  // namespace
 
 struct Leader::ExecutorState {
@@ -65,6 +74,10 @@ void Leader::add_transport(std::unique_ptr<Transport> transport) {
   ack.heartbeat_interval_s = config_.heartbeat_interval_s;
   ack.heartbeat_timeout_s = config_.heartbeat_timeout_s;
   ack.dense_dim = config_.dense_dim;
+  // Clock-alignment anchor (DESIGN.md §15): the executor subtracts its own
+  // wall clock at receipt to estimate its offset from the leader's tracer.
+  if (obs::Telemetry* t = obs::current(); t != nullptr && t->tracer().enabled())
+    ack.leader_wall_us = t->tracer().wall_now_us();
   ack.model_blob = config_.model_blob;
   bool sent = transport->send(Frame{MessageType::kRegisterAck, ack.serialize()});
   FLINT_CHECK_MSG(sent, "executor " << reg.name << " died during registration");
@@ -75,6 +88,8 @@ void Leader::add_transport(std::unique_ptr<Transport> transport) {
   state.last_heartbeat_s = now_s();
   executors_.emplace(id, std::move(state));
   obs::set_gauge("rpc.executors_alive", static_cast<double>(alive_executors()));
+  set_executor_gauge(id, "alive", 1.0);
+  set_executor_gauge(id, "outstanding", 0.0);
 }
 
 void Leader::add_listener(Listener listener) {
@@ -114,8 +129,27 @@ std::uint64_t Leader::pick_executor() {
   return 0;  // unreachable
 }
 
+void Leader::update_fleet_gauges(std::uint64_t executor_id) {
+  if (obs::Telemetry* t = obs::current(); t == nullptr || !t->config().metrics_enabled)
+    return;
+  auto it = executors_.find(executor_id);
+  if (it != executors_.end())
+    set_executor_gauge(executor_id, "outstanding",
+                       static_cast<double>(it->second.outstanding.size()));
+  std::size_t in_flight = 0;
+  for (const auto& [id, lease] : leases_)
+    if (!lease.completed) ++in_flight;
+  obs::set_gauge("rpc.leases_in_flight", static_cast<double>(in_flight));
+}
+
 void Leader::dispatch(std::uint64_t lease_id) {
   LeaseState& lease = leases_.at(lease_id);
+  // Each dispatch attempt is its own span, rooted at the lease id so the
+  // executor's child span lands in the same trace (DESIGN.md §15).
+  obs::RpcSpanGuard span("rpc.dispatch", "rpc", obs::SpanContext{},
+                         /*trace_id=*/lease_id);
+  lease.request.trace_id = span.context().trace_id;
+  lease.request.parent_span_id = span.context().span_id;
   for (;;) {
     std::uint64_t executor_id = pick_executor();
     ExecutorState& executor = executors_.at(executor_id);
@@ -124,6 +158,7 @@ void Leader::dispatch(std::uint64_t lease_id) {
       lease.executor = executor_id;
       lease.dispatched_s = now_s();
       executor.outstanding.push_back(lease_id);
+      update_fleet_gauges(executor_id);
       return;
     }
     // The send itself found the peer dead; lose it (which re-dispatches its
@@ -149,6 +184,14 @@ void Leader::handle_frame(std::uint64_t executor_id, const Frame& frame) {
       HeartbeatMsg beat = HeartbeatMsg::deserialize(frame.payload);
       FLINT_CHECK_EQ(beat.executor_id, executor_id);
       executor.last_heartbeat_s = now_s();
+      if (!beat.telemetry.empty()) {
+        if (obs::Telemetry* t = obs::current();
+            t != nullptr && t->config().metrics_enabled) {
+          obs::TelemetrySnapshot snapshot =
+              obs::TelemetrySnapshot::deserialize(beat.telemetry);
+          telemetry_merger_.apply(executor_id, snapshot, t->metrics());
+        }
+      }
       return;
     }
     case MessageType::kTaskResult: {
@@ -168,6 +211,7 @@ void Leader::handle_frame(std::uint64_t executor_id, const Frame& frame) {
       it->second.completed = true;
       it->second.result = std::move(result);
       std::erase(executors_.at(it->second.executor).outstanding, it->first);
+      update_fleet_gauges(it->second.executor);
       return;
     }
     default:
@@ -184,6 +228,8 @@ void Leader::lose_executor(std::uint64_t executor_id, const char* why) {
   executor.transport->close();
   obs::add_counter("rpc.executors_lost");
   obs::set_gauge("rpc.executors_alive", static_cast<double>(alive_executors()));
+  set_executor_gauge(executor_id, "alive", 0.0);
+  set_executor_gauge(executor_id, "outstanding", 0.0);
 
   // Stamp-ordered re-dispatch: ascending lease id, so the recovery path is a
   // deterministic function of which executor died — not of arrival timing.
@@ -254,6 +300,9 @@ void Leader::pump(std::uint64_t focus, double block_s) {
       lose_executor(focus, "connection closed");
   }
   check_deadlines();
+  // The pump is the leader's wall-clock-driven loop; a long lease wait must
+  // still produce live status lines.
+  obs::tick_status();
 }
 
 TaskResultMsg Leader::wait(std::uint64_t lease_id) {

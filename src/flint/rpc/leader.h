@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "flint/obs/telemetry_snapshot.h"
 #include "flint/rpc/messages.h"
 #include "flint/rpc/transport.h"
 
@@ -86,6 +87,7 @@ class Leader {
   void lose_executor(std::uint64_t executor_id, const char* why);
   void dispatch(std::uint64_t lease_id);
   std::uint64_t pick_executor();
+  void update_fleet_gauges(std::uint64_t executor_id);
 
   LeaderConfig config_;
   std::unique_ptr<Listener> listener_;
@@ -97,6 +99,9 @@ class Leader {
   std::uint64_t next_lease_id_ = 1;
   std::uint64_t rr_last_ = 0;  ///< executor id that got the previous dispatch
   bool shut_down_ = false;
+  /// Folds heartbeat-carried executor snapshots into the ambient registry
+  /// under `name{executor=N}` labels (DESIGN.md §15).
+  obs::TelemetrySnapshotMerger telemetry_merger_;
 };
 
 }  // namespace flint::rpc

@@ -116,6 +116,7 @@ std::vector<char> RegisterAckMsg::serialize() const {
   util::append_pod(out, heartbeat_interval_s);
   util::append_pod(out, heartbeat_timeout_s);
   util::append_pod(out, dense_dim);
+  util::append_pod(out, leader_wall_us);
   append_bytes(out, model_blob);
   return out;
 }
@@ -128,6 +129,7 @@ RegisterAckMsg RegisterAckMsg::deserialize(const std::vector<char>& bytes) {
   msg.heartbeat_interval_s = util::read_pod<double>(bytes, offset);
   msg.heartbeat_timeout_s = util::read_pod<double>(bytes, offset);
   msg.dense_dim = util::read_pod<std::uint64_t>(bytes, offset);
+  msg.leader_wall_us = util::read_pod<double>(bytes, offset);
   msg.model_blob = read_bytes(bytes, offset);
   check_consumed("RegisterAck", offset, bytes.size());
   return msg;
@@ -139,6 +141,7 @@ std::vector<char> HeartbeatMsg::serialize() const {
   util::append_pod(out, executor_id);
   util::append_pod(out, seq);
   util::append_pod(out, busy_leases);
+  append_bytes(out, telemetry);
   return out;
 }
 
@@ -149,6 +152,7 @@ HeartbeatMsg HeartbeatMsg::deserialize(const std::vector<char>& bytes) {
   msg.executor_id = util::read_pod<std::uint64_t>(bytes, offset);
   msg.seq = util::read_pod<std::uint64_t>(bytes, offset);
   msg.busy_leases = util::read_pod<std::uint32_t>(bytes, offset);
+  msg.telemetry = read_bytes(bytes, offset);
   check_consumed("Heartbeat", offset, bytes.size());
   return msg;
 }
@@ -175,6 +179,8 @@ std::vector<char> TaskLeaseMsg::serialize() const {
   util::append_pod(out, dp_delta);
   util::append_pod(out, compression_kind);
   util::append_pod(out, top_k_fraction);
+  util::append_pod(out, trace_id);
+  util::append_pod(out, parent_span_id);
   append_vector(out, params);
   FLINT_CHECK_LE(examples.size(), static_cast<std::size_t>(kMaxExamples));
   util::append_pod(out, static_cast<std::uint64_t>(examples.size()));
@@ -205,6 +211,8 @@ TaskLeaseMsg TaskLeaseMsg::deserialize(const std::vector<char>& bytes) {
   msg.dp_delta = util::read_pod<double>(bytes, offset);
   msg.compression_kind = util::read_pod<std::uint32_t>(bytes, offset);
   msg.top_k_fraction = util::read_pod<double>(bytes, offset);
+  msg.trace_id = util::read_pod<std::uint64_t>(bytes, offset);
+  msg.parent_span_id = util::read_pod<std::uint64_t>(bytes, offset);
   msg.params = read_vector<float>(bytes, offset);
   auto example_count = util::read_pod<std::uint64_t>(bytes, offset);
   FLINT_CHECK_LE(example_count, kMaxExamples);
@@ -223,6 +231,8 @@ std::vector<char> TaskResultMsg::serialize() const {
   util::append_pod(out, executor_id);
   util::append_pod(out, static_cast<std::uint8_t>(ok ? 1 : 0));
   append_string(out, error);
+  util::append_pod(out, trace_id);
+  util::append_pod(out, span_id);
   append_vector(out, delta);
   util::append_pod(out, weight);
   util::append_pod(out, mean_loss);
@@ -239,6 +249,8 @@ TaskResultMsg TaskResultMsg::deserialize(const std::vector<char>& bytes) {
   msg.executor_id = util::read_pod<std::uint64_t>(bytes, offset);
   msg.ok = util::read_pod<std::uint8_t>(bytes, offset) != 0;
   msg.error = read_string(bytes, offset);
+  msg.trace_id = util::read_pod<std::uint64_t>(bytes, offset);
+  msg.span_id = util::read_pod<std::uint64_t>(bytes, offset);
   msg.delta = read_vector<float>(bytes, offset);
   msg.weight = util::read_pod<double>(bytes, offset);
   msg.mean_loss = util::read_pod<double>(bytes, offset);

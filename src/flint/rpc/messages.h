@@ -35,25 +35,35 @@ struct RegisterExecutorMsg {
 /// replica once; everything per-run-per-trial (seed, hyper-parameters)
 /// travels in each TaskLease so one registration serves many trials.
 struct RegisterAckMsg {
-  static constexpr std::uint16_t kSchemaVersion = 1;
+  static constexpr std::uint16_t kSchemaVersion = 2;
 
   std::uint64_t executor_id = 0;
   double heartbeat_interval_s = 0.5;  ///< cadence the executor must beat at
   double heartbeat_timeout_s = 10.0;  ///< leader declares death after this
   std::uint64_t dense_dim = 0;
+  /// Leader tracer wall clock (microseconds since leader tracer epoch) at the
+  /// moment the ack was built; 0 when the leader runs without telemetry. The
+  /// executor's clock-alignment offset is `leader_wall_us - local_wall_us`
+  /// sampled at receipt (DESIGN.md §15).
+  double leader_wall_us = 0.0;
   std::vector<char> model_blob;  ///< empty for model-free runs
 
   std::vector<char> serialize() const;
   static RegisterAckMsg deserialize(const std::vector<char>& bytes);
 };
 
-/// executor -> leader: liveness beacon.
+/// executor -> leader: liveness beacon, optionally carrying one delta window
+/// of the executor's metric registry.
 struct HeartbeatMsg {
-  static constexpr std::uint16_t kSchemaVersion = 1;
+  static constexpr std::uint16_t kSchemaVersion = 2;
 
   std::uint64_t executor_id = 0;
   std::uint64_t seq = 0;          ///< monotonic per executor
   std::uint32_t busy_leases = 0;  ///< leases held but not yet resulted
+  /// Serialized obs::TelemetrySnapshot (independently versioned); empty when
+  /// the executor ships no telemetry. Opaque at this layer on purpose: metric
+  /// shipping evolves without touching the liveness protocol.
+  std::vector<char> telemetry;
 
   std::vector<char> serialize() const;
   static HeartbeatMsg deserialize(const std::vector<char>& bytes);
@@ -61,7 +71,7 @@ struct HeartbeatMsg {
 
 /// leader -> executor: one client-training task, self-contained.
 struct TaskLeaseMsg {
-  static constexpr std::uint16_t kSchemaVersion = 1;
+  static constexpr std::uint16_t kSchemaVersion = 2;
 
   std::uint64_t lease_id = 0;  ///< leader-assigned, unique per dispatch attempt
   std::uint64_t task_id = 0;   ///< simulation task id (RNG stream key)
@@ -89,6 +99,12 @@ struct TaskLeaseMsg {
   std::uint32_t compression_kind = 0;  ///< compress::CompressionKind value
   double top_k_fraction = 0.1;
 
+  // Trace-context propagation (DESIGN.md §15): the leader's dispatch span.
+  // Zero when the leader runs without tracing; diagnostic only — never an
+  // input to compute_client_update, so stamping cannot perturb results.
+  std::uint64_t trace_id = 0;         ///< groups this lease's spans fleet-wide
+  std::uint64_t parent_span_id = 0;   ///< the dispatch span to parent under
+
   std::vector<float> params;          ///< global model parameters
   std::vector<ml::Example> examples;  ///< the client's local shard
 
@@ -98,13 +114,18 @@ struct TaskLeaseMsg {
 
 /// executor -> leader: the computed update for one lease.
 struct TaskResultMsg {
-  static constexpr std::uint16_t kSchemaVersion = 1;
+  static constexpr std::uint16_t kSchemaVersion = 2;
 
   std::uint64_t lease_id = 0;
   std::uint64_t task_id = 0;
   std::uint64_t executor_id = 0;
   bool ok = false;
   std::string error;  ///< CheckError text when !ok
+
+  // Trace-context propagation: echoes the lease's trace id plus the
+  // executor's lease-execution span id. Zero when tracing is off either side.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
 
   std::vector<float> delta;  ///< post-DP, post-compression parameter delta
   double weight = 0.0;       ///< aggregation weight (1.0 under DP)

@@ -35,13 +35,35 @@ SpawnedProcess::SpawnedProcess(SpawnedProcess&& other) noexcept
 
 SpawnedProcess::~SpawnedProcess() {
   if (!running()) return;
-  kill();
-  wait();
+  // A cooperative child (Shutdown already delivered) exits on its own but may
+  // still be writing trace/metrics files; killing it instantly would truncate
+  // them. Only a child that outlives the grace window is forced down.
+  if (!wait_for_exit(/*timeout_s=*/10.0)) {
+    kill();
+    wait();
+  }
 }
 
 void SpawnedProcess::kill() {
   if (!running()) return;
   ::kill(pid_, SIGKILL);
+}
+
+bool SpawnedProcess::wait_for_exit(double timeout_s) {
+  if (!running()) return true;
+  constexpr long kPollUs = 10 * 1000;
+  long budget_us = static_cast<long>(timeout_s * 1e6);
+  while (true) {
+    int status = 0;
+    pid_t rc = ::waitpid(pid_, &status, WNOHANG);
+    if (rc == pid_ || (rc < 0 && errno != EINTR)) {
+      reaped_ = true;
+      return true;
+    }
+    if (budget_us <= 0) return false;
+    ::usleep(kPollUs);
+    budget_us -= kPollUs;
+  }
 }
 
 int SpawnedProcess::wait() {

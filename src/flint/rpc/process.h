@@ -23,7 +23,9 @@ class SpawnedProcess {
   SpawnedProcess(const SpawnedProcess&) = delete;
   SpawnedProcess& operator=(const SpawnedProcess&) = delete;
 
-  /// Reaps with SIGKILL if the child is still running.
+  /// Reaps the child: grants a grace window for an orderly exit (the leader
+  /// has sent Shutdown by then, and the executor may still be flushing its
+  /// telemetry files), then SIGKILLs whatever is left.
   ~SpawnedProcess();
 
   pid_t pid() const { return pid_; }
@@ -35,6 +37,11 @@ class SpawnedProcess {
 
   /// Blocking waitpid; returns the raw wait status (0 if already reaped).
   int wait();
+
+  /// Non-blocking reap loop: polls for up to `timeout_s` seconds, returning
+  /// true once the child exited (and was reaped). Returns false — child
+  /// still alive, not reaped — on timeout.
+  bool wait_for_exit(double timeout_s);
 
  private:
   pid_t pid_ = -1;

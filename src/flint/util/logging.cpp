@@ -1,5 +1,7 @@
 #include "flint/util/logging.h"
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <ctime>
@@ -42,6 +44,16 @@ void Logger::set_sink(std::ostream* sink) {
   sink_ = sink;
 }
 
+void Logger::set_role(const std::string& role) {
+  MutexLock lock(mu_);
+  role_ = role;
+}
+
+std::string Logger::role() const {
+  MutexLock lock(mu_);
+  return role_;
+}
+
 void Logger::log(LogLevel level, const std::string& msg) {
   static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
   if (!enabled(level)) return;  // callers may bypass the macros
@@ -49,7 +61,13 @@ void Logger::log(LogLevel level, const std::string& msg) {
   // Unbuffered stderr by default for every level: diagnostic output must
   // survive a killed process (debug logs are for exactly those situations).
   std::ostream& out = sink_ != nullptr ? *sink_ : std::cerr;
-  out << timestamp_utc() << " [" << kNames[static_cast<int>(level)] << "] " << msg << "\n";
+  out << timestamp_utc();
+  if (!role_.empty()) {
+    // flint-analyze: allow(nondet-source): the pid tag is diagnostic log
+    // attribution only and never feeds simulated results or artifacts.
+    out << " [" << static_cast<long long>(::getpid()) << ":" << role_ << "]";
+  }
+  out << " [" << kNames[static_cast<int>(level)] << "] " << msg << "\n";
 }
 
 }  // namespace flint::util

@@ -11,6 +11,7 @@
 
 #include "flint/obs/client_ledger.h"
 #include "flint/obs/metrics.h"
+#include "flint/obs/status.h"
 #include "flint/obs/telemetry.h"
 #include "flint/obs/trace.h"
 
@@ -432,6 +433,52 @@ TEST(ObsTrace, DropsWhenFull) {
   EXPECT_EQ(tracer.dropped(), 3u);
 }
 
+TEST(ObsTrace, LabeledProcessDerivesUniqueTracksAndMetadata) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.set_process_info("executor-1", /*sort_index=*/1);
+  tracer.set_clock_offset_us(123.5);
+  Tracer::SpanToken token = tracer.begin_span(0.0);
+  tracer.end_span(token, 1.0, "labeled", "test");
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  const std::string text = os.str();
+  EXPECT_TRUE(JsonChecker(text).valid()) << text.substr(0, 400);
+  // Labeled tracks carry the role in their names and pids derived from the
+  // OS pid (never the single-process defaults 1/2), so merged traces cannot
+  // collide across processes.
+  EXPECT_NE(text.find("executor-1 wall clock"), std::string::npos);
+  EXPECT_NE(text.find("executor-1 virtual clock"), std::string::npos);
+  EXPECT_EQ(text.find("\"pid\":1,"), std::string::npos) << text.substr(0, 400);
+  EXPECT_EQ(text.find("\"pid\":2,"), std::string::npos) << text.substr(0, 400);
+  // The merge tool reads its alignment inputs from the trailing flint object.
+  EXPECT_NE(text.find("\"flint\":{\"role\":\"executor-1\""), std::string::npos);
+  EXPECT_NE(text.find("\"clock_offset_us\":123.5"), std::string::npos);
+  EXPECT_DOUBLE_EQ(tracer.clock_offset_us(), 123.5);
+}
+
+TEST(ObsTrace, MintedSpanIdsStartAtBaseAndSerialize) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.set_span_id_base(std::uint64_t{5} << 32);
+  const std::uint64_t first = tracer.mint_span_id();
+  const std::uint64_t second = tracer.mint_span_id();
+  EXPECT_EQ(first, (std::uint64_t{5} << 32) + 1);
+  EXPECT_EQ(second, first + 1);
+
+  Tracer::SpanToken token = tracer.begin_span(0.0);
+  tracer.end_span(token, 0.0, "ided", "test", /*trace_id=*/77, /*span_id=*/first,
+                  /*parent_span_id=*/3);
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\"trace_id\":77"), std::string::npos) << text.substr(0, 400);
+  EXPECT_NE(text.find("\"span_id\":" + std::to_string(first)), std::string::npos);
+  EXPECT_NE(text.find("\"parent_span_id\":3"), std::string::npos);
+  ASSERT_EQ(tracer.events_snapshot().size(), 1u);
+  EXPECT_EQ(tracer.events_snapshot()[0].span_id, first);
+}
+
 // -------------------------------------------------------------- Telemetry
 
 TEST(ObsTelemetry, DisabledTracingProducesNoFile) {
@@ -534,6 +581,76 @@ TEST(ObsTelemetry, MetricsJsonlRoundTrip) {
   }
   EXPECT_EQ(n, 2u);
   fs::remove(out);
+}
+
+// --------------------------------------------------------- status stream
+
+TEST(ObsStatus, ReporterWritesValidFleetLines) {
+  const fs::path out = fs::temp_directory_path() / "flint_obs_status.jsonl";
+  fs::remove(out);
+  TelemetryConfig config;
+  config.status_out = out.string();
+  Telemetry telemetry(config);
+  {
+    ScopedTelemetry scope(&telemetry);
+    set_gauge("fl.round", 3.0);
+    set_gauge("fl.tasks_in_flight", 5.0);
+    set_gauge("rpc.executor.0.alive", 1.0);
+    set_gauge("rpc.executor.0.outstanding", 2.0);
+    set_gauge("rpc.executor.1.alive", 0.0);
+    add_counter("rpc.leases_served", 17);
+    telemetry.maybe_status_line(/*force=*/true);
+  }
+  ASSERT_NE(telemetry.status(), nullptr);
+  EXPECT_GE(telemetry.status()->lines_written(), std::size_t{1});
+
+  std::istringstream lines(read_file(out));
+  std::string line;
+  std::string last;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    EXPECT_TRUE(JsonChecker(line).valid()) << line;
+    last = line;
+  }
+  ASSERT_FALSE(last.empty());
+  EXPECT_NE(last.find("\"round\":3"), std::string::npos) << last;
+  EXPECT_NE(last.find("\"tasks_in_flight\":5"), std::string::npos) << last;
+  EXPECT_NE(last.find("\"executors_alive\":1"), std::string::npos) << last;
+  EXPECT_NE(last.find("\"executors_lost\":1"), std::string::npos) << last;
+  EXPECT_NE(last.find("\"updates_total\":17"), std::string::npos) << last;
+  EXPECT_NE(last.find("\"executors\":["), std::string::npos) << last;
+  fs::remove(out);
+}
+
+TEST(ObsStatus, ReporterHonorsWallCadence) {
+  const fs::path out = fs::temp_directory_path() / "flint_obs_status_cadence.jsonl";
+  fs::remove(out);
+  TelemetryConfig config;
+  config.status_out = out.string();
+  config.status_every_wall_s = 3600.0;  // nothing non-forced after the first line
+  Telemetry telemetry(config);
+  ScopedTelemetry scope(&telemetry);
+  telemetry.maybe_status_line();  // first call always reports
+  telemetry.maybe_status_line();  // inside the hour window: suppressed
+  ASSERT_NE(telemetry.status(), nullptr);
+  EXPECT_EQ(telemetry.status()->lines_written(), std::size_t{1});
+  telemetry.maybe_status_line(/*force=*/true);
+  EXPECT_EQ(telemetry.status()->lines_written(), std::size_t{2});
+  fs::remove(out);
+}
+
+TEST(ObsStatus, DisabledWithoutPathOrMetrics) {
+  TelemetryConfig no_path;
+  Telemetry a(no_path);
+  EXPECT_EQ(a.status(), nullptr);
+  a.maybe_status_line(/*force=*/true);  // must be a safe no-op
+
+  TelemetryConfig no_metrics;
+  no_metrics.status_out =
+      (fs::temp_directory_path() / "flint_obs_status_off.jsonl").string();
+  no_metrics.metrics_enabled = false;
+  Telemetry b(no_metrics);
+  EXPECT_EQ(b.status(), nullptr);
 }
 
 }  // namespace

@@ -9,6 +9,11 @@
 #include <string>
 #include <vector>
 
+#include <set>
+
+#include "flint/obs/telemetry.h"
+#include "flint/obs/telemetry_snapshot.h"
+#include "flint/obs/trace.h"
 #include "flint/rpc/executor_worker.h"
 #include "flint/rpc/frame.h"
 #include "flint/rpc/leader.h"
@@ -228,6 +233,156 @@ TEST(Messages, TaskResultAndShutdownRoundtrip) {
   EXPECT_EQ(rpc::ShutdownMsg::deserialize(bye.serialize()).reason, "run complete");
 }
 
+TEST(Messages, RegisterAckCarriesLeaderWallClock) {
+  rpc::RegisterAckMsg ack;
+  ack.executor_id = 1;
+  ack.leader_wall_us = 123456.5;
+  auto out = rpc::RegisterAckMsg::deserialize(ack.serialize());
+  EXPECT_DOUBLE_EQ(out.leader_wall_us, 123456.5);
+}
+
+TEST(Messages, LeaseAndResultCarryTraceIds) {
+  rpc::TaskLeaseMsg lease;
+  lease.lease_id = 0xAAA;
+  lease.trace_id = 0xAAA;
+  lease.parent_span_id = 0xBBB;
+  auto lease_out = rpc::TaskLeaseMsg::deserialize(lease.serialize());
+  EXPECT_EQ(lease_out.trace_id, 0xAAAu);
+  EXPECT_EQ(lease_out.parent_span_id, 0xBBBu);
+
+  rpc::TaskResultMsg result;
+  result.trace_id = 0xAAA;
+  result.span_id = (std::uint64_t{3} << 32) + 7;  // executor-3 span-id space
+  auto result_out = rpc::TaskResultMsg::deserialize(result.serialize());
+  EXPECT_EQ(result_out.trace_id, 0xAAAu);
+  EXPECT_EQ(result_out.span_id, (std::uint64_t{3} << 32) + 7);
+}
+
+TEST(Messages, HeartbeatCarriesTelemetryPayload) {
+  obs::MetricRegistry registry;
+  registry.counter("rpc.leases_served").add(4);
+  obs::TelemetrySnapshotEncoder encoder;
+  rpc::HeartbeatMsg beat;
+  beat.executor_id = 2;
+  beat.seq = 9;
+  beat.telemetry = encoder.encode(registry).serialize();
+
+  auto out = rpc::HeartbeatMsg::deserialize(beat.serialize());
+  EXPECT_EQ(out.telemetry, beat.telemetry);
+  obs::TelemetrySnapshot snapshot = obs::TelemetrySnapshot::deserialize(out.telemetry);
+  ASSERT_EQ(snapshot.counters.size(), 1u);
+  EXPECT_EQ(snapshot.counters[0].name, "rpc.leases_served");
+  EXPECT_EQ(snapshot.counters[0].delta, 4u);
+}
+
+// ------------------------------------------------- telemetry shipping
+
+TEST(TelemetrySnapshot, EncoderEmitsDeltasAndSkipsUnchanged) {
+  obs::MetricRegistry registry;
+  registry.counter("c").add(5);
+  registry.gauge("g").set(2.5);
+  registry.histogram("h", 0.0, 10.0, 4).record(3.0);
+  obs::TelemetrySnapshotEncoder encoder;
+
+  obs::TelemetrySnapshot first = encoder.encode(registry);
+  EXPECT_EQ(first.seq, 1u);
+  ASSERT_EQ(first.counters.size(), 1u);
+  EXPECT_EQ(first.counters[0].delta, 5u);
+  ASSERT_EQ(first.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(first.gauges[0].value, 2.5);
+  ASSERT_EQ(first.histograms.size(), 1u);
+  EXPECT_EQ(first.histograms[0].count_delta, 1u);
+  EXPECT_DOUBLE_EQ(first.histograms[0].sum_delta, 3.0);
+
+  // Nothing changed: counters/histograms drop out (delta 0); gauges re-ship
+  // their absolute value every window (last-write-wins semantics).
+  obs::TelemetrySnapshot second = encoder.encode(registry);
+  EXPECT_EQ(second.seq, 2u);
+  EXPECT_TRUE(second.counters.empty());
+  EXPECT_TRUE(second.histograms.empty());
+  EXPECT_EQ(second.gauges.size(), 1u);
+
+  registry.counter("c").add(2);
+  obs::TelemetrySnapshot third = encoder.encode(registry);
+  ASSERT_EQ(third.counters.size(), 1u);
+  EXPECT_EQ(third.counters[0].delta, 2u);  // the window's delta, not the total 7
+}
+
+TEST(TelemetrySnapshot, SerializeDeserializeRoundtrip) {
+  obs::MetricRegistry registry;
+  registry.counter("tasks").add(11);
+  registry.gauge("alive").set(1.0);
+  registry.histogram("lat", 0.0, 1.0, 8).record(0.25);
+  registry.histogram("lat", 0.0, 1.0, 8).record(0.75);
+  obs::TelemetrySnapshotEncoder encoder;
+  obs::TelemetrySnapshot snapshot = encoder.encode(registry);
+
+  obs::TelemetrySnapshot out = obs::TelemetrySnapshot::deserialize(snapshot.serialize());
+  EXPECT_EQ(out.seq, snapshot.seq);
+  ASSERT_EQ(out.counters.size(), 1u);
+  EXPECT_EQ(out.counters[0].name, "tasks");
+  EXPECT_EQ(out.counters[0].delta, 11u);
+  ASSERT_EQ(out.histograms.size(), 1u);
+  EXPECT_EQ(out.histograms[0].count_delta, 2u);
+  EXPECT_DOUBLE_EQ(out.histograms[0].sum_delta, 1.0);
+  EXPECT_EQ(out.histograms[0].bucket_deltas, snapshot.histograms[0].bucket_deltas);
+}
+
+// The snapshot corruption matrix mirrors the frame one: truncation, version
+// skew, and hostile counts must throw before any value is trusted.
+
+TEST(TelemetrySnapshotCorruption, TruncatedRejected) {
+  obs::MetricRegistry registry;
+  registry.counter("c").add(1);
+  obs::TelemetrySnapshotEncoder encoder;
+  std::vector<char> bytes = encoder.encode(registry).serialize();
+  bytes.pop_back();
+  EXPECT_THROW(obs::TelemetrySnapshot::deserialize(bytes), util::CheckError);
+}
+
+TEST(TelemetrySnapshotCorruption, WrongSchemaVersionRejected) {
+  std::vector<char> bytes = obs::TelemetrySnapshot{}.serialize();
+  bytes[0] = 0x7F;  // schema version u16 leads the payload
+  EXPECT_THROW(obs::TelemetrySnapshot::deserialize(bytes), util::CheckError);
+}
+
+TEST(TelemetrySnapshotCorruption, OversizedSeriesCountRejected) {
+  std::vector<char> bytes = obs::TelemetrySnapshot{}.serialize();
+  // n_counters u32 sits after version u16 + seq u64; claim 2^31 series.
+  std::uint32_t huge = 1u << 31;
+  std::memcpy(bytes.data() + 10, &huge, sizeof(huge));
+  EXPECT_THROW(obs::TelemetrySnapshot::deserialize(bytes), util::CheckError);
+}
+
+TEST(TelemetrySnapshotCorruption, TrailingBytesRejected) {
+  std::vector<char> bytes = obs::TelemetrySnapshot{}.serialize();
+  bytes.push_back('\0');
+  EXPECT_THROW(obs::TelemetrySnapshot::deserialize(bytes), util::CheckError);
+}
+
+TEST(TelemetrySnapshot, MergerLabelsSeriesAndDropsDuplicates) {
+  obs::MetricRegistry source;
+  source.counter("rpc.leases_served").add(6);
+  source.gauge("mem").set(3.0);
+  obs::TelemetrySnapshotEncoder encoder;
+  obs::TelemetrySnapshot snapshot = encoder.encode(source);
+
+  obs::MetricRegistry leader_registry;
+  obs::TelemetrySnapshotMerger merger;
+  EXPECT_TRUE(merger.apply(3, snapshot, leader_registry));
+  // A re-delivered heartbeat replays the same seq: must be a no-op.
+  EXPECT_FALSE(merger.apply(3, snapshot, leader_registry));
+  EXPECT_EQ(leader_registry.counter(
+                obs::executor_series_label("rpc.leases_served", 3)).value(), 6u);
+  EXPECT_DOUBLE_EQ(leader_registry.gauge(obs::executor_series_label("mem", 3)).value(),
+                   3.0);
+
+  // A different executor shipping the same seq is independent state.
+  EXPECT_TRUE(merger.apply(4, snapshot, leader_registry));
+  EXPECT_EQ(leader_registry.counter(
+                obs::executor_series_label("rpc.leases_served", 4)).value(), 6u);
+}
+
 // ------------------------------------------------------------- transports
 
 TEST(LoopbackTransport, DeliversFramesBothWays) {
@@ -421,6 +576,58 @@ TEST(LeaderExecutor, RedispatchesWhenExecutorDies) {
 
   leader.shutdown("test done");
   worker.get();
+}
+
+TEST(LeaderExecutor, LoopbackRunPropagatesSpans) {
+  // Satellite regression: a full loopback run must leave a complete span
+  // record — one rpc.dispatch per lease on the leader side, one
+  // rpc.lease_execute per lease on the worker side, each execute span
+  // parented to its dispatch span and sharing the lease's trace id.
+  obs::TelemetryConfig tc;
+  tc.metrics_enabled = true;
+  tc.tracing_enabled = true;
+  obs::Telemetry telemetry(std::move(tc));
+  obs::ScopedTelemetry scoped(&telemetry);
+
+  constexpr std::uint64_t kLeases = 4;
+  {
+    rpc::LeaderConfig config;
+    config.dense_dim = 3;
+    rpc::Leader leader(config);
+    util::ThreadPool pool(1);
+    auto [leader_end, worker_end] = rpc::LoopbackTransport::make_pair();
+    auto worker = spawn_stub_worker(pool, std::move(worker_end), "traced");
+    leader.add_transport(std::move(leader_end));
+    std::vector<std::uint64_t> lease_ids;
+    for (std::uint64_t i = 0; i < kLeases; ++i)
+      lease_ids.push_back(leader.submit(stub_lease(400 + i, i)));
+    for (std::uint64_t id : lease_ids) leader.wait(id);
+    leader.shutdown("test done");
+    worker.get();
+  }
+
+  std::set<std::uint64_t> dispatch_span_ids;
+  std::set<std::uint64_t> dispatch_trace_ids;
+  std::vector<obs::TraceEvent> execute_spans;
+  for (const obs::TraceEvent& e : telemetry.tracer().events_snapshot()) {
+    if (std::string(e.name) == "rpc.dispatch") {
+      EXPECT_NE(e.span_id, 0u);
+      EXPECT_NE(e.trace_id, 0u);
+      dispatch_span_ids.insert(e.span_id);
+      dispatch_trace_ids.insert(e.trace_id);
+    } else if (std::string(e.name) == "rpc.lease_execute") {
+      execute_spans.push_back(e);
+    }
+  }
+  EXPECT_EQ(dispatch_span_ids.size(), kLeases);
+  ASSERT_EQ(execute_spans.size(), kLeases);
+  for (const obs::TraceEvent& e : execute_spans) {
+    EXPECT_NE(e.span_id, 0u);
+    EXPECT_TRUE(dispatch_span_ids.count(e.parent_span_id))
+        << "execute span " << e.span_id << " parent " << e.parent_span_id
+        << " matches no dispatch span";
+    EXPECT_TRUE(dispatch_trace_ids.count(e.trace_id));
+  }
 }
 
 TEST(LeaderExecutor, AllExecutorsDeadThrows) {

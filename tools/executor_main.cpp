@@ -8,6 +8,13 @@
 //   --connect-tcp HOST      connect over TCP (requires --port)
 //   --port N                TCP port
 //   --name NAME             executor name reported at registration
+//   --trace-out PATH        write this process's Chrome trace on exit
+//   --metrics-out PATH      write this process's metrics JSONL on exit
+//
+// The process always runs with metrics enabled so its counters ship to the
+// leader on each heartbeat (DESIGN.md §15); tracing turns on only with
+// --trace-out. Telemetry is flushed on clean Shutdown, on CheckError, and —
+// via atexit — on any other orderly exit, so tail events are never lost.
 //
 // The connect retries for a few seconds: the leader spawns executors right
 // after binding, but a TCP listener in another process may not be accepting
@@ -15,17 +22,32 @@
 #include <unistd.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
 
 #include "flint/fl/remote_executor.h"
+#include "flint/obs/telemetry.h"
 #include "flint/rpc/executor_worker.h"
 #include "flint/rpc/transport.h"
 #include "flint/util/check.h"
+#include "flint/util/logging.h"
 
 namespace {
+
+// atexit flush hook (satellite: clean shutdowns never lose tail events).
+// Cleared once the normal path has exported, so a double export cannot
+// happen; still set if exit() fires from an unexpected path.
+flint::obs::Telemetry* g_atexit_telemetry = nullptr;
+
+void flush_telemetry_at_exit() {
+  if (g_atexit_telemetry != nullptr) {
+    g_atexit_telemetry->export_all();
+    g_atexit_telemetry = nullptr;
+  }
+}
 
 std::unique_ptr<flint::rpc::Transport> connect_with_retry(const std::string& unix_path,
                                                           const std::string& tcp_host,
@@ -49,6 +71,8 @@ int main(int argc, char** argv) {
   std::string tcp_host;
   std::uint16_t tcp_port = 0;
   std::string name = "executor";
+  std::string trace_out;
+  std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
     auto value = [&](const char* flag) -> const char* {
       if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) return argv[++i];
@@ -62,6 +86,10 @@ int main(int argc, char** argv) {
       tcp_port = static_cast<std::uint16_t>(std::strtoul(v, nullptr, 10));
     } else if (const char* v = value("--name")) {
       name = v;
+    } else if (const char* v = value("--trace-out")) {
+      trace_out = v;
+    } else if (const char* v = value("--metrics-out")) {
+      metrics_out = v;
     } else {
       std::cerr << "flint_executor: unknown or incomplete flag " << argv[i] << "\n";
       return 2;
@@ -72,14 +100,35 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Metrics always on: the executor's registry ships to the leader on every
+  // heartbeat. Tracing costs memory per span, so it gates on --trace-out.
+  flint::obs::TelemetryConfig tc;
+  tc.metrics_enabled = true;
+  tc.tracing_enabled = !trace_out.empty();
+  tc.trace_out = trace_out;
+  tc.metrics_out = metrics_out;
+  flint::obs::Telemetry telemetry(std::move(tc));
+  flint::obs::ScopedTelemetry scoped(&telemetry);
+  g_atexit_telemetry = &telemetry;
+  std::atexit(flush_telemetry_at_exit);
+  // Role upgraded to executor-<id> once the RegisterAck assigns an id.
+  flint::util::Logger::instance().set_role("executor");
+
   try {
     auto transport = connect_with_retry(unix_path, tcp_host, tcp_port);
     flint::fl::LeaseTrainService service;
-    flint::rpc::ExecutorWorker worker(*transport, service, name);
+    flint::rpc::ExecutorWorker worker(*transport, service, name,
+                                      /*ship_telemetry=*/true);
     worker.run();
+    // Shutdown receipt (or leader hangup): flush here, then disarm the
+    // atexit hook — it exists for exits that bypass this path.
+    telemetry.export_all();
+    g_atexit_telemetry = nullptr;
     std::cerr << "flint_executor " << name << ": served " << worker.leases_served()
               << " lease(s), exiting\n";
   } catch (const flint::util::CheckError& e) {
+    telemetry.export_all();
+    g_atexit_telemetry = nullptr;
     std::cerr << "flint_executor " << name << ": " << e.what() << "\n";
     return 1;
   }

@@ -120,7 +120,7 @@ class Thresholds:
         return self.default_rel
 
 
-def comparable_leaves(doc: dict) -> dict:
+def comparable_leaves(doc: dict, ignore_telemetry: bool = False) -> dict:
     leaves = {}
     for section in COMPARED_SECTIONS:
         if section in doc:
@@ -143,7 +143,7 @@ def comparable_leaves(doc: dict) -> dict:
                     if is_number(value):
                         leaves[f"ledger.{axis}[{key}].{field}"] = float(value)
     # Telemetry: counters/gauges by value, histograms by event count only.
-    for sample in doc.get("telemetry", []):
+    for sample in [] if ignore_telemetry else doc.get("telemetry", []):
         if not isinstance(sample, dict):
             continue
         name = sample.get("series", "?")
@@ -170,6 +170,11 @@ def main() -> int:
                          "in '.' matches as a prefix)")
     ap.add_argument("--require-same-config", action="store_true",
                     help="treat a config-fingerprint mismatch as a failure")
+    ap.add_argument("--ignore-telemetry", action="store_true",
+                    help="exclude the telemetry section from the diff: runs on "
+                         "different transports (or with telemetry off) record "
+                         "different series even though every simulated result "
+                         "is bit-identical")
     ap.add_argument("--quiet", action="store_true", help="only print regressions")
     args = ap.parse_args()
 
@@ -189,8 +194,8 @@ def main() -> int:
         else:
             print(f"flint_compare: warning: {msg}", file=sys.stderr)
 
-    base_leaves = comparable_leaves(base)
-    cand_leaves = comparable_leaves(cand)
+    base_leaves = comparable_leaves(base, args.ignore_telemetry)
+    cand_leaves = comparable_leaves(cand, args.ignore_telemetry)
     compared = 0
     for path in sorted(base_leaves.keys() | cand_leaves.keys()):
         if path not in base_leaves:

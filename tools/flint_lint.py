@@ -39,6 +39,11 @@ in the file):
                   src/flint/rpc/ — every other layer speaks rpc::Transport
                   frames, so wire handling (CRC validation, length limits,
                   EOF semantics) lives in exactly one audited place.
+  rpc-spans       code under src/flint/rpc/ opens spans only through the
+                  propagation-aware obs::RpcSpanGuard, never the anonymous
+                  FLINT_TRACE_SPAN macro or raw obs::SpanGuard — an rpc span
+                  without trace/span ids breaks cross-process parentage in
+                  merged traces (DESIGN.md §15).
 
 Usage: tools/flint_lint.py [paths...]   (default: src/ bench/)
 Exit: 0 clean, 1 findings, 2 usage error.
@@ -71,6 +76,9 @@ TRIVIAL_ASSERT_RE = re.compile(r"static_assert\s*\(\s*std::is_trivially_copyable
 CONFIG_PARAM_RE = re.compile(r"\b(const\s+)?\w*Config\s*[&*]\s*\w+|\bconst\s+\w*Config\s+\w+\s*[,)]")
 FLINT_CHECK_RE = re.compile(r"\bFLINT_D?CHECK")
 SPAN_CALL_RE = re.compile(r"\b(begin_span|end_span)\s*\(")
+# rpc-spans: anonymous span entry points forbidden inside src/flint/rpc/.
+# `\bSpanGuard\b` cannot match inside RpcSpanGuard (no word boundary there).
+ANON_SPAN_RE = re.compile(r"\bFLINT_TRACE_SPAN\s*\(|\bSpanGuard\b")
 RAW_THREAD_RE = re.compile(r"\bstd::j?thread\b")
 RAW_SOCKET_CALL_RE = re.compile(
     r"::\s*(socket|connect|bind|listen|accept|send|recv|sendto|recvfrom"
@@ -156,6 +164,14 @@ def lint_file(path: Path) -> list[Finding]:
                 Finding(path, lineno, "rpc",
                         "raw socket plumbing is confined to src/flint/rpc/; "
                         "speak rpc::Transport frames instead"))
+
+        # rpc-spans
+        if in_rpc and ANON_SPAN_RE.search(line) and not suppressed("rpc-spans", lines, idx):
+            findings.append(
+                Finding(path, lineno, "rpc-spans",
+                        "rpc code must open spans via obs::RpcSpanGuard (carries "
+                        "trace/span ids across processes); FLINT_TRACE_SPAN / raw "
+                        "SpanGuard spans cannot be parented in merged traces"))
 
         # obs-spans
         if not in_obs and SPAN_CALL_RE.search(line) and not suppressed("obs-spans", lines, idx):

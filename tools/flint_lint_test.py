@@ -20,7 +20,9 @@ from flint_lint import lint_file  # noqa: E402
 
 CORPUS = Path(__file__).resolve().parent / "lint_corpus"
 
-# file -> exact multiset of rules expected to fire (empty = must be clean).
+# corpus-relative path -> exact multiset of rules expected to fire
+# (empty = must be clean). Subdirectories matter: the rpc/ fixtures exist
+# precisely because the rpc-spans rule keys on "rpc" being a path component.
 EXPECTATIONS: dict[str, list[str]] = {
     "commented_pragma.h": ["pragma-once"],
     "good_header.h": [],
@@ -30,12 +32,15 @@ EXPECTATIONS: dict[str, list[str]] = {
     "raw_thread.cpp": ["raw-thread", "rng"],
     "suppressed_throw.cpp": [],
     "raw_socket.cpp": ["rpc", "rpc"],
+    "rpc/raw_span.cpp": ["rpc-spans", "rpc-spans"],
+    "rpc/span_guard_ok.cpp": [],
 }
 
 
 def main() -> int:
     failures = 0
-    fixture_names = {p.name for p in CORPUS.iterdir() if p.suffix in (".h", ".cpp")}
+    fixture_names = {p.relative_to(CORPUS).as_posix()
+                     for p in CORPUS.rglob("*") if p.suffix in (".h", ".cpp")}
     missing = fixture_names.symmetric_difference(EXPECTATIONS)
     if missing:
         print(f"FAIL corpus/expectations out of sync: {sorted(missing)}")

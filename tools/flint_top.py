@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Follow a FLINT leader's live status stream (obs::StatusReporter JSONL).
+
+A run started with `--status-out PATH` appends one JSON object per reporting
+interval (default 1 wall-second) describing the fleet: current round, tasks
+in flight, per-executor liveness, update throughput, and leader RSS. This
+tool renders those lines as a terminal status display.
+
+Modes:
+  --once     print the latest status line as a table and exit
+             (exit 1 if the file is empty or the last line is invalid)
+  --follow   tail the file, redrawing on each new line (Ctrl-C to stop)
+
+Usage:
+  tools/flint_top.py --status status.jsonl [--once | --follow]
+Exit: 0 ok, 1 empty/invalid status, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+
+def parse_line(line: str) -> dict | None:
+    try:
+        row = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    return row if isinstance(row, dict) else None
+
+
+def human_bytes(n) -> str:
+    if not isinstance(n, (int, float)) or n < 0:
+        return "?"
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} {unit}"
+        n /= 1024
+    return f"{n:.1f} GiB"
+
+
+def render(row: dict) -> str:
+    lines = [
+        "flint_top — fleet status",
+        f"  wall time     : {row.get('t_wall_s', '?'):>10} s",
+        f"  virtual time  : {row.get('t_virtual_s', '?'):>10} s",
+        f"  round         : {row.get('round', '?')}",
+        f"  tasks in flight: {row.get('tasks_in_flight', '?')}"
+        f"  (queue depth {row.get('queue_depth', '?')})",
+        f"  leases in flight: {row.get('leases_in_flight', '?')}",
+        f"  updates       : {row.get('updates_total', '?')} total, "
+        f"{row.get('updates_per_s', '?')}/s",
+        f"  executors     : {row.get('executors_alive', '?')} alive, "
+        f"{row.get('executors_lost', '?')} lost",
+        f"  leader RSS    : {human_bytes(row.get('rss_bytes'))}",
+    ]
+    executors = row.get("executors")
+    if isinstance(executors, list) and executors:
+        lines.append("  per-executor  :")
+        for ex in executors:
+            if not isinstance(ex, dict):
+                continue
+            state = "alive" if ex.get("alive") else "LOST"
+            lines.append(f"    executor {ex.get('id', '?')}: {state}, "
+                         f"{ex.get('outstanding', '?')} outstanding lease(s)")
+    return "\n".join(lines)
+
+
+def last_status(path: str) -> dict | None:
+    try:
+        with open(path, encoding="utf-8") as f:
+            content = f.read()
+    except OSError as e:
+        print(f"flint_top: {path}: {e}", file=sys.stderr)
+        raise SystemExit(2)
+    row = None
+    for line in content.splitlines():
+        if line.strip():
+            parsed = parse_line(line)
+            if parsed is not None:
+                row = parsed
+    return row
+
+
+def follow(path: str) -> int:
+    offset = 0
+    buffer = ""
+    try:
+        while True:
+            try:
+                with open(path, encoding="utf-8") as f:
+                    f.seek(offset)
+                    chunk = f.read()
+                    offset = f.tell()
+            except OSError:
+                time.sleep(0.5)
+                continue
+            buffer += chunk
+            latest = None
+            while "\n" in buffer:
+                line, buffer = buffer.split("\n", 1)
+                parsed = parse_line(line) if line.strip() else None
+                if parsed is not None:
+                    latest = parsed
+            if latest is not None:
+                # Clear screen and home the cursor between redraws.
+                sys.stdout.write("\x1b[2J\x1b[H" + render(latest) + "\n")
+                sys.stdout.flush()
+            time.sleep(0.5)
+    except KeyboardInterrupt:
+        return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--status", required=True, help="status JSONL file to read")
+    mode = ap.add_mutually_exclusive_group()
+    mode.add_argument("--once", action="store_true",
+                      help="print the latest line and exit (default)")
+    mode.add_argument("--follow", action="store_true", help="tail and redraw")
+    args = ap.parse_args()
+
+    if args.follow:
+        return follow(args.status)
+    row = last_status(args.status)
+    if row is None:
+        print(f"flint_top: {args.status}: no valid status lines", file=sys.stderr)
+        return 1
+    print(render(row))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Merge per-process FLINT Chrome traces into one cross-process trace.
+
+A multi-process run (`quickstart --transport=unix --trace-out DIR`) leaves one
+trace file per process in DIR: `leader.trace.json` plus
+`executor-<i>.trace.json` for each spawned executor. Each file carries a
+top-level `flint` metadata object written by obs::Tracer::write_chrome_trace:
+
+  {"role": "leader"|"executor-N", "os_pid": ..., "wall_pid": ...,
+   "virtual_pid": ..., "sort_index": ..., "clock_offset_us": ...}
+
+This tool merges them into a single trace-event file that Perfetto /
+chrome://tracing can open directly:
+
+  * Executor wall-clock timestamps are shifted by that process's
+    `clock_offset_us` (captured from the leader's RegisterAck timestamp at
+    registration), so spans from every process share the leader's wall
+    clock. Shifted timestamps are clamped at 0 — an executor span that
+    began before its clock handshake cannot legally precede the leader's
+    epoch.
+  * Executor *virtual*-clock tracks are dropped: only the leader advances
+    the simulation clock, so executor virtual tracks are flat lines of
+    zero-ts spans that would pile up at the origin.
+  * Track (pid) metadata is passed through — labeled processes derive
+    their pids from the OS pid, so tracks never collide.
+
+Usage:
+  tools/flint_trace_merge.py --dir RUN_DIR [--out merged.trace.json]
+  tools/flint_trace_merge.py FILE... --out merged.trace.json
+Exit: 0 on success, 1 on malformed input, 2 on usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_trace(path: Path) -> tuple[dict, dict]:
+    """Return (document, flint-metadata); raises SystemExit(1) on bad input."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"flint_trace_merge: {path}: not readable as JSON: {e}", file=sys.stderr)
+        raise SystemExit(1)
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        print(f"flint_trace_merge: {path}: missing traceEvents array", file=sys.stderr)
+        raise SystemExit(1)
+    meta = doc.get("flint")
+    if not isinstance(meta, dict) or not isinstance(meta.get("role"), str):
+        print(f"flint_trace_merge: {path}: missing top-level 'flint' metadata "
+              "(trace was not written by a labeled Tracer?)", file=sys.stderr)
+        raise SystemExit(1)
+    if not meta["role"]:
+        print(f"flint_trace_merge: {path}: empty role — single-process traces "
+              "(default pids 1/2) cannot be merged; re-run with a multi-process "
+              "transport", file=sys.stderr)
+        raise SystemExit(1)
+    return doc, meta
+
+
+def merge(paths: list[Path]) -> dict:
+    metadata_events: list[dict] = []
+    span_events: list[dict] = []
+    roles: list[str] = []
+    seen_pids: dict[int, Path] = {}
+
+    for path in sorted(paths):
+        doc, meta = load_trace(path)
+        role = meta["role"]
+        for key in ("wall_pid", "virtual_pid"):
+            pid = meta.get(key)
+            if isinstance(pid, int) and pid in seen_pids:
+                print(f"flint_trace_merge: {path}: track pid {pid} collides with "
+                      f"{seen_pids[pid]} — inputs are not from one run", file=sys.stderr)
+                raise SystemExit(1)
+            if isinstance(pid, int):
+                seen_pids[pid] = path
+        is_leader = role == "leader"
+        virtual_pid = meta.get("virtual_pid")
+        offset_us = meta.get("clock_offset_us", 0.0)
+        if not isinstance(offset_us, (int, float)):
+            offset_us = 0.0
+        roles.append(role)
+
+        for ev in doc["traceEvents"]:
+            if not isinstance(ev, dict):
+                continue
+            pid = ev.get("pid")
+            # Executor virtual tracks carry no information (the virtual clock
+            # only advances on the leader) — drop spans and their track
+            # metadata alike.
+            if not is_leader and pid == virtual_pid:
+                continue
+            if ev.get("ph") == "M":
+                metadata_events.append(ev)
+                continue
+            if not is_leader and isinstance(ev.get("ts"), (int, float)):
+                ev = dict(ev)
+                ev["ts"] = max(0.0, ev["ts"] + offset_us)
+            span_events.append(ev)
+
+    span_events.sort(key=lambda e: (e.get("ts", 0.0), e.get("pid", 0)))
+    return {
+        "traceEvents": metadata_events + span_events,
+        "displayTimeUnit": "ms",
+        "flint": {"merged": True, "roles": roles},
+    }
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("files", nargs="*", help="per-process trace files to merge")
+    ap.add_argument("--dir", help="directory to glob for *.trace.json")
+    ap.add_argument("--out", help="merged output path (default: <dir>/merged.trace.json)")
+    args = ap.parse_args()
+
+    paths = [Path(p) for p in args.files]
+    if args.dir:
+        paths += sorted(Path(args.dir).glob("*.trace.json"))
+    paths = [p for p in paths if p.name != "merged.trace.json"]
+    if not paths:
+        ap.error("no input traces: pass FILE... or --dir with *.trace.json files")
+    out = args.out
+    if not out:
+        if not args.dir:
+            ap.error("--out is required when merging explicit files")
+        out = str(Path(args.dir) / "merged.trace.json")
+
+    merged = merge(paths)
+    roles = merged["flint"]["roles"]
+    if "leader" not in roles:
+        print("flint_trace_merge: no leader trace among inputs "
+              f"(roles: {roles})", file=sys.stderr)
+        return 1
+    with open(out, "w", encoding="utf-8") as f:
+        json.dump(merged, f, indent=None, separators=(",", ":"))
+        f.write("\n")
+    n_spans = sum(1 for e in merged["traceEvents"] if e.get("ph") == "X")
+    print(f"flint_trace_merge: merged {len(paths)} trace(s) "
+          f"({', '.join(roles)}): {n_spans} spans -> {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

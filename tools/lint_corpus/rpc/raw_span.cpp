@@ -1,0 +1,14 @@
+// Fixture: rpc code opening anonymous spans must trip rpc-spans — both the
+// FLINT_TRACE_SPAN macro and a raw obs::SpanGuard lack trace/span ids, so
+// their spans cannot be parented across processes in a merged trace.
+namespace flint::rpc {
+
+void dispatch_lease() {
+  FLINT_TRACE_SPAN("rpc.dispatch", "rpc");
+}
+
+void execute_lease() {
+  obs::SpanGuard span("rpc.lease_execute", "rpc");
+}
+
+}  // namespace flint::rpc

@@ -1,0 +1,11 @@
+// Fixture: rpc code using the propagation-aware guard is clean — RpcSpanGuard
+// carries trace/span ids, so merged traces can parent its spans, and the
+// \bSpanGuard\b pattern must not fire inside the RpcSpanGuard identifier.
+namespace flint::rpc {
+
+void dispatch_lease(unsigned long long lease_id) {
+  obs::RpcSpanGuard span("rpc.dispatch", "rpc", obs::SpanContext{}, lease_id);
+  (void)span;
+}
+
+}  // namespace flint::rpc

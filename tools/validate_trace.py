@@ -9,7 +9,11 @@ Checks
             required trace-event keys for its phase ("X" spans need
             name/cat/pid/tid/ts/dur with numeric non-negative ts/dur; "M"
             metadata needs name/pid); both clock tracks (pid 1 wall, pid 2
-            virtual) are present when any span exists.
+            virtual) are present when any span exists. With --merged the
+            clock-track check is replaced by cross-process checks: unique
+            process tracks with leader + executor process_name metadata,
+            every rpc.lease_execute span parented to an rpc.dispatch span,
+            and monotone (merge-sorted, clock-aligned) timestamps per track.
   metrics:  every line parses as a JSON object with series/type/t_virtual_s,
             type is counter|gauge|histogram, histograms carry consistent
             count/buckets, and no numeric field is NaN/inf (the exporter must
@@ -47,7 +51,7 @@ def finite(x) -> bool:
     return isinstance(x, (int, float)) and not isinstance(x, bool) and math.isfinite(x)
 
 
-def validate_trace(path: str) -> None:
+def validate_trace(path: str, merged: bool = False) -> None:
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
@@ -64,6 +68,10 @@ def validate_trace(path: str) -> None:
 
     pids = set()
     span_count = 0
+    process_names: dict[int, str] = {}
+    dispatch_span_ids: set[int] = set()
+    lease_spans: list[tuple[str, dict]] = []
+    last_ts_by_pid: dict[int, float] = {}
     for i, ev in enumerate(events):
         where = f"{path}: traceEvents[{i}]"
         if not isinstance(ev, dict):
@@ -80,13 +88,58 @@ def validate_trace(path: str) -> None:
                     fail(f"{where}: '{key}' must be a non-negative finite number")
             if "pid" in ev:
                 pids.add(ev["pid"])
+            if merged:
+                args = ev.get("args")
+                args = args if isinstance(args, dict) else {}
+                if ev.get("name") == "rpc.dispatch" and isinstance(args.get("span_id"), int):
+                    dispatch_span_ids.add(args["span_id"])
+                elif ev.get("name") == "rpc.lease_execute":
+                    lease_spans.append((where, args))
+                pid, ts = ev.get("pid"), ev.get("ts")
+                if isinstance(pid, int) and finite(ts):
+                    if ts < last_ts_by_pid.get(pid, float("-inf")):
+                        fail(f"{where}: ts {ts} not monotone within pid {pid} "
+                             "(merge did not sort, or clock alignment regressed)")
+                    last_ts_by_pid[pid] = ts
         elif ph == "M":
             for key in ("name", "pid"):
                 if key not in ev:
                     fail(f"{where}: metadata event missing '{key}'")
+            if merged and ev.get("name") == "process_name":
+                pid = ev.get("pid")
+                pname = (ev.get("args") or {}).get("name")
+                if isinstance(pid, int) and isinstance(pname, str):
+                    if pid in process_names and process_names[pid] != pname:
+                        fail(f"{where}: pid {pid} named both "
+                             f"{process_names[pid]!r} and {pname!r} — track collision")
+                    process_names[pid] = pname
         else:
             fail(f"{where}: unexpected phase {ph!r} (emitter writes only X and M)")
-    if span_count > 0 and pids != {1, 2}:
+
+    if merged:
+        roles = (doc.get("flint") or {}).get("roles")
+        if not (doc.get("flint") or {}).get("merged"):
+            fail(f"{path}: missing flint.merged marker — not a flint_trace_merge output")
+        names = " ".join(process_names.values())
+        if "leader" not in names:
+            fail(f"{path}: no leader process track (process names: "
+                 f"{sorted(process_names.values())})")
+        if "executor" not in names:
+            fail(f"{path}: no executor process track (process names: "
+                 f"{sorted(process_names.values())})")
+        if isinstance(roles, list) and not any(
+                isinstance(r, str) and r.startswith("executor") for r in roles):
+            fail(f"{path}: flint.roles {roles} lists no executor")
+        for where, args in lease_spans:
+            parent = args.get("parent_span_id")
+            if not isinstance(parent, int) or parent not in dispatch_span_ids:
+                fail(f"{where}: rpc.lease_execute parent_span_id {parent!r} does not "
+                     "match any rpc.dispatch span_id — cross-process propagation broke")
+        if not lease_spans:
+            fail(f"{path}: merged trace has no rpc.lease_execute spans")
+        if not dispatch_span_ids:
+            fail(f"{path}: merged trace has no rpc.dispatch spans")
+    elif span_count > 0 and pids != {1, 2}:
         fail(f"{path}: expected spans on both clock tracks (pids 1 and 2), got {sorted(pids)}")
     print(f"{path}: {span_count} spans across pids {sorted(pids)}: OK"
           if not ERRORS else f"{path}: checked {span_count} spans")
@@ -315,6 +368,11 @@ def validate_artifact(path: str) -> None:
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--trace", help="Chrome trace-event JSON file")
+    ap.add_argument("--merged", action="store_true",
+                    help="treat --trace as a flint_trace_merge output: require "
+                         "unique process tracks, leader+executor roles, "
+                         "dispatch->lease_execute span parentage, and "
+                         "per-track monotone timestamps")
     ap.add_argument("--metrics", help="metrics JSONL file")
     ap.add_argument("--min-series", type=int, default=0,
                     help="minimum number of distinct metric series")
@@ -326,8 +384,10 @@ def main() -> int:
     if not args.trace and not args.metrics and not args.artifact:
         ap.error("nothing to validate: pass --trace, --metrics, and/or --artifact")
 
+    if args.merged and not args.trace:
+        ap.error("--merged requires --trace")
     if args.trace:
-        validate_trace(args.trace)
+        validate_trace(args.trace, merged=args.merged)
     for artifact in args.artifact:
         validate_artifact(artifact)
     if args.metrics:
