@@ -20,6 +20,7 @@
 #include "flint/fl/fedavg.h"
 #include "flint/fl/fedbuff.h"
 #include "flint/fl/rpc_runtime.h"
+#include "flint/ml/kernels/kernels.h"
 #include "flint/obs/telemetry.h"
 #include "flint/store/checkpoint.h"
 #include "flint/util/table.h"
@@ -79,8 +80,12 @@ class BenchArtifact {
   BenchArtifact(int argc, char** argv, std::string name) {
     inputs_.name = std::move(name);
     path_ = "BENCH_" + inputs_.name + ".json";
-    for (int i = 1; i + 1 < argc; ++i)
+    for (int i = 1; i + 1 < argc; ++i) {
       if (std::strcmp(argv[i], "--artifact-out") == 0) path_ = argv[i + 1];
+      // Every bench declares a BenchArtifact (lint-enforced), so parsing the
+      // kernel-path pin here gives the whole bench suite `--kernels` at once.
+      if (std::strcmp(argv[i], "--kernels") == 0) ml::kernels::set_path(argv[i + 1]);
+    }
     start_ = std::chrono::steady_clock::now();
   }
 

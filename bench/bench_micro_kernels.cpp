@@ -1,7 +1,14 @@
 // Micro-kernel benchmarks (google-benchmark): throughput of the hot paths
 // under FLINT's simulations — tensor products, embedding lookups, feature
 // hashing, loss computation, local SGD steps, cache ops, and the event queue.
+//
+// Besides the google-benchmark section, main() runs a hand-timed sweep over
+// the flint::ml::kernels table that emits per-kernel GB/s and GFLOP/s artifact
+// leaves plus `speedup_vs_scalar` (active SIMD path vs. the honest-scalar
+// reference), which is what the CI smoke-bench diff gates the ≥2× win on.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
 
 #include "bench_helpers.h"
 #include "flint/data/proxy_generator.h"
@@ -9,6 +16,7 @@
 #include "flint/feature/feature_hashing.h"
 #include "flint/fl/aggregator.h"
 #include "flint/fl/trainer.h"
+#include "flint/ml/kernels/kernels.h"
 #include "flint/ml/loss.h"
 #include "flint/ml/model.h"
 #include "flint/sim/event_queue.h"
@@ -165,17 +173,190 @@ void BM_QuantityProfile(benchmark::State& state) {
 }
 BENCHMARK(BM_QuantityProfile);
 
+// ---------------------------------------------------------------------------
+// Hand-timed flint::ml::kernels sweep: per-kernel GB/s, GFLOP/s, and
+// speedup_vs_scalar artifact leaves. Working sets are L1-resident (16 KB
+// vectors, 64x64 matrices) so the numbers expose compute throughput — the
+// quantity SIMD improves — rather than DRAM bandwidth.
+
+/// Best-of-R time for `reps` calls of fn (minimum filters scheduler noise).
+template <typename F>
+double time_best_s(F&& fn, int reps, int rounds = 7) {
+  double best = 1e30;
+  for (int r = 0; r < rounds; ++r) {
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i) fn();
+    double s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    if (s < best) best = s;
+  }
+  return best / reps;
+}
+
+struct KernelCase {
+  const char* name;
+  double bytes;  ///< bytes touched per call (reads + writes)
+  double flops;  ///< float ops per call
+  int reps;      ///< calls per timing round
+  void (*run)(const ml::kernels::KernelTable&);
+};
+
+constexpr std::size_t kVec = 4096;            // 16 KB of floats: L1-resident
+constexpr std::size_t kMat = 64;              // 64x64 matmul operands
+constexpr std::size_t kRows = 16, kDim = 64;  // gather/scatter shape
+
+// Shared scratch for the kernel cases. Static so the case table can use
+// plain function pointers; (re)initialized by run_kernel_sweep.
+struct Scratch {
+  std::vector<float> x, y, vel, noise;
+  std::vector<double> dsum;
+  std::vector<float> a, b, out;
+  std::vector<float> table, rows;
+  std::vector<std::int32_t> tokens;
+};
+Scratch& scratch() {
+  static Scratch s;
+  return s;
+}
+
+void reset_scratch() {
+  util::Rng rng(11);
+  Scratch& s = scratch();
+  auto fill = [&rng](std::vector<float>& v, std::size_t n) {
+    v.resize(n);
+    for (float& f : v) f = static_cast<float>(rng.normal());
+  };
+  fill(s.x, kVec);
+  fill(s.y, kVec);
+  fill(s.vel, kVec);
+  fill(s.noise, kVec);
+  s.dsum.assign(kVec, 0.0);
+  fill(s.a, kMat * kMat);
+  fill(s.b, kMat * kMat);
+  s.out.assign(kMat * kMat, 0.0f);
+  fill(s.table, 1024 * kDim);
+  fill(s.rows, kRows * kDim);
+  s.tokens.resize(kRows);
+  for (auto& t : s.tokens) t = static_cast<std::int32_t>(rng.uniform_int(0, 1023));
+}
+
+const KernelCase kKernelCases[] = {
+    {"add", 3.0 * 4 * kVec, 1.0 * kVec, 2000,
+     [](const ml::kernels::KernelTable& k) {
+       k.add(scratch().y.data(), scratch().x.data(), kVec);
+     }},
+    {"axpy", 3.0 * 4 * kVec, 2.0 * kVec, 2000,
+     [](const ml::kernels::KernelTable& k) {
+       k.axpy(scratch().y.data(), scratch().x.data(), 0.25f, kVec);
+     }},
+    {"scale_add", 3.0 * 4 * kVec, 2.0 * kVec, 2000,
+     [](const ml::kernels::KernelTable& k) {
+       k.scale_add(scratch().y.data(), 0.999f, scratch().noise.data(), kVec);
+     }},
+    {"sgd_step", 3.0 * 4 * kVec, 3.0 * kVec, 2000,
+     [](const ml::kernels::KernelTable& k) {
+       k.sgd_step(scratch().y.data(), scratch().x.data(), 1e-4f, 1e-5f, kVec);
+     }},
+    {"sgd_momentum_step", 5.0 * 4 * kVec, 5.0 * kVec, 2000,
+     [](const ml::kernels::KernelTable& k) {
+       k.sgd_momentum_step(scratch().y.data(), scratch().x.data(), scratch().vel.data(),
+                           1e-4f, 0.9f, 1e-5f, kVec);
+     }},
+    {"server_momentum_step", 5.0 * 4 * kVec, 4.0 * kVec, 2000,
+     [](const ml::kernels::KernelTable& k) {
+       k.server_momentum_step(scratch().y.data(), scratch().vel.data(), scratch().x.data(),
+                              0.9f, 0.1f, kVec);
+     }},
+    {"weighted_accum", (8.0 + 8.0 + 4.0) * kVec, 2.0 * kVec, 2000,
+     [](const ml::kernels::KernelTable& k) {
+       k.weighted_accum(scratch().dsum.data(), scratch().x.data(), 1.5, kVec);
+     }},
+    {"mean_from_sums", (8.0 + 4.0) * kVec, 1.0 * kVec, 2000,
+     [](const ml::kernels::KernelTable& k) {
+       k.mean_from_sums(scratch().y.data(), scratch().dsum.data(), 0.125, kVec);
+     }},
+    {"max_abs", 4.0 * kVec, 1.0 * kVec, 2000,
+     [](const ml::kernels::KernelTable& k) {
+       benchmark::DoNotOptimize(k.max_abs(scratch().x.data(), kVec));
+     }},
+    {"sum_squares", 4.0 * kVec, 2.0 * kVec, 2000,
+     [](const ml::kernels::KernelTable& k) {
+       benchmark::DoNotOptimize(k.sum_squares(scratch().x.data(), kVec, 0.0));
+     }},
+    {"matmul", 3.0 * 4 * kMat * kMat, 2.0 * kMat * kMat * kMat, 50,
+     [](const ml::kernels::KernelTable& k) {
+       auto& s = scratch();
+       std::fill(s.out.begin(), s.out.end(), 0.0f);
+       k.matmul(s.a.data(), s.b.data(), s.out.data(), kMat, kMat, kMat);
+     }},
+    {"transposed_matmul", 3.0 * 4 * kMat * kMat, 2.0 * kMat * kMat * kMat, 50,
+     [](const ml::kernels::KernelTable& k) {
+       auto& s = scratch();
+       std::fill(s.out.begin(), s.out.end(), 0.0f);
+       k.transposed_matmul(s.a.data(), s.b.data(), s.out.data(), kMat, kMat, kMat);
+     }},
+    {"matmul_transposed", 3.0 * 4 * kMat * kMat, 2.0 * kMat * kMat * kMat, 50,
+     [](const ml::kernels::KernelTable& k) {
+       auto& s = scratch();
+       k.matmul_transposed(s.a.data(), s.b.data(), s.out.data(), kMat, kMat, kMat);
+     }},
+    {"gather_mean_rows", 2.0 * 4 * kRows * kDim, 1.0 * kRows * kDim, 2000,
+     [](const ml::kernels::KernelTable& k) {
+       auto& s = scratch();
+       std::fill(s.rows.begin(), s.rows.end(), 0.0f);
+       for (std::size_t r = 0; r < kRows; ++r)
+         k.gather_mean_rows(s.table.data(), kDim, s.tokens.data(), kRows, 1024,
+                            s.rows.data() + r * kDim);
+     }},
+    {"scatter_add_rows", 3.0 * 4 * kRows * kDim, 2.0 * kRows * kDim, 2000,
+     [](const ml::kernels::KernelTable& k) {
+       auto& s = scratch();
+       for (std::size_t r = 0; r < kRows; ++r)
+         k.scatter_add_rows(s.table.data(), kDim, s.tokens.data(), kRows, 1024,
+                            s.rows.data() + r * kDim, 0.0625f);
+     }},
+};
+
+void run_kernel_sweep(flint::bench::BenchArtifact& artifact) {
+  using ml::kernels::KernelPath;
+  const KernelPath active = ml::kernels::active_path();
+  const auto& active_table = ml::kernels::table_for(active);
+  const auto& scalar_table = ml::kernels::table_for(KernelPath::kScalar);
+  std::cout << "\nml::kernels sweep (active path: " << ml::kernels::path_name(active)
+            << ", reference: scalar)\n";
+  // Lets tools/check_kernel_speedup.py skip the >=2x gate on runs pinned to
+  // --kernels=scalar, where every speedup is ~1.0 by construction.
+  artifact.add_scalar("kernels.simd_active", active == KernelPath::kScalar ? 0.0 : 1.0);
+  std::printf("  %-22s %10s %10s %12s\n", "kernel", "GB/s", "GFLOP/s", "vs scalar");
+  for (const KernelCase& c : kKernelCases) {
+    reset_scratch();
+    c.run(scalar_table);  // warm both code and data
+    double scalar_s = time_best_s([&] { c.run(scalar_table); }, c.reps);
+    reset_scratch();
+    c.run(active_table);
+    double active_s = time_best_s([&] { c.run(active_table); }, c.reps);
+    double gbps = c.bytes / active_s / 1e9;
+    double gflops = c.flops / active_s / 1e9;
+    double speedup = scalar_s / active_s;
+    std::printf("  %-22s %10.2f %10.2f %11.2fx\n", c.name, gbps, gflops, speedup);
+    std::string prefix = std::string("kernels.") + c.name;
+    artifact.add_scalar(prefix + ".gbps", gbps);
+    artifact.add_scalar(prefix + ".gflops", gflops);
+    artifact.add_scalar(prefix + ".speedup_vs_scalar", speedup);
+  }
+}
+
 }  // namespace
 
 // Hand-rolled BENCHMARK_MAIN so the binary also emits a run artifact: the
-// --artifact-out flag is consumed here and hidden from google-benchmark's
-// flag parser (which rejects flags it does not know).
+// --artifact-out and --kernels flags are consumed by BenchArtifact and hidden
+// from google-benchmark's flag parser (which rejects flags it does not know).
 int main(int argc, char** argv) {
   flint::bench::BenchArtifact artifact(argc, argv, "micro_kernels");
   artifact.set_config_text("micro_kernels: google-benchmark hot-path kernels");
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
-    if (i + 1 < argc && std::strcmp(argv[i], "--artifact-out") == 0) {
+    if (i + 1 < argc && (std::strcmp(argv[i], "--artifact-out") == 0 ||
+                         std::strcmp(argv[i], "--kernels") == 0)) {
       ++i;  // skip the flag and its value
       continue;
     }
@@ -186,5 +367,6 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  run_kernel_sweep(artifact);
   return 0;
 }

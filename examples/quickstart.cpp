@@ -24,11 +24,13 @@
 #include <optional>
 #include <string>
 
+#include "flint/compress/quantize.h"
 #include "flint/core/platform.h"
 #include "flint/core/report.h"
 #include "flint/core/run_artifact.h"
 #include "flint/data/synthetic_tasks.h"
 #include "flint/fl/rpc_runtime.h"
+#include "flint/ml/kernels/kernels.h"
 #include "flint/net/bandwidth_model.h"
 #include "flint/obs/telemetry.h"
 #include "flint/store/checkpoint.h"
@@ -49,6 +51,8 @@ int main(int argc, char** argv) {
   std::size_t rpc_executors = 2;
   std::string executor_bin;
   std::string rpc_dir = ".";
+  std::string kernels_spec;
+  std::string compression = "none";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
@@ -78,15 +82,44 @@ int main(int argc, char** argv) {
       executor_bin = argv[++i];
     } else if (std::strcmp(argv[i], "--rpc-dir") == 0 && i + 1 < argc) {
       rpc_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--kernels") == 0 && i + 1 < argc) {
+      kernels_spec = argv[++i];
+    } else if (std::strncmp(argv[i], "--kernels=", 10) == 0) {
+      kernels_spec = argv[i] + 10;
+    } else if (std::strcmp(argv[i], "--compression") == 0 && i + 1 < argc) {
+      compression = argv[++i];
+    } else if (std::strncmp(argv[i], "--compression=", 14) == 0) {
+      compression = argv[i] + 14;
     } else {
       std::cerr << "usage: quickstart [--trace-out trace.json] [--metrics-out metrics.jsonl]"
                    " [--status-out status.jsonl]"
                    " [--artifact-out artifact.json] [--checkpoint-dir dir]"
                    " [--checkpoint-every N] [--resume] [--threads N]"
                    " [--transport inprocess|loopback|unix|tcp] [--rpc-executors N]"
-                   " [--executor-bin path] [--rpc-dir dir]\n";
+                   " [--executor-bin path] [--rpc-dir dir]"
+                   " [--kernels auto|scalar|avx2|neon] [--compression none|int8|topk]\n";
       return 2;
     }
+  }
+  // Pin the kernel path before any training work; the RPC runtime forwards
+  // the spec to spawned executors so the fleet shares one set of numerics.
+  if (!kernels_spec.empty()) {
+    try {
+      ml::kernels::set_path(kernels_spec);
+    } catch (const util::CheckError& e) {
+      std::cerr << "quickstart: " << e.what() << "\n";
+      return 2;
+    }
+  }
+  compress::CompressionConfig compression_cfg;
+  if (compression == "int8") {
+    compression_cfg.kind = compress::CompressionKind::kInt8;
+  } else if (compression == "topk") {
+    compression_cfg.kind = compress::CompressionKind::kTopK;
+  } else if (compression != "none") {
+    std::cerr << "quickstart: unknown --compression '" << compression
+              << "' (expected none|int8|topk)\n";
+    return 2;
   }
   // A checkpoint lineage belongs to one (seed, config) run, and the multi-
   // trial sweep varies the seed per trial — so an explicit store, or a
@@ -186,6 +219,7 @@ int main(int argc, char** argv) {
   fl_cfg.inputs.local.loss = task.loss_kind();
   fl_cfg.inputs.duration = fl::TaskDurationModel::from_spec(ml::model_spec('B'), 1);
   fl_cfg.inputs.max_rounds = 60;
+  fl_cfg.inputs.compression = compression_cfg;
   fl_cfg.buffer_size = 10;
   fl_cfg.max_concurrency = 30;
 
@@ -257,7 +291,11 @@ int main(int argc, char** argv) {
   artifact.name = "quickstart";
   artifact.metric_name = task.metric_name();
   artifact.forecast = &result.forecast;
-  artifact.config_text = "quickstart: ads proxy, 500 clients, fedbuff, seed 42";
+  // Compression is part of the config fingerprint: it changes the numerics
+  // (lossy update round trip), unlike --threads/--transport/--kernels-on-a-
+  // pinned-path which only change wall time.
+  artifact.config_text =
+      "quickstart: ads proxy, 500 clients, fedbuff, seed 42, compression=" + compression;
   artifact.scalars = {{"centralized_metric", result.centralized_metric},
                       {"fl_metric_median", result.fl_metric},
                       {"performance_diff_pct", result.performance_diff_pct}};

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Compression-on-the-wire e2e (DESIGN.md §16). Runs the quickstart twice on
+# the unix transport with two spawned executors — once with raw float32
+# updates, once with --compression=int8 — and checks that the compression is
+# real at the transport level, not just a config flag:
+#
+#   1. the executors' shipped `rpc.bytes_sent{executor=N}` counters shrink to
+#      under 30% of the f32 run's (int8 payloads are ~1/4 the bytes, so the
+#      30% bound holds with framing + heartbeat overhead on top)
+#   2. the int8 run ships a positive `rpc.bytes_saved_compression` counter
+#      and the f32 run ships none
+#   3. both runs finish with a real model (final AUPR present in both
+#      artifacts) — compression must not break the run itself
+#
+# Usage: compression_wire_test.sh <quickstart-binary> <executor-binary> <source-dir> [python]
+set -euo pipefail
+
+quickstart=$(readlink -f "${1:?usage: compression_wire_test.sh <quickstart-binary> <executor-binary> <source-dir> [python]}")
+executor=$(readlink -f "${2:?missing executor binary}")
+src=$(readlink -f "${3:?missing source dir}")
+py=${4:-python3}
+
+work=$(mktemp -d "${TMPDIR:-/tmp}/flint_compression_wire.XXXXXX")
+trap 'rm -rf "$work"' EXIT
+mkdir -p "$work/rpc_f32" "$work/rpc_int8"
+cd "$work"
+
+run() { # name compression rpc-dir
+  "$quickstart" --transport unix --rpc-executors 2 \
+    --executor-bin "$executor" --rpc-dir "$work/$3" \
+    --compression "$2" \
+    --metrics-out "$work/metrics_$1.jsonl" \
+    --artifact-out "$work/artifact_$1.json" > "quickstart_$1.out"
+}
+
+echo "== f32 reference run (unix transport, 2 executors) =="
+run f32 none rpc_f32
+echo "== int8 run =="
+run int8 int8 rpc_int8
+
+echo "== executor-side rpc.bytes_sent shrinks below 30% =="
+"$py" - "$work/artifact_f32.json" "$work/artifact_int8.json" <<'EOF'
+import json, sys
+
+def series(path):
+    with open(path, encoding="utf-8") as f:
+        return {s["series"]: s.get("value", 0.0)
+                for s in json.load(f).get("telemetry", [])}
+
+def executor_sum(samples, name):
+    return sum(v for k, v in samples.items()
+               if k.startswith(name + "{executor="))
+
+f32, int8 = series(sys.argv[1]), series(sys.argv[2])
+sent_f32 = executor_sum(f32, "rpc.bytes_sent")
+sent_int8 = executor_sum(int8, "rpc.bytes_sent")
+if sent_f32 <= 0:
+    sys.exit("FAIL: f32 run shipped no executor rpc.bytes_sent series")
+ratio = sent_int8 / sent_f32
+print(f"executor bytes_sent: f32={sent_f32:.0f} int8={sent_int8:.0f} "
+      f"ratio={ratio:.3f}")
+if ratio >= 0.30:
+    sys.exit(f"FAIL: int8 executor bytes_sent is {ratio:.1%} of f32 (need < 30%)")
+
+saved_f32 = executor_sum(f32, "rpc.bytes_saved_compression")
+saved_int8 = executor_sum(int8, "rpc.bytes_saved_compression")
+print(f"bytes_saved_compression: f32={saved_f32:.0f} int8={saved_int8:.0f}")
+if saved_int8 <= 0:
+    sys.exit("FAIL: int8 run shipped no positive rpc.bytes_saved_compression")
+if saved_f32 != 0:
+    sys.exit("FAIL: f32 run claims compression savings")
+# The savings counter must reconcile with the observed shrinkage: savings
+# cannot exceed what actually left the wire relative to the f32 run.
+if saved_int8 < sent_f32 - sent_int8 - 0.5 * sent_f32:
+    sys.exit("FAIL: bytes_saved_compression implausibly small vs observed shrinkage")
+EOF
+
+echo "== both runs produced a real model =="
+for name in f32 int8; do
+  "$py" - "$work/artifact_$name.json" <<'EOF'
+import json, sys
+with open(sys.argv[1], encoding="utf-8") as f:
+    art = json.load(f)
+if art["model"]["rounds"] <= 0 or art["model"]["final_metric"] <= 0:
+    sys.exit(f"FAIL: {sys.argv[1]} has no trained model")
+EOF
+done
+
+echo "compression_wire_test: OK"

@@ -6,6 +6,10 @@
 #   scripts/run_sanitizers.sh address         # one specific profile
 #   scripts/run_sanitizers.sh --all           # address, undefined, thread, address+undefined
 #   scripts/run_sanitizers.sh --fast thread   # tsan, threaded tests only
+#   scripts/run_sanitizers.sh --scalar ...    # pin ml kernels to the scalar
+#                                             # path (FLINT_KERNELS=scalar) so
+#                                             # sanitizers cover the reference
+#                                             # kernels, not just the SIMD ones
 #
 # Each profile builds into build-<profile>/ so the instrumented trees never
 # pollute the primary build/ directory.
@@ -20,6 +24,7 @@ PROFILES=()
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
+    --scalar) export FLINT_KERNELS=scalar ;;
     --all) PROFILES=(address undefined thread "address+undefined") ;;
     address|undefined|thread|address+undefined|asan+ubsan) PROFILES+=("$arg") ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;

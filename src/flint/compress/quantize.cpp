@@ -4,14 +4,17 @@
 #include <cmath>
 #include <numeric>
 
+#include "flint/ml/kernels/kernels.h"
 #include "flint/util/check.h"
 
 namespace flint::compress {
 
 QuantizedUpdate quantize_int8(std::span<const float> update) {
   FLINT_CHECK(!update.empty());
-  float max_abs = 0.0f;
-  for (float v : update) max_abs = std::max(max_abs, std::abs(v));
+  // max_abs is order-independent, so the SIMD path is exact. The conversion
+  // loop stays scalar: std::lround rounds half away from zero, which SIMD
+  // round-to-even instructions would not reproduce.
+  float max_abs = ml::kernels::active().max_abs(update.data(), update.size());
   QuantizedUpdate q;
   q.scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
   q.values.reserve(update.size());
@@ -67,8 +70,8 @@ ErrorFeedback::ErrorFeedback(std::size_t dim) : residual_(dim, 0.0f) {
 SparseUpdate ErrorFeedback::compress(std::span<const float> update, std::size_t k) {
   FLINT_CHECK_MSG(update.size() == residual_.size(),
                   "update dim " << update.size() << " != feedback dim " << residual_.size());
-  std::vector<float> corrected(update.size());
-  for (std::size_t i = 0; i < update.size(); ++i) corrected[i] = update[i] + residual_[i];
+  std::vector<float> corrected(update.begin(), update.end());
+  ml::kernels::active().add(corrected.data(), residual_.data(), corrected.size());
   SparseUpdate s = top_k_sparsify(corrected, k);
   // New residual: what the sparsification dropped.
   residual_ = std::move(corrected);

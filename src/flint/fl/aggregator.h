@@ -6,17 +6,8 @@
 #include <span>
 #include <vector>
 
+#include "flint/ml/kernels/kernels.h"
 #include "flint/util/check.h"
-
-// No-aliasing annotation for the flat float/double kernels below: the spans
-// handed to them never alias the accumulator state, and telling the compiler
-// so is what lets it vectorize the loops (a possibly-aliased store forces a
-// scalar reload per iteration).
-#if defined(__GNUC__) || defined(__clang__)
-#define FLINT_RESTRICT __restrict__
-#else
-#define FLINT_RESTRICT
-#endif
 
 namespace flint::fl {
 
@@ -35,10 +26,7 @@ class UpdateAccumulator {
     FLINT_CHECK_EQ(delta.size(), sum_.size());
     FLINT_CHECK_FINITE(weight);
     FLINT_CHECK_GT(weight, 0.0);
-    const std::size_t n = sum_.size();
-    double* FLINT_RESTRICT sum = sum_.data();
-    const float* FLINT_RESTRICT d = delta.data();
-    for (std::size_t i = 0; i < n; ++i) sum[i] += weight * static_cast<double>(d[i]);
+    ml::kernels::active().weighted_accum(sum_.data(), delta.data(), weight, sum_.size());
     weight_sum_ += weight;
     ++count_;
   }
@@ -55,13 +43,11 @@ class UpdateAccumulator {
     FLINT_CHECK_FINITE(weight_sum_);
     FLINT_CHECK_GT(weight_sum_, 0.0);
     const std::size_t n = sum_.size();
+    // Multiply by the hoisted reciprocal: one divide total instead of one
+    // per coordinate.
     const double inv = 1.0 / weight_sum_;
     std::vector<float> out(n);
-    float* FLINT_RESTRICT o = out.data();
-    const double* FLINT_RESTRICT sum = sum_.data();
-    // Multiply by the hoisted reciprocal: one divide total instead of one
-    // per coordinate, and the loop reduces to fma + convert.
-    for (std::size_t i = 0; i < n; ++i) o[i] = static_cast<float>(sum[i] * inv);
+    ml::kernels::active().mean_from_sums(out.data(), sum_.data(), inv, n);
     return out;
   }
 
@@ -97,11 +83,8 @@ inline void apply_server_update(std::vector<float>& params, std::span<const floa
                                 double server_lr) {
   FLINT_CHECK_EQ(params.size(), mean_delta.size());
   FLINT_CHECK_FINITE(server_lr);
-  const std::size_t n = params.size();
-  const float lr = static_cast<float>(server_lr);
-  float* FLINT_RESTRICT p = params.data();
-  const float* FLINT_RESTRICT d = mean_delta.data();
-  for (std::size_t i = 0; i < n; ++i) p[i] += lr * d[i];
+  ml::kernels::active().axpy(params.data(), mean_delta.data(),
+                             static_cast<float>(server_lr), params.size());
 }
 
 /// Server-side optimizer state: plain averaging when momentum == 0,
@@ -125,16 +108,9 @@ class ServerOptimizer {
     }
     FLINT_CHECK_EQ(params.size(), mean_delta.size());
     if (velocity_.size() != params.size()) velocity_.assign(params.size(), 0.0f);
-    const std::size_t n = params.size();
-    const float beta = static_cast<float>(momentum_);
-    const float lr = static_cast<float>(server_lr_);
-    float* FLINT_RESTRICT v = velocity_.data();
-    float* FLINT_RESTRICT p = params.data();
-    const float* FLINT_RESTRICT d = mean_delta.data();
-    for (std::size_t i = 0; i < n; ++i) {
-      v[i] = beta * v[i] + d[i];
-      p[i] += lr * v[i];
-    }
+    ml::kernels::active().server_momentum_step(
+        params.data(), velocity_.data(), mean_delta.data(), static_cast<float>(momentum_),
+        static_cast<float>(server_lr_), params.size());
   }
 
   /// Momentum state for checkpointing (empty until the first momentum step,

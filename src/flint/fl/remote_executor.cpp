@@ -5,6 +5,7 @@
 
 #include "flint/fl/trainer_pool.h"
 #include "flint/ml/serialize.h"
+#include "flint/obs/telemetry.h"
 #include "flint/util/check.h"
 
 namespace flint::fl {
@@ -37,11 +38,19 @@ rpc::TaskResultMsg LeaseTrainService::run_lease(const rpc::TaskLeaseMsg& lease) 
     compress::CompressionConfig compression;
     compression.kind = static_cast<compress::CompressionKind>(lease.compression_kind);
     compression.top_k_fraction = lease.top_k_fraction;
+    // Train without the in-process lossy round trip: the raw delta is encoded
+    // into the wire representation instead, and the leader's take_delta()
+    // reproduces apply_compression's output bit for bit (schema v3).
     ClientUpdate update = compute_client_update_raw(
         *trainer_, lease.examples, lease.params, local, lease.seed, lease.task_id, dp,
-        static_cast<std::size_t>(lease.dp_participants), compression);
+        static_cast<std::size_t>(lease.dp_participants), compress::CompressionConfig{});
     result.ok = true;
-    result.delta = std::move(update.train.delta);
+    const std::size_t raw_bytes = update.train.delta.size() * sizeof(float);
+    result.encode_delta(std::move(update.train.delta), compression);
+    const std::size_t wire_bytes = result.payload_bytes();
+    if (wire_bytes < raw_bytes)
+      obs::add_counter("rpc.bytes_saved_compression",
+                       static_cast<std::uint64_t>(raw_bytes - wire_bytes));
     result.weight = update.weight;
     result.mean_loss = update.train.mean_loss;
     result.examples = update.train.examples;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "flint/fl/remote_executor.h"
+#include "flint/ml/kernels/kernels.h"
 #include "flint/ml/serialize.h"
 #include "flint/obs/telemetry.h"
 #include "flint/rpc/executor_worker.h"
@@ -102,6 +103,11 @@ RpcRuntime::RpcRuntime(const RpcRuntimeConfig& config, const RunInputs& inputs)
     }
     argv.push_back("--name");
     argv.push_back(std::string(transport_name(config_.kind)) + "-" + std::to_string(i));
+    // Forward the leader's kernel-path spec so the whole fleet computes on
+    // one path — reductions like matmul_transposed are only deterministic
+    // per path, and bit-identity requires every process to share it.
+    argv.push_back("--kernels");
+    argv.push_back(ml::kernels::requested_spec());
     if (!config_.trace_dir.empty()) {
       argv.push_back("--trace-out");
       argv.push_back(config_.trace_dir + "/executor-" + std::to_string(i) +

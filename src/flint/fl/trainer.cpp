@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "flint/ml/kernels/kernels.h"
 #include "flint/ml/loss.h"
 #include "flint/obs/telemetry.h"
 #include "flint/util/check.h"
@@ -119,7 +120,7 @@ LocalTrainResult LocalTrainer::train(std::span<const ml::Example> data,
   result.examples = data.size();
   result.delta = model_->get_flat_parameters();
   FLINT_CHECK(result.delta.size() == global_params.size());
-  for (std::size_t i = 0; i < result.delta.size(); ++i) result.delta[i] -= global_params[i];
+  ml::kernels::active().sub(result.delta.data(), global_params.data(), result.delta.size());
   return result;
 }
 

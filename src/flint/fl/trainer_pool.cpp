@@ -110,7 +110,7 @@ ClientUpdate PendingUpdate::get() {
     case Kind::kRemote: {
       rpc::TaskResultMsg result = leader_->wait(lease_id_);
       ClientUpdate update;
-      update.train.delta = std::move(result.delta);
+      update.train.delta = result.take_delta();
       update.train.mean_loss = result.mean_loss;
       update.train.examples = static_cast<std::size_t>(result.examples);
       update.weight = result.weight;

@@ -1,0 +1,309 @@
+// AVX2 kernels. Compiled with -mavx2 -ffp-contract=off (src/CMakeLists.txt)
+// and only ever invoked after a cpuid check (kernels.cpp), so the binary
+// stays runnable on pre-AVX2 x86.
+//
+// Exactness discipline (DESIGN.md §16): every elementwise kernel performs
+// the same rounded multiply followed by the same rounded add as the scalar
+// reference — _mm256_mul_ps + _mm256_add_ps, never an FMA — and vector
+// tails fall back to the identical scalar expression. Only the double
+// reductions (sum_squares, matmul_transposed's dots) use multiple
+// accumulators and therefore differ from the scalar path, by design.
+#include <cstdint>
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "flint/ml/kernels/kernels.h"
+
+namespace flint::ml::kernels {
+
+namespace {
+
+void a_add(float* y, const float* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(y + i, _mm256_add_ps(_mm256_loadu_ps(y + i), _mm256_loadu_ps(x + i)));
+  for (; i < n; ++i) y[i] += x[i];
+}
+
+void a_sub(float* y, const float* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(y + i, _mm256_sub_ps(_mm256_loadu_ps(y + i), _mm256_loadu_ps(x + i)));
+  for (; i < n; ++i) y[i] -= x[i];
+}
+
+void a_scale(float* y, float s, std::size_t n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(y + i, _mm256_mul_ps(_mm256_loadu_ps(y + i), vs));
+  for (; i < n; ++i) y[i] *= s;
+}
+
+void a_axpy(float* y, const float* x, float s, std::size_t n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 t = _mm256_mul_ps(vs, _mm256_loadu_ps(x + i));
+    _mm256_storeu_ps(y + i, _mm256_add_ps(_mm256_loadu_ps(y + i), t));
+  }
+  for (; i < n; ++i) y[i] += s * x[i];
+}
+
+void a_scale_add(float* y, float s, const float* x, std::size_t n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 t = _mm256_mul_ps(_mm256_loadu_ps(y + i), vs);
+    _mm256_storeu_ps(y + i, _mm256_add_ps(t, _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) y[i] = y[i] * s + x[i];
+}
+
+void a_sgd_step(float* value, const float* grad, float lr, float wd, std::size_t n) {
+  const __m256 vlr = _mm256_set1_ps(lr);
+  const __m256 vwd = _mm256_set1_ps(wd);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 v = _mm256_loadu_ps(value + i);
+    __m256 g = _mm256_add_ps(_mm256_loadu_ps(grad + i), _mm256_mul_ps(vwd, v));
+    _mm256_storeu_ps(value + i, _mm256_sub_ps(v, _mm256_mul_ps(vlr, g)));
+  }
+  for (; i < n; ++i) {
+    float g = grad[i] + wd * value[i];
+    value[i] -= lr * g;
+  }
+}
+
+void a_sgd_momentum_step(float* value, const float* grad, float* vel, float lr,
+                         float momentum, float wd, std::size_t n) {
+  const __m256 vlr = _mm256_set1_ps(lr);
+  const __m256 vm = _mm256_set1_ps(momentum);
+  const __m256 vwd = _mm256_set1_ps(wd);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 v = _mm256_loadu_ps(value + i);
+    __m256 g = _mm256_add_ps(_mm256_loadu_ps(grad + i), _mm256_mul_ps(vwd, v));
+    __m256 vv = _mm256_add_ps(_mm256_mul_ps(vm, _mm256_loadu_ps(vel + i)), g);
+    _mm256_storeu_ps(vel + i, vv);
+    _mm256_storeu_ps(value + i, _mm256_sub_ps(v, _mm256_mul_ps(vlr, vv)));
+  }
+  for (; i < n; ++i) {
+    float g = grad[i] + wd * value[i];
+    vel[i] = momentum * vel[i] + g;
+    value[i] -= lr * vel[i];
+  }
+}
+
+void a_server_momentum_step(float* params, float* vel, const float* delta, float beta,
+                            float lr, std::size_t n) {
+  const __m256 vbeta = _mm256_set1_ps(beta);
+  const __m256 vlr = _mm256_set1_ps(lr);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 v = _mm256_add_ps(_mm256_mul_ps(vbeta, _mm256_loadu_ps(vel + i)),
+                             _mm256_loadu_ps(delta + i));
+    _mm256_storeu_ps(vel + i, v);
+    _mm256_storeu_ps(params + i,
+                     _mm256_add_ps(_mm256_loadu_ps(params + i), _mm256_mul_ps(vlr, v)));
+  }
+  for (; i < n; ++i) {
+    vel[i] = beta * vel[i] + delta[i];
+    params[i] += lr * vel[i];
+  }
+}
+
+void a_weighted_accum(double* sum, const float* d, double w, std::size_t n) {
+  const __m256d vw = _mm256_set1_pd(w);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d vd = _mm256_cvtps_pd(_mm_loadu_ps(d + i));
+    _mm256_storeu_pd(sum + i,
+                     _mm256_add_pd(_mm256_loadu_pd(sum + i), _mm256_mul_pd(vw, vd)));
+  }
+  for (; i < n; ++i) sum[i] += w * static_cast<double>(d[i]);
+}
+
+void a_mean_from_sums(float* out, const double* sum, double inv, std::size_t n) {
+  const __m256d vinv = _mm256_set1_pd(inv);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    _mm_storeu_ps(out + i, _mm256_cvtpd_ps(_mm256_mul_pd(_mm256_loadu_pd(sum + i), vinv)));
+  for (; i < n; ++i) out[i] = static_cast<float>(sum[i] * inv);
+}
+
+float a_max_abs(const float* x, std::size_t n) {
+  // |x| via sign-bit clear; max is order-independent over finite floats, so
+  // the lane-wise fold matches the scalar sweep exactly.
+  const __m256 abs_mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  __m256 vmax = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    vmax = _mm256_max_ps(vmax, _mm256_and_ps(_mm256_loadu_ps(x + i), abs_mask));
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, vmax);
+  float m = 0.0f;
+  for (float lane : lanes) m = std::max(m, lane);
+  for (; i < n; ++i) m = std::max(m, std::abs(x[i]));
+  return m;
+}
+
+void a_matmul(const float* a, const float* b, float* out, std::size_t m, std::size_t k,
+              std::size_t n) {
+  // ikj with the k loop register-blocked by 2 (one out row load/store per
+  // k-pair) and tiled so a row of b stays L1-hot across the block. Per
+  // output element the k-accumulation order is unchanged, so results are
+  // bit-identical to the scalar reference; the a == 0 skip is kept per
+  // k-value for the same reason (adding 0.0f would flip -0.0f to +0.0f).
+  constexpr std::size_t kTile = 512;
+  for (std::size_t k0 = 0; k0 < k; k0 += kTile) {
+    const std::size_t k1 = std::min(k, k0 + kTile);
+    for (std::size_t i = 0; i < m; ++i) {
+      const float* a_row = a + i * k;
+      float* o_row = out + i * n;
+      std::size_t kk = k0;
+      for (; kk + 2 <= k1; kk += 2) {
+        const float a0 = a_row[kk];
+        const float a1 = a_row[kk + 1];
+        const float* b0 = b + kk * n;
+        const float* b1 = b0 + n;
+        if (a0 != 0.0f && a1 != 0.0f) {
+          const __m256 va0 = _mm256_set1_ps(a0);
+          const __m256 va1 = _mm256_set1_ps(a1);
+          std::size_t j = 0;
+          for (; j + 8 <= n; j += 8) {
+            __m256 o = _mm256_loadu_ps(o_row + j);
+            o = _mm256_add_ps(o, _mm256_mul_ps(va0, _mm256_loadu_ps(b0 + j)));
+            o = _mm256_add_ps(o, _mm256_mul_ps(va1, _mm256_loadu_ps(b1 + j)));
+            _mm256_storeu_ps(o_row + j, o);
+          }
+          for (; j < n; ++j) {
+            float o = o_row[j] + a0 * b0[j];
+            o_row[j] = o + a1 * b1[j];
+          }
+        } else if (a0 != 0.0f) {
+          a_axpy(o_row, b0, a0, n);
+        } else if (a1 != 0.0f) {
+          a_axpy(o_row, b1, a1, n);
+        }
+      }
+      if (kk < k1) {
+        const float av = a_row[kk];
+        if (av != 0.0f) a_axpy(o_row, b + kk * n, av, n);
+      }
+    }
+  }
+}
+
+void a_transposed_matmul(const float* a, const float* b, float* out, std::size_t k,
+                         std::size_t m, std::size_t n) {
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* a_row = a + kk * m;
+    const float* b_row = b + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = a_row[i];
+      if (av == 0.0f) continue;
+      a_axpy(out + i * n, b_row, av, n);
+    }
+  }
+}
+
+double hsum_pd(__m256d v) {
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, v);
+  return ((lanes[0] + lanes[1]) + lanes[2]) + lanes[3];
+}
+
+void a_matmul_transposed(const float* a, const float* b, float* out, std::size_t m,
+                         std::size_t k, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* b_row = b + j * k;
+      __m256d acc0 = _mm256_setzero_pd();
+      __m256d acc1 = _mm256_setzero_pd();
+      std::size_t kk = 0;
+      for (; kk + 8 <= k; kk += 8) {
+        __m256 va = _mm256_loadu_ps(a_row + kk);
+        __m256 vb = _mm256_loadu_ps(b_row + kk);
+        acc0 = _mm256_add_pd(acc0,
+                             _mm256_mul_pd(_mm256_cvtps_pd(_mm256_castps256_ps128(va)),
+                                           _mm256_cvtps_pd(_mm256_castps256_ps128(vb))));
+        acc1 = _mm256_add_pd(acc1,
+                             _mm256_mul_pd(_mm256_cvtps_pd(_mm256_extractf128_ps(va, 1)),
+                                           _mm256_cvtps_pd(_mm256_extractf128_ps(vb, 1))));
+      }
+      double acc = hsum_pd(_mm256_add_pd(acc0, acc1));
+      for (; kk < k; ++kk) acc += static_cast<double>(a_row[kk]) * b_row[kk];
+      out[i * n + j] = static_cast<float>(acc);
+    }
+  }
+}
+
+double a_sum_squares(const float* x, std::size_t n, double acc) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 v = _mm256_loadu_ps(x + i);
+    __m256d lo = _mm256_cvtps_pd(_mm256_castps256_ps128(v));
+    __m256d hi = _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1));
+    acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(lo, lo));
+    acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(hi, hi));
+  }
+  double partial = hsum_pd(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) partial += static_cast<double>(x[i]) * x[i];
+  return acc + partial;
+}
+
+std::size_t clamp_token(std::int32_t raw, std::size_t vocab) {
+  return static_cast<std::size_t>(
+      std::clamp<std::int64_t>(raw, 0, static_cast<std::int64_t>(vocab) - 1));
+}
+
+void a_gather_mean_rows(const float* table, std::size_t dim, const std::int32_t* tokens,
+                        std::size_t count, std::size_t vocab, float* out) {
+  if (count == 0) return;
+  for (std::size_t t = 0; t < count; ++t)
+    a_add(out, table + clamp_token(tokens[t], vocab) * dim, dim);
+  a_scale(out, 1.0f / static_cast<float>(count), dim);
+}
+
+void a_scatter_add_rows(float* table, std::size_t dim, const std::int32_t* tokens,
+                        std::size_t count, std::size_t vocab, const float* grad, float s) {
+  for (std::size_t t = 0; t < count; ++t)
+    a_axpy(table + clamp_token(tokens[t], vocab) * dim, grad, s, dim);
+}
+
+constexpr KernelTable kAvx2Table = {
+    a_add,
+    a_sub,
+    a_scale,
+    a_axpy,
+    a_scale_add,
+    a_sgd_step,
+    a_sgd_momentum_step,
+    a_server_momentum_step,
+    a_weighted_accum,
+    a_mean_from_sums,
+    a_max_abs,
+    a_matmul,
+    a_transposed_matmul,
+    a_matmul_transposed,
+    a_sum_squares,
+    a_gather_mean_rows,
+    a_scatter_add_rows,
+};
+
+}  // namespace
+
+const KernelTable& avx2_table() { return kAvx2Table; }
+
+}  // namespace flint::ml::kernels
+
+#endif  // __AVX2__

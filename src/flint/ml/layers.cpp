@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "flint/ml/kernels/kernels.h"
+
 namespace flint::ml {
 
 namespace {
@@ -28,10 +30,9 @@ Tensor DenseLayer::forward(const Tensor& input) {
                   "dense layer expects " << in_dim_ << " inputs, got " << input.cols());
   last_input_ = input;
   Tensor out = input.matmul(weight_.value);
-  for (std::size_t i = 0; i < out.rows(); ++i) {
-    auto r = out.row(i);
-    for (std::size_t j = 0; j < out_dim_; ++j) r[j] += bias_.value[j];
-  }
+  const auto& k = kernels::active();
+  auto bias = bias_.value.flat();
+  for (std::size_t i = 0; i < out.rows(); ++i) k.add(out.row(i).data(), bias.data(), out_dim_);
   return out;
 }
 
@@ -39,10 +40,10 @@ Tensor DenseLayer::backward(const Tensor& d_output) {
   FLINT_CHECK(d_output.rows() == last_input_.rows() && d_output.cols() == out_dim_);
   // dW += X^T dY;  db += column sums of dY;  dX = dY W^T.
   weight_.grad += last_input_.transposed_matmul(d_output);
-  for (std::size_t i = 0; i < d_output.rows(); ++i) {
-    auto r = d_output.row(i);
-    for (std::size_t j = 0; j < out_dim_; ++j) bias_.grad[j] += r[j];
-  }
+  const auto& k = kernels::active();
+  auto bias_grad = bias_.grad.flat();
+  for (std::size_t i = 0; i < d_output.rows(); ++i)
+    k.add(bias_grad.data(), d_output.row(i).data(), out_dim_);
   return d_output.matmul_transposed(weight_.value);
 }
 
@@ -117,33 +118,23 @@ EmbeddingBagLayer::EmbeddingBagLayer(std::size_t vocab, std::size_t dim)
 Tensor EmbeddingBagLayer::forward(const std::vector<std::vector<std::int32_t>>& tokens) {
   last_tokens_ = tokens;
   Tensor out(tokens.size(), dim_);
-  for (std::size_t i = 0; i < tokens.size(); ++i) {
-    if (tokens[i].empty()) continue;
-    auto o = out.row(i);
-    for (std::int32_t raw : tokens[i]) {
-      auto t = static_cast<std::size_t>(
-          std::clamp<std::int64_t>(raw, 0, static_cast<std::int64_t>(vocab_) - 1));
-      auto e = table_.value.row(t);
-      for (std::size_t j = 0; j < dim_; ++j) o[j] += e[j];
-    }
-    float inv = 1.0f / static_cast<float>(tokens[i].size());
-    for (std::size_t j = 0; j < dim_; ++j) o[j] *= inv;
-  }
+  const auto& k = kernels::active();
+  auto table = table_.value.flat();
+  for (std::size_t i = 0; i < tokens.size(); ++i)
+    k.gather_mean_rows(table.data(), dim_, tokens[i].data(), tokens[i].size(), vocab_,
+                       out.row(i).data());
   return out;
 }
 
 void EmbeddingBagLayer::backward(const Tensor& d_output) {
   FLINT_CHECK(d_output.rows() == last_tokens_.size() && d_output.cols() == dim_);
+  const auto& k = kernels::active();
+  auto grad_table = table_.grad.flat();
   for (std::size_t i = 0; i < last_tokens_.size(); ++i) {
     if (last_tokens_[i].empty()) continue;
     float inv = 1.0f / static_cast<float>(last_tokens_[i].size());
-    auto g = d_output.row(i);
-    for (std::int32_t raw : last_tokens_[i]) {
-      auto t = static_cast<std::size_t>(
-          std::clamp<std::int64_t>(raw, 0, static_cast<std::int64_t>(vocab_) - 1));
-      auto gr = table_.grad.row(t);
-      for (std::size_t j = 0; j < dim_; ++j) gr[j] += inv * g[j];
-    }
+    k.scatter_add_rows(grad_table.data(), dim_, last_tokens_[i].data(),
+                       last_tokens_[i].size(), vocab_, d_output.row(i).data(), inv);
   }
 }
 

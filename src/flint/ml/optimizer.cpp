@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "flint/ml/kernels/kernels.h"
+
 namespace flint::ml {
 
 SgdOptimizer::SgdOptimizer(double momentum, double weight_decay)
@@ -21,6 +23,7 @@ void SgdOptimizer::step(const std::vector<Parameter*>& params, double lr) {
     velocity_.reserve(params.size());
     for (Parameter* p : params) velocity_.emplace_back(p->value.rows(), p->value.cols());
   }
+  const auto& k = kernels::active();
   for (std::size_t i = 0; i < params.size(); ++i) {
     Parameter& p = *params[i];
     auto value = p.value.flat();
@@ -29,16 +32,12 @@ void SgdOptimizer::step(const std::vector<Parameter*>& params, double lr) {
       FLINT_CHECK_MSG(velocity_[i].same_shape(p.value),
                       "optimizer reused across models with different shapes");
       auto vel = velocity_[i].flat();
-      for (std::size_t j = 0; j < value.size(); ++j) {
-        float g = grad[j] + static_cast<float>(weight_decay_) * value[j];
-        vel[j] = static_cast<float>(momentum_) * vel[j] + g;
-        value[j] -= static_cast<float>(lr) * vel[j];
-      }
+      k.sgd_momentum_step(value.data(), grad.data(), vel.data(), static_cast<float>(lr),
+                          static_cast<float>(momentum_), static_cast<float>(weight_decay_),
+                          value.size());
     } else {
-      for (std::size_t j = 0; j < value.size(); ++j) {
-        float g = grad[j] + static_cast<float>(weight_decay_) * value[j];
-        value[j] -= static_cast<float>(lr) * g;
-      }
+      k.sgd_step(value.data(), grad.data(), static_cast<float>(lr),
+                 static_cast<float>(weight_decay_), value.size());
     }
   }
 }
@@ -48,17 +47,24 @@ void SgdOptimizer::reset() { velocity_.clear(); }
 double clip_gradients(const std::vector<Parameter*>& params, double max_norm) {
   FLINT_CHECK_FINITE(max_norm);
   FLINT_CHECK_GT(max_norm, 0.0);
+  const auto& k = kernels::active();
+  // Chain the accumulator across parameters: on the scalar path this is one
+  // continuous sweep, reproducing the pre-kernel single-loop numerics exactly.
   double sq = 0.0;
-  for (Parameter* p : params)
-    for (float g : p->grad.flat()) sq += static_cast<double>(g) * g;
+  for (Parameter* p : params) {
+    auto g = p->grad.flat();
+    sq = k.sum_squares(g.data(), g.size(), sq);
+  }
   double norm = std::sqrt(sq);
   // A non-finite gradient norm means training has already diverged; clipping
   // would silently turn every weight into NaN on the next step.
   FLINT_CHECK_FINITE(norm);
   if (norm > max_norm) {
     auto scale = static_cast<float>(max_norm / norm);
-    for (Parameter* p : params)
-      for (float& g : p->grad.flat()) g *= scale;
+    for (Parameter* p : params) {
+      auto g = p->grad.flat();
+      k.scale(g.data(), scale, g.size());
+    }
   }
   return norm;
 }

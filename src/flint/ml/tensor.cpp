@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "flint/ml/kernels/kernels.h"
+
 namespace flint::ml {
 
 Tensor::Tensor(std::size_t rows, std::size_t cols, std::vector<float> data)
@@ -32,77 +34,52 @@ void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
 Tensor& Tensor::operator+=(const Tensor& other) {
   FLINT_CHECK_MSG(same_shape(other),
                   "shape mismatch: " << shape_string() << " += " << other.shape_string());
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  kernels::active().add(data_.data(), other.data_.data(), data_.size());
   return *this;
 }
 
 Tensor& Tensor::operator-=(const Tensor& other) {
   FLINT_CHECK(same_shape(other));
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  kernels::active().sub(data_.data(), other.data_.data(), data_.size());
   return *this;
 }
 
 Tensor& Tensor::operator*=(float s) {
-  for (float& v : data_) v *= s;
+  kernels::active().scale(data_.data(), s, data_.size());
   return *this;
 }
 
 void Tensor::add_scaled(const Tensor& other, float s) {
   FLINT_CHECK(same_shape(other));
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += s * other.data_[i];
+  kernels::active().axpy(data_.data(), other.data_.data(), s, data_.size());
 }
 
 float Tensor::l2_norm() const {
-  double acc = 0.0;
-  for (float v : data_) acc += static_cast<double>(v) * v;
-  return static_cast<float>(std::sqrt(acc));
+  return static_cast<float>(
+      std::sqrt(kernels::active().sum_squares(data_.data(), data_.size(), 0.0)));
 }
 
 Tensor Tensor::matmul(const Tensor& rhs) const {
   FLINT_CHECK_EQ(cols_, rhs.rows_);
   Tensor out(rows_, rhs.cols_);
-  // ikj loop order keeps the inner loop streaming over contiguous memory.
-  for (std::size_t i = 0; i < rows_; ++i) {
-    const float* a_row = &data_[i * cols_];
-    float* o_row = &out.data_[i * rhs.cols_];
-    for (std::size_t k = 0; k < cols_; ++k) {
-      float a = a_row[k];
-      if (a == 0.0f) continue;
-      const float* b_row = &rhs.data_[k * rhs.cols_];
-      for (std::size_t j = 0; j < rhs.cols_; ++j) o_row[j] += a * b_row[j];
-    }
-  }
+  kernels::active().matmul(data_.data(), rhs.data_.data(), out.data_.data(), rows_, cols_,
+                           rhs.cols_);
   return out;
 }
 
 Tensor Tensor::transposed_matmul(const Tensor& rhs) const {
   FLINT_CHECK_EQ(rows_, rhs.rows_);
   Tensor out(cols_, rhs.cols_);
-  for (std::size_t k = 0; k < rows_; ++k) {
-    const float* a_row = &data_[k * cols_];
-    const float* b_row = &rhs.data_[k * rhs.cols_];
-    for (std::size_t i = 0; i < cols_; ++i) {
-      float a = a_row[i];
-      if (a == 0.0f) continue;
-      float* o_row = &out.data_[i * rhs.cols_];
-      for (std::size_t j = 0; j < rhs.cols_; ++j) o_row[j] += a * b_row[j];
-    }
-  }
+  kernels::active().transposed_matmul(data_.data(), rhs.data_.data(), out.data_.data(),
+                                      rows_, cols_, rhs.cols_);
   return out;
 }
 
 Tensor Tensor::matmul_transposed(const Tensor& rhs) const {
   FLINT_CHECK_EQ(cols_, rhs.cols_);
   Tensor out(rows_, rhs.rows_);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    const float* a_row = &data_[i * cols_];
-    for (std::size_t j = 0; j < rhs.rows_; ++j) {
-      const float* b_row = &rhs.data_[j * rhs.cols_];
-      double acc = 0.0;
-      for (std::size_t k = 0; k < cols_; ++k) acc += static_cast<double>(a_row[k]) * b_row[k];
-      out.data_[i * rhs.rows_ + j] = static_cast<float>(acc);
-    }
-  }
+  kernels::active().matmul_transposed(data_.data(), rhs.data_.data(), out.data_.data(),
+                                      rows_, cols_, rhs.rows_);
   return out;
 }
 

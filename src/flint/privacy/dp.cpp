@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "flint/ml/kernels/kernels.h"
 #include "flint/util/check.h"
 
 namespace flint::privacy {
@@ -9,12 +10,11 @@ namespace flint::privacy {
 double clip_update(std::vector<float>& update, double clip_norm) {
   FLINT_CHECK_FINITE(clip_norm);
   FLINT_CHECK_GT(clip_norm, 0.0);
-  double sq = 0.0;
-  for (float v : update) sq += static_cast<double>(v) * v;
-  double norm = std::sqrt(sq);
+  const auto& k = ml::kernels::active();
+  double norm = std::sqrt(k.sum_squares(update.data(), update.size(), 0.0));
   if (norm > clip_norm) {
     auto scale = static_cast<float>(clip_norm / norm);
-    for (float& v : update) v *= scale;
+    k.scale(update.data(), scale, update.size());
   }
   return norm;
 }
@@ -29,11 +29,17 @@ void add_gaussian_noise(std::vector<float>& update, double stddev, util::Rng& rn
 double apply_dp(std::vector<float>& update, const DpConfig& config, std::size_t participants,
                 util::Rng& rng) {
   FLINT_CHECK_GT(participants, std::size_t{0});
-  double norm = clip_update(update, config.clip_norm);
+  FLINT_CHECK_FINITE(config.clip_norm);
+  FLINT_CHECK_GT(config.clip_norm, 0.0);
   double stddev =
       config.noise_multiplier * config.clip_norm / static_cast<double>(participants);
-  add_gaussian_noise(update, stddev, rng);
-  return norm;
+  FLINT_CHECK_FINITE(stddev);
+  FLINT_CHECK_GE(stddev, 0.0);
+  // Fused clip + noise: one norm pass and one combined scale-and-add sweep
+  // instead of separate clip and noise passes. Draw order and per-element
+  // rounding match the two-pass version exactly (see kernels::clip_noise).
+  return ml::kernels::clip_noise(update.data(), update.size(), config.clip_norm, stddev,
+                                 rng);
 }
 
 DpAccountant::DpAccountant(const DpConfig& config, double sampling_rate)

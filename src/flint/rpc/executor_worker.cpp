@@ -110,9 +110,14 @@ void ExecutorWorker::run() {
         ++leases_served_;
         obs::add_counter("rpc.leases_served");
         // Executing a long lease may have eaten the heartbeat budget; beat
-        // immediately rather than risking the deadline.
-        send_heartbeat();
-        last_beat_s = now_s();
+        // if it did, but never per-lease — a burst of fast leases would turn
+        // into a snapshot per result and dominate the wire. The result frame
+        // itself is proof of life (the leader refreshes the deadline on any
+        // frame), so rate-limiting only delays telemetry deltas.
+        if (now_s() - last_beat_s >= heartbeat_interval_s_) {
+          send_heartbeat();
+          last_beat_s = now_s();
+        }
         break;
       }
       case MessageType::kShutdown:

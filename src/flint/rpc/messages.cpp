@@ -1,5 +1,8 @@
 #include "flint/rpc/messages.h"
 
+#include <cmath>
+#include <utility>
+
 #include "flint/util/bytes.h"
 #include "flint/util/check.h"
 
@@ -223,6 +226,58 @@ TaskLeaseMsg TaskLeaseMsg::deserialize(const std::vector<char>& bytes) {
   return msg;
 }
 
+void TaskResultMsg::encode_delta(std::vector<float> dense,
+                                 const compress::CompressionConfig& config) {
+  compression_kind = static_cast<std::uint32_t>(config.kind);
+  switch (config.kind) {
+    case compress::CompressionKind::kNone:
+      delta = std::move(dense);
+      return;
+    case compress::CompressionKind::kInt8:
+      quantized = compress::quantize_int8(dense);
+      return;
+    case compress::CompressionKind::kTopK: {
+      FLINT_CHECK(config.top_k_fraction > 0.0 && config.top_k_fraction <= 1.0);
+      auto k = static_cast<std::size_t>(
+          std::ceil(config.top_k_fraction * static_cast<double>(dense.size())));
+      sparse = compress::top_k_sparsify(dense, k);
+      return;
+    }
+  }
+  FLINT_CHECK_MSG(false, "unknown compression kind " << compression_kind);
+}
+
+std::vector<float> TaskResultMsg::take_delta() {
+  switch (static_cast<compress::CompressionKind>(compression_kind)) {
+    case compress::CompressionKind::kNone:
+      return std::move(delta);
+    case compress::CompressionKind::kInt8: {
+      std::vector<float> dense = compress::dequantize(quantized);
+      quantized = {};
+      return dense;
+    }
+    case compress::CompressionKind::kTopK: {
+      std::vector<float> dense = compress::densify(sparse);
+      sparse = {};
+      return dense;
+    }
+  }
+  FLINT_CHECK_MSG(false, "unknown compression kind " << compression_kind);
+  return {};
+}
+
+std::size_t TaskResultMsg::payload_bytes() const {
+  switch (static_cast<compress::CompressionKind>(compression_kind)) {
+    case compress::CompressionKind::kNone:
+      return delta.size() * sizeof(float);
+    case compress::CompressionKind::kInt8:
+      return quantized.payload_bytes();
+    case compress::CompressionKind::kTopK:
+      return sparse.payload_bytes();
+  }
+  return delta.size() * sizeof(float);
+}
+
 std::vector<char> TaskResultMsg::serialize() const {
   std::vector<char> out;
   util::append_pod(out, kSchemaVersion);
@@ -233,7 +288,21 @@ std::vector<char> TaskResultMsg::serialize() const {
   append_string(out, error);
   util::append_pod(out, trace_id);
   util::append_pod(out, span_id);
-  append_vector(out, delta);
+  util::append_pod(out, compression_kind);
+  switch (static_cast<compress::CompressionKind>(compression_kind)) {
+    case compress::CompressionKind::kNone:
+      append_vector(out, delta);
+      break;
+    case compress::CompressionKind::kInt8:
+      util::append_pod(out, quantized.scale);
+      append_vector(out, quantized.values);
+      break;
+    case compress::CompressionKind::kTopK:
+      util::append_pod(out, sparse.dim);
+      append_vector(out, sparse.indices);
+      append_vector(out, sparse.values);
+      break;
+  }
   util::append_pod(out, weight);
   util::append_pod(out, mean_loss);
   util::append_pod(out, examples);
@@ -251,7 +320,28 @@ TaskResultMsg TaskResultMsg::deserialize(const std::vector<char>& bytes) {
   msg.error = read_string(bytes, offset);
   msg.trace_id = util::read_pod<std::uint64_t>(bytes, offset);
   msg.span_id = util::read_pod<std::uint64_t>(bytes, offset);
-  msg.delta = read_vector<float>(bytes, offset);
+  msg.compression_kind = util::read_pod<std::uint32_t>(bytes, offset);
+  switch (msg.compression_kind) {
+    case static_cast<std::uint32_t>(compress::CompressionKind::kNone):
+      msg.delta = read_vector<float>(bytes, offset);
+      break;
+    case static_cast<std::uint32_t>(compress::CompressionKind::kInt8):
+      msg.quantized.scale = util::read_pod<float>(bytes, offset);
+      msg.quantized.values = read_vector<std::int8_t>(bytes, offset);
+      break;
+    case static_cast<std::uint32_t>(compress::CompressionKind::kTopK):
+      msg.sparse.dim = util::read_pod<std::uint32_t>(bytes, offset);
+      msg.sparse.indices = read_vector<std::uint32_t>(bytes, offset);
+      msg.sparse.values = read_vector<float>(bytes, offset);
+      FLINT_CHECK_MSG(msg.sparse.indices.size() == msg.sparse.values.size(),
+                      "TaskResult sparse payload: " << msg.sparse.indices.size()
+                                                    << " indices vs "
+                                                    << msg.sparse.values.size() << " values");
+      break;
+    default:
+      FLINT_CHECK_MSG(false,
+                      "TaskResult has unknown compression kind " << msg.compression_kind);
+  }
   msg.weight = util::read_pod<double>(bytes, offset);
   msg.mean_loss = util::read_pod<double>(bytes, offset);
   msg.examples = util::read_pod<std::uint64_t>(bytes, offset);

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "flint/compress/quantize.h"
 #include "flint/ml/batch.h"
 
 namespace flint::rpc {
@@ -113,8 +114,17 @@ struct TaskLeaseMsg {
 };
 
 /// executor -> leader: the computed update for one lease.
+///
+/// Schema v3 makes compression real on the wire: the delta travels in the
+/// representation `compression_kind` names — raw f32 (kNone), int8 quantized
+/// (kInt8: scale + one byte per coordinate), or top-k sparse (kTopK: dim +
+/// index/value pairs) — instead of always being a dense float vector. The
+/// executor encodes with encode_delta(); the leader reconstructs with
+/// take_delta(), whose output is bit-identical to the in-process
+/// compress::apply_compression round trip, so remote aggregation stays on
+/// the PR 4 bit-identity contract (within a pinned kernel path).
 struct TaskResultMsg {
-  static constexpr std::uint16_t kSchemaVersion = 2;
+  static constexpr std::uint16_t kSchemaVersion = 3;
 
   std::uint64_t lease_id = 0;
   std::uint64_t task_id = 0;
@@ -127,10 +137,31 @@ struct TaskResultMsg {
   std::uint64_t trace_id = 0;
   std::uint64_t span_id = 0;
 
-  std::vector<float> delta;  ///< post-DP, post-compression parameter delta
-  double weight = 0.0;       ///< aggregation weight (1.0 under DP)
+  /// compress::CompressionKind of the delta payload. Exactly one of `delta`,
+  /// `quantized`, `sparse` is populated, matching this tag.
+  std::uint32_t compression_kind = 0;
+  std::vector<float> delta;             ///< kNone: post-DP parameter delta
+  compress::QuantizedUpdate quantized;  ///< kInt8 payload
+  compress::SparseUpdate sparse;        ///< kTopK payload
+
+  double weight = 0.0;  ///< aggregation weight (1.0 under DP)
   double mean_loss = 0.0;
   std::uint64_t examples = 0;
+
+  /// Move `dense` into the representation `config` selects and set
+  /// compression_kind. kTopK keeps ceil(top_k_fraction * dim) coordinates —
+  /// the same k compress::apply_compression uses, so decode matches the
+  /// in-process lossy round trip exactly.
+  void encode_delta(std::vector<float> dense, const compress::CompressionConfig& config);
+
+  /// Reconstruct the dense delta from whichever representation is populated,
+  /// consuming it. For kInt8/kTopK this equals apply_compression's output on
+  /// the executor's dense delta, bit for bit.
+  std::vector<float> take_delta();
+
+  /// Bytes the encoded delta contributes to the serialized payload
+  /// (excluding the per-representation length/dim headers).
+  std::size_t payload_bytes() const;
 
   std::vector<char> serialize() const;
   static TaskResultMsg deserialize(const std::vector<char>& bytes);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "flint/util/check.h"
 #include "flint/util/rng.h"
@@ -150,6 +151,53 @@ TEST(ErrorFeedback, DimMismatchThrows) {
   ErrorFeedback ef(3);
   std::vector<float> wrong = {1.0f};
   EXPECT_THROW(ef.compress(wrong, 1), util::CheckError);
+}
+
+// Property sweep: the symmetric int8 scheme guarantees per-element
+// |x - dequantize(quantize(x))| <= scale/2 — max-abs/127 scaling means no
+// value saturates, so the only loss is round-to-nearest. Holds across sizes
+// (SIMD remainder lanes) and magnitudes (tiny through huge updates); the
+// epsilon term absorbs the one float rounding in q * scale.
+TEST(QuantizeInt8, RoundTripErrorWithinHalfScaleProperty) {
+  for (std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{127},
+                        std::size_t{128}, std::size_t{1000}}) {
+    for (double magnitude : {1e-6, 1.0, 3e4}) {
+      util::Rng rng(9000 + n + static_cast<std::uint64_t>(magnitude));
+      auto update = random_update(n, rng, magnitude);
+      QuantizedUpdate q = quantize_int8(update);
+      auto back = dequantize(q);
+      ASSERT_EQ(back.size(), n);
+      const float bound = q.scale * 0.5f * (1.0f + 1e-5f);
+      for (std::size_t i = 0; i < n; ++i)
+        EXPECT_LE(std::abs(update[i] - back[i]), bound)
+            << "element " << i << " at n=" << n << " magnitude=" << magnitude;
+    }
+  }
+}
+
+// Error-feedback accumulation is deterministic: two instances fed the same
+// update stream produce bit-identical sparse updates and residuals at every
+// step. The leader's fixed-order reduction (DESIGN.md §10) relies on the
+// executor-side compression being a pure function of its inputs.
+TEST(ErrorFeedback, AccumulationDeterministicAcrossInstances) {
+  constexpr std::size_t kDim = 64;
+  util::Rng rng(321);
+  std::vector<std::vector<float>> stream;
+  for (int step = 0; step < 25; ++step) stream.push_back(random_update(kDim, rng));
+  // Exact ties in magnitude exercise the tie-break ordering too.
+  stream[5].assign(kDim, 0.25f);
+
+  ErrorFeedback a(kDim), b(kDim);
+  for (const auto& update : stream) {
+    SparseUpdate sa = a.compress(update, 16);
+    SparseUpdate sb = b.compress(update, 16);
+    ASSERT_EQ(sa.indices, sb.indices);
+    ASSERT_EQ(sa.values.size(), sb.values.size());
+    EXPECT_EQ(0, std::memcmp(sa.values.data(), sb.values.data(),
+                             sa.values.size() * sizeof(float)));
+    EXPECT_EQ(0, std::memcmp(a.residual().data(), b.residual().data(),
+                             kDim * sizeof(float)));
+  }
 }
 
 // ------------------------------------------------------- apply_compression

@@ -11,6 +11,7 @@
 
 #include <set>
 
+#include "flint/compress/quantize.h"
 #include "flint/obs/telemetry.h"
 #include "flint/obs/telemetry_snapshot.h"
 #include "flint/obs/trace.h"
@@ -20,6 +21,7 @@
 #include "flint/rpc/messages.h"
 #include "flint/rpc/transport.h"
 #include "flint/util/check.h"
+#include "flint/util/rng.h"
 #include "flint/util/thread_pool.h"
 
 namespace flint {
@@ -231,6 +233,99 @@ TEST(Messages, TaskResultAndShutdownRoundtrip) {
   rpc::ShutdownMsg bye;
   bye.reason = "run complete";
   EXPECT_EQ(rpc::ShutdownMsg::deserialize(bye.serialize()).reason, "run complete");
+}
+
+// Deterministic pseudo-gradient for the wire-format tests.
+std::vector<float> test_delta(std::size_t n) {
+  util::Rng rng(97);
+  std::vector<float> delta(n);
+  for (float& v : delta) v = static_cast<float>(rng.normal(0.0, 0.1));
+  return delta;
+}
+
+rpc::TaskResultMsg result_with(const std::vector<float>& delta,
+                               const compress::CompressionConfig& compression) {
+  rpc::TaskResultMsg result;
+  result.lease_id = 7;
+  result.task_id = 8;
+  result.executor_id = 1;
+  result.weight = 2.0;
+  result.mean_loss = 0.5;
+  result.examples = 10;
+  result.encode_delta(delta, compression);
+  return result;
+}
+
+// The v3 wire contract (DESIGN.md §16): decoding a compressed result must
+// produce bit-for-bit what the in-process path's apply_compression produces,
+// so transport choice cannot change the aggregate.
+TEST(Messages, TaskResultV3Int8MatchesInProcessCompression) {
+  const std::vector<float> delta = test_delta(257);  // odd size: exercises tails
+  compress::CompressionConfig cfg;
+  cfg.kind = compress::CompressionKind::kInt8;
+
+  std::vector<float> reference = delta;
+  compress::apply_compression(reference, cfg);
+
+  auto out = rpc::TaskResultMsg::deserialize(result_with(delta, cfg).serialize());
+  EXPECT_EQ(out.compression_kind, static_cast<std::uint32_t>(compress::CompressionKind::kInt8));
+  std::vector<float> decoded = out.take_delta();
+  ASSERT_EQ(decoded.size(), reference.size());
+  EXPECT_EQ(0, std::memcmp(decoded.data(), reference.data(), decoded.size() * sizeof(float)));
+}
+
+TEST(Messages, TaskResultV3TopKMatchesInProcessCompression) {
+  const std::vector<float> delta = test_delta(300);
+  compress::CompressionConfig cfg;
+  cfg.kind = compress::CompressionKind::kTopK;
+  cfg.top_k_fraction = 0.25;
+
+  std::vector<float> reference = delta;
+  compress::apply_compression(reference, cfg);
+
+  auto out = rpc::TaskResultMsg::deserialize(result_with(delta, cfg).serialize());
+  std::vector<float> decoded = out.take_delta();
+  ASSERT_EQ(decoded.size(), reference.size());
+  EXPECT_EQ(0, std::memcmp(decoded.data(), reference.data(), decoded.size() * sizeof(float)));
+}
+
+// Satellite: rpc.bytes_sent must genuinely shrink for int8 results, and the
+// shrink must reconcile with QuantizedUpdate::payload_bytes() — every byte
+// of difference between the two wire messages is payload, nothing else.
+TEST(Messages, Int8WireBytesShrinkAndReconcileWithPayloadBytes) {
+  const std::vector<float> delta = test_delta(1024);
+  compress::CompressionConfig raw;  // kNone
+  compress::CompressionConfig int8;
+  int8.kind = compress::CompressionKind::kInt8;
+
+  rpc::TaskResultMsg raw_msg = result_with(delta, raw);
+  rpc::TaskResultMsg int8_msg = result_with(delta, int8);
+  const std::size_t raw_wire = raw_msg.serialize().size();
+  const std::size_t int8_wire = int8_msg.serialize().size();
+
+  EXPECT_LT(int8_wire, raw_wire);
+  // ~4x payload shrink dominates the fixed header: the whole message must be
+  // well under half the raw one at this size.
+  EXPECT_LT(int8_wire, raw_wire / 2);
+
+  EXPECT_EQ(raw_msg.payload_bytes(), delta.size() * sizeof(float));
+  EXPECT_EQ(int8_msg.payload_bytes(), compress::quantize_int8(delta).payload_bytes());
+  // Same schema around different payloads: wire difference == payload
+  // difference exactly (the int8 payload serializes scale + values, which is
+  // what payload_bytes() counts).
+  EXPECT_EQ(raw_wire - int8_wire, raw_msg.payload_bytes() - int8_msg.payload_bytes());
+}
+
+TEST(Messages, TaskResultRejectsUnknownCompressionKind) {
+  rpc::TaskResultMsg msg = result_with(test_delta(8), compress::CompressionConfig{});
+  std::vector<char> bytes = msg.serialize();
+  // compression_kind sits after schema(u32) + lease/task/executor ids
+  // (3 x u64) + ok(u8) + error string (u64 length, empty) + trace/span ids
+  // (2 x u64). Flip it to an undefined value.
+  const std::size_t kind_offset = 4 + 3 * 8 + 1 + 8 + 2 * 8;
+  std::uint32_t bogus = 0xABCD;
+  std::memcpy(bytes.data() + kind_offset, &bogus, sizeof(bogus));
+  EXPECT_THROW(rpc::TaskResultMsg::deserialize(bytes), util::CheckError);
 }
 
 TEST(Messages, RegisterAckCarriesLeaderWallClock) {

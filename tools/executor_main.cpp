@@ -8,6 +8,9 @@
 //   --connect-tcp HOST      connect over TCP (requires --port)
 //   --port N                TCP port
 //   --name NAME             executor name reported at registration
+//   --kernels SPEC          pin the kernel path (auto|scalar|avx2|neon);
+//                           leaders forward their own spec so the fleet
+//                           shares one set of numerics
 //   --trace-out PATH        write this process's Chrome trace on exit
 //   --metrics-out PATH      write this process's metrics JSONL on exit
 //
@@ -29,6 +32,7 @@
 #include <string>
 
 #include "flint/fl/remote_executor.h"
+#include "flint/ml/kernels/kernels.h"
 #include "flint/obs/telemetry.h"
 #include "flint/rpc/executor_worker.h"
 #include "flint/rpc/transport.h"
@@ -71,6 +75,7 @@ int main(int argc, char** argv) {
   std::string tcp_host;
   std::uint16_t tcp_port = 0;
   std::string name = "executor";
+  std::string kernels_spec;
   std::string trace_out;
   std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
@@ -86,6 +91,8 @@ int main(int argc, char** argv) {
       tcp_port = static_cast<std::uint16_t>(std::strtoul(v, nullptr, 10));
     } else if (const char* v = value("--name")) {
       name = v;
+    } else if (const char* v = value("--kernels")) {
+      kernels_spec = v;
     } else if (const char* v = value("--trace-out")) {
       trace_out = v;
     } else if (const char* v = value("--metrics-out")) {
@@ -98,6 +105,14 @@ int main(int argc, char** argv) {
   if (unix_path.empty() && (tcp_host.empty() || tcp_port == 0)) {
     std::cerr << "flint_executor: need --connect-unix PATH or --connect-tcp HOST --port N\n";
     return 2;
+  }
+  if (!kernels_spec.empty()) {
+    try {
+      flint::ml::kernels::set_path(kernels_spec);
+    } catch (const flint::util::CheckError& e) {
+      std::cerr << "flint_executor: " << e.what() << "\n";
+      return 2;
+    }
   }
 
   // Metrics always on: the executor's registry ships to the leader on every

@@ -44,6 +44,12 @@ in the file):
                   FLINT_TRACE_SPAN macro or raw obs::SpanGuard — an rpc span
                   without trace/span ids breaks cross-process parentage in
                   merged traces (DESIGN.md §15).
+  simd            raw SIMD intrinsics (<immintrin.h>/<arm_neon.h> includes,
+                  _mm*/v*q_f32 calls) are confined to src/flint/ml/kernels/ —
+                  everything else calls through the dispatched KernelTable so
+                  the scalar/AVX2/NEON paths stay interchangeable and the
+                  determinism contract (DESIGN.md §16) is auditable in one
+                  place.
 
 Usage: tools/flint_lint.py [paths...]   (default: src/ bench/)
 Exit: 0 clean, 1 findings, 2 usage error.
@@ -85,6 +91,9 @@ RAW_SOCKET_CALL_RE = re.compile(
     r"|setsockopt|getsockname|getpeername|poll)\s*\(")
 SOCKET_HEADER_RE = re.compile(
     r"#\s*include\s*<(sys/socket\.h|sys/un\.h|netinet/[\w/]+\.h|arpa/inet\.h)>")
+# simd: intrinsic headers and calls confined to src/flint/ml/kernels/.
+SIMD_HEADER_RE = re.compile(r"#\s*include\s*<(immintrin|x86intrin|emmintrin|arm_neon)\.h>")
+SIMD_INTRINSIC_RE = re.compile(r"\b_mm\d*_\w+\s*\(|\bv\w+q_(f|s|u)(8|16|32|64)\s*\(")
 
 
 class Finding:
@@ -121,6 +130,7 @@ def lint_file(path: Path) -> list[Finding]:
     in_thread_pool = path.name.startswith("thread_pool.") and path.parent.name == "util"
     in_obs = "obs" in path.parts
     in_rpc = "rpc" in path.parts
+    in_kernels = "kernels" in path.parts
     is_header = path.suffix in (".h", ".hpp")
 
     # pragma-once — against stripped text, so a commented-out
@@ -164,6 +174,15 @@ def lint_file(path: Path) -> list[Finding]:
                 Finding(path, lineno, "rpc",
                         "raw socket plumbing is confined to src/flint/rpc/; "
                         "speak rpc::Transport frames instead"))
+
+        # simd
+        if not in_kernels and (SIMD_HEADER_RE.search(line) or SIMD_INTRINSIC_RE.search(line)) \
+                and not suppressed("simd", lines, idx):
+            findings.append(
+                Finding(path, lineno, "simd",
+                        "raw SIMD intrinsics are confined to src/flint/ml/kernels/; "
+                        "call through ml::kernels::active() so every hot loop keeps "
+                        "a scalar twin and the dispatch contract holds"))
 
         # rpc-spans
         if in_rpc and ANON_SPAN_RE.search(line) and not suppressed("rpc-spans", lines, idx):

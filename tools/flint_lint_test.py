@@ -34,6 +34,10 @@ EXPECTATIONS: dict[str, list[str]] = {
     "raw_socket.cpp": ["rpc", "rpc"],
     "rpc/raw_span.cpp": ["rpc-spans", "rpc-spans"],
     "rpc/span_guard_ok.cpp": [],
+    # One finding per offending line: the include, the two AVX2 body lines,
+    # and the NEON spelling. ml/kernels/ is the rule's one allowed home.
+    "simd_intrinsics.cpp": ["simd", "simd", "simd", "simd"],
+    "ml/kernels/simd_ok.cpp": [],
 }
 
 

@@ -1,0 +1,14 @@
+// Fixture: intrinsics are fine inside a ml/kernels/ directory — that is the
+// one audited home the simd rule confines them to.
+#include <immintrin.h>
+
+#include <cstddef>
+
+void kernel_add(float* y, const float* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 a = _mm256_loadu_ps(y + i);
+    _mm256_storeu_ps(y + i, _mm256_add_ps(a, _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) y[i] += x[i];
+}

@@ -1,0 +1,17 @@
+// Fixture: raw SIMD intrinsics outside src/flint/ml/kernels/ must trip the
+// simd rule — once for the header include, once for the intrinsic call.
+#include <immintrin.h>
+
+#include <cstddef>
+
+void hand_vectorized_add(float* y, const float* x, std::size_t n) {
+  for (std::size_t i = 0; i + 8 <= n; i += 8) {
+    __m256 a = _mm256_loadu_ps(y + i);
+    _mm256_storeu_ps(y + i, _mm256_add_ps(a, _mm256_loadu_ps(x + i)));
+  }
+}
+
+// The NEON spelling trips the same rule (fixtures are linted, not compiled).
+void neon_spelling(float* out, const float* a, const float* b) {
+  vst1q_f32(out, vaddq_f32(vld1q_f32(a), vld1q_f32(b)));
+}
