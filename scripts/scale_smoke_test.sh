@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Streaming-trace scale smoke (DESIGN.md §17), two gates:
+#
+#   1. Equivalence: at a small population with --chunk-clients forced low
+#      enough that the streaming generator spills to disk and k-way-merges,
+#      a `--mode stream` run and a `--mode materialized` run of bench_scale
+#      must produce identical simulations — flint_compare at 0% tolerance on
+#      every deterministic scalar (wall rates and RSS readings exempted: the
+#      modes legitimately differ there; bounding RSS is the point).
+#   2. Capacity: a >=100k-client streaming run must complete and
+#      schema-validate. Sized so sanitizer lanes (which run full ctest) cover
+#      the spill/merge/pool paths at real scale on every PR.
+#
+# Usage: scale_smoke_test.sh <bench_scale-binary> <source-dir> [python]
+set -euo pipefail
+
+bench=${1:?usage: scale_smoke_test.sh <bench_scale-binary> <source-dir> [python]}
+src=${2:?missing source dir}
+py=${3:-python3}
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+echo "== streaming (spilled) vs materialized must be bit-identical =="
+"$bench" --clients 2000 --days 3 --chunk-clients 256 --spill-dir "$work" \
+         --mode stream --artifact-out "$work/stream.json" > /dev/null
+"$bench" --clients 2000 --days 3 --chunk-clients 256 \
+         --mode materialized --artifact-out "$work/materialized.json" > /dev/null
+"$py" "$src/tools/validate_trace.py" --artifact "$work/stream.json" \
+                                     --artifact "$work/materialized.json"
+"$py" "$src/tools/flint_compare.py" "$work/stream.json" "$work/materialized.json" \
+      --default-rel 0 \
+      --threshold "scalars.rate.=1.0" \
+      --threshold "scalars.rss.=1.0"
+
+echo "== leftover spill directories would leak a temp file per run =="
+leftovers=$(find "$work" -maxdepth 1 -name 'flint-sessions-*' | wc -l)
+if [ "$leftovers" -ne 0 ]; then
+  echo "spill directories not cleaned up:" >&2
+  find "$work" -maxdepth 1 -name 'flint-sessions-*' >&2
+  exit 1
+fi
+
+echo "== >=100k-client streaming run must complete =="
+"$bench" --clients 100000 --spill-dir "$work" \
+         --artifact-out "$work/scale100k.json" > /dev/null
+"$py" "$src/tools/validate_trace.py" --artifact "$work/scale100k.json"
+
+echo "scale smoke: OK"

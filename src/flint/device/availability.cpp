@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "flint/device/session_stream.h"
 #include "flint/util/check.h"
 
 namespace flint::device {
@@ -21,6 +22,12 @@ bool AvailabilityCriteria::accepts(const Session& session, const DeviceCatalog& 
   return true;
 }
 
+bool window_order(const AvailabilityWindow& a, const AvailabilityWindow& b) {
+  if (a.start != b.start) return a.start < b.start;
+  if (a.client_id != b.client_id) return a.client_id < b.client_id;
+  return a.end < b.end;
+}
+
 AvailabilityTrace::AvailabilityTrace(std::vector<AvailabilityWindow> windows)
     : windows_(std::move(windows)) {
   // Windows come from session logs / generators (config-derived data): every
@@ -30,29 +37,34 @@ AvailabilityTrace::AvailabilityTrace(std::vector<AvailabilityWindow> windows)
     FLINT_CHECK_FINITE(w.end);
     FLINT_CHECK_LT(w.start, w.end);
   }
-  std::sort(windows_.begin(), windows_.end(),
-            [](const AvailabilityWindow& a, const AvailabilityWindow& b) {
-              return a.start < b.start;
-            });
+  std::sort(windows_.begin(), windows_.end(), window_order);
+  // Counting-sort construction of the CSR client index: count windows per
+  // client, prefix-sum into offsets, then scatter window indices. Scanning
+  // windows_ in sorted order keeps each client's run sorted by start.
   std::uint64_t max_client = 0;
   for (const auto& w : windows_) max_client = std::max(max_client, w.client_id);
-  if (!windows_.empty()) by_client_.resize(max_client + 1);
+  std::size_t clients = windows_.empty() ? 0 : static_cast<std::size_t>(max_client) + 1;
+  by_client_offsets_.assign(clients + 1, 0);
+  for (const auto& w : windows_) ++by_client_offsets_[w.client_id + 1];
+  for (std::size_t c = 1; c <= clients; ++c) by_client_offsets_[c] += by_client_offsets_[c - 1];
+  by_client_indices_.resize(windows_.size());
+  std::vector<std::size_t> fill(by_client_offsets_.begin(), by_client_offsets_.end() - 1);
   for (std::size_t i = 0; i < windows_.size(); ++i)
-    by_client_[windows_[i].client_id].push_back(i);
+    by_client_indices_[fill[windows_[i].client_id]++] = i;
 }
 
 std::size_t AvailabilityTrace::client_count() const {
   std::size_t n = 0;
-  for (const auto& v : by_client_)
-    if (!v.empty()) ++n;
+  for (std::size_t c = 0; c + 1 < by_client_offsets_.size(); ++c)
+    if (by_client_offsets_[c + 1] > by_client_offsets_[c]) ++n;
   return n;
 }
 
 std::optional<AvailabilityWindow> AvailabilityTrace::window_at(std::uint64_t client,
                                                                TraceTime t) const {
-  if (client >= by_client_.size()) return std::nullopt;
-  for (std::size_t idx : by_client_[client]) {
-    const auto& w = windows_[idx];
+  if (client + 1 >= by_client_offsets_.size()) return std::nullopt;
+  for (std::size_t i = by_client_offsets_[client]; i < by_client_offsets_[client + 1]; ++i) {
+    const auto& w = windows_[by_client_indices_[i]];
     if (w.start > t) break;  // indices are sorted by start
     if (t < w.end) return w;
   }
@@ -105,6 +117,28 @@ double AvailabilityTrace::peak_to_trough_ratio() const {
   }
   if (!seen || trough <= 0.0) return peak > 0.0 ? std::numeric_limits<double>::infinity() : 1.0;
   return peak / trough;
+}
+
+std::optional<AvailabilityWindow> TraceWindowStream::next() {
+  if (cursor_ == trace_->windows().size()) return std::nullopt;
+  return trace_->windows()[cursor_++];
+}
+
+std::optional<AvailabilityWindow> SessionWindowStream::next() {
+  for (;;) {
+    std::optional<Session> s = sessions_->next();
+    if (!s) return std::nullopt;
+    if (!criteria_->accepts(*s, *catalog_)) continue;
+    AvailabilityWindow w{s->client_id, s->device_index, s->start, s->end};
+    FLINT_CHECK_FINITE(w.start);
+    FLINT_CHECK_FINITE(w.end);
+    FLINT_CHECK_LT(w.start, w.end);
+    // The stream contract: windows arrive non-decreasing in start. Holds by
+    // construction for SessionStream inputs (they emit in session_order).
+    FLINT_CHECK_GE(w.start, last_start_);
+    last_start_ = w.start;
+    return w;
+  }
 }
 
 AvailabilityTrace build_availability(const SessionLog& log, const AvailabilityCriteria& criteria,

@@ -41,6 +41,11 @@ struct AvailabilityWindow {
   TraceTime duration() const { return end - start; }
 };
 
+/// Canonical window ordering, mirroring session_order: (start, client_id,
+/// end). The deterministic tie-break keeps materialized traces and streamed
+/// windows in the same total order across standard libraries.
+bool window_order(const AvailabilityWindow& a, const AvailabilityWindow& b);
+
 /// Availability trace: criteria-passing windows sorted by start time, plus
 /// per-client window indices for membership queries.
 class AvailabilityTrace {
@@ -72,8 +77,59 @@ class AvailabilityTrace {
 
  private:
   std::vector<AvailabilityWindow> windows_;
-  // client -> indices into windows_, each sorted by start.
-  std::vector<std::vector<std::size_t>> by_client_;
+  // CSR layout of client -> indices into windows_ (each run sorted by
+  // start): client c's window indices are by_client_indices_[i] for i in
+  // [by_client_offsets_[c], by_client_offsets_[c+1]). One flat allocation
+  // instead of a vector-of-vectors keeps per-client overhead to 8 bytes at
+  // million-client populations.
+  std::vector<std::size_t> by_client_offsets_;
+  std::vector<std::size_t> by_client_indices_;
+};
+
+class SessionStream;  // session_stream.h
+
+/// A lazily-produced, exhaust-once sequence of availability windows,
+/// non-decreasing in window_order. The streaming counterpart of
+/// AvailabilityTrace::windows(): schedulers that consume one of these never
+/// materialize the population's windows.
+class WindowStream {
+ public:
+  virtual ~WindowStream() = default;
+
+  /// The next window, or nullopt when the trace is exhausted.
+  virtual std::optional<AvailabilityWindow> next() = 0;
+};
+
+/// Streams an already-built AvailabilityTrace (the loopback used by the
+/// streaming-vs-materialized equivalence tests).
+class TraceWindowStream : public WindowStream {
+ public:
+  explicit TraceWindowStream(const AvailabilityTrace& trace) : trace_(&trace) {}
+
+  std::optional<AvailabilityWindow> next() override;
+
+ private:
+  const AvailabilityTrace* trace_;
+  std::size_t cursor_ = 0;
+};
+
+/// Applies participation criteria to a SessionStream on the fly — the
+/// streaming build_availability. Checks every emitted window is finite,
+/// non-empty, and non-decreasing in start (the stream contract schedulers
+/// rely on).
+class SessionWindowStream : public WindowStream {
+ public:
+  SessionWindowStream(SessionStream& sessions, const AvailabilityCriteria& criteria,
+                      const DeviceCatalog& catalog)
+      : sessions_(&sessions), criteria_(&criteria), catalog_(&catalog) {}
+
+  std::optional<AvailabilityWindow> next() override;
+
+ private:
+  SessionStream* sessions_;
+  const AvailabilityCriteria* criteria_;
+  const DeviceCatalog* catalog_;
+  TraceTime last_start_ = 0.0;
 };
 
 /// Apply criteria to a session log, producing the availability trace.

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "flint/util/stats.h"
 #include "flint/util/check.h"
 
 namespace flint::device {
@@ -25,72 +24,118 @@ double SessionLog::total_duration() const {
   return total;
 }
 
-SessionLog generate_sessions(const SessionGeneratorConfig& config, const DeviceCatalog& catalog,
-                             util::Rng& rng) {
-  FLINT_CHECK(config.clients > 0);
-  FLINT_CHECK(config.days > 0);
-  FLINT_CHECK(config.timezone_offsets_h.size() == config.timezone_weights.size());
-  FLINT_CHECK(!config.timezone_offsets_h.empty());
+bool session_order(const Session& a, const Session& b) {
+  if (a.start != b.start) return a.start < b.start;
+  if (a.client_id != b.client_id) return a.client_id < b.client_id;
+  return a.end < b.end;
+}
+
+namespace {
+
+/// Wrap a raw interval [raw_start, raw_start + duration) into the trace
+/// horizon [0, H) and append it if at least one second survives. Starts wrap
+/// circularly (matching diurnal_weight's modulo-24 local-time semantics, so
+/// a tz = -8 client's 6pm session on "day 0" lands late on the last trace
+/// day instead of before the epoch); ends truncate at the horizon rather
+/// than wrapping, so no emitted session crosses the trace boundary.
+void emit_wrapped(std::vector<Session>& out, Session base, double raw_start, double duration,
+                  double horizon) {
+  double start = std::fmod(raw_start, horizon);
+  if (start < 0.0) start += horizon;
+  // fmod of a tiny negative can round up to exactly `horizon`.
+  if (start >= horizon) start = 0.0;
+  double end = std::min(start + duration, horizon);
+  if (end - start < 1.0) return;  // sub-second remnant: drop
+  base.start = start;
+  base.end = end;
+  FLINT_CHECK_GE(base.start, 0.0);
+  FLINT_CHECK_LT(base.start, horizon);
+  FLINT_CHECK_LE(base.end, horizon);
+  FLINT_CHECK_LT(base.start, base.end);
+  out.push_back(base);
+}
+
+}  // namespace
+
+SessionTraceSampler::SessionTraceSampler(const SessionGeneratorConfig& config,
+                                         const DeviceCatalog& catalog, std::uint64_t trace_seed)
+    : config_(config), catalog_(&catalog), trace_seed_(trace_seed) {
+  FLINT_CHECK(config_.clients > 0);
+  FLINT_CHECK(config_.days > 0);
+  FLINT_CHECK(config_.timezone_offsets_h.size() == config_.timezone_weights.size());
+  FLINT_CHECK(!config_.timezone_offsets_h.empty());
 
   // Precompute a 48-slot inverse-CDF of the diurnal shape for start times.
   constexpr std::size_t kSlots = 48;
-  std::vector<double> slot_weights(kSlots);
+  slot_weights_.resize(kSlots);
   for (std::size_t s = 0; s < kSlots; ++s)
-    slot_weights[s] = diurnal_weight(static_cast<double>(s) * 0.5, config.overnight_floor);
+    slot_weights_[s] = diurnal_weight(static_cast<double>(s) * 0.5, config_.overnight_floor);
 
-  auto duration_params =
-      util::lognormal_from_moments(config.mean_session_s, config.mean_session_s * config.session_cv);
+  duration_params_ =
+      util::lognormal_from_moments(config_.mean_session_s, config_.mean_session_s * config_.session_cv);
+}
 
-  SessionLog log;
-  log.client_device.resize(config.clients);
+double SessionTraceSampler::horizon() const {
+  return static_cast<double>(config_.days) * kSecondsPerDay;
+}
 
-  for (std::size_t c = 0; c < config.clients; ++c) {
-    log.client_device[c] = catalog.sample_device(rng);
-    double tz = config.timezone_offsets_h[rng.categorical(config.timezone_weights)];
-    for (int day = 0; day < config.days; ++day) {
-      int weekday = day % 7;
-      bool weekend = weekday >= 5;
-      double mean_sessions =
-          config.sessions_per_day * (weekend ? config.weekend_factor : 1.0);
-      auto n = static_cast<std::size_t>(rng.poisson(mean_sessions));
-      for (std::size_t k = 0; k < n; ++k) {
-        double local_hour =
-            (static_cast<double>(rng.categorical(slot_weights)) + rng.uniform(0.0, 1.0)) * 0.5;
-        double start =
-            static_cast<double>(day) * kSecondsPerDay + (local_hour + tz) * kSecondsPerHour;
-        double duration = std::max(10.0, rng.lognormal(duration_params.mu, duration_params.sigma));
+ClientSessions SessionTraceSampler::client(std::uint64_t client_id) const {
+  util::Rng rng = util::derive_stream(trace_seed_, kSessionTraceStreamId, client_id);
+  const double h = horizon();
 
-        Session base;
-        base.client_id = c;
-        base.device_index = log.client_device[c];
-        base.wifi = rng.bernoulli(config.wifi_probability);
-        base.battery_pct = rng.bernoulli(config.high_battery_probability)
-                               ? rng.uniform(80.0, 100.0)
-                               : rng.uniform(10.0, 79.9);
-        base.foreground = true;
+  ClientSessions out;
+  out.device_index = catalog_->sample_device(rng);
+  double tz = config_.timezone_offsets_h[rng.categorical(config_.timezone_weights)];
+  for (int day = 0; day < config_.days; ++day) {
+    int weekday = day % 7;
+    bool weekend = weekday >= 5;
+    double mean_sessions = config_.sessions_per_day * (weekend ? config_.weekend_factor : 1.0);
+    auto n = static_cast<std::size_t>(rng.poisson(mean_sessions));
+    for (std::size_t k = 0; k < n; ++k) {
+      double local_hour =
+          (static_cast<double>(rng.categorical(slot_weights_)) + rng.uniform(0.0, 1.0)) * 0.5;
+      double start =
+          static_cast<double>(day) * kSecondsPerDay + (local_hour + tz) * kSecondsPerHour;
+      double duration = std::max(10.0, rng.lognormal(duration_params_.mu, duration_params_.sigma));
 
-        if (duration > 120.0 && rng.bernoulli(config.split_probability)) {
-          // A long background gap splits the session into two (§4.1).
-          double cut = rng.uniform(0.3, 0.7) * duration;
-          double gap = rng.uniform(60.0, 600.0);
-          Session first = base;
-          first.start = start;
-          first.end = start + cut;
-          Session second = base;
-          second.start = first.end + gap;
-          second.end = second.start + (duration - cut);
-          log.sessions.push_back(first);
-          log.sessions.push_back(second);
-        } else {
-          base.start = start;
-          base.end = start + duration;
-          log.sessions.push_back(base);
-        }
+      Session base;
+      base.client_id = client_id;
+      base.device_index = out.device_index;
+      base.wifi = rng.bernoulli(config_.wifi_probability);
+      base.battery_pct = rng.bernoulli(config_.high_battery_probability)
+                             ? rng.uniform(80.0, 100.0)
+                             : rng.uniform(10.0, 79.9);
+      base.foreground = true;
+
+      if (duration > 120.0 && rng.bernoulli(config_.split_probability)) {
+        // A long background gap splits the session into two (§4.1).
+        double cut = rng.uniform(0.3, 0.7) * duration;
+        double gap = rng.uniform(60.0, 600.0);
+        emit_wrapped(out.sessions, base, start, cut, h);
+        emit_wrapped(out.sessions, base, start + cut + gap, duration - cut, h);
+      } else {
+        emit_wrapped(out.sessions, base, start, duration, h);
       }
     }
   }
-  std::sort(log.sessions.begin(), log.sessions.end(),
-            [](const Session& a, const Session& b) { return a.start < b.start; });
+  std::sort(out.sessions.begin(), out.sessions.end(), session_order);
+  return out;
+}
+
+SessionLog generate_sessions(const SessionGeneratorConfig& config, const DeviceCatalog& catalog,
+                             util::Rng& rng) {
+  // One draw from the caller's rng seeds the whole trace; every client then
+  // generates from its own derived substream (see kSessionTraceStreamId).
+  SessionTraceSampler sampler(config, catalog, rng.next_u64());
+
+  SessionLog log;
+  log.client_device.resize(config.clients);
+  for (std::size_t c = 0; c < config.clients; ++c) {
+    ClientSessions cs = sampler.client(c);
+    log.client_device[c] = cs.device_index;
+    log.sessions.insert(log.sessions.end(), cs.sessions.begin(), cs.sessions.end());
+  }
+  std::sort(log.sessions.begin(), log.sessions.end(), session_order);
   return log;
 }
 

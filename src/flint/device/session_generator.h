@@ -8,11 +8,13 @@
 //   * attribute marginals of Table 1: P(WiFi)=0.70, P(battery>=80%)=0.34.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "flint/device/device_catalog.h"
 #include "flint/device/session.h"
 #include "flint/util/rng.h"
+#include "flint/util/stats.h"
 
 namespace flint::device {
 
@@ -44,6 +46,52 @@ struct SessionLog {
   std::vector<std::size_t> client_device;  ///< client id -> catalog index
 
   double total_duration() const;
+};
+
+/// Stream id for per-client session-trace substreams (util::derive_stream).
+/// Every client's sessions come from derive_stream(trace_seed, this, client),
+/// so a client's trace is independent of how many other clients were
+/// generated before it — the property that lets the streaming generator
+/// (session_stream.h) produce bit-identical traces chunk by chunk.
+inline constexpr std::uint64_t kSessionTraceStreamId = 0x5E551014ull;
+
+/// Canonical session ordering: by start, then client id, then end. The two
+/// tie-break keys make the order a total one for generated traces (a client
+/// never emits two sessions with identical start AND end), so sorts agree
+/// across standard libraries and the k-way streaming merge can reproduce the
+/// materialized order exactly.
+bool session_order(const Session& a, const Session& b);
+
+/// One client's generated trace: its device and its sessions, sorted by
+/// session_order.
+struct ClientSessions {
+  std::size_t device_index = 0;
+  std::vector<Session> sessions;
+};
+
+/// Per-client session sampler. All randomness for client `c` comes from
+/// derive_stream(trace_seed, kSessionTraceStreamId, c), so clients can be
+/// generated in any order, in any process, and yield identical sessions.
+/// generate_sessions() and the streaming generator are both built on this.
+class SessionTraceSampler {
+ public:
+  SessionTraceSampler(const SessionGeneratorConfig& config, const DeviceCatalog& catalog,
+                      std::uint64_t trace_seed);
+
+  /// Generate client `client_id`'s full trace (sessions sorted by
+  /// session_order, all within [0, days*86400)).
+  ClientSessions client(std::uint64_t client_id) const;
+
+  const SessionGeneratorConfig& config() const { return config_; }
+  /// Trace horizon in seconds: days * 86400.
+  double horizon() const;
+
+ private:
+  SessionGeneratorConfig config_;
+  const DeviceCatalog* catalog_;
+  std::uint64_t trace_seed_;
+  std::vector<double> slot_weights_;
+  util::LognormalParams duration_params_;
 };
 
 /// Generate a session log. Deterministic given the rng state.

@@ -1,0 +1,137 @@
+#include "flint/device/session_stream.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <queue>
+#include <vector>
+
+#include "flint/device/session_io.h"
+#include "flint/util/check.h"
+
+namespace flint::device {
+
+MaterializedSessionStream::MaterializedSessionStream(SessionLog log, double horizon)
+    : log_(std::move(log)), horizon_(horizon) {
+  FLINT_CHECK(std::is_sorted(log_.sessions.begin(), log_.sessions.end(), session_order));
+}
+
+std::optional<Session> MaterializedSessionStream::next() {
+  if (cursor_ == log_.sessions.size()) return std::nullopt;
+  return log_.sessions[cursor_++];
+}
+
+namespace {
+
+/// Large-population path: generate clients in chunks, spill each chunk
+/// (sorted by session_order) to a binary file, then merge the chunk heads
+/// through a k-way heap. Peak RSS is one chunk's sessions during generation
+/// and k read buffers during the merge — independent of total clients.
+class ChunkedSpillSessionStream : public SessionStream {
+ public:
+  ChunkedSpillSessionStream(const SessionStreamConfig& config, const DeviceCatalog& catalog,
+                            std::uint64_t trace_seed)
+      : sampler_(config.generator, catalog, trace_seed), clients_(config.generator.clients) {
+    namespace fs = std::filesystem;
+    static std::atomic<std::uint64_t> dir_counter{0};
+    fs::path base = config.spill_dir.empty() ? fs::temp_directory_path() : fs::path(config.spill_dir);
+    spill_dir_ = base / ("flint-sessions-" + std::to_string(::getpid()) + "-" +
+                         std::to_string(dir_counter.fetch_add(1)));
+    fs::create_directories(spill_dir_);
+
+    const std::size_t per_chunk = std::max<std::size_t>(1, config.clients_per_chunk);
+    std::vector<Session> chunk;
+    for (std::size_t begin = 0; begin < clients_; begin += per_chunk) {
+      std::size_t end = std::min(clients_, begin + per_chunk);
+      chunk.clear();
+      for (std::size_t c = begin; c < end; ++c) {
+        ClientSessions cs = sampler_.client(c);
+        chunk.insert(chunk.end(), cs.sessions.begin(), cs.sessions.end());
+      }
+      std::sort(chunk.begin(), chunk.end(), session_order);
+      std::string path = (spill_dir_ / ("chunk-" + std::to_string(paths_.size()) + ".bin")).string();
+      SessionChunkWriter writer(path);
+      for (const auto& s : chunk) writer.add(s);
+      writer.finish();
+      paths_.push_back(path);
+    }
+
+    // Cap total read-back memory, not per-reader memory: with k chunks each
+    // reader gets budget/k sessions (floor 64), so the merge working set
+    // stays O(read_buffer_sessions) however large the population — growing
+    // the population only shrinks each reader's buffer.
+    const std::size_t per_reader = std::max<std::size_t>(
+        64, config.read_buffer_sessions / std::max<std::size_t>(1, paths_.size()));
+    for (std::size_t i = 0; i < paths_.size(); ++i) {
+      readers_.push_back(std::make_unique<SessionChunkReader>(paths_[i], per_reader));
+      if (auto s = readers_.back()->next()) heap_.push(MergeEntry{*s, i});
+    }
+  }
+
+  ~ChunkedSpillSessionStream() override {
+    std::error_code ec;  // best-effort cleanup; never throw from a destructor
+    readers_.clear();
+    std::filesystem::remove_all(spill_dir_, ec);
+  }
+
+  std::optional<Session> next() override {
+    if (heap_.empty()) return std::nullopt;
+    MergeEntry top = heap_.top();
+    heap_.pop();
+    if (auto s = readers_[top.chunk]->next()) heap_.push(MergeEntry{*s, top.chunk});
+    return top.s;
+  }
+
+  std::size_t clients() const override { return clients_; }
+  double horizon() const override { return sampler_.horizon(); }
+
+ private:
+  struct MergeEntry {
+    Session s;
+    std::size_t chunk;
+  };
+  /// priority_queue is a max-heap; "after" ordering puts the session_order
+  /// minimum on top, with the chunk index as a deterministic final tie-break.
+  struct MergeAfter {
+    bool operator()(const MergeEntry& a, const MergeEntry& b) const {
+      if (session_order(a.s, b.s)) return false;
+      if (session_order(b.s, a.s)) return true;
+      return a.chunk > b.chunk;
+    }
+  };
+
+  SessionTraceSampler sampler_;
+  std::size_t clients_;
+  std::filesystem::path spill_dir_;
+  std::vector<std::string> paths_;
+  std::vector<std::unique_ptr<SessionChunkReader>> readers_;
+  std::priority_queue<MergeEntry, std::vector<MergeEntry>, MergeAfter> heap_;
+};
+
+}  // namespace
+
+std::unique_ptr<SessionStream> make_session_stream(const SessionStreamConfig& config,
+                                                   const DeviceCatalog& catalog, util::Rng& rng) {
+  // Mirror generate_sessions exactly: one rng draw seeds the trace, then all
+  // per-client randomness comes from derived substreams. Equal rng states
+  // therefore give equal traces on either path.
+  std::uint64_t trace_seed = rng.next_u64();
+  const std::size_t clients = config.generator.clients;
+  if (clients > config.clients_per_chunk)
+    return std::make_unique<ChunkedSpillSessionStream>(config, catalog, trace_seed);
+
+  SessionTraceSampler sampler(config.generator, catalog, trace_seed);
+  SessionLog log;
+  log.client_device.resize(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    ClientSessions cs = sampler.client(c);
+    log.client_device[c] = cs.device_index;
+    log.sessions.insert(log.sessions.end(), cs.sessions.begin(), cs.sessions.end());
+  }
+  std::sort(log.sessions.begin(), log.sessions.end(), session_order);
+  return std::make_unique<MaterializedSessionStream>(std::move(log), sampler.horizon());
+}
+
+}  // namespace flint::device

@@ -1,0 +1,73 @@
+// Streaming session traces (DESIGN.md §17). A SessionStream yields the same
+// sessions as generate_sessions() — in exactly the same session_order — but
+// lazily, so population size stops being a resident-memory quantity: the
+// leader, scheduler, and availability layers consume an iterator instead of
+// a materialized vector. Small populations stream from an in-memory sorted
+// buffer; large ones are generated in client chunks, spilled to binary chunk
+// files (session_io.h), and merged back through a bounded k-way heap, so
+// peak RSS is O(chunk) + O(read buffers), independent of total clients.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "flint/device/session_generator.h"
+
+namespace flint::device {
+
+/// A lazily-produced, exhaust-once sequence of sessions, non-decreasing in
+/// session_order(). Streams over the same seed/config are bit-identical to
+/// generate_sessions()' sorted vector — that equivalence is CI-gated.
+class SessionStream {
+ public:
+  virtual ~SessionStream() = default;
+
+  /// The next session, or nullopt when the trace is exhausted.
+  virtual std::optional<Session> next() = 0;
+
+  /// Total clients in the population this stream draws from.
+  virtual std::size_t clients() const = 0;
+
+  /// Trace horizon in seconds (days * 86400).
+  virtual double horizon() const = 0;
+};
+
+/// Adapter streaming an already-materialized, session_order-sorted log.
+class MaterializedSessionStream : public SessionStream {
+ public:
+  MaterializedSessionStream(SessionLog log, double horizon);
+
+  std::optional<Session> next() override;
+  std::size_t clients() const override { return log_.client_device.size(); }
+  double horizon() const override { return horizon_; }
+
+ private:
+  SessionLog log_;
+  double horizon_;
+  std::size_t cursor_ = 0;
+};
+
+/// Streaming generator parameters.
+struct SessionStreamConfig {
+  SessionGeneratorConfig generator;
+  /// Populations up to this size stream from memory; larger ones generate in
+  /// chunks of this many clients and spill each sorted chunk to disk.
+  std::size_t clients_per_chunk = 8192;
+  /// Total read-back buffer across the k-way merge (sessions, split evenly
+  /// over the chunk readers with a floor of 64 each), so merge memory is a
+  /// fixed budget rather than a per-chunk quantity.
+  std::size_t read_buffer_sessions = 65'536;
+  /// Directory for spill files; empty means the system temp directory.
+  /// Files are removed when the stream is destroyed.
+  std::string spill_dir;
+};
+
+/// Build a session stream for `config.generator.clients` clients. Consumes
+/// exactly one draw from `rng` (the trace seed), matching generate_sessions,
+/// so a stream and a materialized log built from equal rng states yield
+/// bit-identical sessions in identical order.
+std::unique_ptr<SessionStream> make_session_stream(const SessionStreamConfig& config,
+                                                   const DeviceCatalog& catalog, util::Rng& rng);
+
+}  // namespace flint::device

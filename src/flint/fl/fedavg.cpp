@@ -1,7 +1,6 @@
 #include "flint/fl/fedavg.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "flint/fl/aggregator.h"
 #include "flint/fl/client_selection.h"
@@ -33,7 +32,14 @@ RunResult run_fedavg(const SyncConfig& config) {
   FLINT_CHECK_GT(config.round_deadline_s, 0.0);
   RunTelemetryScope telemetry_scope(in);
 
-  sim::Leader leader(in.leader, *in.trace);
+  // Arrivals come from the materialized trace or the lazy window stream —
+  // exactly one is set (validated above); results are identical either way.
+  std::optional<sim::Leader> leader_storage;
+  if (in.trace != nullptr)
+    leader_storage.emplace(in.leader, *in.trace);
+  else
+    leader_storage.emplace(in.leader, *in.window_stream);
+  sim::Leader& leader = *leader_storage;
   for (const auto& o : in.outages) leader.executors().add_outage(o);
   RunAttributionScope attribution_scope(in, leader);
   TaskDurationModel durations(in.duration, *in.catalog, *in.bandwidth);
@@ -48,7 +54,7 @@ RunResult run_fedavg(const SyncConfig& config) {
 
   RunResult result;
   ServerOptimizer server_opt(in.server_lr, in.server_momentum);
-  std::unordered_map<std::uint64_t, double> last_participation;
+  ParticipationPool last_participation;
   std::uint64_t task_ids = 0;
   sim::VirtualTime t = 0.0;
   std::uint64_t round = 0;
@@ -69,7 +75,7 @@ RunResult run_fedavg(const SyncConfig& config) {
     task_ids = c.next_task_id;
     round = c.round;
     t = c.virtual_time_s;
-    for (const auto& [client, when] : c.last_participation) last_participation[client] = when;
+    last_participation.restore(c.last_participation);
     leader.arrivals().restore(static_cast<std::size_t>(c.arrival_cursor),
                               restore_requeued(c.requeued));
     leader.restore(c);
@@ -109,9 +115,9 @@ RunResult run_fedavg(const SyncConfig& config) {
     t = leader.dispatch_gate(t);
     std::size_t dispatch_n = overcommitted_size(config.cohort_size, config.overcommit);
     auto exclude = [&](std::uint64_t client) -> std::optional<sim::VirtualTime> {
-      auto it = last_participation.find(client);
-      if (it == last_participation.end()) return std::nullopt;
-      return it->second + in.reparticipation_gap_s;  // <= now means eligible
+      auto when = last_participation.last(client);
+      if (!when.has_value()) return std::nullopt;
+      return *when + in.reparticipation_gap_s;  // <= now means eligible
     };
     auto cohort = select_cohort(leader.arrivals(), t, dispatch_n, exclude, config.cohort_wait_s);
     if (cohort.empty()) {
@@ -149,7 +155,7 @@ RunResult run_fedavg(const SyncConfig& config) {
       }
       leader.metrics().on_task_started();
       leader.executors().record_task(leader.executors().executor_of(arr.client_id));
-      last_participation[arr.client_id] = dispatch_t;
+      last_participation.record(arr.client_id, dispatch_t);
       // The device stays in its availability window after the task; re-offer
       // the window remainder so it can participate in later rounds.
       if (!task.window_interrupted && task.finish < arr.window_end) {

@@ -4,7 +4,6 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <unordered_map>
 #include <unordered_set>
 
 #include "flint/fl/aggregator.h"
@@ -40,7 +39,7 @@ struct FedBuffState {
   std::uint64_t version = 0;  ///< server model version (aggregations so far)
   std::size_t running = 0;
   std::unordered_set<std::uint64_t> busy;
-  std::unordered_map<std::uint64_t, double> last_participation;
+  ParticipationPool last_participation;
   std::uint64_t task_ids = 0;
   double staleness_sum = 0.0;  ///< over the current buffer
   sim::VirtualTime round_start = 0.0;
@@ -278,7 +277,7 @@ void dispatch(FedBuffState& s, const sim::Arrival& arrival) {
   task->window_end = arrival.window_end;
   ++s.running;
   s.busy.insert(arrival.client_id);
-  s.last_participation[arrival.client_id] = now;
+  s.last_participation.record(arrival.client_id, now);
   s.leader->metrics().on_task_started();
   s.leader->executors().record_task(s.leader->executors().executor_of(arrival.client_id));
 
@@ -364,13 +363,13 @@ void pump(FedBuffState& s) {
       // completion handler requeues a rejoin for the window remainder.
       continue;
     }
-    auto it = s.last_participation.find(arrival->client_id);
-    if (it != s.last_participation.end()) {
+    auto when = s.last_participation.last(arrival->client_id);
+    if (when.has_value()) {
       // Compute the cooldown lapse once and branch on it, so the retry time
       // is strictly in the future whenever we defer (deriving the condition
       // and the retry from different float expressions can disagree in the
       // last ulp and livelock the pump).
-      sim::VirtualTime lapse = it->second + in.reparticipation_gap_s;
+      sim::VirtualTime lapse = *when + in.reparticipation_gap_s;
       if (lapse > now) {
         s.leader->arrivals().requeue(*arrival, lapse);
         continue;
@@ -392,7 +391,10 @@ RunResult run_fedbuff(const AsyncConfig& config) {
 
   FedBuffState s;
   s.config = &config;
-  s.leader = std::make_unique<sim::Leader>(in.leader, *in.trace);
+  // Arrivals come from the materialized trace or the lazy window stream —
+  // exactly one is set (validated above); results are identical either way.
+  s.leader = in.trace != nullptr ? std::make_unique<sim::Leader>(in.leader, *in.trace)
+                                 : std::make_unique<sim::Leader>(in.leader, *in.window_stream);
   for (const auto& o : in.outages) s.leader->executors().add_outage(o);
   RunAttributionScope attribution_scope(in, *s.leader);
   s.durations = std::make_unique<TaskDurationModel>(in.duration, *in.catalog, *in.bandwidth);
@@ -423,8 +425,7 @@ RunResult run_fedbuff(const AsyncConfig& config) {
     if (!c.server_rng_state.empty()) s.server_rng.deserialize_state(c.server_rng_state);
     s.version = c.round;
     s.task_ids = c.next_task_id;
-    for (const auto& [client, when] : c.last_participation)
-      s.last_participation[client] = when;
+    s.last_participation.restore(c.last_participation);
     s.leader->arrivals().restore(static_cast<std::size_t>(c.arrival_cursor),
                                  restore_requeued(c.requeued));
     s.leader->restore(c);
@@ -513,6 +514,7 @@ RunResult run_fedbuff(const AsyncConfig& config) {
           {s.result.virtual_duration_s, s.version, s.result.final_metric, 0.0});
   }
   s.result.final_parameters = std::move(s.params);
+  s.result.events_executed = s.leader->queue().executed();
   s.result.metrics = s.leader->metrics();
   attribution_scope.finish(s.result);
   telemetry_scope.finish(s.result);

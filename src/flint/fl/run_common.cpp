@@ -14,16 +14,21 @@ std::size_t client_example_count(const RunInputs& inputs, std::uint64_t client_i
   if (inputs.client_example_counts != nullptr &&
       client_id < inputs.client_example_counts->size())
     return (*inputs.client_example_counts)[client_id];
+  if (inputs.example_count_fn) return inputs.example_count_fn(client_id);
   return 0;
 }
 
 void validate_common_inputs(const RunInputs& inputs) {
-  FLINT_CHECK_MSG(inputs.trace != nullptr, "run needs an availability trace");
+  FLINT_CHECK_MSG(inputs.trace != nullptr || inputs.window_stream != nullptr,
+                  "run needs an availability trace or a window stream");
+  FLINT_CHECK_MSG(inputs.trace == nullptr || inputs.window_stream == nullptr,
+                  "set either a materialized trace or a window stream, not both");
   FLINT_CHECK_MSG(inputs.catalog != nullptr, "run needs a device catalog");
   FLINT_CHECK_MSG(inputs.bandwidth != nullptr, "run needs a bandwidth model");
   if (inputs.model_free) {
-    FLINT_CHECK_MSG(inputs.client_example_counts != nullptr || inputs.dataset != nullptr,
-                    "model-free run needs client example counts or a dataset");
+    FLINT_CHECK_MSG(inputs.client_example_counts != nullptr || inputs.dataset != nullptr ||
+                        static_cast<bool>(inputs.example_count_fn),
+                    "model-free run needs client example counts, a dataset, or a count fn");
   } else {
     FLINT_CHECK_MSG(inputs.model_template != nullptr, "run needs a model template");
     FLINT_CHECK_MSG(inputs.dataset != nullptr, "run needs a federated dataset");
@@ -55,6 +60,14 @@ void RunTelemetryScope::finish(RunResult& result) {
 RunAttributionScope::RunAttributionScope(const RunInputs& inputs, sim::Leader& leader)
     : enabled_(inputs.collect_ledger), leader_(&leader) {
   if (!enabled_) return;
+  if (inputs.trace == nullptr) {
+    // Streaming run: there is no materialized trace to pre-classify from
+    // (and walking the population would defeat the point). Clients are
+    // registered lazily on first task completion with unclassified labels;
+    // the accounting totals still reconcile with SimMetrics.
+    leader.metrics().attach_ledger(&ledger_);
+    return;
+  }
   // Classify every client the trace can offer: device tier from the catalog
   // profile of its (first-seen) device, availability cohort from how much of
   // the horizon its windows cover, executor from the pool's assignment.
@@ -95,12 +108,13 @@ void RunAttributionScope::finish(RunResult& result) {
 std::vector<store::CheckpointClientAccount> RunAttributionScope::accounts() const {
   std::vector<store::CheckpointClientAccount> out;
   if (!enabled_) return out;
-  out.reserve(ledger_.entries().size());
-  for (const auto& [client, e] : ledger_.entries()) {
+  out.reserve(ledger_.client_count());
+  for (std::uint32_t s = 0; s < ledger_.client_count(); ++s) {
+    obs::ClientLedgerEntry e = ledger_.entry_at(s);
     // Skip clients with no activity yet: they exist only as registrations,
     // which the resumed run re-derives from the trace.
     if (e.tasks_finished() == 0 && e.compute_s == 0.0 && e.bytes_down == 0) continue;
-    out.push_back({client, e.tasks_succeeded, e.tasks_interrupted, e.tasks_stale,
+    out.push_back({e.client_id, e.tasks_succeeded, e.tasks_interrupted, e.tasks_stale,
                    e.tasks_failed, e.compute_s, e.wasted_compute_s, e.bytes_down, e.bytes_up});
   }
   std::sort(out.begin(), out.end(),
@@ -182,12 +196,17 @@ std::vector<sim::Arrival> restore_requeued(
   return out;
 }
 
-std::vector<std::pair<std::uint64_t, double>> checkpoint_participation(
-    const std::unordered_map<std::uint64_t, double>& last_participation) {
-  std::vector<std::pair<std::uint64_t, double>> out(last_participation.begin(),
-                                                    last_participation.end());
+std::vector<std::pair<std::uint64_t, double>> ParticipationPool::sorted_entries() const {
+  std::vector<std::pair<std::uint64_t, double>> out;
+  out.reserve(keys_.size());
+  for (std::uint32_t s = 0; s < keys_.size(); ++s) out.emplace_back(keys_.key_at(s), times_[s]);
   std::sort(out.begin(), out.end());
   return out;
+}
+
+std::vector<std::pair<std::uint64_t, double>> checkpoint_participation(
+    const ParticipationPool& last_participation) {
+  return last_participation.sorted_entries();
 }
 
 }  // namespace flint::fl

@@ -3,7 +3,6 @@
 
 #include <functional>
 #include <optional>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -18,6 +17,7 @@
 #include "flint/obs/telemetry.h"
 #include "flint/privacy/dp.h"
 #include "flint/sim/leader.h"
+#include "flint/util/client_pool.h"
 
 namespace flint::rpc {
 class Leader;
@@ -32,6 +32,10 @@ struct RunInputs {
   // `client_example_counts` supplies |D_k| per client id instead. ---
   const data::FederatedDataset* dataset = nullptr;
   const std::vector<std::uint32_t>* client_example_counts = nullptr;
+  /// Model-free alternative to `client_example_counts` for population-scale
+  /// runs: |D_k| as a pure function of client id, so no per-client vector
+  /// has to be materialized. Checked after the vector form.
+  std::function<std::size_t(std::uint64_t)> example_count_fn;
   std::size_t dense_dim = 0;
 
   // --- Model & training. `model_template` supplies architecture and the
@@ -44,8 +48,12 @@ struct RunInputs {
   /// v <- beta*v + mean_delta; params += server_lr * v. 0 disables.
   double server_momentum = 0.0;
 
-  // --- Measured system inputs. ---
+  // --- Measured system inputs. Exactly one of `trace` (materialized) or
+  // `window_stream` (streaming, DESIGN.md §17) must be set; the streaming
+  // path yields bit-identical results while keeping resident memory
+  // independent of population size. ---
   const device::AvailabilityTrace* trace = nullptr;
+  device::WindowStream* window_stream = nullptr;
   const device::DeviceCatalog* catalog = nullptr;
   const net::BandwidthModel* bandwidth = nullptr;
   TaskDurationConfig duration;
@@ -140,6 +148,11 @@ struct RunResult {
   std::uint64_t resumed_from_round = 0;
   std::uint64_t resume_count = 0;
 
+  /// Events executed by the leader's event pump (async runner only; 0 for
+  /// the hand-clocked sync runner). The denominator of bench_scale's
+  /// events/s throughput.
+  std::uint64_t events_executed = 0;
+
   /// Aggregated-update throughput, for TEE sizing (§3.5).
   double updates_per_second() const {
     return virtual_duration_s > 0.0 ? metrics.updates_per_second(virtual_duration_s) : 0.0;
@@ -228,8 +241,47 @@ std::vector<store::CheckpointRequeuedArrival> checkpoint_requeued(
     const std::vector<sim::Arrival>& requeued);
 std::vector<sim::Arrival> restore_requeued(
     const std::vector<store::CheckpointRequeuedArrival>& requeued);
+/// Pooled client -> last-participation-time map shared by both runners'
+/// cooldown gates. Interned keys plus a fixed-chunk value column (DESIGN.md
+/// §17): per-client cost is ~16 bytes with no hash-map node or load-factor
+/// overhead, growth never reallocates existing state, and the layout is a
+/// pure function of the record() sequence.
+class ParticipationPool {
+ public:
+  /// Last recorded participation time for `client`, if any.
+  std::optional<double> last(std::uint64_t client) const {
+    auto slot = keys_.find(client);
+    if (!slot) return std::nullopt;
+    return times_[*slot];
+  }
+
+  /// Record (or overwrite) a client's participation time.
+  void record(std::uint64_t client, double when) {
+    std::uint32_t slot = keys_.intern(client);
+    if (slot == times_.size())
+      times_.push_back(when);
+    else
+      times_[slot] = when;
+  }
+
+  /// Distinct clients recorded.
+  std::size_t size() const { return keys_.size(); }
+
+  /// All entries sorted by client id (the order-independent checkpoint form).
+  std::vector<std::pair<std::uint64_t, double>> sorted_entries() const;
+
+  /// Load checkpointed entries (resume path).
+  void restore(const std::vector<std::pair<std::uint64_t, double>>& entries) {
+    for (const auto& [client, when] : entries) record(client, when);
+  }
+
+ private:
+  util::KeyInterner keys_;
+  util::ChunkedColumn<double> times_;
+};
+
 /// Sorted by client id so the serialized form is order-independent.
 std::vector<std::pair<std::uint64_t, double>> checkpoint_participation(
-    const std::unordered_map<std::uint64_t, double>& last_participation);
+    const ParticipationPool& last_participation);
 
 }  // namespace flint::fl

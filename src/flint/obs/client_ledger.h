@@ -17,12 +17,17 @@
 //
 // Single-writer: the runners feed it from the (single-threaded) event pump,
 // like SimMetrics itself. Not thread-safe by design.
+// Storage is struct-of-arrays (DESIGN.md §17): client keys are interned to
+// dense slots and every counter lives in a fixed-chunk column, so a
+// million-client run costs ~100 bytes per *touched* client with no hash-map
+// node overhead and no reallocation spikes.
 #pragma once
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
+
+#include "flint/util/client_pool.h"
 
 namespace flint::obs {
 
@@ -117,12 +122,13 @@ class ClientLedger {
   void on_task_finished(std::uint64_t client_id, LedgerOutcome outcome, double compute_s,
                         std::uint64_t update_bytes);
 
-  std::size_t client_count() const { return entries_.size(); }
+  /// Distinct clients touched (registered or attributed).
+  std::size_t client_count() const { return keys_.size(); }
 
-  /// Raw per-client accounts (unordered); checkpointing sorts by client id.
-  const std::unordered_map<std::uint64_t, ClientLedgerEntry>& entries() const {
-    return entries_;
-  }
+  /// Assemble the account at dense slot `slot` (slots are first-touch order,
+  /// 0 <= slot < client_count()). Consumers that need a canonical order sort
+  /// by ClientLedgerEntry::client_id.
+  ClientLedgerEntry entry_at(std::uint32_t slot) const;
 
   /// Overwrite one client's accumulated counters from a checkpoint (resume
   /// path), keeping whatever tier/cohort/executor classification this run's
@@ -134,9 +140,22 @@ class ClientLedger {
   ClientLedgerSummary summary(std::size_t top_k = 10) const;
 
  private:
-  ClientLedgerEntry& entry(std::uint64_t client_id);
+  /// Dense slot for `client_id`, appending zeroed columns on first touch.
+  std::uint32_t slot(std::uint64_t client_id);
 
-  std::unordered_map<std::uint64_t, ClientLedgerEntry> entries_;
+  // Struct-of-arrays per-client state, indexed by the interned slot.
+  util::KeyInterner keys_;
+  util::ChunkedColumn<std::uint32_t> tier_;
+  util::ChunkedColumn<std::uint32_t> cohort_;
+  util::ChunkedColumn<std::uint32_t> executor_;
+  util::ChunkedColumn<std::uint64_t> tasks_succeeded_;
+  util::ChunkedColumn<std::uint64_t> tasks_interrupted_;
+  util::ChunkedColumn<std::uint64_t> tasks_stale_;
+  util::ChunkedColumn<std::uint64_t> tasks_failed_;
+  util::ChunkedColumn<double> compute_s_;
+  util::ChunkedColumn<double> wasted_compute_s_;
+  util::ChunkedColumn<std::uint64_t> bytes_down_;
+  util::ChunkedColumn<std::uint64_t> bytes_up_;
   std::vector<std::string> tier_labels_;
   std::vector<std::string> cohort_labels_;
 };

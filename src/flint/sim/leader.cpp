@@ -12,6 +12,13 @@ Leader::Leader(const LeaderConfig& config, const device::AvailabilityTrace& trac
                     "checkpoint cadence set but no checkpoint store provided");
 }
 
+Leader::Leader(const LeaderConfig& config, device::WindowStream& windows)
+    : config_(config), arrivals_(windows), executors_(config.executor_count) {
+  if (config_.checkpoint_every_rounds > 0)
+    FLINT_CHECK_MSG(config_.checkpoint_store != nullptr,
+                    "checkpoint cadence set but no checkpoint store provided");
+}
+
 void Leader::on_aggregation(std::uint64_t round, const std::vector<float>& model_parameters,
                             std::uint64_t tasks_completed,
                             const std::function<void(store::SimCheckpoint&)>& fill_state) {

@@ -28,6 +28,9 @@ struct LeaderConfig {
 class Leader {
  public:
   Leader(const LeaderConfig& config, const device::AvailabilityTrace& trace);
+  /// Streaming variant: arrivals come from a lazy window stream instead of a
+  /// materialized trace (DESIGN.md §17). The stream must outlive the leader.
+  Leader(const LeaderConfig& config, device::WindowStream& windows);
 
   EventQueue& queue() { return queue_; }
   ArrivalScheduler& arrivals() { return arrivals_; }

@@ -6,15 +6,32 @@ namespace flint::sim {
 
 ArrivalScheduler::ArrivalScheduler(const device::AvailabilityTrace& trace) : trace_(&trace) {}
 
+ArrivalScheduler::ArrivalScheduler(device::WindowStream& stream) : stream_(&stream) {}
+
+const device::AvailabilityWindow* ArrivalScheduler::peek_window() {
+  if (trace_ != nullptr) {
+    const auto& windows = trace_->windows();
+    return cursor_ < windows.size() ? &windows[cursor_] : nullptr;
+  }
+  if (!lookahead_.has_value() && !stream_exhausted_) {
+    lookahead_ = stream_->next();
+    if (!lookahead_.has_value()) stream_exhausted_ = true;
+  }
+  return lookahead_.has_value() ? &*lookahead_ : nullptr;
+}
+
+void ArrivalScheduler::pop_window() {
+  ++cursor_;
+  lookahead_.reset();
+}
+
 std::optional<Arrival> ArrivalScheduler::trace_candidate(VirtualTime t) {
-  const auto& windows = trace_->windows();
-  while (cursor_ < windows.size()) {
-    const auto& w = windows[cursor_];
-    if (w.end <= t) {
-      ++cursor_;  // window fully in the past: consume silently
+  while (const auto* w = peek_window()) {
+    if (w->end <= t) {
+      pop_window();  // window fully in the past: consume silently
       continue;
     }
-    return Arrival{std::max<VirtualTime>(w.start, t), w.client_id, w.device_index, w.end};
+    return Arrival{std::max<VirtualTime>(w->start, t), w->client_id, w->device_index, w->end};
   }
   return std::nullopt;
 }
@@ -39,7 +56,7 @@ std::optional<Arrival> ArrivalScheduler::next(VirtualTime t) {
     }
   }
   if (!picked.has_value() && from_trace.has_value()) {
-    ++cursor_;  // consume the trace window
+    pop_window();  // consume the source window
     picked = from_trace;
   }
   if (picked.has_value()) {
@@ -72,6 +89,7 @@ void ArrivalScheduler::requeue(Arrival arrival, VirtualTime retry_time) {
 }
 
 std::size_t ArrivalScheduler::remaining_windows() const {
+  FLINT_CHECK_MSG(trace_ != nullptr, "remaining_windows() needs a trace-backed scheduler");
   return trace_->windows().size() - cursor_;
 }
 
@@ -87,8 +105,18 @@ std::vector<Arrival> ArrivalScheduler::requeued_snapshot() const {
 }
 
 void ArrivalScheduler::restore(std::size_t cursor, const std::vector<Arrival>& requeued) {
-  FLINT_CHECK_LE(cursor, trace_->windows().size());
-  cursor_ = cursor;
+  if (trace_ != nullptr) {
+    FLINT_CHECK_LE(cursor, trace_->windows().size());
+    cursor_ = cursor;
+  } else {
+    // A stream only moves forward: replay (discard) windows up to the
+    // checkpoint cursor. Restoring backwards would need a fresh stream.
+    FLINT_CHECK_GE(cursor, cursor_);
+    while (cursor_ < cursor) {
+      FLINT_CHECK_MSG(peek_window() != nullptr, "restore cursor past end of window stream");
+      pop_window();
+    }
+  }
   requeued_ = {};
   next_requeue_seq_ = 0;
   // Re-inserting in snapshot (pop) order with fresh sequence numbers keeps

@@ -26,10 +26,16 @@ struct Arrival {
   VirtualTime window_end = 0.0;    ///< end of the availability window
 };
 
-/// Ordered stream of arrivals over an availability trace.
+/// Ordered stream of arrivals over an availability trace, or over a lazy
+/// WindowStream (same arrival sequence, no materialized window vector).
 class ArrivalScheduler {
  public:
   explicit ArrivalScheduler(const device::AvailabilityTrace& trace);
+  /// Streaming source (DESIGN.md §17). The stream must outlive the scheduler
+  /// and yield windows non-decreasing in start; the scheduler consumes it
+  /// through a one-window lookahead, so population size never lands in
+  /// resident memory here.
+  explicit ArrivalScheduler(device::WindowStream& stream);
 
   /// Earliest arrival with effective time >= t. Windows already open at t
   /// arrive at exactly t; windows fully before t are skipped (consumed).
@@ -46,18 +52,21 @@ class ArrivalScheduler {
   void requeue(Arrival arrival, VirtualTime retry_time);
 
   /// Windows not yet consumed from the trace (requeued arrivals excluded).
+  /// Trace-backed schedulers only: a stream does not know its length.
   std::size_t remaining_windows() const;
 
-  /// Trace windows already consumed — the checkpoint cursor.
+  /// Windows already consumed from the source — the checkpoint cursor.
   std::size_t cursor() const { return cursor_; }
 
   /// Requeued arrivals in deterministic pop order (time, then requeue order),
   /// without consuming them. Pairs with restore() for checkpointing.
   std::vector<Arrival> requeued_snapshot() const;
 
-  /// Restore checkpointed state: the trace cursor plus requeued arrivals in
-  /// the order requeued_snapshot() returned them. The trace passed to the
-  /// constructor must be the same one the checkpointed run used.
+  /// Restore checkpointed state: the window cursor plus requeued arrivals in
+  /// the order requeued_snapshot() returned them. The trace (or stream)
+  /// passed to the constructor must match the one the checkpointed run used;
+  /// a stream-backed scheduler can only restore forward (it replays the
+  /// stream up to the cursor).
   void restore(std::size_t cursor, const std::vector<Arrival>& requeued);
 
  private:
@@ -76,8 +85,15 @@ class ArrivalScheduler {
   };
 
   std::optional<Arrival> trace_candidate(VirtualTime t);
+  // Unified view over the two sources: the head window not yet consumed
+  // (nullptr when exhausted), and its consumption.
+  const device::AvailabilityWindow* peek_window();
+  void pop_window();
 
-  const device::AvailabilityTrace* trace_;
+  const device::AvailabilityTrace* trace_ = nullptr;
+  device::WindowStream* stream_ = nullptr;
+  std::optional<device::AvailabilityWindow> lookahead_;
+  bool stream_exhausted_ = false;
   std::size_t cursor_ = 0;
   std::priority_queue<QueuedArrival, std::vector<QueuedArrival>, LaterArrival> requeued_;
   std::uint64_t next_requeue_seq_ = 0;

@@ -1,0 +1,115 @@
+// Fixed-chunk struct-of-arrays building blocks for population-scale
+// per-client state (DESIGN.md §17). A KeyInterner maps sparse 64-bit client
+// ids to dense u32 slots; ChunkedColumn<T> stores one attribute per slot in
+// fixed-size chunks so growth never reallocates (and thus never spikes RSS
+// with a 2x live+copy window the way std::vector growth does). Together they
+// bound peak memory by the number of *distinct clients touched*, not by the
+// population size or by hash-map load-factor overhead.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "flint/util/check.h"
+#include "flint/util/rng.h"
+
+namespace flint::util {
+
+/// Append-only column of T in fixed-size chunks. operator[] is O(1); push_back
+/// allocates exactly one chunk when the last one fills. Iteration order is
+/// insertion order (dense slot order), which is what keeps pooled consumers
+/// deterministic without sorting.
+template <typename T, std::size_t kChunk = 4096>
+class ChunkedColumn {
+ public:
+  static_assert(kChunk > 0);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void push_back(const T& value) {
+    if (size_ == chunks_.size() * kChunk) {
+      chunks_.push_back(std::make_unique<std::vector<T>>());
+      chunks_.back()->reserve(kChunk);  // one allocation per chunk, ever
+    }
+    chunks_.back()->push_back(value);
+    ++size_;
+  }
+
+  T& operator[](std::size_t i) {
+    FLINT_DCHECK(i < size_);
+    return (*chunks_[i / kChunk])[i % kChunk];
+  }
+  const T& operator[](std::size_t i) const {
+    FLINT_DCHECK(i < size_);
+    return (*chunks_[i / kChunk])[i % kChunk];
+  }
+
+ private:
+  std::vector<std::unique_ptr<std::vector<T>>> chunks_;
+  std::size_t size_ = 0;
+};
+
+/// Open-addressing map from sparse u64 keys to dense u32 slot ids, assigned
+/// in first-intern order. Probe order uses splitmix64, so layout (and every
+/// iteration a consumer derives from slot order) is a pure function of the
+/// intern sequence — no pointer- or hash-seed-dependent behaviour.
+class KeyInterner {
+ public:
+  KeyInterner() : slots_(kInitialSlots, kEmpty) {}
+
+  std::size_t size() const { return keys_.size(); }
+
+  /// Slot id for `key`, interning it if new.
+  std::uint32_t intern(std::uint64_t key) {
+    if (auto found = find(key)) return *found;
+    if ((keys_.size() + 1) * 10 > slots_.size() * 7) grow();
+    auto id = static_cast<std::uint32_t>(keys_.size());
+    FLINT_CHECK_MSG(keys_.size() < kMaxKeys, "KeyInterner: > 2^32-2 distinct keys");
+    keys_.push_back(key);
+    place(key, id);
+    return id;
+  }
+
+  /// Slot id for `key` if already interned.
+  std::optional<std::uint32_t> find(std::uint64_t key) const {
+    std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(splitmix64(key)) & mask;
+    while (slots_[i] != kEmpty) {
+      if (keys_[slots_[i]] == key) return slots_[i];
+      i = (i + 1) & mask;
+    }
+    return std::nullopt;
+  }
+
+  /// The key interned at dense slot `id`.
+  std::uint64_t key_at(std::uint32_t id) const {
+    FLINT_DCHECK(id < keys_.size());
+    return keys_[id];
+  }
+
+ private:
+  static constexpr std::uint32_t kEmpty = 0xFFFFFFFFu;
+  static constexpr std::size_t kInitialSlots = 64;  // power of two
+  static constexpr std::size_t kMaxKeys = 0xFFFFFFFEull;
+
+  void place(std::uint64_t key, std::uint32_t id) {
+    std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(splitmix64(key)) & mask;
+    while (slots_[i] != kEmpty) i = (i + 1) & mask;
+    slots_[i] = id;
+  }
+
+  void grow() {
+    std::vector<std::uint32_t> old = std::move(slots_);
+    slots_.assign(old.size() * 2, kEmpty);
+    for (std::uint32_t id = 0; id < keys_.size(); ++id) place(keys_[id], id);
+  }
+
+  std::vector<std::uint64_t> keys_;   ///< dense slot id -> key
+  std::vector<std::uint32_t> slots_;  ///< open-addressed probe table
+};
+
+}  // namespace flint::util

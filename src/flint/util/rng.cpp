@@ -56,14 +56,71 @@ double Rng::gamma(double shape, double scale) {
   return d(engine_);
 }
 
+namespace {
+
+/// Uniform in [0, 1) built from the engine's raw 64-bit output (53 mantissa
+/// bits). mt19937_64's output sequence is fully specified by the standard, so
+/// samplers built on this helper draw identically on every implementation —
+/// unlike std::*_distribution, whose algorithms are implementation-defined.
+double canonical_u01(std::mt19937_64& engine) {
+  return static_cast<double>(engine() >> 11) * 0x1.0p-53;
+}
+
+/// Inversion by sequential search (Devroye): one uniform, multiplicative
+/// pmf recurrence. Exact and fast for small means.
+std::int64_t poisson_inversion(std::mt19937_64& engine, double mean) {
+  double u = canonical_u01(engine);
+  double p = std::exp(-mean);
+  double cum = p;
+  std::int64_t k = 0;
+  // Hard iteration cap: P(K > mean + 40*sqrt(mean) + 64) is negligible, and
+  // the cap keeps a pathological float state from looping forever.
+  auto cap = static_cast<std::int64_t>(mean + 40.0 * std::sqrt(mean) + 64.0);
+  while (u > cum && k < cap) {
+    ++k;
+    p *= mean / static_cast<double>(k);
+    cum += p;
+  }
+  return k;
+}
+
+/// Hormann's PTRS transformed-rejection sampler for large means. Uses only
+/// canonical_u01 draws plus libm, so the draw *sequence* is portable.
+std::int64_t poisson_ptrs(std::mt19937_64& engine, double mean) {
+  const double b = 0.931 + 2.53 * std::sqrt(mean);
+  const double a = -0.059 + 0.02483 * b;
+  const double inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
+  const double v_r = 0.9277 - 3.6224 / (b - 2.0);
+  const double log_mean = std::log(mean);
+  for (;;) {
+    double u = canonical_u01(engine) - 0.5;
+    double v = canonical_u01(engine);
+    double us = 0.5 - std::abs(u);
+    double kf = std::floor((2.0 * a / us + b) * u + mean + 0.43);
+    if (us >= 0.07 && v <= v_r) return static_cast<std::int64_t>(kf);
+    if (kf < 0.0 || (us < 0.013 && v > us)) continue;
+    double k = kf;
+    if (std::log(v * inv_alpha / (a / (us * us) + b)) <=
+        k * log_mean - mean - std::lgamma(k + 1.0))
+      return static_cast<std::int64_t>(kf);
+  }
+}
+
+}  // namespace
+
 std::int64_t Rng::poisson(double mean) {
   FLINT_CHECK_FINITE(mean);
   FLINT_CHECK_GE(mean, 0.0);
   // fpclassify makes the "exactly zero, not merely small" intent explicit:
-  // tiny positive means are valid Poisson parameters and go to the library.
+  // tiny positive means are valid Poisson parameters.
   if (std::fpclassify(mean) == FP_ZERO) return 0;
-  std::poisson_distribution<std::int64_t> d(mean);
-  return d(engine_);
+  // Portable sampler instead of std::poisson_distribution: the standard
+  // leaves that algorithm implementation-defined, so libstdc++ and libc++
+  // disagree draw-for-draw — which would make every session trace (and thus
+  // every simulated result) depend on the standard library, breaking the
+  // repo-wide contract that results are a pure function of the seed.
+  if (mean < 10.0) return poisson_inversion(engine_, mean);
+  return poisson_ptrs(engine_, mean);
 }
 
 std::size_t Rng::zipf(std::size_t n, double s) {

@@ -342,6 +342,62 @@ TEST(ObsLedger, SummaryIsInsertionOrderInvariant) {
     EXPECT_EQ(a.stragglers[i].client_id, b.stragglers[i].client_id);
 }
 
+TEST(ObsLedger, PooledEntriesRoundTripThroughSlots) {
+  // The SoA pool behind the ledger (DESIGN.md §17): slots are first-touch
+  // order, entry_at() must reassemble exactly what the column writes stored,
+  // and re-registration keeps the account while overwriting classification.
+  ClientLedger ledger;
+  ledger.on_task_finished(7, LedgerOutcome::kSucceeded, 2.0, 100);  // slot 0
+  ledger.register_client(3, 1, 2, 4);                               // slot 1
+  ledger.on_task_finished(3, LedgerOutcome::kStale, 1.0, 50);
+  ASSERT_EQ(ledger.client_count(), 2u);
+
+  ClientLedgerEntry first = ledger.entry_at(0);
+  EXPECT_EQ(first.client_id, 7u);
+  EXPECT_EQ(first.tier, 0u);  // unregistered -> default bucket
+  EXPECT_EQ(first.tasks_succeeded, 1u);
+  EXPECT_EQ(first.bytes_up, 100u);
+
+  ClientLedgerEntry second = ledger.entry_at(1);
+  EXPECT_EQ(second.client_id, 3u);
+  EXPECT_EQ(second.tier, 1u);
+  EXPECT_EQ(second.cohort, 2u);
+  EXPECT_EQ(second.executor, 4u);
+  EXPECT_EQ(second.tasks_stale, 1u);
+  EXPECT_NEAR(second.wasted_compute_s, 1.0, 1e-12);
+
+  ledger.register_client(7, 2, 1, 3);  // reclassify; account must survive
+  first = ledger.entry_at(0);
+  EXPECT_EQ(first.tier, 2u);
+  EXPECT_EQ(first.tasks_succeeded, 1u);
+}
+
+TEST(ObsLedger, LargePopulationReconcilesAndStaysDense) {
+  // 200k touched clients through the interner + chunked columns: totals must
+  // reconcile exactly and every slot must reassemble its own client id (a
+  // collision or a mis-grown probe table would cross-wire accounts).
+  constexpr std::uint64_t kClients = 200'000;
+  ClientLedger ledger;
+  for (std::uint64_t c = 0; c < kClients; ++c) {
+    // Sparse, non-contiguous ids exercise the open-addressing path.
+    std::uint64_t id = c * 2654435761ull + 17;
+    ledger.on_task_finished(id, c % 2 == 0 ? LedgerOutcome::kSucceeded : LedgerOutcome::kStale,
+                            0.5, 10);
+  }
+  ASSERT_EQ(ledger.client_count(), kClients);
+  for (std::uint32_t slot = 0; slot < 1000; ++slot) {
+    ClientLedgerEntry e = ledger.entry_at(slot);
+    EXPECT_EQ(e.client_id, static_cast<std::uint64_t>(slot) * 2654435761ull + 17);
+    EXPECT_EQ(e.tasks_finished(), 1u);
+  }
+  auto s = ledger.summary();
+  EXPECT_EQ(s.totals.clients, kClients);
+  EXPECT_EQ(s.totals.tasks_succeeded, kClients / 2);
+  EXPECT_EQ(s.totals.tasks_stale, kClients / 2);
+  EXPECT_EQ(s.totals.bytes_down, kClients * 10);
+  EXPECT_NEAR(s.totals.compute_s, kClients * 0.5, 1e-6);
+}
+
 TEST(ObsLedger, StragglersRankedByWastedCompute) {
   ClientLedger ledger;
   for (std::uint64_t c = 0; c < 20; ++c)

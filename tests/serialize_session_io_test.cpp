@@ -131,6 +131,81 @@ TEST(SessionIo, RoundTripPreservesSessions) {
   fs::remove_all(dir);
 }
 
+TEST(SessionIo, BinaryChunkRoundTripIsBitExact) {
+  // The spill format under the streaming generator's k-way merge: unlike the
+  // CSV path there is no decimal formatting, so every field must come back
+  // bit-for-bit.
+  auto dir = fs::temp_directory_path() / "flint_session_chunk";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  util::Rng rng(61);
+  auto catalog = device::DeviceCatalog::standard();
+  device::SessionGeneratorConfig cfg;
+  cfg.clients = 50;
+  cfg.days = 2;
+  auto log = device::generate_sessions(cfg, catalog, rng);
+
+  std::string path = (dir / "chunk.bin").string();
+  {
+    device::SessionChunkWriter writer(path);
+    for (const auto& s : log.sessions) writer.add(s);
+    writer.finish();
+  }
+  device::SessionChunkReader reader(path, /*buffer_sessions=*/7);  // odd size:
+  EXPECT_EQ(reader.count(), log.sessions.size());  // forces partial refills
+  std::size_t i = 0;
+  while (auto s = reader.next()) {
+    ASSERT_LT(i, log.sessions.size());
+    EXPECT_EQ(s->client_id, log.sessions[i].client_id);
+    EXPECT_EQ(s->device_index, log.sessions[i].device_index);
+    EXPECT_EQ(s->start, log.sessions[i].start);
+    EXPECT_EQ(s->end, log.sessions[i].end);
+    EXPECT_EQ(s->wifi, log.sessions[i].wifi);
+    EXPECT_EQ(s->battery_pct, log.sessions[i].battery_pct);
+    EXPECT_EQ(s->foreground, log.sessions[i].foreground);
+    ++i;
+  }
+  EXPECT_EQ(i, log.sessions.size());
+  EXPECT_FALSE(reader.next().has_value());
+  fs::remove_all(dir);
+}
+
+TEST(SessionIo, BinaryChunkRejectsBadHeaderAndTruncation) {
+  auto dir = fs::temp_directory_path() / "flint_session_chunk_bad";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  std::string garbage = (dir / "garbage.bin").string();
+  {
+    std::ofstream out(garbage, std::ios::binary);
+    out << "this is not a session chunk";
+  }
+  EXPECT_THROW(device::SessionChunkReader(garbage, 16), util::CheckError);
+  EXPECT_THROW(device::SessionChunkReader((dir / "missing.bin").string(), 16),
+               util::CheckError);
+
+  // A valid header whose record payload was cut short must be caught by the
+  // reader's byte accounting, not returned as silently-zeroed sessions.
+  std::string truncated = (dir / "truncated.bin").string();
+  {
+    device::SessionChunkWriter writer(truncated);
+    device::Session s;
+    s.client_id = 1;
+    s.start = 1.0;
+    s.end = 2.0;
+    for (int i = 0; i < 4; ++i) writer.add(s);
+    writer.finish();
+  }
+  fs::resize_file(truncated, fs::file_size(truncated) - 10);
+  device::SessionChunkReader reader(truncated, 16);
+  EXPECT_THROW(
+      {
+        while (reader.next()) {
+        }
+      },
+      util::CheckError);
+  fs::remove_all(dir);
+}
+
 TEST(SessionIo, RejectsBadFiles) {
   auto dir = fs::temp_directory_path() / "flint_session_bad";
   fs::remove_all(dir);

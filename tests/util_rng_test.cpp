@@ -117,6 +117,31 @@ TEST(Rng, PoissonMean) {
   EXPECT_EQ(rng.poisson(0.0), 0);
 }
 
+TEST(Rng, PoissonLargeMeanMatchesMoments) {
+  // Large means route through the PTRS rejection sampler rather than
+  // inversion; mean and variance must both track lambda (for Poisson they
+  // are equal), or the transformed-rejection constants are off.
+  for (double lambda : {15.0, 60.0, 400.0}) {
+    Rng rng(41);
+    RunningStats s;
+    for (int i = 0; i < 30000; ++i) s.add(static_cast<double>(rng.poisson(lambda)));
+    EXPECT_NEAR(s.mean(), lambda, 0.02 * lambda) << "lambda " << lambda;
+    EXPECT_NEAR(s.variance(), lambda, 0.10 * lambda) << "lambda " << lambda;
+  }
+}
+
+TEST(Rng, PoissonIsDeterministicGivenSeedInBothRegimes) {
+  // The whole reason the sampler is hand-rolled: identical draws from
+  // identical engine state, on every platform and standard library. Covers
+  // the inversion regime (mean < 10) and the PTRS regime.
+  for (double lambda : {0.3, 4.0, 9.9, 10.1, 250.0}) {
+    Rng a(77);
+    Rng b(77);
+    for (int i = 0; i < 200; ++i)
+      ASSERT_EQ(a.poisson(lambda), b.poisson(lambda)) << "lambda " << lambda << " draw " << i;
+  }
+}
+
 TEST(Rng, ZipfInRangeAndSkewed) {
   Rng rng(31);
   std::vector<int> counts(10, 0);

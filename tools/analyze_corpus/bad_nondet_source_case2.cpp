@@ -1,0 +1,15 @@
+// Corpus: nondet-source must fire. std::*_distribution algorithms are
+// implementation-defined — libstdc++ and libc++ draw different values from
+// the same engine state — so using one outside util/rng makes the trace a
+// function of the standard library, not the seed.
+#include <random>
+
+double sample_gap_bad(std::mt19937_64& engine) {
+  std::normal_distribution<double> gap(60.0, 15.0);
+  return gap(engine);
+}
+
+long sample_count_bad(std::mt19937_64& engine) {
+  std::poisson_distribution<long> count(3.0);
+  return count(engine);
+}

@@ -1,0 +1,32 @@
+// Corpus: unordered-iter must stay silent. Collect-then-sort with a
+// multi-key tie-break comparator — the pattern the session generator uses:
+// primary key first, then enough secondary keys that equal primaries still
+// produce one total order regardless of hash-bucket iteration.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+struct Window {
+  double start = 0.0;
+  double end = 0.0;
+  std::uint64_t client = 0;
+};
+
+// Equal starts are common (clients sharing a timezone slot), so the sort key
+// is the full (start, client, end) triple — a strict weak ordering with no
+// ties left for container order to break.
+inline bool window_before(const Window& a, const Window& b) {
+  if (a.start != b.start) return a.start < b.start;
+  if (a.client != b.client) return a.client < b.client;
+  return a.end < b.end;
+}
+
+std::vector<Window> ordered_windows(const std::unordered_map<std::uint64_t, Window>& by_client) {
+  std::vector<Window> out;
+  out.reserve(by_client.size());
+  for (const auto& [client, w] : by_client) out.push_back(w);
+  std::sort(out.begin(), out.end(), window_before);
+  return out;
+}

@@ -446,6 +446,39 @@ def check_nondet_sources(sf: SourceFile) -> list[Finding]:
     return findings
 
 
+# std::*_distribution algorithms are implementation-defined: libstdc++ and
+# libc++ draw different values from the same engine state, so any use outside
+# util/rng (whose samplers are either portable or themselves the sanctioned
+# wrapper) silently breaks cross-stdlib reproducibility.
+DISTRIBUTION_RE = re.compile(r"\bstd::\w+_distribution\b")
+
+# util/rng is the one sanctioned home for stdlib distributions: Rng's own
+# wrappers are the repo-wide seam, and its portable samplers (e.g. poisson)
+# replace the implementation-defined ones case by case.
+DISTRIBUTION_PATH_ALLOWLIST = ("src/flint/util/rng",)
+
+
+def check_distribution_sources(sf: SourceFile) -> list[Finding]:
+    posix = sf.path.as_posix()
+    if any(allowed in posix for allowed in DISTRIBUTION_PATH_ALLOWLIST):
+        return []
+    findings = []
+    for idx, line in enumerate(sf.code_lines):
+        m = DISTRIBUTION_RE.search(line)
+        if not m:
+            continue
+        lineno = idx + 1
+        if sf.allowed("nondet-source", lineno):
+            continue
+        findings.append(Finding(
+            sf.path, lineno, "nondet-source",
+            f"'{m.group(0)}' outside util/rng; std distribution algorithms "
+            f"are implementation-defined, so traces diverge across standard "
+            f"libraries — draw through util::Rng, or justify with "
+            f"// flint-analyze: allow(nondet-source): <why>"))
+    return findings
+
+
 # --------------------------------------------------------------------------
 # Check 3: save/load field-pairing symmetry.
 # --------------------------------------------------------------------------
@@ -579,6 +612,7 @@ def analyze_file_text(path: Path, include_dirs: list[Path]) -> list[Finding]:
     findings = []
     findings.extend(check_unordered_loops(sf, scope))
     findings.extend(check_nondet_sources(sf))
+    findings.extend(check_distribution_sources(sf))
     findings.extend(check_save_load_symmetry(sf))
     return dedupe(findings)
 
@@ -671,7 +705,8 @@ def analyze_file_clang(path: Path, compdb_dir: Path | None,
     # AST contributed the type facts above.
     headers = [load_file(hp) for hp in resolve_includes(path, include_dirs)]
     scope = TuScope(sf, headers)
-    text_findings = check_unordered_loops(sf, scope) + check_save_load_symmetry(sf)
+    text_findings = (check_unordered_loops(sf, scope) + check_distribution_sources(sf) +
+                     check_save_load_symmetry(sf))
     seen = {(f.line, f.check, f.message) for f in findings}
     for f in text_findings:
         if f.check == "float-accum":
